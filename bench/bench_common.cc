@@ -1,0 +1,66 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace contjoin::bench {
+
+double ScaleFactor() {
+  const char* env = std::getenv("CONTJOIN_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+size_t Scaled(size_t base, size_t min) {
+  size_t v = static_cast<size_t>(static_cast<double>(base) * ScaleFactor());
+  return v < min ? min : v;
+}
+
+workload::DriverConfig DefaultConfig() {
+  workload::DriverConfig cfg;
+  cfg.engine.num_nodes = Scaled(512, 16);
+  cfg.engine.seed = 42;
+  cfg.workload.seed = 42;
+  cfg.workload.num_relation_pairs = 8;
+  cfg.workload.attrs_per_relation = 4;
+  cfg.workload.domain = 50000;
+  cfg.workload.zipf_theta = 0.9;
+  return cfg;
+}
+
+void PrintFigure(const std::string& id, const std::string& title,
+                 const std::string& expectation) {
+  std::printf("# %s: %s\n", id.c_str(), title.c_str());
+  std::printf("# paper expectation: %s\n", expectation.c_str());
+  std::printf("# scale factor: %.2f (set CONTJOIN_SCALE to change)\n",
+              ScaleFactor());
+}
+
+void PrintRow(const std::string& row) { std::printf("%s\n", row.c_str()); }
+
+std::string Fmt(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+std::string Fmt(uint64_t v) { return std::to_string(v); }
+
+PhaseResult RunStandardPhases(workload::ExperimentDriver* driver,
+                              size_t num_queries, size_t num_tuples) {
+  driver->InstallQueries(num_queries);
+  driver->net().ResetLoadMetrics();
+  (void)driver->TrafficSinceLastSnapshot();
+  driver->StreamTuples(num_tuples);
+  PhaseResult out;
+  out.traffic = driver->TrafficSinceLastSnapshot();
+  out.notifications = driver->DrainNotifications();
+  return out;
+}
+
+}  // namespace contjoin::bench

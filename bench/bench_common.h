@@ -1,0 +1,55 @@
+// Shared infrastructure for the figure-regeneration benchmarks. Every
+// binary reproduces one table/figure of the paper's evaluation chapter:
+// it prints the series the figure plots plus the paper's qualitative
+// expectation, so EXPERIMENTS.md can record paper-vs-measured.
+//
+// Scale: defaults finish in seconds on a laptop core. Set CONTJOIN_SCALE
+// (e.g. 4 or 10) to scale node, query and tuple counts toward the paper's
+// 10^4-node / 10^5-query operating point.
+
+#ifndef CONTJOIN_BENCH_BENCH_COMMON_H_
+#define CONTJOIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "workload/driver.h"
+
+namespace contjoin::bench {
+
+/// CONTJOIN_SCALE environment multiplier (default 1.0).
+double ScaleFactor();
+
+/// base * ScaleFactor(), at least `min`.
+size_t Scaled(size_t base, size_t min = 1);
+
+/// Baseline configuration shared by the engine benchmarks (DESIGN.md §5):
+/// 512 nodes, 8 relation pairs x 4 integer attributes, |dom| = 50 000,
+/// Zipf theta = 0.9, seed 42. Individual figures override what they sweep.
+workload::DriverConfig DefaultConfig();
+
+/// Prints the standard figure banner.
+void PrintFigure(const std::string& id, const std::string& title,
+                 const std::string& expectation);
+
+/// Prints a separator-formatted row: columns joined by '\t'.
+void PrintRow(const std::string& row);
+
+/// Convenience formatting.
+std::string Fmt(double v);
+std::string Fmt(uint64_t v);
+
+/// Runs the standard two-phase experiment: install `num_queries`, reset the
+/// load counters, stream `num_tuples`, drain inboxes. Returns the traffic
+/// delta of the streaming phase.
+struct PhaseResult {
+  sim::NetStats traffic;
+  size_t notifications = 0;
+};
+PhaseResult RunStandardPhases(workload::ExperimentDriver* driver,
+                              size_t num_queries, size_t num_tuples);
+
+}  // namespace contjoin::bench
+
+#endif  // CONTJOIN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,65 @@
+// E5 — "Effect of the bos ratio" (§5.5): varying the arrival-rate ratio
+// between the two relation streams (our reading of the thesis' "bos
+// ratio"; see DESIGN.md §4). SAI with the rate-aware strategy benefits
+// most: as the streams grow asymmetric, indexing by the slow relation
+// triggers ever fewer rewrites. Double-indexing algorithms pay for both
+// streams regardless.
+
+#include "bench_common.h"
+
+using namespace contjoin;
+
+namespace {
+
+double JoinHopsPerInsert(core::Algorithm alg, core::SaiStrategy strategy,
+                         double bos, size_t warmup, size_t queries,
+                         size_t tuples) {
+  workload::DriverConfig cfg = bench::DefaultConfig();
+  cfg.engine.algorithm = alg;
+  cfg.engine.sai_strategy = strategy;
+  cfg.workload.bos_ratio = bos;
+  workload::ExperimentDriver driver(cfg);
+  driver.StreamTuples(warmup);
+  driver.DrainNotifications();
+  auto result = bench::RunStandardPhases(&driver, queries, tuples);
+  return static_cast<double>(
+             result.traffic.hops(sim::MsgClass::kRewrittenQuery)) /
+         static_cast<double>(tuples);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintFigure(
+      "E5", "Effect of the bos ratio",
+      "as the R:S arrival ratio grows, SAI(lower-rate) indexes queries by "
+      "the slow relation and its rewrite traffic falls; SAI(random) and the "
+      "DAI algorithms keep paying for the fast stream");
+
+  const size_t kWarmup = bench::Scaled(1000);
+  const size_t kQueries = bench::Scaled(1500);
+  const size_t kTuples = bench::Scaled(3000);
+
+  bench::PrintRow(
+      "bos_ratio\tSAI_random\tSAI_lower_rate\tDAI_Q\tDAI_T\tDAI_V");
+  for (double bos : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    std::string row = bench::Fmt(bos);
+    row += "\t" + bench::Fmt(JoinHopsPerInsert(
+                      core::Algorithm::kSai, core::SaiStrategy::kRandom, bos,
+                      kWarmup, kQueries, kTuples));
+    row += "\t" + bench::Fmt(JoinHopsPerInsert(
+                      core::Algorithm::kSai, core::SaiStrategy::kLowerRate,
+                      bos, kWarmup, kQueries, kTuples));
+    row += "\t" + bench::Fmt(JoinHopsPerInsert(
+                      core::Algorithm::kDaiQ, core::SaiStrategy::kRandom, bos,
+                      kWarmup, kQueries, kTuples));
+    row += "\t" + bench::Fmt(JoinHopsPerInsert(
+                      core::Algorithm::kDaiT, core::SaiStrategy::kRandom, bos,
+                      kWarmup, kQueries, kTuples));
+    row += "\t" + bench::Fmt(JoinHopsPerInsert(
+                      core::Algorithm::kDaiV, core::SaiStrategy::kRandom, bos,
+                      kWarmup, kQueries, kTuples));
+    bench::PrintRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E1 — thesis Figure 4.8 / §5.2 "Evaluation of the API":
+// recursive vs. iterative design for the multisend function.
+//
+// For k identifiers over an N-node ring, both designs are O(k log N), but
+// the recursive batch shares the clockwise path and wins in practice.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "chord/network.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+using namespace contjoin;
+
+namespace {
+
+struct TrialResult {
+  double recursive_hops;
+  double iterative_hops;
+};
+
+TrialResult Measure(size_t n, size_t k, int trials) {
+  sim::Simulator simulator;
+  chord::Network network(&simulator);
+  auto nodes = network.BuildIdealRing(n);
+  Rng rng(17);
+
+  auto make_batch = [&](int trial) {
+    std::vector<chord::AppMessage> batch;
+    for (size_t i = 0; i < k; ++i) {
+      chord::AppMessage msg;
+      msg.target = HashKey("t-" + std::to_string(trial) + "-" +
+                           std::to_string(i));
+      msg.cls = sim::MsgClass::kTupleIndex;
+      batch.push_back(msg);
+    }
+    return batch;
+  };
+
+  uint64_t rec = 0, iter = 0;
+  for (int t = 0; t < trials; ++t) {
+    chord::Node* origin = nodes[rng.NextBelow(nodes.size())];
+    uint64_t before = network.stats().total_hops();
+    origin->Multisend(make_batch(t), sim::MsgClass::kTupleIndex);
+    simulator.Run();
+    rec += network.stats().total_hops() - before;
+
+    before = network.stats().total_hops();
+    origin->MultisendIterative(make_batch(t));
+    simulator.Run();
+    iter += network.stats().total_hops() - before;
+  }
+  return {static_cast<double>(rec) / trials,
+          static_cast<double>(iter) / trials};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintFigure(
+      "E1 (thesis Fig. 4.8)",
+      "Recursive vs. iterative design for the multisend function",
+      "same O(k log N) bound; the recursive design is significantly "
+      "cheaper in practice and the gap grows with k");
+
+  bench::PrintRow("N\tk\trecursive_hops\titerative_hops\tratio");
+  const int kTrials = 25;
+  for (size_t n : {256u, 1024u, 4096u}) {
+    size_t scaled_n = bench::Scaled(n, 16);
+    for (size_t k : {4u, 8u, 16u, 32u, 64u, 128u}) {
+      TrialResult r = Measure(scaled_n, k, kTrials);
+      bench::PrintRow(std::to_string(scaled_n) + "\t" + std::to_string(k) +
+                      "\t" + bench::Fmt(r.recursive_hops) + "\t" +
+                      bench::Fmt(r.iterative_hops) + "\t" +
+                      bench::Fmt(r.iterative_hops /
+                                 (r.recursive_hops > 0 ? r.recursive_hops
+                                                       : 1.0)));
+    }
+  }
+  return 0;
+}

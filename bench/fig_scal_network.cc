@@ -1,0 +1,43 @@
+// E14 — "Effect in filtering load distribution of increasing the network
+// size" (§5.9): the same workload over growing rings. New nodes take over
+// slices of the identifier space, relieving existing rewriters and
+// evaluators — "when the overlay network grows, query processing becomes
+// easier" (Ch. 1).
+
+#include "bench_common.h"
+
+using namespace contjoin;
+
+int main() {
+  bench::PrintFigure(
+      "E14",
+      "Effect in filtering load distribution of increasing the network size",
+      "with the workload fixed, per-node mean and max filtering load fall "
+      "as the network grows: new nodes absorb a share of the existing "
+      "load");
+
+  const size_t kQueries = bench::Scaled(2000);
+  const size_t kTuples = bench::Scaled(4000);
+  bench::PrintRow("algorithm\tnodes\tTF_mean\tTF_p99\tTF_max\tloaded_nodes");
+  for (auto alg : {core::Algorithm::kSai, core::Algorithm::kDaiT,
+                   core::Algorithm::kDaiV}) {
+    for (size_t n : {128u, 256u, 512u, 1024u, 2048u}) {
+      size_t nodes = bench::Scaled(n, 16);
+      workload::DriverConfig cfg = bench::DefaultConfig();
+      cfg.engine.algorithm = alg;
+      cfg.engine.num_nodes = nodes;
+      workload::ExperimentDriver driver(cfg);
+      (void)bench::RunStandardPhases(&driver, kQueries, kTuples);
+      LoadDistribution d = driver.net().FilteringLoadDistribution();
+      size_t loaded = 0;
+      for (double v : d.SortedDescending()) {
+        if (v > 0) ++loaded;
+      }
+      bench::PrintRow(std::string(core::AlgorithmName(alg)) + "\t" +
+                      std::to_string(nodes) + "\t" + bench::Fmt(d.mean()) +
+                      "\t" + bench::Fmt(d.Percentile(99)) + "\t" +
+                      bench::Fmt(d.max()) + "\t" + std::to_string(loaded));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// E13 — "Effect in filtering load distribution of increasing the number of
+// indexed queries" (§5.9).
+
+#include "bench_common.h"
+
+using namespace contjoin;
+
+int main() {
+  bench::PrintFigure(
+      "E13",
+      "Effect in filtering load distribution of increasing the number of "
+      "indexed queries",
+      "more installed queries mean more filtering work per tuple, but the "
+      "distribution shape stays stable as the value level spreads the "
+      "extra rewritten queries over many evaluators");
+
+  const size_t kTuples = bench::Scaled(3000);
+  bench::PrintRow("algorithm\tqueries\tTF_mean\tTF_max\tTF_gini\tTF_top5pct");
+  for (auto alg : {core::Algorithm::kSai, core::Algorithm::kDaiQ,
+                   core::Algorithm::kDaiT, core::Algorithm::kDaiV}) {
+    for (size_t q : {500u, 1000u, 2000u, 4000u, 8000u}) {
+      size_t queries = bench::Scaled(q);
+      workload::DriverConfig cfg = bench::DefaultConfig();
+      cfg.engine.algorithm = alg;
+      workload::ExperimentDriver driver(cfg);
+      (void)bench::RunStandardPhases(&driver, queries, kTuples);
+      LoadDistribution d = driver.net().FilteringLoadDistribution();
+      bench::PrintRow(std::string(core::AlgorithmName(alg)) + "\t" +
+                      std::to_string(queries) + "\t" + bench::Fmt(d.mean()) +
+                      "\t" + bench::Fmt(d.max()) + "\t" +
+                      bench::Fmt(d.Gini()) + "\t" +
+                      bench::Fmt(d.TopShare(0.05)));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,261 @@
+// Interactive shell over the public API: define schemas, subscribe
+// continuous (two-way and multi-way) queries, insert tuples, run one-time
+// joins and inspect the network — a REPL for exploring the system.
+//
+//   $ ./build/examples/shell            # interactive
+//   $ ./build/examples/shell --demo     # scripted walk-through
+//   $ ./build/examples/shell < script   # batch
+//
+// Commands:
+//   relation <Name> (<attr> <int|double|string>, ...)
+//   subscribe <node> <SELECT ...>        continuous two-way query
+//   subscribe-mw <node> <SELECT ...>     continuous multi-way query
+//   insert <node> <Relation> (<v1>, <v2>, ...)
+//   onetime <node> <SELECT ...>          PIER-style snapshot join
+//   notify <node>                        drain a node's notifications
+//   stats | load | storage | help | quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/engine.h"
+
+using namespace contjoin;
+
+namespace {
+
+class Shell {
+ public:
+  Shell() {
+    core::Options options;
+    options.num_nodes = 64;
+    options.algorithm = core::Algorithm::kSai;
+    net_ = std::make_unique<core::ContinuousQueryNetwork>(options);
+  }
+
+  /// Handles one input line; returns false on quit.
+  bool Handle(const std::string& line) {
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') return true;
+    std::istringstream in{std::string(trimmed)};
+    std::string cmd;
+    in >> cmd;
+    cmd = AsciiToLower(cmd);
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "relation") {
+      Relation(Rest(in));
+    } else if (cmd == "subscribe" || cmd == "subscribe-mw") {
+      Subscribe(in, cmd == "subscribe-mw");
+    } else if (cmd == "insert") {
+      Insert(in);
+    } else if (cmd == "onetime") {
+      OneTime(in);
+    } else if (cmd == "notify") {
+      Notify(in);
+    } else if (cmd == "stats") {
+      std::printf("%s", net_->stats().Report().c_str());
+    } else if (cmd == "load") {
+      std::printf("filtering load: %s\n",
+                  net_->FilteringLoadDistribution().Summary().c_str());
+      std::printf("storage load:   %s\n",
+                  net_->StorageLoadDistribution().Summary().c_str());
+    } else if (cmd == "storage") {
+      core::NodeStorage s = net_->TotalStorage();
+      std::printf("queries=%llu rewritten=%llu tuples=%llu daiv=%llu "
+                  "mw_queries=%llu mw_partials=%llu notifications=%llu\n",
+                  (unsigned long long)s.alqt_queries,
+                  (unsigned long long)s.vlqt_rewritten,
+                  (unsigned long long)s.vltt_tuples,
+                  (unsigned long long)s.daiv_entries,
+                  (unsigned long long)s.mw_queries,
+                  (unsigned long long)s.mw_partials,
+                  (unsigned long long)s.stored_notifications);
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    return true;
+  }
+
+ private:
+  static std::string Rest(std::istringstream& in) {
+    std::string rest;
+    std::getline(in, rest);
+    return std::string(TrimWhitespace(rest));
+  }
+
+  static void Help() {
+    std::printf(
+        "  relation <Name> (<attr> <int|double|string>, ...)\n"
+        "  subscribe <node> <SELECT ...>      continuous two-way query\n"
+        "  subscribe-mw <node> <SELECT ...>   continuous multi-way query\n"
+        "  insert <node> <Relation> (<v1>, <v2>, ...)\n"
+        "  onetime <node> <SELECT ...>        snapshot join (PIER-style)\n"
+        "  notify <node> | stats | load | storage | quit\n");
+  }
+
+  void Relation(const std::string& spec) {
+    // "<Name> (a int, b string, ...)"
+    size_t open = spec.find('(');
+    size_t close = spec.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      std::printf("usage: relation Name (attr type, ...)\n");
+      return;
+    }
+    std::string name(TrimWhitespace(spec.substr(0, open)));
+    std::vector<rel::Attribute> attrs;
+    for (const std::string& field :
+         SplitString(spec.substr(open + 1, close - open - 1), ',')) {
+      std::istringstream fin{field};
+      std::string attr, type;
+      fin >> attr >> type;
+      type = AsciiToLower(type);
+      rel::ValueType vt = rel::ValueType::kInt;
+      if (type == "double") {
+        vt = rel::ValueType::kDouble;
+      } else if (type == "string") {
+        vt = rel::ValueType::kString;
+      } else if (type != "int") {
+        std::printf("unknown type '%s'\n", type.c_str());
+        return;
+      }
+      attrs.push_back({attr, vt});
+    }
+    Status status =
+        net_->catalog()->Register(rel::RelationSchema(name, attrs));
+    std::printf("%s\n", status.ok()
+                            ? ("registered " + name).c_str()
+                            : status.ToString().c_str());
+  }
+
+  void Subscribe(std::istringstream& in, bool multiway) {
+    size_t node;
+    if (!(in >> node)) {
+      std::printf("usage: subscribe <node> <SELECT ...>\n");
+      return;
+    }
+    std::string sql = Rest(in);
+    auto key = multiway ? net_->SubmitMultiwayQuery(node, sql)
+                        : net_->SubmitQuery(node, sql);
+    if (key.ok()) {
+      std::printf("installed %s at node %zu\n", key->c_str(), node);
+    } else {
+      std::printf("%s\n", key.status().ToString().c_str());
+    }
+  }
+
+  bool ParseValues(const std::string& spec, std::vector<rel::Value>* out) {
+    size_t open = spec.find('(');
+    size_t close = spec.rfind(')');
+    if (open == std::string::npos || close == std::string::npos) return false;
+    for (std::string field :
+         SplitString(spec.substr(open + 1, close - open - 1), ',')) {
+      std::string v(TrimWhitespace(field));
+      if (v.empty() || EqualsIgnoreCase(v, "null")) {
+        out->push_back(rel::Value::Null());
+      } else if (v.front() == '\'' && v.back() == '\'' && v.size() >= 2) {
+        out->push_back(rel::Value::Str(v.substr(1, v.size() - 2)));
+      } else if (v.find('.') != std::string::npos) {
+        out->push_back(rel::Value::Double(std::stod(v)));
+      } else {
+        try {
+          out->push_back(rel::Value::Int(std::stoll(v)));
+        } catch (...) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void Insert(std::istringstream& in) {
+    size_t node;
+    std::string relation;
+    if (!(in >> node >> relation)) {
+      std::printf("usage: insert <node> <Relation> (v1, v2, ...)\n");
+      return;
+    }
+    std::vector<rel::Value> values;
+    if (!ParseValues(Rest(in), &values)) {
+      std::printf("could not parse the value list\n");
+      return;
+    }
+    Status status = net_->InsertTuple(node, relation, std::move(values));
+    std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+  }
+
+  void OneTime(std::istringstream& in) {
+    size_t node;
+    if (!(in >> node)) {
+      std::printf("usage: onetime <node> <SELECT ...>\n");
+      return;
+    }
+    auto rows = net_->OneTimeJoin(node, Rest(in));
+    if (!rows.ok()) {
+      std::printf("%s\n", rows.status().ToString().c_str());
+      return;
+    }
+    for (const auto& n : rows.value()) {
+      std::printf("  %s\n", n.ToString().c_str());
+    }
+    std::printf("(%zu rows)\n", rows->size());
+  }
+
+  void Notify(std::istringstream& in) {
+    size_t node;
+    if (!(in >> node)) {
+      std::printf("usage: notify <node>\n");
+      return;
+    }
+    auto notifications = net_->TakeNotifications(node);
+    for (const auto& n : notifications) {
+      std::printf("  %s\n", n.ToString().c_str());
+    }
+    std::printf("(%zu notifications)\n", notifications.size());
+  }
+
+  std::unique_ptr<core::ContinuousQueryNetwork> net_;
+};
+
+int RunDemo(Shell* shell) {
+  const char* kScript[] = {
+      "relation Trades (Symbol string, Price double)",
+      "relation Watchlist (Symbol string, Owner string)",
+      "subscribe 7 SELECT T.Symbol, T.Price, W.Owner FROM Trades AS T, "
+      "Watchlist AS W WHERE T.Symbol = W.Symbol AND W.Owner = 'alice'",
+      "insert 3 Watchlist ('ACME', 'alice')",
+      "insert 12 Trades ('ACME', 101.5)",
+      "insert 20 Trades ('OTHR', 9.25)",
+      "notify 7",
+      "onetime 2 SELECT T.Symbol, W.Owner FROM Trades AS T, Watchlist AS W "
+      "WHERE T.Symbol = W.Symbol",
+      "stats",
+  };
+  for (const char* line : kScript) {
+    std::printf("contjoin> %s\n", line);
+    if (!shell->Handle(line)) break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1 && std::string(argv[1]) == "--demo") return RunDemo(&shell);
+  std::printf("contjoin shell over a 64-node simulated overlay; "
+              "'help' for commands.\n");
+  std::string line;
+  while (true) {
+    std::printf("contjoin> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.Handle(line)) break;
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Distributed stream monitoring over a sliding window: correlate intrusion
+// alerts with flow records across a 256-node overlay — the kind of
+// monitoring/stream-processing application the paper's introduction
+// motivates. Uses DAI-Q with a sliding window, a T2-style workload would
+// use DAI-V (see examples/quickstart for T1 basics).
+//
+//   $ ./build/examples/stream_monitoring
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+using namespace contjoin;
+using core::Algorithm;
+using core::ContinuousQueryNetwork;
+using core::Options;
+using rel::RelationSchema;
+using rel::Value;
+using rel::ValueType;
+
+int main() {
+  Options options;
+  options.num_nodes = 256;
+  options.algorithm = Algorithm::kDaiQ;
+  options.window = 200;  // Pairs further than 200 ticks apart don't match.
+  options.use_jfrt = true;
+  ContinuousQueryNetwork net(options);
+
+  (void)net.catalog()->Register(RelationSchema(
+      "Flows", {{"SrcIp", ValueType::kInt},
+                {"DstIp", ValueType::kInt},
+                {"Bytes", ValueType::kInt}}));
+  (void)net.catalog()->Register(RelationSchema(
+      "Alerts", {{"Ip", ValueType::kInt},
+                 {"Severity", ValueType::kInt},
+                 {"RuleId", ValueType::kInt}}));
+
+  // The SOC node wants: flows whose source later (or recently) raised a
+  // high-severity alert.
+  const size_t kSoc = 0;
+  auto q = net.SubmitQuery(
+      kSoc,
+      "SELECT F.SrcIp, F.DstIp, F.Bytes, A.RuleId FROM Flows AS F, "
+      "Alerts AS A WHERE F.SrcIp = A.Ip AND A.Severity >= 8");
+  if (!q.ok()) {
+    std::printf("%s\n", q.status().ToString().c_str());
+    return 1;
+  }
+
+  // Sensors all over the network publish flows and alerts.
+  Rng rng(2024);
+  size_t alerts = 0, flows = 0;
+  for (int i = 0; i < 600; ++i) {
+    size_t sensor = rng.NextBelow(net.num_nodes());
+    if (rng.NextBernoulli(0.15)) {
+      ++alerts;
+      (void)net.InsertTuple(
+          sensor, "Alerts",
+          {Value::Int(static_cast<int64_t>(rng.NextBelow(40))),
+           Value::Int(rng.NextInRange(1, 10)),
+           Value::Int(rng.NextInRange(1000, 1040))});
+    } else {
+      ++flows;
+      (void)net.InsertTuple(
+          sensor, "Flows",
+          {Value::Int(static_cast<int64_t>(rng.NextBelow(40))),
+           Value::Int(static_cast<int64_t>(rng.NextBelow(1000))),
+           Value::Int(rng.NextInRange(64, 1500))});
+    }
+  }
+
+  auto incidents = net.TakeNotifications(kSoc);
+  std::printf("sensors published %zu flows and %zu alerts\n", flows, alerts);
+  std::printf("SOC received %zu correlated incidents; first five:\n",
+              incidents.size());
+  for (size_t i = 0; i < incidents.size() && i < 5; ++i) {
+    const auto& n = incidents[i];
+    std::printf("  src=%s dst=%s bytes=%s rule=%s (gap %llu ticks)\n",
+                n.row[0].ToKeyString().c_str(),
+                n.row[1].ToKeyString().c_str(),
+                n.row[2].ToKeyString().c_str(),
+                n.row[3].ToKeyString().c_str(),
+                static_cast<unsigned long long>(n.later_pub - n.earlier_pub));
+  }
+
+  // Who did the work? The whole point of the two-level indexing scheme.
+  auto tf = net.FilteringLoadDistribution();
+  auto ts = net.StorageLoadDistribution();
+  std::printf("\nfiltering load: %s\n", tf.Summary().c_str());
+  std::printf("storage load:   %s\n", ts.Summary().c_str());
+  std::printf("(gini near 0 = evenly spread over the %zu nodes)\n",
+              net.num_nodes());
+
+  net.PruneExpired();
+  std::printf("\nafter window expiry, stored tuples: %llu\n",
+              static_cast<unsigned long long>(net.TotalStorage().vltt_tuples));
+  std::printf("\noverlay traffic:\n%s", net.stats().Report().c_str());
+  return 0;
+}

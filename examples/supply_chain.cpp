@@ -1,0 +1,101 @@
+// Multi-way continuous joins (the paper's future work, implemented as the
+// recursive-SAI extension): a supply-chain monitor correlating four event
+// streams — orders, shipments, customs clearances and deliveries — into one
+// end-to-end notification, no matter in which order the events arrive.
+//
+//   $ ./build/examples/supply_chain
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+using namespace contjoin;
+using core::Algorithm;
+using core::ContinuousQueryNetwork;
+using core::Options;
+using rel::RelationSchema;
+using rel::Value;
+using rel::ValueType;
+
+int main() {
+  Options options;
+  options.num_nodes = 128;
+  options.algorithm = Algorithm::kSai;  // Multi-way rides on recursive SAI.
+  ContinuousQueryNetwork net(options);
+
+  (void)net.catalog()->Register(RelationSchema(
+      "Orders", {{"OrderId", ValueType::kInt},
+                 {"Customer", ValueType::kString},
+                 {"Value", ValueType::kInt}}));
+  (void)net.catalog()->Register(RelationSchema(
+      "Shipments", {{"OrderId", ValueType::kInt},
+                    {"Container", ValueType::kInt}}));
+  (void)net.catalog()->Register(RelationSchema(
+      "Customs", {{"Container", ValueType::kInt},
+                  {"Port", ValueType::kString}}));
+  (void)net.catalog()->Register(RelationSchema(
+      "Deliveries", {{"Container", ValueType::kInt},
+                     {"Hub", ValueType::kString}}));
+
+  // One 4-way chain: order -> shipment -> customs -> delivery, restricted
+  // to high-value orders.
+  const size_t kOps = 3;
+  auto q = net.SubmitMultiwayQuery(
+      kOps,
+      "SELECT O.OrderId, O.Customer, C.Port, D.Hub "
+      "FROM Orders AS O, Shipments AS S, Customs AS C, Deliveries AS D "
+      "WHERE O.OrderId = S.OrderId AND S.Container = C.Container "
+      "AND C.Container = D.Container AND O.Value >= 1000");
+  if (!q.ok()) {
+    std::printf("%s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("installed 4-way monitor %s\n\n", q->c_str());
+
+  // Events arrive out of order from different nodes.
+  std::printf("events (deliberately out of order):\n");
+  auto insert = [&](size_t node, const char* relation,
+                    std::vector<Value> values, const char* describe) {
+    std::printf("  node %-3zu publishes %s\n", node, describe);
+    (void)net.InsertTuple(node, relation, std::move(values));
+  };
+  insert(10, "Customs", {Value::Int(901), Value::Str("Rotterdam")},
+         "Customs(container 901 cleared at Rotterdam)");
+  insert(20, "Orders", {Value::Int(7), Value::Str("acme"), Value::Int(5000)},
+         "Orders(order 7, acme, value 5000)");
+  insert(30, "Deliveries", {Value::Int(901), Value::Str("Berlin-Hub")},
+         "Deliveries(container 901 at Berlin-Hub)");
+  insert(40, "Orders", {Value::Int(8), Value::Str("smallco"),
+                        Value::Int(50)},
+         "Orders(order 8, smallco, value 50)   <- below threshold");
+  insert(50, "Shipments", {Value::Int(7), Value::Int(901)},
+         "Shipments(order 7 in container 901)  <- completes the chain");
+
+  std::printf("\ncorrelated notifications at the operations node:\n");
+  for (const auto& n : net.TakeNotifications(kOps)) {
+    std::printf("  order %s (%s) cleared %s, delivered via %s "
+                "[event span %llu..%llu]\n",
+                n.row[0].ToKeyString().c_str(),
+                n.row[1].ToKeyString().c_str(),
+                n.row[2].ToKeyString().c_str(),
+                n.row[3].ToKeyString().c_str(),
+                static_cast<unsigned long long>(n.earlier_pub),
+                static_cast<unsigned long long>(n.later_pub));
+  }
+
+  // A second shipment for the same container chain triggers again.
+  std::printf("\na late shipment re-using container 901 arrives:\n");
+  insert(60, "Shipments", {Value::Int(8), Value::Int(901)},
+         "Shipments(order 8 in container 901)");
+  auto late = net.TakeNotifications(kOps);
+  std::printf("  %zu notifications (order 8 is below the value threshold)\n",
+              late.size());
+
+  std::printf("\nstorage: %llu multi-way partial bindings parked at "
+              "evaluators\n",
+              static_cast<unsigned long long>(
+                  net.TotalStorage().mw_partials));
+  std::printf("\noverlay traffic:\n%s", net.stats().Report().c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "chord/local_store.h"
+
+namespace contjoin::chord {
+
+std::vector<PayloadPtr> LocalStore::Take(const NodeId& key) {
+  auto it = items_.find(key);
+  if (it == items_.end()) return {};
+  std::vector<PayloadPtr> out = std::move(it->second);
+  size_ -= out.size();
+  items_.erase(it);
+  return out;
+}
+
+std::vector<std::pair<NodeId, std::vector<PayloadPtr>>>
+LocalStore::ExtractRange(const NodeId& from, const NodeId& to) {
+  std::vector<std::pair<NodeId, std::vector<PayloadPtr>>> out;
+  for (auto it = items_.begin(); it != items_.end();) {
+    if (it->first.InOpenClosed(from, to)) {
+      size_ -= it->second.size();
+      out.emplace_back(it->first, std::move(it->second));
+      it = items_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<NodeId, std::vector<PayloadPtr>>>
+LocalStore::ExtractAll() {
+  std::vector<std::pair<NodeId, std::vector<PayloadPtr>>> out;
+  out.reserve(items_.size());
+  for (auto& [key, items] : items_) {
+    out.emplace_back(key, std::move(items));
+  }
+  items_.clear();
+  size_ = 0;
+  return out;
+}
+
+}  // namespace contjoin::chord

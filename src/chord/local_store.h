@@ -1,0 +1,46 @@
+// Per-node DHT storage for items keyed by ring identifiers, with the range
+// extraction needed by Chord's key-transfer rules (join, voluntary leave).
+
+#ifndef CONTJOIN_CHORD_LOCAL_STORE_H_
+#define CONTJOIN_CHORD_LOCAL_STORE_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "chord/types.h"
+
+namespace contjoin::chord {
+
+/// Items a node stores on behalf of the ring (here: notifications for
+/// off-line subscribers). Multiple items may share a key.
+class LocalStore {
+ public:
+  void Put(const NodeId& key, PayloadPtr item) {
+    items_[key].push_back(std::move(item));
+    ++size_;
+  }
+
+  /// Removes and returns all items under `key`.
+  std::vector<PayloadPtr> Take(const NodeId& key);
+
+  /// Removes and returns all (key, items) pairs with key in the ring
+  /// interval (from, to]. Used when handing a key range to another node.
+  std::vector<std::pair<NodeId, std::vector<PayloadPtr>>> ExtractRange(
+      const NodeId& from, const NodeId& to);
+
+  /// Removes and returns everything (voluntary departure hands all keys to
+  /// the successor).
+  std::vector<std::pair<NodeId, std::vector<PayloadPtr>>> ExtractAll();
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  std::map<NodeId, std::vector<PayloadPtr>> items_;
+  size_t size_ = 0;
+};
+
+}  // namespace contjoin::chord
+
+#endif  // CONTJOIN_CHORD_LOCAL_STORE_H_

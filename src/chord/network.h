@@ -1,0 +1,131 @@
+// The simulated overlay network: node registry, hop-counted transport,
+// ground-truth oracle, ring construction (protocol-based and ideal) and
+// maintenance driving.
+
+#ifndef CONTJOIN_CHORD_NETWORK_H_
+#define CONTJOIN_CHORD_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chord/node.h"
+#include "chord/types.h"
+#include "common/rng.h"
+#include "sim/net_stats.h"
+#include "sim/simulator.h"
+
+namespace contjoin::chord {
+
+/// Transport and protocol knobs.
+struct NetworkOptions {
+  /// Successor-list length r (paper §2.2: small values suffice).
+  int successor_list_size = 4;
+  /// Virtual-time latency of one overlay hop. Zero gives deterministic
+  /// cascades (an insertion's consequences complete before the next event).
+  sim::SimTime hop_latency = 0;
+  /// Hop budget per routed message; exceeded messages are dropped and
+  /// counted (only reachable in inconsistent transitional rings).
+  int max_route_hops = 512;
+};
+
+/// Owns all nodes, counts traffic, and provides ring-construction helpers.
+class Network {
+ public:
+  explicit Network(sim::Simulator* simulator, NetworkOptions options = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator* simulator() const { return simulator_; }
+  sim::NetStats& stats() { return stats_; }
+  const NetworkOptions& options() const { return options_; }
+
+  // --- Node lifecycle -------------------------------------------------------
+
+  /// Creates an unjoined node with the given application key (paper §2.2:
+  /// e.g. derived from public key / IP). Identifier = SHA-1(key).
+  Node* CreateNode(const std::string& key);
+
+  /// Creates a node and joins it through `bootstrap` (protocol join).
+  Node* CreateAndJoin(const std::string& key, Node* bootstrap);
+
+  /// Builds an N-node ring with exact pointers: sorted successors,
+  /// predecessors, successor lists and fingers computed directly. Routing
+  /// over the result is identical to a converged protocol-built ring; only
+  /// construction messages are skipped (used by the large benchmarks).
+  /// Node keys are "node-<i>".
+  std::vector<Node*> BuildIdealRing(size_t n);
+
+  /// Recomputes every alive node's pointers to the ideal state (used after
+  /// scripted churn in benchmarks).
+  void RewireIdeal();
+
+  // --- Introspection ---------------------------------------------------------
+
+  /// Ground truth: first alive node whose identifier >= id (clockwise),
+  /// i.e. Successor(id). nullptr if no node is alive.
+  Node* OracleSuccessor(const NodeId& id) const;
+
+  std::vector<Node*> AliveNodes() const;
+  size_t alive_count() const { return alive_count_; }
+  const std::vector<std::unique_ptr<Node>>& all_nodes() const {
+    return nodes_;
+  }
+
+  /// True iff every alive node's successor pointer matches the oracle.
+  bool RingIsConsistent() const;
+
+  /// True iff, additionally, all predecessor pointers and finger tables
+  /// match the oracle.
+  bool RingIsFullyConsistent() const;
+
+  // --- Maintenance ------------------------------------------------------------
+
+  /// One round: every alive node runs check-predecessor, stabilize, and
+  /// fixes `fingers_per_round` fingers.
+  void RunMaintenanceRound(int fingers_per_round = 1);
+
+  /// Runs rounds until RingIsFullyConsistent() or `max_rounds` is hit.
+  /// Returns the number of rounds executed.
+  int StabilizeUntilConsistent(int max_rounds);
+
+  // --- Transport (used by Node) -----------------------------------------------
+
+  /// One overlay hop from `from` to `to`: counts a hop of class `cls` and
+  /// schedules `action` after the hop latency. Messages to dead nodes are
+  /// dropped and counted.
+  void Transmit(Node* from, Node* to, sim::MsgClass cls,
+                std::function<void()> action);
+
+  /// Hop accounting for synchronous probe RPCs (iterative lookups), which
+  /// execute inline rather than through the event queue.
+  void CountHop(sim::MsgClass cls) { stats_.AddHop(cls); }
+  void CountDrop() { stats_.AddDrop(); }
+
+  // --- Node lifecycle hooks (used by Node) ------------------------------------
+
+  void OnNodeDeath() { --alive_count_; }
+  void OnNodeBirth() { ++alive_count_; }
+
+  /// Fresh address epoch for a node reconnecting from a new "IP".
+  uint64_t AssignIp() { return next_ip_++; }
+
+ private:
+  void WireIdeal(const std::vector<Node*>& sorted);
+
+  sim::Simulator* simulator_;
+  NetworkOptions options_;
+  sim::NetStats stats_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<NodeId, Node*> by_id_;  // All nodes ever created, dead included.
+  size_t alive_count_ = 0;
+  uint64_t next_ip_ = 1;
+  uint64_t next_key_serial_ = 0;
+};
+
+}  // namespace contjoin::chord
+
+#endif  // CONTJOIN_CHORD_NETWORK_H_

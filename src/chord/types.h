@@ -1,0 +1,79 @@
+// Shared Chord-layer types: identifiers, application payloads and the
+// interface through which the continuous-query layer receives messages.
+
+#ifndef CONTJOIN_CHORD_TYPES_H_
+#define CONTJOIN_CHORD_TYPES_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/uint160.h"
+#include "sim/net_stats.h"
+
+namespace contjoin::chord {
+
+/// Position on the 2^160 identifier circle.
+using NodeId = Uint160;
+
+class Node;
+
+/// Base class for application message bodies. The continuous-query layer
+/// derives concrete payloads; the Chord layer routes them opaquely.
+/// Payloads are shared (const) so a multisend batch can reference one body
+/// from many messages without copying.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// How a delivered message is consumed: by the attached Application, or by
+/// the node itself (the put/get DHT interface of paper §2.1).
+enum class MsgKind : unsigned char { kApp = 0, kDhtStore, kDhtFetch };
+
+/// A routable application message: deliver `payload` to Successor(target).
+struct AppMessage {
+  NodeId target;
+  sim::MsgClass cls = sim::MsgClass::kControl;
+  PayloadPtr payload;
+  MsgKind kind = MsgKind::kApp;
+};
+
+/// Internal payload of a DhtPut in flight.
+struct DhtStorePayload : Payload {
+  NodeId key;
+  PayloadPtr item;
+};
+
+/// Internal payload of a DhtGet in flight.
+struct DhtFetchPayload : Payload {
+  NodeId key;
+  Node* origin = nullptr;
+  std::function<void(std::vector<PayloadPtr>)> on_result;
+};
+
+
+/// Upper-layer hook attached to each node. The continuous-query engine
+/// implements this to play the rewriter/evaluator/subscriber roles.
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Called when `node` is the successor of `msg.target` and must process the
+  /// message.
+  virtual void HandleMessage(Node& node, const AppMessage& msg) = 0;
+
+  /// Called when DHT-stored items keyed by `key` are handed to `node` (on
+  /// join/reconnect key transfer). Used for off-line notification delivery.
+  virtual void HandleStoredItems(Node& node, const NodeId& key,
+                                 std::vector<PayloadPtr> items) {
+    (void)node;
+    (void)key;
+    (void)items;
+  }
+};
+
+}  // namespace contjoin::chord
+
+#endif  // CONTJOIN_CHORD_TYPES_H_

@@ -1,0 +1,114 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace contjoin {
+
+LoadDistribution::LoadDistribution(std::vector<double> values)
+    : values_(std::move(values)) {}
+
+void LoadDistribution::Add(double value) {
+  values_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void LoadDistribution::Clear() {
+  values_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+double LoadDistribution::total() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double LoadDistribution::mean() const {
+  return values_.empty() ? 0.0 : total() / static_cast<double>(values_.size());
+}
+
+double LoadDistribution::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double LoadDistribution::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+void LoadDistribution::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double LoadDistribution::Percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  CJ_CHECK(p >= 0.0 && p <= 100.0) << "percentile out of range: " << p;
+  EnsureSorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  double rank = (p / 100.0) * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double LoadDistribution::Gini() const {
+  if (values_.size() < 2) return 0.0;
+  double sum = total();
+  if (sum <= 0.0) return 0.0;
+  EnsureSorted();
+  // Gini = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, 1-based ascending.
+  double weighted = 0.0;
+  for (size_t i = 0; i < sorted_.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * sorted_[i];
+  }
+  double n = static_cast<double>(sorted_.size());
+  return (2.0 * weighted) / (n * sum) - (n + 1.0) / n;
+}
+
+double LoadDistribution::TopShare(double fraction) const {
+  if (values_.empty()) return 0.0;
+  CJ_CHECK(fraction >= 0.0 && fraction <= 1.0)
+      << "fraction out of range: " << fraction;
+  double sum = total();
+  if (sum <= 0.0) return 0.0;
+  EnsureSorted();
+  size_t k = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(values_.size())));
+  k = std::min(k, values_.size());
+  double top = 0.0;
+  for (size_t i = 0; i < k; ++i) top += sorted_[sorted_.size() - 1 - i];
+  return top / sum;
+}
+
+double LoadDistribution::TopKMean(size_t k) const {
+  if (values_.empty() || k == 0) return 0.0;
+  EnsureSorted();
+  k = std::min(k, values_.size());
+  double top = 0.0;
+  for (size_t i = 0; i < k; ++i) top += sorted_[sorted_.size() - 1 - i];
+  return top / static_cast<double>(k);
+}
+
+std::vector<double> LoadDistribution::SortedDescending() const {
+  EnsureSorted();
+  return std::vector<double>(sorted_.rbegin(), sorted_.rend());
+}
+
+std::string LoadDistribution::Summary() const {
+  std::ostringstream out;
+  out << "n=" << count() << " total=" << total() << " mean=" << mean()
+      << " p50=" << Percentile(50) << " p90=" << Percentile(90)
+      << " p99=" << Percentile(99) << " max=" << max() << " gini=" << Gini();
+  return out.str();
+}
+
+}  // namespace contjoin

@@ -1,0 +1,62 @@
+// Load-distribution statistics: per-node load samples summarized with the
+// metrics the paper's figures use (sorted loads, top-k% shares, percentiles,
+// Gini coefficient).
+
+#ifndef CONTJOIN_COMMON_HISTOGRAM_H_
+#define CONTJOIN_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace contjoin {
+
+/// Collects a population of per-node load values and reports distribution
+/// statistics. Values are arbitrary non-negative doubles.
+class LoadDistribution {
+ public:
+  LoadDistribution() = default;
+
+  /// Builds directly from a sample vector.
+  explicit LoadDistribution(std::vector<double> values);
+
+  void Add(double value);
+  void Clear();
+
+  size_t count() const { return values_.size(); }
+  double total() const;
+  double mean() const;
+  double max() const;
+  double min() const;
+
+  /// p in [0, 100]; linear interpolation between order statistics.
+  double Percentile(double p) const;
+
+  /// Gini coefficient in [0, 1); 0 = perfectly even, ->1 = concentrated.
+  double Gini() const;
+
+  /// Fraction of total load carried by the most-loaded `fraction` of the
+  /// population (e.g. TopShare(0.01) = share of the top 1% of nodes).
+  double TopShare(double fraction) const;
+
+  /// Mean load of the `k` most loaded members (k clamped to count()).
+  double TopKMean(size_t k) const;
+
+  /// Values sorted in descending order (a copy).
+  std::vector<double> SortedDescending() const;
+
+  /// One line: count/total/mean/p50/p90/p99/max/gini, for bench output.
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  // Cached ascending copy, rebuilt lazily after mutation.
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace contjoin
+
+#endif  // CONTJOIN_COMMON_HISTOGRAM_H_

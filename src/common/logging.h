@@ -1,0 +1,52 @@
+// Minimal check/logging macros. CJ_CHECK aborts with a message on failure and
+// is kept in all build types: simulator invariants guard correctness results.
+//
+// Usage: CJ_CHECK(x > 0) << "detail " << x;
+
+#ifndef CONTJOIN_COMMON_LOGGING_H_
+#define CONTJOIN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace contjoin {
+namespace internal {
+
+/// Accumulates a failure message and aborts when destroyed.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns a streamed CheckFailStream into void so it can sit on the error arm
+/// of a ternary expression (the glog "voidify" idiom).
+struct Voidify {
+  void operator&(CheckFailStream&) {}
+  void operator&(CheckFailStream&&) {}
+};
+
+}  // namespace internal
+}  // namespace contjoin
+
+#define CJ_CHECK(cond)                       \
+  (cond) ? (void)0                           \
+         : ::contjoin::internal::Voidify() & \
+               ::contjoin::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#endif  // CONTJOIN_COMMON_LOGGING_H_

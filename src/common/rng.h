@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation (xoshiro256**). Every
+// experiment is seeded explicitly so runs are reproducible.
+
+#ifndef CONTJOIN_COMMON_RNG_H_
+#define CONTJOIN_COMMON_RNG_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace contjoin {
+
+/// xoshiro256** generator with splitmix64 seeding.
+class Rng {
+ public:
+  /// Seeds deterministically from a single value.
+  explicit Rng(uint64_t seed = 0x6a09e667f3bcc908ull) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void Shuffle(Container* c) {
+    if (c->size() < 2) return;
+    for (size_t i = c->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      using std::swap;
+      swap((*c)[i], (*c)[j]);
+    }
+  }
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace contjoin
+
+#endif  // CONTJOIN_COMMON_RNG_H_

@@ -1,0 +1,135 @@
+#include "common/sha1.h"
+
+#include <cstring>
+
+namespace contjoin {
+namespace {
+
+inline uint32_t RotL(uint32_t v, int bits) {
+  return (v << bits) | (v >> (32 - bits));
+}
+
+}  // namespace
+
+void Sha1::Reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  length_bits_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = RotL(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+           e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    uint32_t tmp = RotL(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = RotL(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  length_bits_ += static_cast<uint64_t>(len) * 8;
+
+  if (buffer_len_ > 0) {
+    size_t take = std::min(len, buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == buffer_.size()) {
+      ProcessBlock(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_.data(), p, len);
+    buffer_len_ = len;
+  }
+}
+
+Sha1Digest Sha1::Finish() {
+  // Padding: 0x80, zeros, then 64-bit big-endian bit length.
+  uint64_t total_bits = length_bits_;
+  uint8_t pad = 0x80;
+  Update(&pad, 1);
+  uint8_t zero = 0;
+  while (buffer_len_ != 56) {
+    Update(&zero, 1);
+  }
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(total_bits >> (56 - 8 * i));
+  }
+  // Update() would keep growing length_bits_, which is fine: we captured the
+  // value first.
+  Update(len_bytes, 8);
+
+  Sha1Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
+    out[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    out[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    out[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+Sha1Digest Sha1::Hash(std::string_view s) {
+  Sha1 hasher;
+  hasher.Update(s);
+  return hasher.Finish();
+}
+
+std::string Sha1::ToHex(const Sha1Digest& digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace contjoin

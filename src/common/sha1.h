@@ -1,0 +1,55 @@
+// SHA-1 (RFC 3174), implemented from scratch so the library has no external
+// crypto dependency. Chord derives node and key identifiers from SHA-1.
+//
+// SHA-1 is used here purely as a well-distributed hash over the 2^160
+// identifier circle, exactly as in the Chord paper; it is not used for
+// security.
+
+#ifndef CONTJOIN_COMMON_SHA1_H_
+#define CONTJOIN_COMMON_SHA1_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace contjoin {
+
+/// 20-byte SHA-1 digest.
+using Sha1Digest = std::array<uint8_t, 20>;
+
+/// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  Sha1() { Reset(); }
+
+  /// Resets to the initial state.
+  void Reset();
+
+  /// Absorbs `len` bytes at `data`.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Finalizes and returns the digest. The hasher must be Reset() before
+  /// further use.
+  Sha1Digest Finish();
+
+  /// One-shot convenience.
+  static Sha1Digest Hash(std::string_view s);
+
+  /// Digest rendered as 40 lowercase hex characters.
+  static std::string ToHex(const Sha1Digest& digest);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 5> state_;
+  std::array<uint8_t, 64> buffer_;
+  uint64_t length_bits_ = 0;
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace contjoin
+
+#endif  // CONTJOIN_COMMON_SHA1_H_

@@ -1,0 +1,40 @@
+#include "common/status.h"
+
+namespace contjoin {
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Status::Code::kUnsupported:
+      return "Unsupported";
+    case Status::Code::kParseError:
+      return "ParseError";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace contjoin

@@ -1,0 +1,107 @@
+// Status: lightweight error-reporting type used across the library instead of
+// exceptions on hot paths (RocksDB/Arrow idiom).
+
+#ifndef CONTJOIN_COMMON_STATUS_H_
+#define CONTJOIN_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace contjoin {
+
+/// Result of an operation that can fail.
+///
+/// A default-constructed Status is OK and carries no allocation. Error
+/// statuses carry a code and a human-readable message. Status is cheap to
+/// copy in the OK case and cheap to move always.
+class Status {
+ public:
+  /// Error categories. Kept deliberately small; the message carries detail.
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kFailedPrecondition,
+    kUnsupported,
+    kParseError,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status Unsupported(std::string_view msg) {
+    return Status(Code::kUnsupported, msg);
+  }
+  static Status ParseError(std::string_view msg) {
+    return Status(Code::kParseError, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  Code code() const { return rep_ == nullptr ? Code::kOk : rep_->code; }
+
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code() == Code::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == Code::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == Code::kFailedPrecondition;
+  }
+  bool IsUnsupported() const { return code() == Code::kUnsupported; }
+  bool IsParseError() const { return code() == Code::kParseError; }
+  bool IsInternal() const { return code() == Code::kInternal; }
+
+  /// Message attached to an error status; empty for OK.
+  std::string_view message() const {
+    return rep_ == nullptr ? std::string_view() : rep_->message;
+  }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    Code code;
+    std::string message;
+  };
+
+  Status(Code code, std::string_view msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::string(msg)})) {}
+
+  // shared_ptr keeps copies cheap; statuses are immutable once built.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Returns from the enclosing function if `expr` yields a non-OK status.
+#define CJ_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::contjoin::Status _cj_status = (expr);      \
+    if (!_cj_status.ok()) return _cj_status;     \
+  } while (false)
+
+}  // namespace contjoin
+
+#endif  // CONTJOIN_COMMON_STATUS_H_

@@ -1,0 +1,70 @@
+// StatusOr<T>: a value or an error Status.
+
+#ifndef CONTJOIN_COMMON_STATUSOR_H_
+#define CONTJOIN_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace contjoin {
+
+/// Holds either a T or a non-OK Status explaining why no T is available.
+///
+/// Accessing the value of an errored StatusOr aborts the process (the same
+/// contract as absl::StatusOr); call ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (OK).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Must not be OK.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    CJ_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CJ_CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CJ_CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CJ_CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr), returning its status on error, otherwise
+/// assigning the value to `lhs`.
+#define CJ_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  auto CJ_CONCAT_(_cj_sor_, __LINE__) = (rexpr);    \
+  if (!CJ_CONCAT_(_cj_sor_, __LINE__).ok())         \
+    return CJ_CONCAT_(_cj_sor_, __LINE__).status(); \
+  lhs = std::move(CJ_CONCAT_(_cj_sor_, __LINE__)).value()
+
+#define CJ_CONCAT_INNER_(a, b) a##b
+#define CJ_CONCAT_(a, b) CJ_CONCAT_INNER_(a, b)
+
+}  // namespace contjoin
+
+#endif  // CONTJOIN_COMMON_STATUSOR_H_

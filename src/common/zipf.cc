@@ -1,0 +1,59 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+namespace contjoin {
+
+// Rejection-inversion sampling for the Zipf distribution
+// (W. Hörmann, G. Derflinger, "Rejection-inversion to generate variates from
+// monotone discrete distributions", ACM TOMACS 6(3), 1996). Samples k in
+// [1, n] with P(k) proportional to 1/k^theta; we return k-1.
+
+namespace {
+
+double HIntegral(double x, double theta) {
+  double log_x = std::log(x);
+  if (std::abs(1.0 - theta) < 1e-12) return log_x;
+  return std::expm1((1.0 - theta) * log_x) / (1.0 - theta);
+}
+
+double HIntegralInverse(double x, double theta) {
+  if (std::abs(1.0 - theta) < 1e-12) return std::exp(x);
+  double t = x * (1.0 - theta);
+  if (t < -1.0) t = -1.0;  // Numerical guard.
+  return std::exp(std::log1p(t) / (1.0 - theta));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  CJ_CHECK(n >= 1) << "Zipf domain must be non-empty";
+  CJ_CHECK(theta >= 0.0) << "Zipf theta must be non-negative";
+  h_x1_ = HIntegral(1.5, theta_) - 1.0;
+  h_n_ = HIntegral(static_cast<double>(n_) + 0.5, theta_);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5, theta_) - std::pow(2.0, -theta_),
+                              theta_);
+}
+
+double ZipfSampler::H(double x) const { return HIntegral(x, theta_); }
+double ZipfSampler::HInverse(double x) const {
+  return HIntegralInverse(x, theta_);
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) {
+  if (theta_ == 0.0) return rng->NextBelow(n_);  // Uniform shortcut.
+  for (;;) {
+    double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= s_ ||
+        u >= H(kd + 0.5) - std::exp(-std::log(kd) * theta_)) {
+      return k - 1;
+    }
+  }
+}
+
+}  // namespace contjoin

@@ -1,0 +1,43 @@
+// Zipf-distributed sampling over {0, ..., n-1}. The paper's experiments use
+// "highly skewed" attribute-value distributions; Zipf with configurable theta
+// is the standard model.
+
+#ifndef CONTJOIN_COMMON_ZIPF_H_
+#define CONTJOIN_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace contjoin {
+
+/// Samples rank i in {0..n-1} with probability proportional to 1/(i+1)^theta.
+/// theta = 0 degenerates to the uniform distribution.
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger, which needs
+/// O(1) memory and works for any n, including very large domains.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Draws one sample.
+  uint64_t Sample(Rng* rng);
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace contjoin
+
+#endif  // CONTJOIN_COMMON_ZIPF_H_

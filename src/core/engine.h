@@ -1,0 +1,341 @@
+// The continuous-query engine: the per-node rewriter/evaluator protocol of
+// the paper's four algorithms (SAI, DAI-Q, DAI-T, DAI-V) and the public
+// facade ContinuousQueryNetwork that applications program against.
+
+#ifndef CONTJOIN_CORE_ENGINE_H_
+#define CONTJOIN_CORE_ENGINE_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chord/network.h"
+#include "chord/node.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "core/jfrt.h"
+#include "core/messages.h"
+#include "core/metrics.h"
+#include "core/options.h"
+#include "core/tables.h"
+#include "query/parser.h"
+#include "relational/schema.h"
+#include "sim/simulator.h"
+
+namespace contjoin::core {
+
+/// Per-attribute arrival statistics a rewriter keeps so index-attribute
+/// selection strategies can consult it at query-submission time (§4.3.6:
+/// "any node can simply ask the two possible rewriter nodes").
+struct AttrArrivalStats {
+  uint64_t tuples_seen = 0;
+  /// Bounded per-value frequency map (skew / distinct-count estimation).
+  std::unordered_map<std::string, uint64_t> value_counts;
+  uint64_t overflow_values = 0;  // Arrivals beyond the tracked-value cap.
+
+  static constexpr size_t kMaxTrackedValues = 4096;
+
+  void Record(const std::string& value_key);
+  /// Folds another node's statistics in (identifier migration, §4.7).
+  void Merge(const AttrArrivalStats& other);
+  /// Share of the most frequent value (1.0 = fully skewed).
+  double SkewEstimate() const;
+  size_t DistinctEstimate() const { return value_counts.size(); }
+};
+
+/// State a node keeps to play its roles (rewriter / evaluator / subscriber).
+struct NodeState {
+  explicit NodeState(size_t jfrt_capacity) : jfrt(jfrt_capacity) {}
+
+  AttrLevelQueryTable alqt;
+  ValueLevelQueryTable vlqt;
+  ValueLevelTupleTable vltt;
+  DaivStore daiv;
+  Jfrt jfrt;
+  NodeMetrics metrics;
+
+  /// Arrival statistics per attribute-level key "R+A#<replica>".
+  std::unordered_map<std::string, AttrArrivalStats> attr_stats;
+  std::unordered_set<std::string> sent_rewritten_keys;  // DAI-T dedup (§4.4.3).
+
+  /// §4.7 "moving an identifier": at the base node of a moved key, where
+  /// the role now lives; at the holder, the generation it holds.
+  struct MovedAttr {
+    int generation;
+    chord::Node* holder;
+  };
+  std::unordered_map<std::string, MovedAttr> moved_attrs;
+  std::unordered_map<std::string, int> held_generation;
+  /// query key -> evaluator identifiers used (for unsubscription).
+  std::unordered_map<std::string, std::set<chord::NodeId>> query_evaluators;
+  /// Learned subscriber addresses (IP updates, §4.6).
+  struct Addr {
+    chord::Node* node;
+    uint64_t ip;
+  };
+  std::unordered_map<std::string, Addr> subscriber_addr;
+
+  std::vector<Notification> inbox;
+  uint64_t next_query_serial = 0;
+
+  // --- Multi-way extension state -------------------------------------------
+
+  /// Multi-way queries indexed at this rewriter, by "R+A#replica".
+  std::unordered_map<std::string, std::vector<query::MwQueryPtr>> mw_alqt;
+  /// Stored partial bindings: "R+A" -> value -> partial key -> partial.
+  using MwBucket = std::unordered_map<std::string, MwPartial>;
+  std::unordered_map<std::string, std::unordered_map<std::string, MwBucket>>
+      mw_vlqt;
+  size_t mw_alqt_size = 0;
+  size_t mw_vlqt_size = 0;
+
+  // --- One-time join (PIER baseline) collector buffers --------------------
+
+  /// otj id -> join value -> per-side rehashed tuples.
+  std::unordered_map<
+      uint64_t,
+      std::unordered_map<std::string, std::array<std::vector<OtjTuple>, 2>>>
+      otj_buffers;
+};
+
+/// The complete system: simulator + Chord ring + continuous-query protocol.
+///
+/// Typical use:
+///
+///   core::Options opts;
+///   opts.num_nodes = 256;
+///   opts.algorithm = core::Algorithm::kDaiT;
+///   core::ContinuousQueryNetwork net(opts);
+///   net.catalog()->Register(...);
+///   auto key = net.SubmitQuery(7, "SELECT ... FROM R, S WHERE R.B = S.E");
+///   net.InsertTuple(12, "R", {rel::Value::Int(1), ...});
+///   for (auto& n : net.TakeNotifications(7)) ...;
+class ContinuousQueryNetwork : public chord::Application {
+ public:
+  explicit ContinuousQueryNetwork(Options options);
+  ~ContinuousQueryNetwork() override;
+
+  ContinuousQueryNetwork(const ContinuousQueryNetwork&) = delete;
+  ContinuousQueryNetwork& operator=(const ContinuousQueryNetwork&) = delete;
+
+  // --- Setup ----------------------------------------------------------------
+
+  rel::Catalog* catalog() { return &catalog_; }
+  const Options& options() const { return options_; }
+
+  // --- Submitting work ---------------------------------------------------------
+
+  /// Parses `sql`, indexes the query from node `node_index` and returns the
+  /// query key. T2 queries require Algorithm::kDaiV.
+  StatusOr<std::string> SubmitQuery(size_t node_index, std::string_view sql);
+
+  /// Continuous m-way equi-join (future-work extension, 2 <= m <= 8):
+  /// recursive SAI over the query's join tree. Requires
+  /// Algorithm::kSai and attribute_replication == 1.
+  StatusOr<std::string> SubmitMultiwayQuery(size_t node_index,
+                                            std::string_view sql);
+
+  /// PIER-style one-time equi-join (the baseline architecture the paper
+  /// contrasts its continuous algorithms with): the query is broadcast,
+  /// every node rehashes its stored base tuples by join value into a
+  /// temporary namespace, and the temporary-key owners run a symmetric
+  /// hash join, streaming rows back to the issuer. Snapshot semantics:
+  /// every stored tuple participates regardless of age; windows do not
+  /// apply. Requires an algorithm that stores tuples at the value level
+  /// (kSai or kDaiQ).
+  StatusOr<std::vector<Notification>> OneTimeJoin(size_t node_index,
+                                                  std::string_view sql);
+
+  /// Inserts a tuple of `relation` from node `node_index`. The full
+  /// consequence cascade (indexing, rewriting, evaluation, notification
+  /// delivery) completes before the call returns.
+  Status InsertTuple(size_t node_index, const std::string& relation,
+                     std::vector<rel::Value> values);
+
+  /// Cancels a continuous query (extension; requires
+  /// options.track_evaluators for evaluator-side garbage collection).
+  Status Unsubscribe(size_t node_index, const std::string& query_key);
+
+  /// §4.7 "moving an identifier": moves the rewriter role of one
+  /// attribute-level key (and its stored queries and statistics) to the
+  /// successor of a fresh identifier; the base node keeps a one-hop
+  /// forwarding pointer. Issued from `node_index` (control traffic is
+  /// accounted). Can be repeated; the base pointer always targets the
+  /// newest holder.
+  Status MigrateAttribute(size_t node_index, const std::string& relation,
+                          const std::string& attr, int replica = 0);
+
+  // --- Results -----------------------------------------------------------------
+
+  /// Drains the notifications delivered to node `node_index`.
+  std::vector<Notification> TakeNotifications(size_t node_index);
+
+  /// Notifications currently queued (without draining).
+  size_t PendingNotifications(size_t node_index) const;
+
+  // --- Subscriber dynamics (§4.6) --------------------------------------------------
+
+  /// Disconnects a node (graceful departure; its DHT keys move on).
+  /// Notifications for its queries are then stored at Successor(Id(n)).
+  void DisconnectNode(size_t node_index);
+
+  /// Reconnects, optionally from a new address; stored notifications are
+  /// handed back through the Chord key-transfer rule.
+  void ReconnectNode(size_t node_index, bool new_ip);
+
+  // --- Introspection ---------------------------------------------------------------
+
+  size_t num_nodes() const { return nodes_.size(); }
+  chord::Node* node(size_t i) { return nodes_[i]; }
+  chord::Network* network() { return &network_; }
+  sim::Simulator* simulator() { return &simulator_; }
+  sim::NetStats& stats() { return network_.stats(); }
+  rel::Timestamp now() const { return simulator_.Now(); }
+
+  const NodeMetrics& metrics(size_t node_index) const;
+  NodeStorage storage(size_t node_index) const;
+  const NodeState* state(size_t node_index) const;
+
+  /// Per-node total filtering load (TF) across all alive nodes.
+  LoadDistribution FilteringLoadDistribution() const;
+  /// Attribute-level / value-level shares.
+  LoadDistribution AttrFilteringLoadDistribution() const;
+  LoadDistribution ValueFilteringLoadDistribution() const;
+  /// Per-node storage load (TS).
+  LoadDistribution StorageLoadDistribution() const;
+
+  /// Aggregate counters over all nodes.
+  NodeMetrics TotalMetrics() const;
+  NodeStorage TotalStorage() const;
+
+  /// Zeroes every node's filtering counters (storage is state, not a
+  /// counter) and the traffic statistics — used to isolate workload phases.
+  void ResetLoadMetrics();
+
+  /// Applies sliding-window expiry across all value-level state; returns
+  /// the number of objects dropped. No-op when options.window == 0.
+  size_t PruneExpired();
+
+  // --- chord::Application ------------------------------------------------------------
+
+  void HandleMessage(chord::Node& node, const chord::AppMessage& msg) override;
+  void HandleStoredItems(chord::Node& node, const chord::NodeId& key,
+                         std::vector<chord::PayloadPtr> items) override;
+
+ private:
+  NodeState& StateOf(chord::Node& node);
+
+  /// Advances virtual time by time_step and drains pending events.
+  void Tick();
+
+  // Submission helpers.
+  int ChooseSaiIndexSide(size_t node_index, const query::ContinuousQuery& q);
+  uint64_t ProbeAttrRate(size_t node_index, const std::string& relation,
+                         const std::string& attr, uint64_t* distinct,
+                         double* skew);
+
+  // Message handlers (per role). Attribute-level handlers receive the full
+  // message so a moved key can forward it unchanged (§4.7).
+  void HandleQueryIndex(chord::Node& node, const chord::AppMessage& msg);
+  void HandleTupleAl(chord::Node& node, const chord::AppMessage& msg);
+  void HandleTupleVl(chord::Node& node, const TupleIndexPayload& p);
+  void HandleJoin(chord::Node& node, const JoinPayload& p);
+  void HandleDaivJoin(chord::Node& node, const DaivJoinPayload& p);
+  void HandleUnsubscribe(chord::Node& node, const chord::AppMessage& msg);
+  void HandleMigrateCmd(chord::Node& node, const chord::AppMessage& msg);
+  void HandleMwQueryIndex(chord::Node& node, const MwQueryIndexPayload& p);
+  void HandleMwJoin(chord::Node& node, const MwJoinPayload& p);
+  void HandleOtjScan(chord::Node& node, const OtjScanPayload& p);
+  void HandleOtjRehash(chord::Node& node, const OtjRehashPayload& p);
+
+  /// Forwards an attribute-level message when its key has moved (§4.7);
+  /// returns true if forwarded.
+  bool ForwardIfMoved(chord::Node& node, NodeState& state,
+                      const std::string& mkey, const chord::AppMessage& msg);
+
+  // Rewriting machinery.
+  struct PendingJoin {
+    chord::NodeId vindex;
+    std::shared_ptr<JoinPayload> payload;
+  };
+  struct PendingDaivJoin {
+    chord::NodeId vindex;
+    std::shared_ptr<DaivJoinPayload> payload;
+  };
+  void RewriteT1(chord::Node& node, NodeState& state, const AlqtEntry& entry,
+                 const rel::Tuple& tuple,
+                 std::map<std::string, PendingJoin>* out);
+  void RewriteDaiv(chord::Node& node, NodeState& state, const AlqtEntry& entry,
+                   const rel::Tuple& tuple,
+                   std::map<std::string, PendingDaivJoin>* out);
+  void DispatchJoins(chord::Node& node, NodeState& state,
+                     std::map<std::string, PendingJoin> joins);
+  void DispatchDaivJoins(chord::Node& node, NodeState& state,
+                         std::map<std::string, PendingDaivJoin> joins);
+
+  // Multi-way machinery.
+  struct PendingMwJoin {
+    chord::NodeId vindex;
+    std::shared_ptr<MwJoinPayload> payload;
+  };
+  using MwJoinMap = std::map<std::string, PendingMwJoin>;
+  /// Starts a fresh partial from a root-relation tuple (at the rewriter).
+  void MwTrigger(chord::Node& node, NodeState& state,
+                 const query::MwQueryPtr& q, const rel::Tuple& tuple,
+                 MwJoinMap* out);
+  /// Extends `p` with a matched tuple: emits a notification when complete,
+  /// otherwise queues the next-hop partial.
+  void MwExtend(chord::Node& node, const MwPartial& p, const rel::Tuple& t2,
+                MwJoinMap* out);
+  /// Queues `p` (already targeted) into the per-evaluator groups.
+  void MwQueuePartial(MwPartial p, MwJoinMap* out);
+  void DispatchMwJoins(chord::Node& node, MwJoinMap joins);
+  /// Matches an incoming value-level tuple against stored partials.
+  void MwMatchTupleVl(chord::Node& node, NodeState& state,
+                      const TupleIndexPayload& p);
+
+  // Notification creation & delivery.
+  void EmitNotification(chord::Node& evaluator, const query::ContinuousQuery& q,
+                        RowTemplate merged, rel::Timestamp earlier,
+                        rel::Timestamp later);
+  void EmitMwNotification(chord::Node& evaluator, const query::MwQuery& q,
+                          const RowTemplate& row, rel::Timestamp earlier,
+                          rel::Timestamp later);
+  void DeliverNotification(chord::Node& evaluator,
+                           const std::string& subscriber_key,
+                           uint64_t subscriber_ip, Notification n);
+
+  /// True when a stored object from `pub` is still inside the window
+  /// relative to `now_time`.
+  bool InWindow(rel::Timestamp pub, rel::Timestamp now_time) const {
+    return options_.window == 0 || now_time - pub <= options_.window;
+  }
+
+  Options options_;
+  sim::Simulator simulator_;
+  chord::Network network_;
+  rel::Catalog catalog_;
+  Rng rng_;
+
+  std::vector<chord::Node*> nodes_;
+  std::unordered_map<const chord::Node*, std::unique_ptr<NodeState>> states_;
+  std::unordered_map<std::string, chord::Node*> nodes_by_key_;
+  /// Submitted queries by key (subscriber-side bookkeeping).
+  std::unordered_map<std::string, query::QueryPtr> submitted_;
+
+  /// In-flight one-time join results, keyed by otj id.
+  std::unordered_map<uint64_t, std::vector<Notification>> otj_results_;
+  uint64_t next_otj_id_ = 0;
+
+  uint64_t next_tuple_seq_ = 0;
+};
+
+}  // namespace contjoin::core
+
+#endif  // CONTJOIN_CORE_ENGINE_H_

@@ -1,0 +1,38 @@
+#include "core/messages.h"
+
+#include "common/uint160.h"
+
+namespace contjoin::core {
+
+std::string AttrKey(const std::string& relation, const std::string& attr) {
+  return relation + "+" + attr;
+}
+
+chord::NodeId AttrIndexId(const std::string& relation, const std::string& attr,
+                          int replica) {
+  std::string key = AttrKey(relation, attr);
+  if (replica > 0) key += "#r" + std::to_string(replica);
+  return HashKey(key);
+}
+
+std::string ValueKeyOf(const std::string& relation, const std::string& attr,
+                       const std::string& value_key) {
+  return relation + "+" + attr + "+" + value_key;
+}
+
+chord::NodeId ValueIndexId(const std::string& relation,
+                           const std::string& attr,
+                           const std::string& value_key) {
+  return HashKey(ValueKeyOf(relation, attr, value_key));
+}
+
+chord::NodeId DaivIndexId(const std::string& value_key) {
+  return HashKey(value_key);
+}
+
+chord::NodeId DaivPrefixedIndexId(const std::string& query_key,
+                                  const std::string& value_key) {
+  return HashKey(query_key + "+" + value_key);
+}
+
+}  // namespace contjoin::core

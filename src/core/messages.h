@@ -1,0 +1,242 @@
+// Application-level message payloads exchanged by the continuous-query
+// protocols, plus the key-derivation helpers that implement the paper's
+// two-level indexing identifiers.
+
+#ifndef CONTJOIN_CORE_MESSAGES_H_
+#define CONTJOIN_CORE_MESSAGES_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chord/types.h"
+#include "core/notification.h"
+#include "query/mw_query.h"
+#include "query/query.h"
+#include "relational/tuple.h"
+
+namespace contjoin::core {
+
+/// A partially bound select-list row: positions of the already-triggered
+/// side are concrete; the remaining side's positions are empty until an
+/// evaluator joins them with a matching tuple.
+using RowTemplate = std::vector<std::optional<rel::Value>>;
+
+// --- Identifier derivation (paper §4.2/§4.3) ---------------------------------
+
+/// Level-1 key "R+A" (attribute level).
+std::string AttrKey(const std::string& relation, const std::string& attr);
+
+/// Attribute-level identifier, with optional load-balancing replicas
+/// (§4.7): replica 0 hashes the plain "R+A" key, replica j > 0 hashes
+/// "R+A#r<j>".
+chord::NodeId AttrIndexId(const std::string& relation, const std::string& attr,
+                          int replica);
+
+/// Value-level key "R+A+v" and its identifier.
+std::string ValueKeyOf(const std::string& relation, const std::string& attr,
+                       const std::string& value_key);
+chord::NodeId ValueIndexId(const std::string& relation,
+                           const std::string& attr,
+                           const std::string& value_key);
+
+/// DAI-V evaluator identifier: Hash(value) alone, or Hash(Key(q)+value) for
+/// the key-prefixed variant (§4.5).
+chord::NodeId DaivIndexId(const std::string& value_key);
+chord::NodeId DaivPrefixedIndexId(const std::string& query_key,
+                                  const std::string& value_key);
+
+// --- Payloads ------------------------------------------------------------------
+
+enum class CqMsgType : unsigned char {
+  kQueryIndex,    // query(q): index a query at the attribute level.
+  kTupleAl,       // al-index(t, A).
+  kTupleVl,       // vl-index(t, A).
+  kJoin,          // join(q'): rewritten queries for a T1-algorithm evaluator.
+  kDaivJoin,      // join(q', t'): DAI-V rewritten query + projected tuple.
+  kNotification,  // Routed notification (off-line / moved subscriber).
+  kUnsubscribe,   // Query removal (extension beyond the paper).
+  kIpUpdate,      // Subscriber address update (§4.6).
+  kJfrtAck,       // Evaluator tells a rewriter its address (JFRT fill).
+  kMigrateCmd,    // "Move this attribute-level identifier" (§4.7).
+  kMwQueryIndex,  // Multi-way query indexing (future-work extension).
+  kMwJoin,        // Multi-way partial binding reindexed at the value level.
+  kOtjScan,    // One-time join: broadcast scan request (PIER baseline).
+  kOtjRehash,  // One-time join: tuples rehashed by join value.
+};
+
+/// Base payload carrying the dispatch tag.
+struct CqPayload : chord::Payload {
+  explicit CqPayload(CqMsgType t) : type(t) {}
+  CqMsgType type;
+};
+
+struct QueryIndexPayload : CqPayload {
+  QueryIndexPayload() : CqPayload(CqMsgType::kQueryIndex) {}
+  query::QueryPtr query;
+  int index_side = 0;    // Side whose attribute indexes the query here.
+  std::string level1;    // "R+A" of the index attribute.
+  int replica = 0;       // Attribute-level replica this copy targets.
+};
+
+struct TupleIndexPayload : CqPayload {
+  explicit TupleIndexPayload(bool value_level)
+      : CqPayload(value_level ? CqMsgType::kTupleVl : CqMsgType::kTupleAl) {}
+  rel::TuplePtr tuple;
+  size_t attr_index = 0;  // IndexA(t): which attribute indexed it here.
+  std::string level1;     // "R+A".
+  std::string value_key;  // Canonical value (vl-index only).
+  int replica = 0;        // Attribute-level replica (al-index only).
+};
+
+/// One rewritten query q' (paper §4.3.2): the original query reduced to a
+/// select-project query by substituting the trigger tuple's values.
+struct RewrittenEntry {
+  query::QueryPtr query;
+  int remaining_side = 0;        // DisR side, still to be matched.
+  std::string rewritten_key;     // Key(q') = Key(q)+v1+...+vl+valDA (§4.3.3).
+  rel::Value required_value;     // valDA.
+  RowTemplate row;               // Trigger side's select values bound.
+  rel::Timestamp trigger_pub = 0;
+  uint64_t trigger_seq = 0;
+};
+
+struct JoinPayload : CqPayload {
+  JoinPayload() : CqPayload(CqMsgType::kJoin) {}
+  std::string level1;     // "DisR+DisA".
+  std::string value_key;  // valDA canonical string.
+  std::vector<RewrittenEntry> entries;  // Grouped rewritten queries (§4.3.5).
+  chord::Node* rewriter = nullptr;      // For JFRT acks.
+  chord::NodeId vindex;                 // Target identifier (ack bookkeeping).
+  bool want_ack = false;
+};
+
+/// DAI-V rewritten query + projected trigger tuple (§4.5).
+struct DaivEntry {
+  query::QueryPtr query;
+  int trigger_side = 0;
+  RowTemplate row;        // Trigger side's select values bound.
+  rel::Timestamp trigger_pub = 0;
+  uint64_t trigger_seq = 0;
+};
+
+struct DaivJoinPayload : CqPayload {
+  DaivJoinPayload() : CqPayload(CqMsgType::kDaivJoin) {}
+  std::string value_key;  // valJC canonical string (level-1 in the store).
+  std::vector<DaivEntry> entries;
+  chord::Node* rewriter = nullptr;
+  chord::NodeId vindex;
+  bool want_ack = false;
+};
+
+struct NotificationPayload : CqPayload {
+  NotificationPayload() : CqPayload(CqMsgType::kNotification) {}
+  Notification notification;
+  std::string subscriber_key;
+  chord::Node* evaluator = nullptr;  // So the subscriber can send IP updates.
+};
+
+struct UnsubscribePayload : CqPayload {
+  UnsubscribePayload() : CqPayload(CqMsgType::kUnsubscribe) {}
+  std::string query_key;
+  bool at_evaluator = false;  // false: rewriter stage; true: evaluator stage.
+  std::string level1;         // Rewriter stage: "R+A" (migration routing).
+  int replica = 0;
+};
+
+/// Command triggering the §4.7 "moving an identifier" load-balancing action
+/// for one attribute-level key. Delivered to the key's base node, which
+/// forwards it to the current holder if the identifier has already moved.
+struct MigrateCmdPayload : CqPayload {
+  MigrateCmdPayload() : CqPayload(CqMsgType::kMigrateCmd) {}
+  std::string level1;
+  int replica = 0;
+  chord::Node* base = nullptr;  // Filled in at the base node.
+};
+
+struct IpUpdatePayload : CqPayload {
+  IpUpdatePayload() : CqPayload(CqMsgType::kIpUpdate) {}
+  std::string subscriber_key;
+  chord::Node* node = nullptr;
+  uint64_t ip = 0;
+};
+
+struct JfrtAckPayload : CqPayload {
+  JfrtAckPayload() : CqPayload(CqMsgType::kJfrtAck) {}
+  chord::NodeId vindex;
+  chord::Node* evaluator = nullptr;
+};
+
+// --- Multi-way joins (future-work extension; recursive SAI) --------------------
+
+/// A partially bound m-way query: some relations are bound (their select
+/// values filled into `row`, their outgoing join values recorded in
+/// `pending`), and the partial is chasing `target_condition` toward the
+/// next unbound relation of the join tree.
+struct MwPartial {
+  query::MwQueryPtr query;
+  uint32_t bound_mask = 0;
+  RowTemplate row;
+  /// condition index -> required value of its (still unbound) other side.
+  std::map<int, rel::Value> pending;
+  int target_condition = -1;
+  rel::Timestamp min_pub = 0;  // Publication span of the bound tuples
+  rel::Timestamp max_pub = 0;  // (sliding-window checks).
+  uint64_t last_seq = 0;
+  std::string partial_key;  // Content identity (dedup at evaluators).
+};
+
+struct MwQueryIndexPayload : CqPayload {
+  MwQueryIndexPayload() : CqPayload(CqMsgType::kMwQueryIndex) {}
+  query::MwQueryPtr query;
+  std::string level1;  // "R+A" of the root relation's index attribute.
+};
+
+struct MwJoinPayload : CqPayload {
+  MwJoinPayload() : CqPayload(CqMsgType::kMwJoin) {}
+  std::string level1;     // "Rj+B" of the chased condition's unbound side.
+  std::string value_key;  // Required value, canonical form.
+  std::vector<MwPartial> entries;
+};
+
+// --- One-time joins (PIER-style baseline) ----------------------------------------
+//
+// The paper contrasts its continuous algorithms with PIER, which evaluates
+// one-time equi-joins over a DHT with a symmetric hash join: the query is
+// disseminated to all nodes, every node rehashes its locally stored base
+// tuples by the join value into a temporary namespace, and the nodes
+// owning the temporary keys perform the join and stream results to the
+// issuer. This baseline reproduces that architecture on our substrate.
+
+/// Broadcast scan request: evaluate `query` over the snapshot of stored
+/// tuples.
+struct OtjScanPayload : CqPayload {
+  OtjScanPayload() : CqPayload(CqMsgType::kOtjScan) {}
+  query::QueryPtr query;
+  uint64_t otj_id = 0;
+  chord::Node* issuer = nullptr;
+};
+
+/// One side's projected tuple, rehashed by its join value.
+struct OtjTuple {
+  int side = 0;
+  RowTemplate row;
+  rel::Timestamp pub_time = 0;
+  uint64_t seq = 0;
+};
+
+struct OtjRehashPayload : CqPayload {
+  OtjRehashPayload() : CqPayload(CqMsgType::kOtjRehash) {}
+  query::QueryPtr query;
+  uint64_t otj_id = 0;
+  chord::Node* issuer = nullptr;
+  std::string value_key;  // Join value, canonical form.
+  std::vector<OtjTuple> entries;
+};
+
+
+}  // namespace contjoin::core
+
+#endif  // CONTJOIN_CORE_MESSAGES_H_

@@ -1,0 +1,63 @@
+// Per-node load metrics (one of the paper's stated contributions is the
+// introduction of metrics capturing individual node load and total system
+// load).
+//
+// Definitions used throughout the benchmarks:
+//  * Filtering load TF(n): the number of filtering operations node n
+//    performed — each incoming al-index / vl-index / join message counts 1,
+//    plus 1 per candidate (query, rewritten query or tuple) examined while
+//    matching. Split into the attribute-level and value-level shares so the
+//    two-level comparisons of the paper can be reproduced.
+//  * Storage load TS(n): the number of objects resident at n — queries in
+//    the ALQT, rewritten queries in the VLQT, tuples in the VLTT, DAI-V
+//    projections, and stored off-line notifications.
+
+#ifndef CONTJOIN_CORE_METRICS_H_
+#define CONTJOIN_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace contjoin::core {
+
+struct NodeMetrics {
+  // --- Filtering load --------------------------------------------------------
+  uint64_t filter_ops_attr = 0;   // At the attribute level (rewriter role).
+  uint64_t filter_ops_value = 0;  // At the value level (evaluator role).
+
+  // --- Message receipts -------------------------------------------------------
+  uint64_t tuples_received_attr = 0;
+  uint64_t tuples_received_value = 0;
+  uint64_t joins_received = 0;
+  uint64_t queries_received = 0;
+
+  // --- Work results -------------------------------------------------------------
+  uint64_t rewrites_sent = 0;          // Rewritten-query entries emitted.
+  uint64_t rewrites_skipped_dup = 0;   // DAI-T dedup savings.
+  uint64_t rewrites_skipped_nosol = 0; // Inversion had no representable sol.
+  uint64_t notifications_created = 0;
+
+  uint64_t TotalFilterOps() const { return filter_ops_attr + filter_ops_value; }
+
+  void Reset() { *this = NodeMetrics(); }
+};
+
+/// Storage snapshot of one node (computed from its tables on demand).
+struct NodeStorage {
+  uint64_t alqt_queries = 0;
+  uint64_t vlqt_rewritten = 0;
+  uint64_t vltt_tuples = 0;
+  uint64_t daiv_entries = 0;
+  uint64_t stored_notifications = 0;
+  uint64_t mw_queries = 0;   // Multi-way queries at rewriters (extension).
+  uint64_t mw_partials = 0;  // Multi-way partial bindings at evaluators.
+
+  uint64_t Total() const {
+    return alqt_queries + vlqt_rewritten + vltt_tuples + daiv_entries +
+           stored_notifications + mw_queries + mw_partials;
+  }
+};
+
+}  // namespace contjoin::core
+
+#endif  // CONTJOIN_CORE_METRICS_H_

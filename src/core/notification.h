@@ -1,0 +1,52 @@
+// Notifications: the answers delivered to query subscribers (paper §4.6).
+
+#ifndef CONTJOIN_CORE_NOTIFICATION_H_
+#define CONTJOIN_CORE_NOTIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace contjoin::core {
+
+/// One answer to a continuous query: the select-list row produced by a
+/// satisfying tuple pair, plus time information about the contributing
+/// tuples (paper: "a notification contains the results of a triggered
+/// query ... along with time information about when those tuples were
+/// inserted").
+struct Notification {
+  std::string query_key;
+  std::vector<rel::Value> row;        // Select-list order.
+  rel::Timestamp earlier_pub = 0;     // Publication time of the older tuple.
+  rel::Timestamp later_pub = 0;       // Publication time of the newer tuple.
+  rel::Timestamp created_at = 0;
+
+  /// Canonical content identity: query key plus the row's key strings.
+  /// Equivalence tests compare notification *sets* by this key (the paper's
+  /// algorithms agree on content; duplicate-instance behaviour differs by
+  /// design, e.g. SAI groups identical rewritten queries).
+  std::string ContentKey() const {
+    std::string out = query_key;
+    for (const rel::Value& v : row) {
+      out += '\x1f';
+      out += v.ToKeyString();
+    }
+    return out;
+  }
+
+  std::string ToString() const {
+    std::string out = query_key + " -> (";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += row[i].ToString();
+    }
+    out += ")";
+    return out;
+  }
+};
+
+}  // namespace contjoin::core
+
+#endif  // CONTJOIN_CORE_NOTIFICATION_H_

@@ -1,0 +1,70 @@
+// Configuration of the continuous-query network.
+
+#ifndef CONTJOIN_CORE_OPTIONS_H_
+#define CONTJOIN_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "chord/network.h"
+#include "relational/tuple.h"
+
+namespace contjoin::core {
+
+/// The four algorithms of the paper (Chapter 4).
+enum class Algorithm : unsigned char { kSai, kDaiQ, kDaiT, kDaiV };
+
+const char* AlgorithmName(Algorithm a);
+
+/// SAI index-attribute selection strategies (§4.3.6).
+enum class SaiStrategy : unsigned char {
+  kRandom,         // Uniform coin flip.
+  kLowerRate,      // Index by the relation with the lower tuple-arrival rate.
+  kLowerSkew,      // Index by the attribute with more uniform values.
+  kSmallerDomain,  // Index by the attribute with fewer observed values.
+};
+
+const char* SaiStrategyName(SaiStrategy s);
+
+struct Options {
+  /// Ring size for the built-in ideal ring; ignored when the caller builds
+  /// the ring itself.
+  size_t num_nodes = 64;
+
+  Algorithm algorithm = Algorithm::kSai;
+  SaiStrategy sai_strategy = SaiStrategy::kRandom;
+
+  /// Join fingers routing table (§4.7): evaluator-address caching at
+  /// rewriters.
+  bool use_jfrt = false;
+  size_t jfrt_capacity = 1 << 16;
+
+  /// Attribute-level load balancing (§4.7): number of rewriter replicas per
+  /// "Relation+Attribute" key. 1 = the paper's base scheme.
+  int attribute_replication = 1;
+
+  /// Sliding window over value-level state: a stored tuple participates in
+  /// joins only while (now - pubT) <= window. 0 means unlimited (the base
+  /// semantics of the paper).
+  rel::Timestamp window = 0;
+
+  /// DAI-V variant prefixing the query key into evaluator identifiers
+  /// (§4.5: better balance, ~250x the traffic — reproduced in Table 4.1).
+  bool daiv_prefix_query_key = false;
+
+  /// Track, at rewriters, the evaluators each query has been rewritten to,
+  /// enabling exact unsubscription (extension beyond the paper).
+  bool track_evaluators = false;
+
+  /// Virtual-time increment applied before each submit/insert so that
+  /// publication/insertion times are strictly ordered.
+  uint64_t time_step = 1;
+
+  uint64_t seed = 42;
+
+  chord::NetworkOptions chord;
+};
+
+}  // namespace contjoin::core
+
+#endif  // CONTJOIN_CORE_OPTIONS_H_

@@ -1,0 +1,181 @@
+// Local two-level hash-table data structures maintained by rewriter and
+// evaluator nodes (paper §4.3.5): the attribute-level query table (ALQT),
+// the value-level query table (VLQT), the value-level tuple table (VLTT)
+// and the DAI-V evaluator store.
+
+#ifndef CONTJOIN_CORE_TABLES_H_
+#define CONTJOIN_CORE_TABLES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/messages.h"
+#include "query/query.h"
+#include "relational/tuple.h"
+
+namespace contjoin::core {
+
+// --- ALQT ----------------------------------------------------------------------
+
+/// A query stored at a rewriter, together with the side it is indexed by.
+struct AlqtEntry {
+  query::QueryPtr query;
+  int index_side = 0;
+};
+
+/// Attribute-level query table: level 1 keyed by the index attribute
+/// ("R+A"), level 2 by the join-condition signature, grouping similar
+/// queries so a tuple triggers a whole group in one step (§4.3.5).
+class AttrLevelQueryTable {
+ public:
+  using Group = std::vector<AlqtEntry>;
+  using GroupMap = std::unordered_map<std::string, Group>;
+
+  void Insert(const std::string& level1, const std::string& signature,
+              AlqtEntry entry);
+
+  /// Groups triggered by a tuple indexed under `level1`; nullptr if none.
+  const GroupMap* Find(const std::string& level1) const;
+
+  /// Removes every entry of `query_key`; returns the number removed.
+  size_t RemoveQuery(const std::string& query_key);
+
+  /// Extracts and returns an entire level-1 bucket (used when an
+  /// attribute-level identifier is moved to another node, §4.7).
+  GroupMap TakeLevel1(const std::string& level1);
+
+  /// Total stored queries (storage-load contribution).
+  size_t size() const { return size_; }
+
+ private:
+  std::unordered_map<std::string, GroupMap> map_;
+  size_t size_ = 0;
+};
+
+// --- VLQT ----------------------------------------------------------------------
+
+/// A rewritten query stored at an evaluator. Identical rewritten queries
+/// (same rewritten key) collapse into one entry whose trigger time advances
+/// (§4.3.3: "if there is a query with the same key, only pubT(t) is stored").
+struct StoredRewritten {
+  query::QueryPtr query;
+  int remaining_side = 0;
+  rel::Value required_value;
+  RowTemplate row;
+  rel::Timestamp latest_trigger_pub = 0;
+  uint64_t latest_trigger_seq = 0;
+};
+
+/// Value-level query table: level 1 keyed by the load-distributing
+/// attribute ("DisR+DisA"), level 2 by the required value, then by
+/// rewritten key.
+class ValueLevelQueryTable {
+ public:
+  using Bucket = std::unordered_map<std::string, StoredRewritten>;
+
+  /// Inserts or refreshes; returns true when the rewritten key is new.
+  bool InsertOrRefresh(const std::string& level1, const std::string& value_key,
+                       const RewrittenEntry& entry);
+
+  /// Rewritten queries possibly matched by a tuple of `level1` with value
+  /// `value_key`; nullptr if none.
+  const Bucket* Find(const std::string& level1,
+                     const std::string& value_key) const;
+
+  size_t RemoveQuery(const std::string& query_key);
+
+  size_t size() const { return size_; }
+
+ private:
+  std::unordered_map<std::string, std::unordered_map<std::string, Bucket>>
+      map_;
+  size_t size_ = 0;
+};
+
+// --- VLTT ----------------------------------------------------------------------
+
+/// A tuple stored at the value level with the attribute that indexed it.
+struct StoredTuple {
+  rel::TuplePtr tuple;
+  size_t index_attr = 0;
+};
+
+/// Value-level tuple table: level 1 "R+A", level 2 the attribute's value.
+/// Supports sliding-window expiry of stored tuples.
+class ValueLevelTupleTable {
+ public:
+  using Bucket = std::vector<StoredTuple>;
+
+  void Insert(const std::string& level1, const std::string& value_key,
+              StoredTuple stored);
+
+  /// Bucket for matching; nullptr if none. The bucket may contain expired
+  /// tuples; callers filter by time (or call ExpireBefore first).
+  const Bucket* Find(const std::string& level1,
+                     const std::string& value_key) const;
+
+  /// Drops every tuple with pub_time < cutoff; returns the number dropped.
+  size_t ExpireBefore(rel::Timestamp cutoff);
+
+  /// Visits every stored tuple (one-time scans). A tuple stored under h
+  /// attributes is visited h times; filter on StoredTuple::index_attr to
+  /// see each tuple once.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [level1, by_value] : map_) {
+      for (const auto& [value, bucket] : by_value) {
+        for (const StoredTuple& stored : bucket) fn(stored);
+      }
+    }
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  std::unordered_map<std::string, std::unordered_map<std::string, Bucket>>
+      map_;
+  size_t size_ = 0;
+};
+
+// --- DAI-V store ------------------------------------------------------------------
+
+/// Projected tuple stored at a DAI-V evaluator on behalf of one side of one
+/// query (§4.5: the evaluator stores t', the projection of the trigger
+/// tuple, and matches future opposite-side rewritten queries against it).
+struct DaivStored {
+  RowTemplate row;
+  rel::Timestamp pub_time = 0;
+  uint64_t seq = 0;
+};
+
+class DaivStore {
+ public:
+  using Bucket = std::vector<DaivStored>;
+
+  void Insert(const std::string& value_key, const std::string& query_key,
+              int side, DaivStored stored);
+
+  /// Entries stored for (`query_key`, `side`) under `value_key`.
+  const Bucket* Find(const std::string& value_key,
+                     const std::string& query_key, int side) const;
+
+  size_t ExpireBefore(rel::Timestamp cutoff);
+  size_t RemoveQuery(const std::string& query_key);
+
+  size_t size() const { return size_; }
+
+ private:
+  static std::string SubKey(const std::string& query_key, int side) {
+    return query_key + (side == 0 ? "#L" : "#R");
+  }
+
+  std::unordered_map<std::string, std::unordered_map<std::string, Bucket>>
+      map_;  // value_key -> (query#side -> entries)
+  size_t size_ = 0;
+};
+
+}  // namespace contjoin::core
+
+#endif  // CONTJOIN_CORE_TABLES_H_

@@ -1,0 +1,303 @@
+#include "query/expr.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace contjoin::query {
+
+std::unique_ptr<Expr> Expr::Const(rel::Value v) {
+  auto e = std::unique_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kConst;
+  e->constant_ = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Attr(AttrRef ref) {
+  auto e = std::unique_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kAttr;
+  e->attr_ = std::move(ref);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Unary(Kind kind, std::unique_ptr<Expr> child) {
+  CJ_CHECK(kind == Kind::kNeg);
+  auto e = std::unique_ptr<Expr>(new Expr());
+  e->kind_ = kind;
+  e->lhs_ = std::move(child);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(Kind kind, std::unique_ptr<Expr> lhs,
+                                   std::unique_ptr<Expr> rhs) {
+  CJ_CHECK(kind == Kind::kAdd || kind == Kind::kSub || kind == Kind::kMul ||
+           kind == Kind::kDiv);
+  auto e = std::unique_ptr<Expr>(new Expr());
+  e->kind_ = kind;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+namespace {
+
+/// Arithmetic preserving integers when both operands are integers (except
+/// division, which is performed in doubles so joins over ratios behave
+/// predictably).
+StatusOr<rel::Value> Arith(Expr::Kind kind, const rel::Value& a,
+                           const rel::Value& b) {
+  auto na = a.AsNumeric();
+  auto nb = b.AsNumeric();
+  if (!na.has_value() || !nb.has_value()) {
+    return Status::InvalidArgument("arithmetic on non-numeric value");
+  }
+  bool both_int = a.type() == rel::ValueType::kInt &&
+                  b.type() == rel::ValueType::kInt;
+  switch (kind) {
+    case Expr::Kind::kAdd:
+      return both_int ? rel::Value::Int(a.as_int() + b.as_int())
+                      : rel::Value::Double(*na + *nb);
+    case Expr::Kind::kSub:
+      return both_int ? rel::Value::Int(a.as_int() - b.as_int())
+                      : rel::Value::Double(*na - *nb);
+    case Expr::Kind::kMul:
+      return both_int ? rel::Value::Int(a.as_int() * b.as_int())
+                      : rel::Value::Double(*na * *nb);
+    case Expr::Kind::kDiv:
+      if (*nb == 0.0) return Status::InvalidArgument("division by zero");
+      return rel::Value::Double(*na / *nb);
+    default:
+      return Status::Internal("not an arithmetic kind");
+  }
+}
+
+}  // namespace
+
+StatusOr<rel::Value> Expr::Eval(const rel::Tuple* const* tuples,
+                                size_t n) const {
+  switch (kind_) {
+    case Kind::kConst:
+      return constant_;
+    case Kind::kAttr: {
+      const rel::Tuple* t =
+          static_cast<size_t>(attr_.side) < n ? tuples[attr_.side] : nullptr;
+      if (t == nullptr) {
+        return Status::FailedPrecondition("no tuple bound for side " +
+                                          std::to_string(attr_.side));
+      }
+      if (attr_.attr_index >= t->arity()) {
+        return Status::OutOfRange("attribute index out of range");
+      }
+      return t->at(attr_.attr_index);
+    }
+    case Kind::kNeg: {
+      CJ_ASSIGN_OR_RETURN(rel::Value v, lhs_->Eval(tuples, n));
+      auto num = v.AsNumeric();
+      if (!num.has_value()) {
+        return Status::InvalidArgument("negation of non-numeric value");
+      }
+      return v.type() == rel::ValueType::kInt
+                 ? rel::Value::Int(-v.as_int())
+                 : rel::Value::Double(-*num);
+    }
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul:
+    case Kind::kDiv: {
+      CJ_ASSIGN_OR_RETURN(rel::Value a, lhs_->Eval(tuples, n));
+      CJ_ASSIGN_OR_RETURN(rel::Value b, rhs_->Eval(tuples, n));
+      return Arith(kind_, a, b);
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+StatusOr<rel::Value> Expr::EvalSingle(int side, const rel::Tuple& tuple) const {
+  CJ_CHECK(side >= 0 && side < kMaxSides) << "side out of range: " << side;
+  const rel::Tuple* tuples[kMaxSides] = {};
+  tuples[side] = &tuple;
+  return Eval(tuples, kMaxSides);
+}
+
+void Expr::CollectAttrs(std::set<AttrRef>* out) const {
+  switch (kind_) {
+    case Kind::kConst:
+      return;
+    case Kind::kAttr:
+      out->insert(attr_);
+      return;
+    default:
+      if (lhs_) lhs_->CollectAttrs(out);
+      if (rhs_) rhs_->CollectAttrs(out);
+  }
+}
+
+std::set<AttrRef> Expr::Attrs() const {
+  std::set<AttrRef> out;
+  CollectAttrs(&out);
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kConst:
+      return constant_.ToString();
+    case Kind::kAttr:
+      return attr_.display;
+    case Kind::kNeg:
+      return "(-" + lhs_->ToString() + ")";
+    case Kind::kAdd:
+      return "(" + lhs_->ToString() + " + " + rhs_->ToString() + ")";
+    case Kind::kSub:
+      return "(" + lhs_->ToString() + " - " + rhs_->ToString() + ")";
+    case Kind::kMul:
+      return "(" + lhs_->ToString() + " * " + rhs_->ToString() + ")";
+    case Kind::kDiv:
+      return "(" + lhs_->ToString() + " / " + rhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Intermediate for linear analysis: value = scale * x + offset where x is
+/// `ref` (if has_attr), else the constant offset alone.
+struct Linear {
+  bool has_attr = false;
+  AttrRef ref;
+  double scale = 0.0;
+  double offset = 0.0;
+  bool pure_attr = false;  // Expression is literally the attribute node.
+};
+
+std::optional<Linear> Analyze(const Expr& e) {
+  switch (e.kind()) {
+    case Expr::Kind::kConst: {
+      auto n = e.constant().AsNumeric();
+      if (!n.has_value()) return std::nullopt;  // String constants: not linear.
+      return Linear{false, {}, 0.0, *n, false};
+    }
+    case Expr::Kind::kAttr:
+      return Linear{true, e.attr(), 1.0, 0.0, true};
+    case Expr::Kind::kNeg: {
+      auto c = Analyze(*e.lhs());
+      if (!c) return std::nullopt;
+      c->scale = -c->scale;
+      c->offset = -c->offset;
+      c->pure_attr = false;
+      return c;
+    }
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub: {
+      auto a = Analyze(*e.lhs());
+      auto b = Analyze(*e.rhs());
+      if (!a || !b) return std::nullopt;
+      double sign = e.kind() == Expr::Kind::kAdd ? 1.0 : -1.0;
+      if (a->has_attr && b->has_attr) {
+        if (!(a->ref == b->ref)) return std::nullopt;  // Two attributes.
+        a->scale += sign * b->scale;
+      } else if (b->has_attr) {
+        a->has_attr = true;
+        a->ref = b->ref;
+        a->scale = sign * b->scale;
+      }
+      a->offset += sign * b->offset;
+      a->pure_attr = false;
+      return a;
+    }
+    case Expr::Kind::kMul: {
+      auto a = Analyze(*e.lhs());
+      auto b = Analyze(*e.rhs());
+      if (!a || !b) return std::nullopt;
+      if (a->has_attr && b->has_attr) return std::nullopt;  // Quadratic.
+      if (b->has_attr) std::swap(a, b);
+      // a may have the attribute; b is a constant.
+      a->scale *= b->offset;
+      a->offset *= b->offset;
+      a->pure_attr = false;
+      return a;
+    }
+    case Expr::Kind::kDiv: {
+      auto a = Analyze(*e.lhs());
+      auto b = Analyze(*e.rhs());
+      if (!a || !b) return std::nullopt;
+      if (b->has_attr) return std::nullopt;  // x in the denominator.
+      if (b->offset == 0.0) return std::nullopt;
+      a->scale /= b->offset;
+      a->offset /= b->offset;
+      a->pure_attr = false;
+      return a;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<LinearForm> AnalyzeLinear(
+    const Expr& expr, const rel::RelationSchema* schemas[2]) {
+  // A bare attribute of any type is trivially invertible.
+  if (expr.kind() == Expr::Kind::kAttr) {
+    return LinearForm{expr.attr(), /*bare=*/true, 1.0, 0.0};
+  }
+  auto lin = Analyze(expr);
+  if (!lin.has_value() || !lin->has_attr || lin->scale == 0.0) {
+    return std::nullopt;
+  }
+  // Arithmetic requires a numeric attribute.
+  const rel::RelationSchema* schema = schemas[lin->ref.side];
+  if (schema == nullptr || lin->ref.attr_index >= schema->arity()) {
+    return std::nullopt;
+  }
+  rel::ValueType type = schema->attribute(lin->ref.attr_index).type;
+  if (type != rel::ValueType::kInt && type != rel::ValueType::kDouble) {
+    return std::nullopt;
+  }
+  return LinearForm{lin->ref, /*bare=*/false, lin->scale, lin->offset};
+}
+
+std::optional<rel::Value> InvertLinear(const LinearForm& form,
+                                       rel::ValueType attr_type,
+                                       const rel::Value& target) {
+  if (target.is_null()) return std::nullopt;  // Nulls never join (SQL).
+  if (form.bare) {
+    // x = target; only representability matters.
+    switch (attr_type) {
+      case rel::ValueType::kString:
+        // Any value can be expected: value-level matching is by canonical
+        // string, so carry the target through unchanged.
+        return target;
+      case rel::ValueType::kInt: {
+        auto n = target.AsNumeric();
+        if (!n.has_value()) return std::nullopt;
+        double rounded = std::nearbyint(*n);
+        if (rounded != *n || std::abs(*n) > 9.2e18) return std::nullopt;
+        return rel::Value::Int(static_cast<int64_t>(rounded));
+      }
+      case rel::ValueType::kDouble: {
+        auto n = target.AsNumeric();
+        if (!n.has_value()) return std::nullopt;
+        return rel::Value::Double(*n);
+      }
+      case rel::ValueType::kNull:
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+  auto n = target.AsNumeric();
+  if (!n.has_value()) return std::nullopt;  // "5x + 1 = 'abc'": no solution.
+  double x = (*n - form.offset) / form.scale;
+  if (attr_type == rel::ValueType::kInt) {
+    double rounded = std::nearbyint(x);
+    // Accept only exact integral solutions (§4.3.2: otherwise the rewritten
+    // query can never match and is not reindexed).
+    if (std::abs(x - rounded) > 1e-9 || std::abs(x) > 9.2e18) {
+      return std::nullopt;
+    }
+    return rel::Value::Int(static_cast<int64_t>(rounded));
+  }
+  return rel::Value::Double(x);
+}
+
+}  // namespace contjoin::query

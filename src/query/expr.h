@@ -1,0 +1,110 @@
+// Expression AST for join conditions and selection predicates, with
+// evaluation, attribute analysis, linear-form extraction and inversion
+// (the machinery behind T1 classification and query rewriting, §3.2/§4.3).
+
+#ifndef CONTJOIN_QUERY_EXPR_H_
+#define CONTJOIN_QUERY_EXPR_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace contjoin::query {
+
+/// Reference to side 0 or side 1 of a two-relation query plus an attribute
+/// position within that relation's schema.
+struct AttrRef {
+  int side = 0;          // 0 = first FROM relation, 1 = second.
+  size_t attr_index = 0;
+  std::string display;   // "D.Title", for ToString().
+
+  bool operator==(const AttrRef&) const = default;
+  bool operator<(const AttrRef& o) const {
+    return side != o.side ? side < o.side : attr_index < o.attr_index;
+  }
+};
+
+/// Arithmetic/string expression over the attributes of (at most) two
+/// relations and constants.
+class Expr {
+ public:
+  enum class Kind : unsigned char { kConst, kAttr, kNeg, kAdd, kSub, kMul,
+                                    kDiv };
+
+  static std::unique_ptr<Expr> Const(rel::Value v);
+  static std::unique_ptr<Expr> Attr(AttrRef ref);
+  static std::unique_ptr<Expr> Unary(Kind kind, std::unique_ptr<Expr> child);
+  static std::unique_ptr<Expr> Binary(Kind kind, std::unique_ptr<Expr> lhs,
+                                      std::unique_ptr<Expr> rhs);
+
+  Kind kind() const { return kind_; }
+  const rel::Value& constant() const { return constant_; }
+  const AttrRef& attr() const { return attr_; }
+  const Expr* lhs() const { return lhs_.get(); }
+  const Expr* rhs() const { return rhs_.get(); }
+
+  /// Maximum number of relation sides an expression can reference (two-way
+  /// queries use 2; the multi-way extension allows up to 8 relations).
+  static constexpr int kMaxSides = 8;
+
+  /// Evaluates with `tuples[side]` providing each side's values (n entries;
+  /// a side the expression does not reference may be null). Errors on type
+  /// mismatches (e.g., arithmetic on strings) and division by zero.
+  StatusOr<rel::Value> Eval(const rel::Tuple* const* tuples, size_t n) const;
+
+  /// Convenience: evaluate an expression referencing only `side`.
+  StatusOr<rel::Value> EvalSingle(int side, const rel::Tuple& tuple) const;
+
+  /// All attributes referenced.
+  void CollectAttrs(std::set<AttrRef>* out) const;
+  std::set<AttrRef> Attrs() const;
+
+  /// Canonical serialization (used for query-group signatures).
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kConst;
+  rel::Value constant_;
+  AttrRef attr_;
+  std::unique_ptr<Expr> lhs_;
+  std::unique_ptr<Expr> rhs_;
+};
+
+/// Result of analysing one side of a join condition: the side is equivalent
+/// to `scale * x + offset` over the single attribute x = `ref`, or (for
+/// non-numeric attributes) the bare attribute itself. Invertible whenever
+/// scale != 0.
+struct LinearForm {
+  AttrRef ref;
+  bool bare = true;     // Expression is exactly the attribute.
+  double scale = 1.0;
+  double offset = 0.0;
+};
+
+/// Extracts the linear single-attribute form of `expr`, or nullopt when the
+/// expression references zero or multiple attributes, is non-linear, or has
+/// zero scale (no unique solution). Bare string attributes are allowed;
+/// arithmetic forms require a numeric attribute.
+std::optional<LinearForm> AnalyzeLinear(const Expr& expr,
+                                        const rel::RelationSchema* schemas[2]);
+
+/// Solves `form(x) = target` for x. Returns nullopt when no value of the
+/// attribute's type satisfies the equation (e.g., fractional solution for an
+/// integer attribute, or a numeric target for a string attribute); such a
+/// rewritten query could never match and is not reindexed (§4.3.2).
+std::optional<rel::Value> InvertLinear(const LinearForm& form,
+                                       rel::ValueType attr_type,
+                                       const rel::Value& target);
+
+}  // namespace contjoin::query
+
+#endif  // CONTJOIN_QUERY_EXPR_H_

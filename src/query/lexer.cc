@@ -1,0 +1,174 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace contjoin::query {
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto error = [&](const std::string& what) {
+    return Status::ParseError(what + " at position " + std::to_string(i));
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        ++i;
+      }
+      out.push_back(Token{TokenType::kIdentifier,
+                          std::string(input.substr(start, i - start)), 0, 0,
+                          start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      bool is_double = false;
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        ++i;
+      }
+      if (i < input.size() && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < input.size() &&
+               std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < input.size() && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < input.size() && (input[i] == '+' || input[i] == '-')) ++i;
+        if (i >= input.size() ||
+            !std::isdigit(static_cast<unsigned char>(input[i]))) {
+          return error("malformed exponent");
+        }
+        while (i < input.size() &&
+               std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      std::string text(input.substr(start, i - start));
+      Token tok;
+      tok.text = text;
+      tok.position = start;
+      if (is_double) {
+        tok.type = TokenType::kDouble;
+        tok.double_value = std::stod(text);
+      } else {
+        tok.type = TokenType::kInteger;
+        try {
+          tok.int_value = std::stoll(text);
+        } catch (const std::out_of_range&) {
+          return error("integer literal out of range");
+        }
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < input.size()) {
+        if (input[i] == '\'') {
+          // '' escapes a quote inside the literal.
+          if (i + 1 < input.size() && input[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) return error("unterminated string literal");
+      out.push_back(Token{TokenType::kString, std::move(text), 0, 0, start});
+      continue;
+    }
+    auto push1 = [&](TokenType t) {
+      out.push_back(Token{t, std::string(1, c), 0, 0, start});
+      ++i;
+    };
+    switch (c) {
+      case ',':
+        push1(TokenType::kComma);
+        continue;
+      case '.':
+        push1(TokenType::kDot);
+        continue;
+      case '(':
+        push1(TokenType::kLParen);
+        continue;
+      case ')':
+        push1(TokenType::kRParen);
+        continue;
+      case '+':
+        push1(TokenType::kPlus);
+        continue;
+      case '-':
+        push1(TokenType::kMinus);
+        continue;
+      case '*':
+        push1(TokenType::kStar);
+        continue;
+      case '/':
+        push1(TokenType::kSlash);
+        continue;
+      case '=':
+        push1(TokenType::kEq);
+        continue;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          out.push_back(Token{TokenType::kNeq, "!=", 0, 0, start});
+          i += 2;
+          continue;
+        }
+        return error("unexpected '!'");
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          out.push_back(Token{TokenType::kLe, "<=", 0, 0, start});
+          i += 2;
+        } else if (i + 1 < input.size() && input[i + 1] == '>') {
+          out.push_back(Token{TokenType::kNeq, "<>", 0, 0, start});
+          i += 2;
+        } else {
+          push1(TokenType::kLt);
+        }
+        continue;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          out.push_back(Token{TokenType::kGe, ">=", 0, 0, start});
+          i += 2;
+        } else {
+          push1(TokenType::kGt);
+        }
+        continue;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  out.push_back(Token{TokenType::kEnd, "", 0, 0, input.size()});
+  return out;
+}
+
+bool IsKeyword(const Token& token, std::string_view word) {
+  return token.type == TokenType::kIdentifier &&
+         EqualsIgnoreCase(token.text, word);
+}
+
+}  // namespace contjoin::query

@@ -1,0 +1,52 @@
+// Tokenizer for the supported SQL subset (paper §3.2).
+
+#ifndef CONTJOIN_QUERY_LEXER_H_
+#define CONTJOIN_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace contjoin::query {
+
+enum class TokenType : int {
+  kIdentifier,  // Relation / attribute / alias names; keywords resolved later.
+  kInteger,
+  kDouble,
+  kString,    // '...' literal.
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEq,        // =
+  kNeq,       // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;     // Raw text (identifier name, literal content).
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t position = 0;  // Byte offset, for error messages.
+};
+
+/// Splits `input` into tokens; the final token is always kEnd.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+/// True if `token` is an identifier equal (case-insensitively) to `word`.
+bool IsKeyword(const Token& token, std::string_view word);
+
+}  // namespace contjoin::query
+
+#endif  // CONTJOIN_QUERY_LEXER_H_

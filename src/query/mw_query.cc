@@ -1,0 +1,340 @@
+#include "query/mw_query.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "query/lexer.h"
+
+namespace contjoin::query {
+
+int MwQuery::SideOfRelation(const std::string& relation) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].relation == relation) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int MwQuery::NextCondition(uint32_t bound_mask) const {
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    const MwCondition& c = conditions_[i];
+    bool a_bound = (bound_mask >> c.rel_a) & 1u;
+    bool b_bound = (bound_mask >> c.rel_b) & 1u;
+    if (a_bound != b_bound) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string MwQuery::ToString() const {
+  std::ostringstream out;
+  out << "SELECT ";
+  for (size_t i = 0; i < select_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << select_[i].label;
+  }
+  out << " FROM ";
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << relations_[i].relation;
+    if (relations_[i].alias != relations_[i].relation) {
+      out << " AS " << relations_[i].alias;
+    }
+  }
+  out << " WHERE ";
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    if (i > 0) out << " AND ";
+    out << conditions_[i].display;
+  }
+  for (const MwRelation& rel : relations_) {
+    for (const Predicate& pred : rel.predicates) {
+      out << " AND " << pred.ToString();
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Recursive-descent parser for the m-way grammar; shares the token layer
+/// and expression machinery with the two-way parser but resolves aliases
+/// over m relations.
+class MwParser {
+ public:
+  MwParser(std::vector<Token> tokens, const rel::Catalog& catalog)
+      : tokens_(std::move(tokens)), catalog_(catalog) {}
+
+  StatusOr<MwQuery> Parse();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool Match(TokenType t) {
+    if (!Check(t)) return false;
+    ++pos_;
+    return true;
+  }
+  bool MatchKeyword(std::string_view word) {
+    if (!IsKeyword(Peek(), word)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " (near position " +
+                              std::to_string(Peek().position) + ")");
+  }
+
+  StatusOr<AttrRef> ParseQualifiedAttr();
+  StatusOr<std::unique_ptr<Expr>> ParseExpr();
+  StatusOr<std::unique_ptr<Expr>> ParseTerm();
+  StatusOr<std::unique_ptr<Expr>> ParseFactor();
+  StatusOr<std::unique_ptr<Expr>> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const rel::Catalog& catalog_;
+  MwQuery out_;
+  std::map<std::string, int> alias_to_side_;
+};
+
+StatusOr<AttrRef> MwParser::ParseQualifiedAttr() {
+  if (!Check(TokenType::kIdentifier)) {
+    return Error("expected qualified attribute");
+  }
+  std::string qualifier = Advance().text;
+  if (!Match(TokenType::kDot)) {
+    return Error("attribute references must be alias-qualified ('" +
+                 qualifier + "' lacks '.attr')");
+  }
+  if (!Check(TokenType::kIdentifier)) return Error("expected attribute name");
+  std::string attr = Advance().text;
+  auto it = alias_to_side_.find(qualifier);
+  if (it == alias_to_side_.end()) {
+    return Status::NotFound("unknown relation alias '" + qualifier + "'");
+  }
+  int side = it->second;
+  const MwRelation& rel = out_.relations()[static_cast<size_t>(side)];
+  auto index = rel.schema->AttributeIndex(attr);
+  if (!index.has_value()) {
+    return Status::NotFound("relation '" + rel.relation +
+                            "' has no attribute '" + attr + "'");
+  }
+  AttrRef ref;
+  ref.side = side;
+  ref.attr_index = *index;
+  ref.display = rel.relation + "." + attr;
+  return ref;
+}
+
+StatusOr<std::unique_ptr<Expr>> MwParser::ParseExpr() {
+  CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseTerm());
+  while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+    Expr::Kind kind = Advance().type == TokenType::kPlus ? Expr::Kind::kAdd
+                                                         : Expr::Kind::kSub;
+    CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseTerm());
+    lhs = Expr::Binary(kind, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<std::unique_ptr<Expr>> MwParser::ParseTerm() {
+  CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseFactor());
+  while (Check(TokenType::kStar) || Check(TokenType::kSlash)) {
+    Expr::Kind kind = Advance().type == TokenType::kStar ? Expr::Kind::kMul
+                                                         : Expr::Kind::kDiv;
+    CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseFactor());
+    lhs = Expr::Binary(kind, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<std::unique_ptr<Expr>> MwParser::ParseFactor() {
+  if (Match(TokenType::kMinus)) {
+    CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> child, ParseFactor());
+    return Expr::Unary(Expr::Kind::kNeg, std::move(child));
+  }
+  return ParsePrimary();
+}
+
+StatusOr<std::unique_ptr<Expr>> MwParser::ParsePrimary() {
+  if (Match(TokenType::kLParen)) {
+    CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseExpr());
+    if (!Match(TokenType::kRParen)) return Error("expected ')'");
+    return inner;
+  }
+  if (Check(TokenType::kInteger)) {
+    return Expr::Const(rel::Value::Int(Advance().int_value));
+  }
+  if (Check(TokenType::kDouble)) {
+    return Expr::Const(rel::Value::Double(Advance().double_value));
+  }
+  if (Check(TokenType::kString)) {
+    return Expr::Const(rel::Value::Str(Advance().text));
+  }
+  if (Check(TokenType::kIdentifier)) {
+    CJ_ASSIGN_OR_RETURN(AttrRef ref, ParseQualifiedAttr());
+    return Expr::Attr(std::move(ref));
+  }
+  return Error("expected expression");
+}
+
+StatusOr<MwQuery> MwParser::Parse() {
+  if (!MatchKeyword("SELECT")) return Error("expected SELECT");
+
+  // Locate FROM, parse the relation list, then rewind for the select list.
+  size_t select_start = pos_;
+  while (!Check(TokenType::kEnd) && !IsKeyword(Peek(), "FROM")) ++pos_;
+  if (!MatchKeyword("FROM")) return Error("expected FROM");
+
+  std::set<std::string> seen_relations;
+  do {
+    if (!Check(TokenType::kIdentifier)) return Error("expected relation");
+    std::string relation = Advance().text;
+    const rel::RelationSchema* schema = catalog_.Find(relation);
+    if (schema == nullptr) {
+      return Status::NotFound("unknown relation '" + relation + "'");
+    }
+    std::string alias = relation;
+    if (MatchKeyword("AS")) {
+      if (!Check(TokenType::kIdentifier)) return Error("expected alias");
+      alias = Advance().text;
+    } else if (Check(TokenType::kIdentifier) &&
+               !IsKeyword(Peek(), "WHERE")) {
+      alias = Advance().text;
+    }
+    if (!seen_relations.insert(relation).second) {
+      return Status::Unsupported("self-joins are not supported ('" +
+                                 relation + "' appears twice)");
+    }
+    if (alias_to_side_.count(alias) > 0) {
+      return Error("duplicate alias '" + alias + "'");
+    }
+    alias_to_side_[alias] = static_cast<int>(out_.relations().size());
+    out_.relations().push_back(MwRelation{relation, alias, schema, {}});
+  } while (Match(TokenType::kComma));
+  size_t where_start = pos_;
+
+  const size_t m = out_.relations().size();
+  if (m < 2) return Error("multi-way queries need at least two relations");
+  if (m > static_cast<size_t>(Expr::kMaxSides)) {
+    return Status::Unsupported("at most " +
+                               std::to_string(Expr::kMaxSides) +
+                               " relations are supported");
+  }
+
+  // Select list.
+  pos_ = select_start;
+  do {
+    CJ_ASSIGN_OR_RETURN(AttrRef ref, ParseQualifiedAttr());
+    SelectItem item;
+    item.label = ref.display;
+    item.ref = std::move(ref);
+    out_.select().push_back(std::move(item));
+  } while (Match(TokenType::kComma));
+  if (!IsKeyword(Peek(), "FROM")) return Error("expected FROM");
+
+  // WHERE clause.
+  pos_ = where_start;
+  if (!MatchKeyword("WHERE")) return Error("expected WHERE clause");
+  do {
+    CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseExpr());
+    CmpOp op;
+    switch (Peek().type) {
+      case TokenType::kEq:
+        op = CmpOp::kEq;
+        break;
+      case TokenType::kNeq:
+        op = CmpOp::kNeq;
+        break;
+      case TokenType::kLt:
+        op = CmpOp::kLt;
+        break;
+      case TokenType::kLe:
+        op = CmpOp::kLe;
+        break;
+      case TokenType::kGt:
+        op = CmpOp::kGt;
+        break;
+      case TokenType::kGe:
+        op = CmpOp::kGe;
+        break;
+      default:
+        return Error("expected comparison operator");
+    }
+    Advance();
+    CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseExpr());
+
+    std::set<int> sides;
+    for (const AttrRef& ref : lhs->Attrs()) sides.insert(ref.side);
+    for (const AttrRef& ref : rhs->Attrs()) sides.insert(ref.side);
+
+    if (sides.size() >= 2) {
+      // A join condition: must be a bare-attribute equality.
+      if (op != CmpOp::kEq) {
+        return Status::Unsupported("join conditions must be equalities");
+      }
+      if (lhs->kind() != Expr::Kind::kAttr ||
+          rhs->kind() != Expr::Kind::kAttr) {
+        return Status::Unsupported(
+            "multi-way join conditions must relate bare attributes "
+            "(expression sides are supported only by two-way DAI-V)");
+      }
+      MwCondition cond;
+      cond.rel_a = lhs->attr().side;
+      cond.attr_a = lhs->attr().attr_index;
+      cond.rel_b = rhs->attr().side;
+      cond.attr_b = rhs->attr().attr_index;
+      cond.display = lhs->attr().display + " = " + rhs->attr().display;
+      out_.conditions().push_back(cond);
+    } else if (sides.size() == 1) {
+      int side = *sides.begin();
+      Predicate pred;
+      pred.lhs = std::move(lhs);
+      pred.rhs = std::move(rhs);
+      pred.op = op;
+      pred.side = side;
+      out_.relations()[static_cast<size_t>(side)].predicates.push_back(
+          std::move(pred));
+    } else {
+      return Error("conjunct references no attributes");
+    }
+  } while (MatchKeyword("AND"));
+  if (!Check(TokenType::kEnd)) return Error("unexpected trailing input");
+
+  // The join graph must be a spanning tree over the m relations.
+  if (out_.conditions().size() != m - 1) {
+    return Status::Unsupported(
+        "the join graph must be a spanning tree: expected " +
+        std::to_string(m - 1) + " join conditions, found " +
+        std::to_string(out_.conditions().size()));
+  }
+  // Connectivity check by union-find.
+  std::vector<int> parent(m);
+  for (size_t i = 0; i < m; ++i) parent[i] = static_cast<int>(i);
+  auto find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const MwCondition& cond : out_.conditions()) {
+    int a = find(cond.rel_a), b = find(cond.rel_b);
+    if (a == b) {
+      return Status::Unsupported(
+          "the join graph contains a cycle (" + cond.display + ")");
+    }
+    parent[static_cast<size_t>(a)] = b;
+  }
+  return std::move(out_);
+}
+
+}  // namespace
+
+StatusOr<MwQuery> ParseMwQuery(std::string_view sql,
+                               const rel::Catalog& catalog) {
+  CJ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  MwParser parser(std::move(tokens), catalog);
+  return parser.Parse();
+}
+
+}  // namespace contjoin::query

@@ -1,0 +1,359 @@
+#include "query/parser.h"
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "query/lexer.h"
+
+namespace contjoin::query {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const rel::Catalog& catalog)
+      : tokens_(std::move(tokens)), catalog_(catalog) {}
+
+  StatusOr<ContinuousQuery> Parse();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool Match(TokenType t) {
+    if (!Check(t)) return false;
+    ++pos_;
+    return true;
+  }
+  bool MatchKeyword(std::string_view word) {
+    if (!IsKeyword(Peek(), word)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " (near position " +
+                              std::to_string(Peek().position) + ")");
+  }
+
+  struct RelationRef {
+    std::string relation;
+    std::string alias;
+    const rel::RelationSchema* schema;
+  };
+
+  StatusOr<RelationRef> ParseRelationRef();
+  StatusOr<AttrRef> ParseQualifiedAttr();
+  StatusOr<std::unique_ptr<Expr>> ParseExpr();
+  StatusOr<std::unique_ptr<Expr>> ParseTerm();
+  StatusOr<std::unique_ptr<Expr>> ParseFactor();
+  StatusOr<std::unique_ptr<Expr>> ParsePrimary();
+
+  /// Validates that arithmetic applies only to numeric attributes.
+  Status CheckArithmeticTypes(const Expr& e, bool inside_arith) const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const rel::Catalog& catalog_;
+  RelationRef rels_[2];
+  std::map<std::string, int> alias_to_side_;
+};
+
+StatusOr<Parser::RelationRef> Parser::ParseRelationRef() {
+  if (!Check(TokenType::kIdentifier)) return Error("expected relation name");
+  std::string relation = Advance().text;
+  const rel::RelationSchema* schema = catalog_.Find(relation);
+  if (schema == nullptr) {
+    return Status::NotFound("unknown relation '" + relation + "'");
+  }
+  std::string alias = relation;
+  if (MatchKeyword("AS")) {
+    if (!Check(TokenType::kIdentifier)) return Error("expected alias");
+    alias = Advance().text;
+  } else if (Check(TokenType::kIdentifier) && !IsKeyword(Peek(), "WHERE")) {
+    // "FROM Document D" implicit-alias form.
+    alias = Advance().text;
+  }
+  return RelationRef{std::move(relation), std::move(alias), schema};
+}
+
+StatusOr<AttrRef> Parser::ParseQualifiedAttr() {
+  if (!Check(TokenType::kIdentifier)) {
+    return Error("expected qualified attribute");
+  }
+  std::string qualifier = Advance().text;
+  if (!Match(TokenType::kDot)) {
+    return Error("attribute references must be alias-qualified ('" +
+                 qualifier + "' lacks '.attr')");
+  }
+  if (!Check(TokenType::kIdentifier)) return Error("expected attribute name");
+  std::string attr = Advance().text;
+  auto it = alias_to_side_.find(qualifier);
+  if (it == alias_to_side_.end()) {
+    return Status::NotFound("unknown relation alias '" + qualifier + "'");
+  }
+  int side = it->second;
+  auto index = rels_[side].schema->AttributeIndex(attr);
+  if (!index.has_value()) {
+    return Status::NotFound("relation '" + rels_[side].relation +
+                            "' has no attribute '" + attr + "'");
+  }
+  AttrRef ref;
+  ref.side = side;
+  ref.attr_index = *index;
+  ref.display = rels_[side].relation + "." + attr;
+  return ref;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseExpr() {
+  CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseTerm());
+  while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+    Expr::Kind kind = Advance().type == TokenType::kPlus ? Expr::Kind::kAdd
+                                                         : Expr::Kind::kSub;
+    CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseTerm());
+    lhs = Expr::Binary(kind, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseTerm() {
+  CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseFactor());
+  while (Check(TokenType::kStar) || Check(TokenType::kSlash)) {
+    Expr::Kind kind = Advance().type == TokenType::kStar ? Expr::Kind::kMul
+                                                         : Expr::Kind::kDiv;
+    CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseFactor());
+    lhs = Expr::Binary(kind, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseFactor() {
+  if (Match(TokenType::kMinus)) {
+    CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> child, ParseFactor());
+    return Expr::Unary(Expr::Kind::kNeg, std::move(child));
+  }
+  return ParsePrimary();
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParsePrimary() {
+  if (Match(TokenType::kLParen)) {
+    CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseExpr());
+    if (!Match(TokenType::kRParen)) return Error("expected ')'");
+    return inner;
+  }
+  if (Check(TokenType::kInteger)) {
+    return Expr::Const(rel::Value::Int(Advance().int_value));
+  }
+  if (Check(TokenType::kDouble)) {
+    return Expr::Const(rel::Value::Double(Advance().double_value));
+  }
+  if (Check(TokenType::kString)) {
+    return Expr::Const(rel::Value::Str(Advance().text));
+  }
+  if (Check(TokenType::kIdentifier)) {
+    CJ_ASSIGN_OR_RETURN(AttrRef ref, ParseQualifiedAttr());
+    return Expr::Attr(std::move(ref));
+  }
+  return Error("expected expression");
+}
+
+Status Parser::CheckArithmeticTypes(const Expr& e, bool inside_arith) const {
+  switch (e.kind()) {
+    case Expr::Kind::kConst:
+      if (inside_arith && !e.constant().AsNumeric().has_value()) {
+        return Status::InvalidArgument("arithmetic on string constant " +
+                                       e.constant().ToString());
+      }
+      return Status::OK();
+    case Expr::Kind::kAttr: {
+      if (!inside_arith) return Status::OK();
+      const auto& schema = *rels_[e.attr().side].schema;
+      rel::ValueType type = schema.attribute(e.attr().attr_index).type;
+      if (type != rel::ValueType::kInt && type != rel::ValueType::kDouble) {
+        return Status::InvalidArgument("arithmetic on non-numeric attribute " +
+                                       e.attr().display);
+      }
+      return Status::OK();
+    }
+    default:
+      if (e.lhs() != nullptr) {
+        CJ_RETURN_IF_ERROR(CheckArithmeticTypes(*e.lhs(), true));
+      }
+      if (e.rhs() != nullptr) {
+        CJ_RETURN_IF_ERROR(CheckArithmeticTypes(*e.rhs(), true));
+      }
+      return Status::OK();
+  }
+}
+
+StatusOr<ContinuousQuery> Parser::Parse() {
+  if (!MatchKeyword("SELECT")) return Error("expected SELECT");
+
+  // The select list references aliases declared in FROM, so find and parse
+  // the FROM clause first, then rewind.
+  size_t select_start = pos_;
+  while (!Check(TokenType::kEnd) && !IsKeyword(Peek(), "FROM")) ++pos_;
+  if (!MatchKeyword("FROM")) return Error("expected FROM");
+
+  CJ_ASSIGN_OR_RETURN(rels_[0], ParseRelationRef());
+  if (!Match(TokenType::kComma)) {
+    return Error("expected exactly two relations in FROM");
+  }
+  CJ_ASSIGN_OR_RETURN(rels_[1], ParseRelationRef());
+  size_t where_start = pos_;
+
+  if (rels_[0].relation == rels_[1].relation) {
+    return Status::Unsupported(
+        "self-joins are not supported (the paper's algorithms assume two "
+        "distinct relations)");
+  }
+  if (rels_[0].alias == rels_[1].alias) {
+    return Error("both relations use alias '" + rels_[0].alias + "'");
+  }
+  alias_to_side_[rels_[0].alias] = 0;
+  alias_to_side_[rels_[1].alias] = 1;
+
+  // Parse the select list now that aliases resolve.
+  pos_ = select_start;
+  ContinuousQuery out;
+  do {
+    size_t item_start = Peek().position;
+    CJ_ASSIGN_OR_RETURN(AttrRef ref, ParseQualifiedAttr());
+    (void)item_start;
+    SelectItem item;
+    item.label = ref.display;
+    item.ref = std::move(ref);
+    out.select().push_back(std::move(item));
+  } while (Match(TokenType::kComma));
+  if (!IsKeyword(Peek(), "FROM")) return Error("expected FROM");
+  if (out.select().empty()) return Error("empty select list");
+
+  // Jump past FROM (already parsed) to WHERE.
+  pos_ = where_start;
+  if (!MatchKeyword("WHERE")) return Error("expected WHERE clause");
+
+  // Conjuncts.
+  std::unique_ptr<Expr> join_lhs, join_rhs;
+  std::vector<Predicate> predicates[2];
+  int join_count = 0;
+  do {
+    CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseExpr());
+    CmpOp op;
+    switch (Peek().type) {
+      case TokenType::kEq:
+        op = CmpOp::kEq;
+        break;
+      case TokenType::kNeq:
+        op = CmpOp::kNeq;
+        break;
+      case TokenType::kLt:
+        op = CmpOp::kLt;
+        break;
+      case TokenType::kLe:
+        op = CmpOp::kLe;
+        break;
+      case TokenType::kGt:
+        op = CmpOp::kGt;
+        break;
+      case TokenType::kGe:
+        op = CmpOp::kGe;
+        break;
+      default:
+        return Error("expected comparison operator");
+    }
+    Advance();
+    CJ_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseExpr());
+
+    CJ_RETURN_IF_ERROR(CheckArithmeticTypes(*lhs, false));
+    CJ_RETURN_IF_ERROR(CheckArithmeticTypes(*rhs, false));
+
+    std::set<int> lhs_sides, rhs_sides;
+    for (const AttrRef& ref : lhs->Attrs()) lhs_sides.insert(ref.side);
+    for (const AttrRef& ref : rhs->Attrs()) rhs_sides.insert(ref.side);
+    std::set<int> all = lhs_sides;
+    all.insert(rhs_sides.begin(), rhs_sides.end());
+
+    if (all.size() == 2) {
+      // The join condition.
+      if (op != CmpOp::kEq) {
+        return Status::Unsupported(
+            "only equality join conditions are supported");
+      }
+      if (lhs_sides.size() != 1 || rhs_sides.size() != 1) {
+        return Status::Unsupported(
+            "each side of the join condition must reference a single "
+            "relation");
+      }
+      if (++join_count > 1) {
+        return Status::Unsupported(
+            "multiple join conditions: only two-way single equi-joins are "
+            "supported");
+      }
+      if (*lhs_sides.begin() == 0) {
+        join_lhs = std::move(lhs);
+        join_rhs = std::move(rhs);
+      } else {
+        join_lhs = std::move(rhs);
+        join_rhs = std::move(lhs);
+      }
+    } else if (all.size() == 1) {
+      int side = *all.begin();
+      Predicate pred;
+      pred.lhs = std::move(lhs);
+      pred.rhs = std::move(rhs);
+      pred.op = op;
+      pred.side = side;
+      predicates[side].push_back(std::move(pred));
+    } else {
+      return Error("conjunct references no attributes");
+    }
+  } while (MatchKeyword("AND"));
+
+  if (!Check(TokenType::kEnd)) return Error("unexpected trailing input");
+  if (join_count == 0) {
+    return Status::InvalidArgument(
+        "query has no join condition relating the two relations");
+  }
+
+  // Assemble sides.
+  const rel::RelationSchema* schemas[2] = {rels_[0].schema, rels_[1].schema};
+  std::unique_ptr<Expr> join_exprs[2] = {std::move(join_lhs),
+                                         std::move(join_rhs)};
+  bool is_t1 = true;
+  for (int s = 0; s < 2; ++s) {
+    QuerySide& side = out.side(s);
+    side.relation = rels_[s].relation;
+    side.alias = rels_[s].alias;
+    side.schema = rels_[s].schema;
+    side.join_expr = std::move(join_exprs[s]);
+    side.predicates = std::move(predicates[s]);
+    side.linear = AnalyzeLinear(*side.join_expr, schemas);
+    if (side.linear.has_value()) {
+      side.index_attr = side.linear->ref.attr_index;
+    } else {
+      is_t1 = false;
+      auto attrs = side.join_expr->Attrs();
+      if (attrs.empty()) {
+        return Status::InvalidArgument(
+            "join-condition side for relation '" + side.relation +
+            "' references no attribute");
+      }
+      side.index_attr = attrs.begin()->attr_index;
+    }
+  }
+  out.set_type(is_t1 ? QueryType::kT1 : QueryType::kT2);
+  out.set_signature(out.side(0).join_expr->ToString() + " = " +
+                    out.side(1).join_expr->ToString());
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ContinuousQuery> ParseQuery(std::string_view sql,
+                                     const rel::Catalog& catalog) {
+  CJ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens), catalog);
+  return parser.Parse();
+}
+
+}  // namespace contjoin::query

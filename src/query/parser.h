@@ -1,0 +1,30 @@
+// Parser for the supported SQL subset: continuous two-way equi-join queries
+// with optional single-relation selection predicates.
+
+#ifndef CONTJOIN_QUERY_PARSER_H_
+#define CONTJOIN_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/statusor.h"
+#include "query/query.h"
+#include "relational/schema.h"
+
+namespace contjoin::query {
+
+/// Parses, resolves against `catalog`, validates and classifies a query.
+///
+/// Requirements enforced:
+///  * exactly two relations in FROM, both registered, distinct (self-joins
+///    are not covered by the paper's algorithms and are rejected);
+///  * exactly one conjunct relates the two relations and it is an equality
+///    `alpha = beta` with alpha over one relation and beta over the other;
+///  * every other conjunct references exactly one relation;
+///  * all attribute references are alias-qualified and resolvable;
+///  * arithmetic is applied only to numeric attributes.
+StatusOr<ContinuousQuery> ParseQuery(std::string_view sql,
+                                     const rel::Catalog& catalog);
+
+}  // namespace contjoin::query
+
+#endif  // CONTJOIN_QUERY_PARSER_H_

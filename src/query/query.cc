@@ -1,0 +1,87 @@
+#include "query/query.h"
+
+#include <sstream>
+
+namespace contjoin::query {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNeq:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+StatusOr<bool> Predicate::Matches(const rel::Tuple& tuple) const {
+  CJ_ASSIGN_OR_RETURN(rel::Value a, lhs->EvalSingle(side, tuple));
+  CJ_ASSIGN_OR_RETURN(rel::Value b, rhs->EvalSingle(side, tuple));
+  // SQL-style: null compares as unknown, which a conjunct treats as false.
+  if (a.is_null() || b.is_null()) return false;
+  int cmp = a.Compare(b);
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNeq:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return Status::Internal("unknown comparison operator");
+}
+
+std::string Predicate::ToString() const {
+  return lhs->ToString() + " " + CmpOpName(op) + " " + rhs->ToString();
+}
+
+bool QuerySide::SatisfiesPredicates(const rel::Tuple& tuple) const {
+  for (const Predicate& pred : predicates) {
+    auto match = pred.Matches(tuple);
+    if (!match.ok() || !match.value()) return false;
+  }
+  return true;
+}
+
+int ContinuousQuery::SideOfRelation(const std::string& relation) const {
+  if (sides_[0].relation == relation) return 0;
+  if (sides_[1].relation == relation) return 1;
+  return -1;
+}
+
+std::string ContinuousQuery::ToString() const {
+  std::ostringstream out;
+  out << "SELECT ";
+  for (size_t i = 0; i < select_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << select_[i].label;
+  }
+  out << " FROM " << sides_[0].relation;
+  if (sides_[0].alias != sides_[0].relation) out << " AS " << sides_[0].alias;
+  out << ", " << sides_[1].relation;
+  if (sides_[1].alias != sides_[1].relation) out << " AS " << sides_[1].alias;
+  out << " WHERE " << sides_[0].join_expr->ToString() << " = "
+      << sides_[1].join_expr->ToString();
+  for (int s = 0; s < 2; ++s) {
+    for (const Predicate& pred : sides_[s].predicates) {
+      out << " AND " << pred.ToString();
+    }
+  }
+  return out.str();
+}
+
+}  // namespace contjoin::query

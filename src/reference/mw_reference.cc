@@ -1,0 +1,97 @@
+#include "reference/mw_reference.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace contjoin::ref {
+
+void MwReferenceEngine::AddQuery(query::MwQueryPtr query) {
+  queries_.push_back(std::move(query));
+}
+
+std::vector<core::Notification> MwReferenceEngine::InsertTuple(
+    rel::TuplePtr tuple) {
+  std::vector<core::Notification> produced;
+  for (const query::MwQueryPtr& q : queries_) {
+    int side = q->SideOfRelation(tuple->relation());
+    if (side < 0) continue;
+    if (tuple->pub_time() < q->insertion_time()) continue;
+    if (!q->relations()[static_cast<size_t>(side)].SatisfiesPredicates(
+            *tuple)) {
+      continue;
+    }
+    std::vector<rel::TuplePtr> bound(q->num_relations());
+    bound[static_cast<size_t>(side)] = tuple;
+    Search(*q, &bound, 1u << side, tuple, &produced);
+  }
+  by_relation_[tuple->relation()].push_back(std::move(tuple));
+  notifications_.insert(notifications_.end(), produced.begin(),
+                        produced.end());
+  return produced;
+}
+
+void MwReferenceEngine::Search(const query::MwQuery& q,
+                               std::vector<rel::TuplePtr>* bound,
+                               uint32_t bound_mask,
+                               const rel::TuplePtr& newest,
+                               std::vector<core::Notification>* out) {
+  int cond_index = q.NextCondition(bound_mask);
+  if (cond_index < 0) {
+    // Complete: all relations bound. Verify the window span and emit.
+    rel::Timestamp min_pub = newest->pub_time(), max_pub = newest->pub_time();
+    for (const rel::TuplePtr& t : *bound) {
+      min_pub = std::min(min_pub, t->pub_time());
+      max_pub = std::max(max_pub, t->pub_time());
+    }
+    if (window_ != 0 && max_pub - min_pub > window_) return;
+    core::Notification n;
+    n.query_key = q.key();
+    n.row.reserve(q.select().size());
+    for (const query::SelectItem& item : q.select()) {
+      n.row.push_back(
+          (*bound)[static_cast<size_t>(item.ref.side)]->at(
+              item.ref.attr_index));
+    }
+    n.earlier_pub = min_pub;
+    n.later_pub = max_pub;
+    n.created_at = newest->pub_time();
+    out->push_back(std::move(n));
+    return;
+  }
+  const query::MwCondition& cond =
+      q.conditions()[static_cast<size_t>(cond_index)];
+  int bound_end = ((bound_mask >> cond.rel_a) & 1u) ? cond.rel_a : cond.rel_b;
+  int next_rel = cond.Other(bound_end);
+  const rel::TuplePtr& anchor = (*bound)[static_cast<size_t>(bound_end)];
+  const rel::Value& required = anchor->at(cond.AttrOn(bound_end));
+  if (required.is_null()) return;  // Nulls never join.
+  std::string required_key = required.ToKeyString();
+
+  const query::MwRelation& rel =
+      q.relations()[static_cast<size_t>(next_rel)];
+  auto it = by_relation_.find(rel.relation);
+  if (it == by_relation_.end()) return;
+  for (const rel::TuplePtr& candidate : it->second) {
+    // Only strictly-older tuples: the combination is produced when its
+    // newest member arrives.
+    if (!candidate->Before(newest->pub_time(), newest->seq())) continue;
+    if (candidate->pub_time() < q.insertion_time()) continue;
+    const rel::Value& v = candidate->at(cond.AttrOn(next_rel));
+    if (v.is_null() || v.ToKeyString() != required_key) continue;
+    if (!rel.SatisfiesPredicates(*candidate)) continue;
+    (*bound)[static_cast<size_t>(next_rel)] = candidate;
+    Search(q, bound, bound_mask | (1u << next_rel), newest, out);
+    (*bound)[static_cast<size_t>(next_rel)] = nullptr;
+  }
+}
+
+std::set<std::string> MwReferenceEngine::ContentSet() const {
+  std::set<std::string> out;
+  for (const core::Notification& n : notifications_) {
+    out.insert(n.ContentKey());
+  }
+  return out;
+}
+
+}  // namespace contjoin::ref

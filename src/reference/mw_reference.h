@@ -1,0 +1,53 @@
+// Centralized oracle for continuous multi-way equi-joins: ground truth for
+// the recursive-SAI extension's property tests.
+
+#ifndef CONTJOIN_REFERENCE_MW_REFERENCE_H_
+#define CONTJOIN_REFERENCE_MW_REFERENCE_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/notification.h"
+#include "query/mw_query.h"
+#include "relational/tuple.h"
+
+namespace contjoin::ref {
+
+/// Semantics: a combination (t_1, ..., t_m), one tuple per relation of the
+/// query, is an answer iff every tuple's publication time is >= insT(q),
+/// every tuple passes its relation's predicates, every join condition's two
+/// attribute values have equal canonical key strings (nulls never join),
+/// and — with a window W — max(pub) - min(pub) <= W. A combination is
+/// produced exactly once, when its newest tuple arrives. Equivalence is
+/// compared on content sets, as for the two-way oracle.
+class MwReferenceEngine {
+ public:
+  explicit MwReferenceEngine(rel::Timestamp window = 0) : window_(window) {}
+
+  void AddQuery(query::MwQueryPtr query);
+
+  /// Feeds a tuple; returns the notifications it completes.
+  std::vector<core::Notification> InsertTuple(rel::TuplePtr tuple);
+
+  const std::vector<core::Notification>& notifications() const {
+    return notifications_;
+  }
+  std::set<std::string> ContentSet() const;
+
+ private:
+  void Search(const query::MwQuery& q,
+              std::vector<rel::TuplePtr>* bound, uint32_t bound_mask,
+              const rel::TuplePtr& newest,
+              std::vector<core::Notification>* out);
+
+  rel::Timestamp window_;
+  std::vector<query::MwQueryPtr> queries_;
+  std::unordered_map<std::string, std::vector<rel::TuplePtr>> by_relation_;
+  std::vector<core::Notification> notifications_;
+};
+
+}  // namespace contjoin::ref
+
+#endif  // CONTJOIN_REFERENCE_MW_REFERENCE_H_

@@ -1,0 +1,74 @@
+#include "reference/reference_engine.h"
+
+#include <algorithm>
+
+namespace contjoin::ref {
+
+void ReferenceEngine::AddQuery(query::QueryPtr query) {
+  queries_.push_back(std::move(query));
+}
+
+void ReferenceEngine::RemoveQuery(const std::string& query_key) {
+  queries_.erase(std::remove_if(queries_.begin(), queries_.end(),
+                                [&](const query::QueryPtr& q) {
+                                  return q->key() == query_key;
+                                }),
+                 queries_.end());
+}
+
+std::vector<core::Notification> ReferenceEngine::InsertTuple(
+    rel::TuplePtr tuple) {
+  std::vector<core::Notification> produced;
+  for (const query::QueryPtr& q : queries_) {
+    int side = q->SideOfRelation(tuple->relation());
+    if (side < 0) continue;
+    if (tuple->pub_time() < q->insertion_time()) continue;
+    if (!q->side(side).SatisfiesPredicates(*tuple)) continue;
+    auto my_val = q->side(side).join_expr->EvalSingle(side, *tuple);
+    if (!my_val.ok()) continue;
+    if (my_val.value().is_null()) continue;  // Nulls never join (SQL).
+    std::string my_key = my_val.value().ToKeyString();
+
+    const int other = 1 - side;
+    auto it = by_relation_.find(q->side(other).relation);
+    if (it == by_relation_.end()) continue;
+    for (const rel::TuplePtr& t2 : it->second) {
+      // Stored tuples are strictly older (insertion order).
+      if (t2->pub_time() < q->insertion_time()) continue;
+      if (window_ != 0 && tuple->pub_time() - t2->pub_time() > window_) {
+        continue;
+      }
+      if (!q->side(other).SatisfiesPredicates(*t2)) continue;
+      auto other_val = q->side(other).join_expr->EvalSingle(other, *t2);
+      if (!other_val.ok()) continue;
+      if (other_val.value().ToKeyString() != my_key) continue;
+
+      core::Notification n;
+      n.query_key = q->key();
+      n.row.reserve(q->select().size());
+      for (const query::SelectItem& item : q->select()) {
+        const rel::Tuple& source = item.ref.side == side ? *tuple : *t2;
+        n.row.push_back(source.at(item.ref.attr_index));
+      }
+      n.earlier_pub = t2->pub_time();
+      n.later_pub = tuple->pub_time();
+      n.created_at = tuple->pub_time();
+      produced.push_back(std::move(n));
+    }
+  }
+  by_relation_[tuple->relation()].push_back(std::move(tuple));
+  notifications_.insert(notifications_.end(), produced.begin(),
+                        produced.end());
+  return produced;
+}
+
+std::set<std::string> ReferenceEngine::ContentSet(
+    const std::vector<core::Notification>& notifications) {
+  std::set<std::string> out;
+  for (const core::Notification& n : notifications) {
+    out.insert(n.ContentKey());
+  }
+  return out;
+}
+
+}  // namespace contjoin::ref

@@ -1,0 +1,67 @@
+// A centralized continuous-join evaluator used as ground truth: it stores
+// every tuple and query in one place and computes exactly the notifications
+// the distributed algorithms must produce. Not part of the paper — it exists
+// so the property tests can verify SAI / DAI-Q / DAI-T / DAI-V against an
+// oracle on arbitrary workloads.
+
+#ifndef CONTJOIN_REFERENCE_REFERENCE_ENGINE_H_
+#define CONTJOIN_REFERENCE_REFERENCE_ENGINE_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/notification.h"
+#include "query/query.h"
+#include "relational/tuple.h"
+
+namespace contjoin::ref {
+
+/// Oracle semantics (matching DESIGN.md):
+///  * a pair (t1, t2), t1 of side 0's relation and t2 of side 1's, satisfies
+///    query q iff both publication times are >= insT(q), both tuples pass
+///    their side's selection predicates, and the canonical key strings of
+///    the two join-condition sides are equal;
+///  * with a window W > 0, additionally later.pub - earlier.pub <= W;
+///  * a notification's content is the select-list row; equivalence is
+///    compared on content sets per query.
+class ReferenceEngine {
+ public:
+  explicit ReferenceEngine(rel::Timestamp window = 0) : window_(window) {}
+
+  /// Registers a continuous query (key and insertion time must be set).
+  void AddQuery(query::QueryPtr query);
+
+  /// Removes a query; no further notifications are produced for it.
+  void RemoveQuery(const std::string& query_key);
+
+  /// Feeds a tuple; returns the notifications it produces (pairs with all
+  /// previously inserted tuples of the opposite relation).
+  std::vector<core::Notification> InsertTuple(rel::TuplePtr tuple);
+
+  /// Every notification produced so far.
+  const std::vector<core::Notification>& notifications() const {
+    return notifications_;
+  }
+
+  /// Deduplicated content keys, the comparison domain of the equivalence
+  /// tests.
+  static std::set<std::string> ContentSet(
+      const std::vector<core::Notification>& notifications);
+
+  std::set<std::string> ContentSet() const {
+    return ContentSet(notifications_);
+  }
+
+ private:
+  rel::Timestamp window_;
+  std::vector<query::QueryPtr> queries_;
+  std::unordered_map<std::string, std::vector<rel::TuplePtr>> by_relation_;
+  std::vector<core::Notification> notifications_;
+};
+
+}  // namespace contjoin::ref
+
+#endif  // CONTJOIN_REFERENCE_REFERENCE_ENGINE_H_

@@ -1,0 +1,72 @@
+#include "relational/schema.h"
+
+#include <sstream>
+
+namespace contjoin::rel {
+
+RelationSchema::RelationSchema(std::string name,
+                               std::vector<Attribute> attributes)
+    : name_(std::move(name)), attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    index_.emplace(attributes_[i].name, i);
+  }
+}
+
+std::optional<size_t> RelationSchema::AttributeIndex(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string RelationSchema::ToString() const {
+  std::ostringstream out;
+  out << name_ << "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << attributes_[i].name << " " << ValueTypeName(attributes_[i].type);
+  }
+  out << ")";
+  return out.str();
+}
+
+Status Catalog::Register(RelationSchema schema) {
+  if (schema.name().empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  if (schema.arity() == 0) {
+    return Status::InvalidArgument("relation '" + schema.name() +
+                                   "' has no attributes");
+  }
+  // Attribute names must be unique (the index map would have collapsed).
+  std::map<std::string, int> seen;
+  for (const Attribute& attr : schema.attributes()) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must not be empty");
+    }
+    if (++seen[attr.name] > 1) {
+      return Status::InvalidArgument("duplicate attribute '" + attr.name +
+                                     "' in relation '" + schema.name() + "'");
+    }
+  }
+  auto [it, inserted] = schemas_.emplace(schema.name(), std::move(schema));
+  if (!inserted) {
+    return Status::AlreadyExists("relation '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+const RelationSchema* Catalog::Find(const std::string& relation) const {
+  auto it = schemas_.find(relation);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> out;
+  out.reserve(schemas_.size());
+  for (const auto& [name, schema] : schemas_) out.push_back(name);
+  return out;
+}
+
+}  // namespace contjoin::rel

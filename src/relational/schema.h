@@ -1,0 +1,67 @@
+// Relation schemas and the shared catalog (paper §3.2: different schemas
+// co-exist; schema mappings are not supported).
+
+#ifndef CONTJOIN_RELATIONAL_SCHEMA_H_
+#define CONTJOIN_RELATIONAL_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace contjoin::rel {
+
+/// A named, typed attribute.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt;
+};
+
+/// Schema of one relation: name plus ordered attributes.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<Attribute> attributes);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Position of the attribute named `name`, or nullopt.
+  std::optional<size_t> AttributeIndex(const std::string& name) const;
+
+  /// "R(A int, B string, ...)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::map<std::string, size_t> index_;
+};
+
+/// Registry of relation schemas, known to every node (the paper assumes a
+/// globally known schema vocabulary; tuples and queries carry relation and
+/// attribute *names*, which the catalog resolves).
+class Catalog {
+ public:
+  /// Registers a schema; fails on duplicate relation names or attributes.
+  Status Register(RelationSchema schema);
+
+  /// nullptr when unknown.
+  const RelationSchema* Find(const std::string& relation) const;
+
+  std::vector<std::string> RelationNames() const;
+  size_t size() const { return schemas_.size(); }
+
+ private:
+  std::map<std::string, RelationSchema> schemas_;
+};
+
+}  // namespace contjoin::rel
+
+#endif  // CONTJOIN_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,44 @@
+#include "relational/tuple.h"
+
+#include <sstream>
+
+namespace contjoin::rel {
+
+Status Tuple::CheckAgainst(const RelationSchema& schema) const {
+  if (relation_ != schema.name()) {
+    return Status::InvalidArgument("tuple relation '" + relation_ +
+                                   "' does not match schema '" +
+                                   schema.name() + "'");
+  }
+  if (values_.size() != schema.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(values_.size()) +
+        " does not match schema arity " + std::to_string(schema.arity()));
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    ValueType expect = schema.attribute(i).type;
+    ValueType got = values_[i].type();
+    if (got == ValueType::kNull) continue;
+    bool ok = got == expect ||
+              (expect == ValueType::kDouble && got == ValueType::kInt);
+    if (!ok) {
+      return Status::InvalidArgument(
+          "attribute '" + schema.attribute(i).name + "' expects " +
+          ValueTypeName(expect) + ", got " + ValueTypeName(got));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream out;
+  out << relation_ << "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << values_[i].ToString();
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace contjoin::rel

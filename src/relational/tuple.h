@@ -1,0 +1,64 @@
+// Data tuples with publication-time semantics (paper §3.2).
+
+#ifndef CONTJOIN_RELATIONAL_TUPLE_H_
+#define CONTJOIN_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace contjoin::rel {
+
+/// Virtual timestamp (mirrors sim::SimTime without a layering dependency).
+using Timestamp = uint64_t;
+
+/// An immutable tuple of some relation, stamped with its publication time
+/// pubT(t) and a global sequence number that breaks publication-time ties
+/// deterministically.
+class Tuple {
+ public:
+  Tuple(std::string relation, std::vector<Value> values, Timestamp pub_time,
+        uint64_t seq)
+      : relation_(std::move(relation)),
+        values_(std::move(values)),
+        pub_time_(pub_time),
+        seq_(seq) {}
+
+  const std::string& relation() const { return relation_; }
+  const std::vector<Value>& values() const { return values_; }
+  const Value& at(size_t i) const { return values_[i]; }
+  size_t arity() const { return values_.size(); }
+
+  Timestamp pub_time() const { return pub_time_; }
+  uint64_t seq() const { return seq_; }
+
+  /// Strict "happened before": publication time with sequence tiebreak.
+  bool Before(Timestamp other_time, uint64_t other_seq) const {
+    if (pub_time_ != other_time) return pub_time_ < other_time;
+    return seq_ < other_seq;
+  }
+
+  /// Validates the tuple against `schema`: arity and value types (ints are
+  /// accepted where doubles are expected; null is accepted everywhere).
+  Status CheckAgainst(const RelationSchema& schema) const;
+
+  /// "R(1, 'x', 2.5)".
+  std::string ToString() const;
+
+ private:
+  std::string relation_;
+  std::vector<Value> values_;
+  Timestamp pub_time_;
+  uint64_t seq_;
+};
+
+using TuplePtr = std::shared_ptr<const Tuple>;
+
+}  // namespace contjoin::rel
+
+#endif  // CONTJOIN_RELATIONAL_TUPLE_H_

@@ -1,0 +1,61 @@
+#include "sim/net_stats.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace contjoin::sim {
+
+const char* MsgClassName(MsgClass c) {
+  switch (c) {
+    case MsgClass::kLookup:
+      return "lookup";
+    case MsgClass::kMaintenance:
+      return "maintenance";
+    case MsgClass::kQueryIndex:
+      return "query-index";
+    case MsgClass::kTupleIndex:
+      return "tuple-index";
+    case MsgClass::kRewrittenQuery:
+      return "join";
+    case MsgClass::kNotification:
+      return "notification";
+    case MsgClass::kControl:
+      return "control";
+    case MsgClass::kOneTime:
+      return "one-time";
+    case MsgClass::kClassCount:
+      break;
+  }
+  return "unknown";
+}
+
+void NetStats::Reset() {
+  std::memset(per_class_, 0, sizeof(per_class_));
+  total_hops_ = 0;
+  dropped_ = 0;
+}
+
+NetStats NetStats::Since(const NetStats& earlier) const {
+  NetStats out;
+  for (size_t i = 0; i < static_cast<size_t>(MsgClass::kClassCount); ++i) {
+    out.per_class_[i] = per_class_[i] - earlier.per_class_[i];
+  }
+  out.total_hops_ = total_hops_ - earlier.total_hops_;
+  out.dropped_ = dropped_ - earlier.dropped_;
+  return out;
+}
+
+std::string NetStats::Report() const {
+  std::ostringstream out;
+  out << "total overlay hops: " << total_hops_;
+  if (dropped_ > 0) out << " (dropped: " << dropped_ << ")";
+  out << "\n";
+  for (size_t i = 0; i < static_cast<size_t>(MsgClass::kClassCount); ++i) {
+    if (per_class_[i] == 0) continue;
+    out << "  " << MsgClassName(static_cast<MsgClass>(i)) << ": "
+        << per_class_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace contjoin::sim

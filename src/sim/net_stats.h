@@ -1,0 +1,66 @@
+// Network traffic accounting. One overlay hop = one message transmission =
+// one unit of traffic, the cost model used throughout the paper.
+
+#ifndef CONTJOIN_SIM_NET_STATS_H_
+#define CONTJOIN_SIM_NET_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace contjoin::sim {
+
+/// Message categories tallied by the network layer. A multisend batch
+/// transmission counts as one hop under the batch's class (that sharing is
+/// exactly why the recursive multisend is cheaper in practice).
+enum class MsgClass : int {
+  kLookup = 0,      // Plain DHT lookups (find_successor probes).
+  kMaintenance,     // Stabilize / notify / fix-finger / join traffic.
+  kQueryIndex,      // query() messages indexing a query at attribute level.
+  kTupleIndex,      // al-index/vl-index batches of a tuple insertion.
+  kRewrittenQuery,  // join(q') reindexing messages.
+  kNotification,    // Notification delivery.
+  kControl,         // Unsubscribe / IP updates / misc control.
+  kOneTime,         // PIER-style one-time join traffic (baseline).
+  kClassCount,
+};
+
+/// Human-readable class name.
+const char* MsgClassName(MsgClass c);
+
+/// Flat counters; cheap to snapshot and diff, which is how the benchmarks
+/// measure the traffic of a workload phase.
+class NetStats {
+ public:
+  void AddHop(MsgClass c) {
+    ++per_class_[static_cast<size_t>(c)];
+    ++total_hops_;
+  }
+  void AddHops(MsgClass c, uint64_t n) {
+    per_class_[static_cast<size_t>(c)] += n;
+    total_hops_ += n;
+  }
+  void AddDrop() { ++dropped_; }
+
+  uint64_t hops(MsgClass c) const {
+    return per_class_[static_cast<size_t>(c)];
+  }
+  uint64_t total_hops() const { return total_hops_; }
+  uint64_t dropped() const { return dropped_; }
+
+  void Reset();
+
+  /// Difference (*this - earlier), per class; used to isolate a phase.
+  NetStats Since(const NetStats& earlier) const;
+
+  /// Multi-line per-class report.
+  std::string Report() const;
+
+ private:
+  uint64_t per_class_[static_cast<size_t>(MsgClass::kClassCount)] = {};
+  uint64_t total_hops_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace contjoin::sim
+
+#endif  // CONTJOIN_SIM_NET_STATS_H_

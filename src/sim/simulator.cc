@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+namespace contjoin::sim {
+
+void Simulator::ScheduleAt(SimTime when, Action action) {
+  CJ_CHECK(when >= now_) << "cannot schedule in the past: " << when << " < "
+                         << now_;
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+size_t Simulator::Run() {
+  size_t ran = 0;
+  while (!queue_.empty()) {
+    // Moving out of a priority_queue top requires a const_cast; the element
+    // is popped immediately after.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ev.action();
+    ++ran;
+    ++events_run_;
+  }
+  return ran;
+}
+
+size_t Simulator::RunUntil(SimTime until) {
+  size_t ran = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ev.action();
+    ++ran;
+    ++events_run_;
+  }
+  if (now_ < until) now_ = until;
+  return ran;
+}
+
+}  // namespace contjoin::sim

@@ -1,0 +1,84 @@
+// Discrete-event simulator: a virtual clock plus a deterministic FIFO event
+// queue. All overlay traffic, stabilization timers and tuple/query arrivals
+// are events; the simulator is single-threaded and fully reproducible.
+
+#ifndef CONTJOIN_SIM_SIMULATOR_H_
+#define CONTJOIN_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace contjoin::sim {
+
+/// Virtual time, in abstract ticks. Tuple publication times and query
+/// insertion times are simulator timestamps.
+using SimTime = uint64_t;
+
+/// Deterministic discrete-event scheduler.
+///
+/// Events scheduled for the same timestamp run in scheduling order (FIFO),
+/// which makes a zero-latency message cascade deterministic: the full
+/// consequence chain of one insertion drains before the next insertion that
+/// was scheduled at a later time.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `action` to run `delay` ticks from now.
+  void Schedule(SimTime delay, Action action) {
+    ScheduleAt(now_ + delay, std::move(action));
+  }
+
+  /// Schedules `action` at an absolute virtual time (>= Now()).
+  void ScheduleAt(SimTime when, Action action);
+
+  /// Runs events until the queue drains. Returns the number of events run.
+  size_t Run();
+
+  /// Runs events with timestamp <= `until` (the clock stops at `until` even
+  /// if the queue drained earlier). Returns the number of events run.
+  size_t RunUntil(SimTime until);
+
+  /// Advances the clock without running events (used by drivers to space
+  /// arrivals when the queue is empty).
+  void AdvanceTo(SimTime when) {
+    CJ_CHECK(when >= now_) << "clock cannot move backwards";
+    now_ = when;
+  }
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t total_events_run() const { return events_run_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // FIFO tiebreak within a timestamp.
+    Action action;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_run_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace contjoin::sim
+
+#endif  // CONTJOIN_SIM_SIMULATOR_H_

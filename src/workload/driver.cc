@@ -1,0 +1,54 @@
+#include "workload/driver.h"
+
+#include "common/logging.h"
+
+namespace contjoin::workload {
+
+ExperimentDriver::ExperimentDriver(DriverConfig config)
+    : gen_(config.workload),
+      net_(std::make_unique<core::ContinuousQueryNetwork>(config.engine)),
+      placement_rng_(config.workload.seed ^ 0x9E3779B97F4A7C15ull) {
+  Status status = gen_.RegisterSchemas(net_->catalog());
+  CJ_CHECK(status.ok()) << status.ToString();
+}
+
+size_t ExperimentDriver::InstallQueries(size_t n) {
+  size_t installed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t node = placement_rng_.NextBelow(net_->num_nodes());
+    auto key = net_->SubmitQuery(node, gen_.NextQuerySql());
+    CJ_CHECK(key.ok()) << key.status().ToString();
+    query_keys_.push_back(std::move(key).value());
+    ++installed;
+  }
+  return installed;
+}
+
+size_t ExperimentDriver::StreamTuples(size_t n) {
+  size_t inserted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t node = placement_rng_.NextBelow(net_->num_nodes());
+    auto [relation, values] = gen_.NextTuple();
+    Status status = net_->InsertTuple(node, relation, std::move(values));
+    CJ_CHECK(status.ok()) << status.ToString();
+    ++inserted;
+  }
+  return inserted;
+}
+
+sim::NetStats ExperimentDriver::TrafficSinceLastSnapshot() {
+  sim::NetStats current = net_->stats();
+  sim::NetStats delta = current.Since(last_snapshot_);
+  last_snapshot_ = current;
+  return delta;
+}
+
+size_t ExperimentDriver::DrainNotifications() {
+  size_t total = 0;
+  for (size_t i = 0; i < net_->num_nodes(); ++i) {
+    total += net_->TakeNotifications(i).size();
+  }
+  return total;
+}
+
+}  // namespace contjoin::workload

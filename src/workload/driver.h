@@ -1,0 +1,55 @@
+// Experiment driver shared by the benchmarks and integration tests: builds
+// the network, installs a generated query population, streams tuples and
+// snapshots the metrics the paper's figures report.
+
+#ifndef CONTJOIN_WORKLOAD_DRIVER_H_
+#define CONTJOIN_WORKLOAD_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/workload.h"
+
+namespace contjoin::workload {
+
+struct DriverConfig {
+  core::Options engine;
+  WorkloadOptions workload;
+};
+
+class ExperimentDriver {
+ public:
+  explicit ExperimentDriver(DriverConfig config);
+
+  /// Submits `n` generated queries from random alive nodes. Returns the
+  /// number successfully installed (generation guarantees acceptance; the
+  /// count is for sanity checks).
+  size_t InstallQueries(size_t n);
+
+  /// Inserts `n` generated tuples from random alive nodes.
+  size_t StreamTuples(size_t n);
+
+  core::ContinuousQueryNetwork& net() { return *net_; }
+  WorkloadGenerator& gen() { return gen_; }
+  const std::vector<std::string>& query_keys() const { return query_keys_; }
+
+  /// Traffic accumulated since the previous snapshot (or construction).
+  sim::NetStats TrafficSinceLastSnapshot();
+
+  /// Drains every node's inbox; returns how many notifications were
+  /// delivered in total.
+  size_t DrainNotifications();
+
+ private:
+  WorkloadGenerator gen_;
+  std::unique_ptr<core::ContinuousQueryNetwork> net_;
+  Rng placement_rng_;
+  std::vector<std::string> query_keys_;
+  sim::NetStats last_snapshot_;
+};
+
+}  // namespace contjoin::workload
+
+#endif  // CONTJOIN_WORKLOAD_DRIVER_H_

@@ -1,0 +1,119 @@
+#include "workload/workload.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace contjoin::workload {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      zipf_(static_cast<uint64_t>(options_.domain), options_.zipf_theta),
+      s_zipf_(static_cast<uint64_t>(options_.s_domain > 0 ? options_.s_domain
+                                                          : options_.domain),
+              options_.s_zipf_theta >= 0 ? options_.s_zipf_theta
+                                         : options_.zipf_theta) {
+  CJ_CHECK(options_.domain > 0);
+  CJ_CHECK(options_.attrs_per_relation >= 1);
+  CJ_CHECK(options_.num_relation_pairs >= 1);
+}
+
+std::string WorkloadGenerator::AttrName(bool is_r, size_t index) const {
+  return (is_r ? "a" : "b") + std::to_string(index);
+}
+
+std::string WorkloadGenerator::RelName(bool is_r, size_t pair) const {
+  const std::string& base = is_r ? options_.relation_r : options_.relation_s;
+  if (options_.num_relation_pairs == 1) return base;
+  return base + std::to_string(pair);
+}
+
+Status WorkloadGenerator::RegisterSchemas(rel::Catalog* catalog) {
+  for (size_t pair = 0; pair < options_.num_relation_pairs; ++pair) {
+    for (int rel_index = 0; rel_index < 2; ++rel_index) {
+      bool is_r = rel_index == 0;
+      std::vector<rel::Attribute> attrs;
+      for (size_t i = 0; i < options_.attrs_per_relation; ++i) {
+        attrs.push_back({AttrName(is_r, i), rel::ValueType::kInt});
+      }
+      CJ_RETURN_IF_ERROR(catalog->Register(
+          rel::RelationSchema(RelName(is_r, pair), std::move(attrs))));
+    }
+  }
+  return Status::OK();
+}
+
+int64_t WorkloadGenerator::SampleValue() {
+  return static_cast<int64_t>(zipf_.Sample(&rng_));
+}
+
+int64_t WorkloadGenerator::SampleValueFor(bool is_r) {
+  return static_cast<int64_t>(is_r ? zipf_.Sample(&rng_)
+                                   : s_zipf_.Sample(&rng_));
+}
+
+std::string WorkloadGenerator::NextQuerySql() {
+  const size_t k = options_.attrs_per_relation;
+  const size_t pair = rng_.NextBelow(options_.num_relation_pairs);
+  const std::string rel_r = RelName(true, pair);
+  const std::string rel_s = RelName(false, pair);
+  size_t ra = rng_.NextBelow(k);
+  size_t sa = rng_.NextBelow(k);
+  std::ostringstream sql;
+  // Select one attribute from each side (the projected answer); a
+  // configurable fraction of queries project the join attributes
+  // themselves.
+  bool select_join = rng_.NextBernoulli(options_.select_join_fraction);
+  size_t r_sel = select_join ? ra : rng_.NextBelow(k);
+  size_t s_sel = select_join ? sa : rng_.NextBelow(k);
+  sql << "SELECT " << rel_r << "." << AttrName(true, r_sel) << ", " << rel_s
+      << "." << AttrName(false, s_sel) << " FROM " << rel_r << ", " << rel_s
+      << " WHERE ";
+
+  bool t2 = k >= 2 && rng_.NextBernoulli(options_.t2_fraction);
+  if (t2) {
+    // Multi-attribute expression sides (paper §4.5 shape), e.g.
+    //   R.a0 + R.a1 = S.b2 + S.b3.
+    size_t ra2 = (ra + 1) % k;
+    size_t sa2 = (sa + 1) % k;
+    sql << rel_r << "." << AttrName(true, ra) << " + " << rel_r << "."
+        << AttrName(true, ra2) << " = " << rel_s << "." << AttrName(false, sa)
+        << " + " << rel_s << "." << AttrName(false, sa2);
+  } else if (rng_.NextBernoulli(options_.linear_fraction)) {
+    // Linear invertible side with small integer coefficients (exact in
+    // doubles, so forward evaluation and inversion agree).
+    int64_t scale = rng_.NextInRange(1, 3);
+    int64_t offset = rng_.NextInRange(-2, 2);
+    sql << scale << "*" << rel_r << "." << AttrName(true, ra);
+    if (offset > 0) sql << " + " << offset;
+    if (offset < 0) sql << " - " << -offset;
+    sql << " = " << rel_s << "." << AttrName(false, sa);
+  } else {
+    sql << rel_r << "." << AttrName(true, ra) << " = " << rel_s << "."
+        << AttrName(false, sa);
+  }
+
+  if (rng_.NextBernoulli(options_.predicate_fraction)) {
+    bool on_r = rng_.NextBernoulli(0.5);
+    sql << " AND " << (on_r ? rel_r : rel_s) << "."
+        << AttrName(on_r, rng_.NextBelow(k)) << " >= "
+        << rng_.NextInRange(0, options_.domain / 2);
+  }
+  return sql.str();
+}
+
+std::pair<std::string, std::vector<rel::Value>>
+WorkloadGenerator::NextTuple() {
+  const size_t pair = rng_.NextBelow(options_.num_relation_pairs);
+  double p_r = options_.bos_ratio / (options_.bos_ratio + 1.0);
+  bool is_r = rng_.NextBernoulli(p_r);
+  std::vector<rel::Value> values;
+  values.reserve(options_.attrs_per_relation);
+  for (size_t i = 0; i < options_.attrs_per_relation; ++i) {
+    values.push_back(rel::Value::Int(SampleValueFor(is_r)));
+  }
+  return {RelName(is_r, pair), std::move(values)};
+}
+
+}  // namespace contjoin::workload

@@ -1,0 +1,105 @@
+// Workload generation: synthetic schemas, continuous-query mixes and tuple
+// streams with controllable skew and relation arrival ratio, reconstructing
+// the simulated workloads of the paper's Chapter 5.
+
+#ifndef CONTJOIN_WORKLOAD_WORKLOAD_H_
+#define CONTJOIN_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/zipf.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace contjoin::workload {
+
+struct WorkloadOptions {
+  /// The two relations of the two-way joins.
+  std::string relation_r = "R";
+  std::string relation_s = "S";
+  size_t attrs_per_relation = 4;
+
+  /// Number of independent relation pairs in the schema. With P > 1 the
+  /// relations are named "<relation_r><i>"/"<relation_s><i>" for i in
+  /// [0, P); every query joins one random pair and every tuple belongs to
+  /// one random pair. Larger schemas dilute the per-rewriter query
+  /// population, which is how realistic deployments behave.
+  size_t num_relation_pairs = 1;
+
+  /// Attribute values are integers in [0, domain).
+  int64_t domain = 10000;
+
+  /// Zipf skew of generated values; 0 = uniform. The paper's experiments
+  /// assume "a highly skewed distribution for all attributes" (§4.3.6).
+  double zipf_theta = 0.9;
+
+  /// Optional asymmetry between the two relations (exercises SAI's
+  /// index-attribute selection strategies): when >= 0, S-relation values
+  /// use this skew / domain instead of the shared ones.
+  double s_zipf_theta = -1.0;
+  int64_t s_domain = -1;
+
+  /// Arrival-rate ratio between the two relation streams: a generated tuple
+  /// belongs to R with probability bos_ratio / (bos_ratio + 1). Our reading
+  /// of the thesis' "bos ratio" experiment (see DESIGN.md §4).
+  double bos_ratio = 1.0;
+
+  /// Fraction of generated queries that are T2 (multi-attribute expression
+  /// sides, DAI-V only).
+  double t2_fraction = 0.0;
+
+  /// Fraction of queries with a linear (a*X + b) rather than bare join side.
+  double linear_fraction = 0.0;
+
+  /// Fraction of queries carrying an extra selection predicate.
+  double predicate_fraction = 0.0;
+
+  /// Fraction of queries whose select list is exactly the two join
+  /// attributes ("which values joined?"). Such rewritten queries repeat
+  /// whenever a join value repeats, which is what DAI-T's
+  /// never-reindex-twice optimization exploits (§4.4.3).
+  double select_join_fraction = 0.0;
+
+  uint64_t seed = 1;
+};
+
+/// Deterministic generator of schemas, query SQL and tuples.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadOptions options);
+
+  const WorkloadOptions& options() const { return options_; }
+
+  /// Registers the two relation schemas R(a0..) and S(b0..), all integer
+  /// attributes.
+  Status RegisterSchemas(rel::Catalog* catalog);
+
+  /// Generates the SQL of the next continuous query.
+  std::string NextQuerySql();
+
+  /// Generates the next tuple: relation name plus values.
+  std::pair<std::string, std::vector<rel::Value>> NextTuple();
+
+  /// Zipf/uniform sample from the value domain (R-side distribution).
+  int64_t SampleValue();
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  std::string AttrName(bool is_r, size_t index) const;
+  std::string RelName(bool is_r, size_t pair) const;
+  int64_t SampleValueFor(bool is_r);
+
+  WorkloadOptions options_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  ZipfSampler s_zipf_;
+};
+
+}  // namespace contjoin::workload
+
+#endif  // CONTJOIN_WORKLOAD_WORKLOAD_H_

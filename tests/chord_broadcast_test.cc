@@ -1,0 +1,96 @@
+// The finger-partitioned DHT broadcast primitive (used by the one-time
+// join baseline).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "chord_test_util.h"
+#include "sim/simulator.h"
+
+namespace contjoin::chord {
+namespace {
+
+class BroadcastTest : public ::testing::Test {
+ protected:
+  void Build(size_t n) {
+    network_ = std::make_unique<Network>(&sim_);
+    nodes_ = network_->BuildIdealRing(n);
+    app_ = std::make_unique<CaptureApp>();
+    for (Node* node : nodes_) node->set_app(app_.get());
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<Network> network_;
+  std::vector<Node*> nodes_;
+  std::unique_ptr<CaptureApp> app_;
+};
+
+TEST_F(BroadcastTest, ReachesEveryNodeExactlyOnce) {
+  for (size_t n : {1u, 2u, 3u, 8u, 64u, 257u}) {
+    Build(n);
+    nodes_[0]->Broadcast(std::make_shared<TaggedPayload>(7),
+                         sim::MsgClass::kControl);
+    sim_.Run();
+    std::map<Node*, int> received;
+    for (const auto& d : app_->deliveries) ++received[d.node];
+    EXPECT_EQ(received.size(), n) << "ring size " << n;
+    for (const auto& [node, count] : received) {
+      EXPECT_EQ(count, 1) << "duplicate delivery at ring size " << n;
+    }
+  }
+}
+
+TEST_F(BroadcastTest, CostsOneMessagePerOtherNode) {
+  Build(128);
+  uint64_t before = network_->stats().total_hops();
+  nodes_[5]->Broadcast(std::make_shared<TaggedPayload>(1),
+                       sim::MsgClass::kControl);
+  sim_.Run();
+  EXPECT_EQ(network_->stats().total_hops() - before, 127u);
+}
+
+TEST_F(BroadcastTest, AnyOriginWorks) {
+  Build(50);
+  for (size_t origin : {0u, 17u, 49u}) {
+    app_->deliveries.clear();
+    nodes_[origin]->Broadcast(std::make_shared<TaggedPayload>(2),
+                              sim::MsgClass::kControl);
+    sim_.Run();
+    EXPECT_EQ(app_->deliveries.size(), 50u);
+  }
+}
+
+TEST_F(BroadcastTest, SkipsDeadNodes) {
+  Build(32);
+  nodes_[3]->Fail();
+  nodes_[9]->Fail();
+  network_->RewireIdeal();
+  nodes_[0]->Broadcast(std::make_shared<TaggedPayload>(3),
+                       sim::MsgClass::kControl);
+  sim_.Run();
+  EXPECT_EQ(app_->deliveries.size(), 30u);
+  for (const auto& d : app_->deliveries) {
+    EXPECT_TRUE(d.node->alive());
+  }
+}
+
+TEST_F(BroadcastTest, WorksOnProtocolBuiltRing) {
+  sim::Simulator sim;
+  Network network(&sim);
+  CaptureApp app;
+  Node* seed = network.CreateAndJoin("seed", nullptr);
+  for (int i = 0; i < 19; ++i) {
+    network.CreateAndJoin("n-" + std::to_string(i), seed);
+    network.RunMaintenanceRound(4);
+  }
+  network.StabilizeUntilConsistent(200);
+  for (Node* n : network.AliveNodes()) n->set_app(&app);
+  seed->Broadcast(std::make_shared<TaggedPayload>(4),
+                  sim::MsgClass::kControl);
+  sim.Run();
+  EXPECT_EQ(app.deliveries.size(), 20u);
+}
+
+}  // namespace
+}  // namespace contjoin::chord

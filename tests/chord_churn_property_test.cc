@@ -1,0 +1,76 @@
+// Randomized churn property test: arbitrary interleavings of joins,
+// graceful departures and crashes, with stabilization in between, must
+// keep the ring consistent and lookups correct.
+
+#include <gtest/gtest.h>
+
+#include "chord_test_util.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace contjoin::chord {
+namespace {
+
+class ChurnPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChurnPropertyTest, RingSurvivesRandomChurn) {
+  sim::Simulator sim;
+  NetworkOptions options;
+  options.successor_list_size = 6;  // Tolerate bursts of failures.
+  Network network(&sim, options);
+  Rng rng(GetParam());
+
+  Node* seed = network.CreateAndJoin("seed", nullptr);
+  std::vector<Node*> members{seed};
+  for (int i = 0; i < 24; ++i) {
+    members.push_back(network.CreateAndJoin("m" + std::to_string(i), seed));
+    network.RunMaintenanceRound(4);
+  }
+  network.StabilizeUntilConsistent(300);
+  ASSERT_TRUE(network.RingIsFullyConsistent());
+
+  int created = 0;
+  for (int step = 0; step < 40; ++step) {
+    double dice = rng.NextDouble();
+    auto alive = network.AliveNodes();
+    if (dice < 0.4 || alive.size() < 8) {
+      // Join through a random alive bootstrap.
+      Node* bootstrap = alive[rng.NextBelow(alive.size())];
+      members.push_back(network.CreateAndJoin(
+          "j" + std::to_string(created++), bootstrap));
+    } else if (dice < 0.7) {
+      Node* victim = alive[rng.NextBelow(alive.size())];
+      victim->LeaveGracefully();
+    } else {
+      // Crash up to two nodes at once (within the successor-list budget).
+      for (int k = 0; k < 2 && network.alive_count() > 8; ++k) {
+        auto still = network.AliveNodes();
+        still[rng.NextBelow(still.size())]->Fail();
+      }
+    }
+    network.RunMaintenanceRound(6);
+    network.RunMaintenanceRound(6);
+  }
+
+  int rounds = network.StabilizeUntilConsistent(500);
+  EXPECT_LT(rounds, 500) << "ring never reconverged";
+  EXPECT_TRUE(network.RingIsFullyConsistent());
+
+  // Lookups agree with the oracle from every alive node.
+  auto alive = network.AliveNodes();
+  for (int probe = 0; probe < 100; ++probe) {
+    NodeId target = HashKey("probe-" + std::to_string(probe));
+    Node* origin = alive[rng.NextBelow(alive.size())];
+    EXPECT_EQ(origin->FindSuccessor(target, sim::MsgClass::kLookup),
+              network.OracleSuccessor(target));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace contjoin::chord

@@ -1,0 +1,185 @@
+// Protocol-faithful join/leave/fail/stabilize behaviour and key transfer.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chord_test_util.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace contjoin::chord {
+namespace {
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolTest() : network_(&sim_) {}
+
+  sim::Simulator sim_;
+  Network network_;
+};
+
+TEST_F(ProtocolTest, CreateRingBootstrapsSingleton) {
+  Node* n = network_.CreateAndJoin("first", nullptr);
+  EXPECT_TRUE(n->alive());
+  EXPECT_EQ(n->successor(), n);
+  EXPECT_EQ(n->predecessor(), n);
+  EXPECT_TRUE(network_.RingIsConsistent());
+}
+
+TEST_F(ProtocolTest, TwoNodeJoinConverges) {
+  Node* a = network_.CreateAndJoin("a", nullptr);
+  Node* b = network_.CreateAndJoin("b", a);
+  network_.StabilizeUntilConsistent(50);
+  EXPECT_TRUE(network_.RingIsFullyConsistent());
+  EXPECT_EQ(a->successor(), b);
+  EXPECT_EQ(b->successor(), a);
+  EXPECT_EQ(a->predecessor(), b);
+  EXPECT_EQ(b->predecessor(), a);
+}
+
+TEST_F(ProtocolTest, SequentialJoinsConverge) {
+  Node* first = network_.CreateAndJoin("seed", nullptr);
+  Rng rng(1);
+  for (int i = 0; i < 31; ++i) {
+    network_.CreateAndJoin("joiner-" + std::to_string(i), first);
+    network_.RunMaintenanceRound(4);
+  }
+  int rounds = network_.StabilizeUntilConsistent(200);
+  EXPECT_LT(rounds, 200);
+  EXPECT_TRUE(network_.RingIsFullyConsistent());
+  EXPECT_EQ(network_.alive_count(), 32u);
+}
+
+TEST_F(ProtocolTest, RoutingWorksOnProtocolBuiltRing) {
+  Node* seed = network_.CreateAndJoin("seed", nullptr);
+  for (int i = 0; i < 23; ++i) {
+    network_.CreateAndJoin("n-" + std::to_string(i), seed);
+    network_.RunMaintenanceRound(4);
+  }
+  network_.StabilizeUntilConsistent(200);
+  CaptureApp app;
+  for (Node* n : network_.AliveNodes()) n->set_app(&app);
+  for (int i = 0; i < 50; ++i) {
+    NodeId target = HashKey("route-" + std::to_string(i));
+    seed->Send(MakeMsg(target, i));
+    sim_.Run();
+    ASSERT_EQ(app.deliveries.size(), static_cast<size_t>(i + 1));
+    EXPECT_EQ(app.deliveries.back().node, network_.OracleSuccessor(target));
+  }
+}
+
+TEST_F(ProtocolTest, GracefulLeaveKeepsRingConsistent) {
+  Node* seed = network_.CreateAndJoin("seed", nullptr);
+  std::vector<Node*> joined;
+  for (int i = 0; i < 15; ++i) {
+    joined.push_back(network_.CreateAndJoin("n-" + std::to_string(i), seed));
+    network_.RunMaintenanceRound(4);
+  }
+  network_.StabilizeUntilConsistent(200);
+  joined[3]->LeaveGracefully();
+  joined[7]->LeaveGracefully();
+  network_.StabilizeUntilConsistent(200);
+  EXPECT_TRUE(network_.RingIsFullyConsistent());
+  EXPECT_EQ(network_.alive_count(), 14u);
+}
+
+TEST_F(ProtocolTest, FailuresAreHealedByStabilization) {
+  Node* seed = network_.CreateAndJoin("seed", nullptr);
+  std::vector<Node*> joined{seed};
+  for (int i = 0; i < 19; ++i) {
+    joined.push_back(network_.CreateAndJoin("n-" + std::to_string(i), seed));
+    network_.RunMaintenanceRound(4);
+  }
+  network_.StabilizeUntilConsistent(300);
+  ASSERT_TRUE(network_.RingIsFullyConsistent());
+  // Crash three nodes without warning.
+  joined[2]->Fail();
+  joined[9]->Fail();
+  joined[14]->Fail();
+  int rounds = network_.StabilizeUntilConsistent(300);
+  EXPECT_LT(rounds, 300);
+  EXPECT_TRUE(network_.RingIsFullyConsistent());
+  EXPECT_EQ(network_.alive_count(), 17u);
+}
+
+TEST_F(ProtocolTest, GracefulLeaveTransfersStoredKeys) {
+  Node* a = network_.CreateAndJoin("a", nullptr);
+  Node* b = network_.CreateAndJoin("b", a);
+  network_.StabilizeUntilConsistent(50);
+  NodeId key = HashKey("stored-key");
+  Node* owner = network_.OracleSuccessor(key);
+  Node* other = owner == a ? b : a;
+  owner->store().Put(key, std::make_shared<TaggedPayload>(5));
+  owner->LeaveGracefully();
+  EXPECT_EQ(owner->store().size(), 0u);
+  EXPECT_EQ(other->store().size(), 1u);
+}
+
+TEST_F(ProtocolTest, JoinTransfersKeysToNewOwner) {
+  // Build a converged ring, store keys, then add a node whose range splits
+  // an existing node's range: the stored keys must follow responsibility.
+  Node* seed = network_.CreateAndJoin("seed", nullptr);
+  for (int i = 0; i < 7; ++i) {
+    network_.CreateAndJoin("n-" + std::to_string(i), seed);
+    network_.RunMaintenanceRound(4);
+  }
+  network_.StabilizeUntilConsistent(200);
+  // Store 50 keys at their responsible nodes.
+  std::vector<NodeId> keys;
+  for (int i = 0; i < 50; ++i) {
+    NodeId key = HashKey("item-" + std::to_string(i));
+    keys.push_back(key);
+    network_.OracleSuccessor(key)->store().Put(
+        key, std::make_shared<TaggedPayload>(i));
+  }
+  // New node joins; stabilization transfers the keys it now owns.
+  network_.CreateAndJoin("late-joiner", seed);
+  network_.StabilizeUntilConsistent(200);
+  ASSERT_TRUE(network_.RingIsFullyConsistent());
+  for (const NodeId& key : keys) {
+    Node* owner = network_.OracleSuccessor(key);
+    EXPECT_EQ(owner->store().Take(key).size(), 1u)
+        << "key " << key.ToShortString() << " not at its owner";
+  }
+}
+
+TEST_F(ProtocolTest, ReconnectGetsStoredItemsBack) {
+  Node* a = network_.CreateAndJoin("a", nullptr);
+  Node* b = network_.CreateAndJoin("b", a);
+  Node* c = network_.CreateAndJoin("c", a);
+  network_.StabilizeUntilConsistent(100);
+  CaptureApp app;
+  for (Node* n : {a, b, c}) n->set_app(&app);
+
+  uint64_t old_ip = b->ip();
+  b->LeaveGracefully();
+  network_.StabilizeUntilConsistent(100);
+  // Someone stores an item under b's identifier (an off-line notification).
+  Node* holder = network_.OracleSuccessor(b->id());
+  ASSERT_NE(holder, b);
+  holder->store().Put(b->id(), std::make_shared<TaggedPayload>(77));
+
+  b->Reconnect(a, /*new_ip=*/true);
+  network_.StabilizeUntilConsistent(100);
+  EXPECT_NE(b->ip(), old_ip);
+  // The item was handed to b (CaptureApp re-stores it in b's local store).
+  EXPECT_EQ(b->store().Take(b->id()).size(), 1u);
+}
+
+TEST_F(ProtocolTest, MaintenanceTrafficIsAccounted) {
+  Node* a = network_.CreateAndJoin("a", nullptr);
+  network_.CreateAndJoin("b", a);
+  uint64_t before = network_.stats().hops(sim::MsgClass::kMaintenance);
+  network_.RunMaintenanceRound(2);
+  EXPECT_GT(network_.stats().hops(sim::MsgClass::kMaintenance), before);
+}
+
+TEST_F(ProtocolTest, IdentifierCollisionIsImpossibleForDistinctKeys) {
+  Node* a = network_.CreateNode("key-1");
+  Node* b = network_.CreateNode("key-2");
+  EXPECT_NE(a->id(), b->id());
+}
+
+}  // namespace
+}  // namespace contjoin::chord

@@ -1,0 +1,181 @@
+// Edge-case coverage for the engine: degenerate rings, wide schemas,
+// duplicate content, grouped queries with diverging predicates, and
+// notification metadata.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace contjoin::core {
+namespace {
+
+using rel::Value;
+
+class EngineEdgeTest : public ::testing::TestWithParam<Algorithm> {
+ protected:
+  std::unique_ptr<ContinuousQueryNetwork> MakeNet(size_t nodes) {
+    Options opts;
+    opts.num_nodes = nodes;
+    opts.algorithm = GetParam();
+    auto net = std::make_unique<ContinuousQueryNetwork>(opts);
+    CJ_CHECK(net->catalog()
+                 ->Register(rel::RelationSchema(
+                     "R", {{"A", rel::ValueType::kInt},
+                           {"B", rel::ValueType::kInt}}))
+                 .ok());
+    CJ_CHECK(net->catalog()
+                 ->Register(rel::RelationSchema(
+                     "S", {{"D", rel::ValueType::kInt},
+                           {"E", rel::ValueType::kInt}}))
+                 .ok());
+    return net;
+  }
+};
+
+TEST_P(EngineEdgeTest, SingletonNetworkEvaluatesLocally) {
+  auto net = MakeNet(1);
+  auto key = net->SubmitQuery(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E");
+  ASSERT_TRUE(key.ok());
+  ASSERT_TRUE(net->InsertTuple(0, "R", {Value::Int(1), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(0, "S", {Value::Int(5), Value::Int(7)}).ok());
+  auto notifications = net->TakeNotifications(0);
+  ASSERT_EQ(notifications.size(), 1u);
+  // Everything happened on one node: zero overlay traffic.
+  EXPECT_EQ(net->stats().total_hops(), 0u);
+}
+
+TEST_P(EngineEdgeTest, TwoNodeNetwork) {
+  auto net = MakeNet(2);
+  auto key = net->SubmitQuery(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E");
+  ASSERT_TRUE(key.ok());
+  ASSERT_TRUE(net->InsertTuple(1, "R", {Value::Int(1), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(1, "S", {Value::Int(5), Value::Int(7)}).ok());
+  EXPECT_EQ(net->TakeNotifications(0).size(), 1u);
+}
+
+TEST_P(EngineEdgeTest, IdenticalTuplesYieldIdenticalContent) {
+  auto net = MakeNet(24);
+  ASSERT_TRUE(
+      net->SubmitQuery(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").ok());
+  // The same R tuple twice, then one S match.
+  ASSERT_TRUE(net->InsertTuple(1, "R", {Value::Int(1), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(2, "R", {Value::Int(1), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(3, "S", {Value::Int(5), Value::Int(7)}).ok());
+  auto notifications = net->TakeNotifications(0);
+  ASSERT_GE(notifications.size(), 1u);
+  std::set<std::string> contents;
+  for (const auto& n : notifications) contents.insert(n.ContentKey());
+  // All algorithms agree on content; SAI/DAI-T may deliver it once (grouped
+  // rewrites), DAI-Q/DAI-V once per pair.
+  EXPECT_EQ(contents.size(), 1u);
+  EXPECT_LE(notifications.size(), 2u);
+}
+
+TEST_P(EngineEdgeTest, SameSignatureDifferentPredicates) {
+  auto net = MakeNet(24);
+  // Two queries grouped under the same join-condition signature but with
+  // different predicates: each must be answered per its own predicate.
+  auto k1 = net->SubmitQuery(
+      1, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND R.A > 10");
+  auto k2 = net->SubmitQuery(
+      2, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND R.A <= 10");
+  ASSERT_TRUE(k1.ok() && k2.ok());
+  ASSERT_TRUE(net->InsertTuple(3, "R", {Value::Int(50), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(4, "R", {Value::Int(5), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(5, "S", {Value::Int(9), Value::Int(7)}).ok());
+  auto n1 = net->TakeNotifications(1);
+  auto n2 = net->TakeNotifications(2);
+  ASSERT_EQ(n1.size(), 1u);
+  ASSERT_EQ(n2.size(), 1u);
+  EXPECT_EQ(n1[0].row[0], Value::Int(50));
+  EXPECT_EQ(n2[0].row[0], Value::Int(5));
+}
+
+TEST_P(EngineEdgeTest, NotificationTimesReflectTuplePublication) {
+  auto net = MakeNet(24);
+  ASSERT_TRUE(
+      net->SubmitQuery(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").ok());
+  ASSERT_TRUE(net->InsertTuple(1, "R", {Value::Int(1), Value::Int(7)}).ok());
+  rel::Timestamp r_time = net->now();
+  ASSERT_TRUE(net->InsertTuple(2, "S", {Value::Int(5), Value::Int(7)}).ok());
+  rel::Timestamp s_time = net->now();
+  auto notifications = net->TakeNotifications(0);
+  ASSERT_EQ(notifications.size(), 1u);
+  EXPECT_EQ(notifications[0].earlier_pub, r_time);
+  EXPECT_EQ(notifications[0].later_pub, s_time);
+  EXPECT_GE(notifications[0].created_at, s_time);
+}
+
+TEST_P(EngineEdgeTest, QueryKeysAreUniquePerSubscriber) {
+  auto net = MakeNet(8);
+  auto k1 = net->SubmitQuery(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E");
+  auto k2 = net->SubmitQuery(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E");
+  auto k3 = net->SubmitQuery(1, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E");
+  ASSERT_TRUE(k1.ok() && k2.ok() && k3.ok());
+  EXPECT_NE(k1.value(), k2.value());
+  EXPECT_NE(k1.value(), k3.value());
+  EXPECT_NE(k2.value(), k3.value());
+}
+
+TEST_P(EngineEdgeTest, WideSchemaAllAttributesIndexed) {
+  Options opts;
+  opts.num_nodes = 32;
+  opts.algorithm = GetParam();
+  ContinuousQueryNetwork net(opts);
+  std::vector<rel::Attribute> attrs;
+  for (int i = 0; i < 12; ++i) {
+    attrs.push_back({"c" + std::to_string(i), rel::ValueType::kInt});
+  }
+  CJ_CHECK(net.catalog()->Register(rel::RelationSchema("Wide", attrs)).ok());
+  CJ_CHECK(net.catalog()
+               ->Register(rel::RelationSchema(
+                   "Tiny", {{"x", rel::ValueType::kInt}}))
+               .ok());
+  ASSERT_TRUE(
+      net.SubmitQuery(0,
+                      "SELECT Wide.c0, Tiny.x FROM Wide, Tiny "
+                      "WHERE Wide.c11 = Tiny.x")
+          .ok());
+  std::vector<Value> wide;
+  for (int i = 0; i < 12; ++i) wide.push_back(Value::Int(i));
+  ASSERT_TRUE(net.InsertTuple(1, "Wide", wide).ok());
+  ASSERT_TRUE(net.InsertTuple(2, "Tiny", {Value::Int(11)}).ok());
+  auto notifications = net.TakeNotifications(0);
+  ASSERT_EQ(notifications.size(), 1u);
+  EXPECT_EQ(notifications[0].row[0], Value::Int(0));
+}
+
+TEST_P(EngineEdgeTest, SelectListRepeatsAttribute) {
+  auto net = MakeNet(16);
+  auto key = net->SubmitQuery(
+      0, "SELECT R.A, R.A, S.D FROM R, S WHERE R.B = S.E");
+  ASSERT_TRUE(key.ok());
+  ASSERT_TRUE(net->InsertTuple(1, "R", {Value::Int(9), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(2, "S", {Value::Int(5), Value::Int(7)}).ok());
+  auto notifications = net->TakeNotifications(0);
+  ASSERT_EQ(notifications.size(), 1u);
+  ASSERT_EQ(notifications[0].row.size(), 3u);
+  EXPECT_EQ(notifications[0].row[0], Value::Int(9));
+  EXPECT_EQ(notifications[0].row[1], Value::Int(9));
+}
+
+TEST_P(EngineEdgeTest, NegativeValuesRouteAndMatch) {
+  auto net = MakeNet(24);
+  ASSERT_TRUE(
+      net->SubmitQuery(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E").ok());
+  ASSERT_TRUE(
+      net->InsertTuple(1, "R", {Value::Int(-3), Value::Int(-42)}).ok());
+  ASSERT_TRUE(
+      net->InsertTuple(2, "S", {Value::Int(6), Value::Int(-42)}).ok());
+  auto notifications = net->TakeNotifications(0);
+  ASSERT_EQ(notifications.size(), 1u);
+  EXPECT_EQ(notifications[0].row[0], Value::Int(-3));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, EngineEdgeTest,
+                         ::testing::Values(Algorithm::kSai, Algorithm::kDaiQ,
+                                           Algorithm::kDaiT,
+                                           Algorithm::kDaiV));
+
+}  // namespace
+}  // namespace contjoin::core

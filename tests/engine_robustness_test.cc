@@ -1,0 +1,156 @@
+// System-level robustness: identifier migration in the middle of a live
+// workload must not change answers; node departures during a workload are
+// best-effort (never spurious answers, never crashes).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/engine.h"
+#include "query/parser.h"
+#include "reference/reference_engine.h"
+#include "workload/workload.h"
+
+namespace contjoin::core {
+namespace {
+
+class MidWorkloadMigrationTest : public ::testing::TestWithParam<Algorithm> {
+};
+
+TEST_P(MidWorkloadMigrationTest, AnswersUnchangedByMigrations) {
+  workload::WorkloadOptions wopts;
+  wopts.seed = 13;
+  wopts.domain = 40;
+  wopts.num_relation_pairs = 1;
+  workload::WorkloadGenerator gen(wopts);
+
+  Options opts;
+  opts.num_nodes = 32;
+  opts.algorithm = GetParam();
+  ContinuousQueryNetwork net(opts);
+  CJ_CHECK(gen.RegisterSchemas(net.catalog()).ok());
+  ref::ReferenceEngine oracle;
+  Rng placement(3);
+  uint64_t seq = 0;
+
+  for (int i = 0; i < 15; ++i) {
+    std::string sql = gen.NextQuerySql();
+    auto key = net.SubmitQuery(placement.NextBelow(net.num_nodes()), sql);
+    ASSERT_TRUE(key.ok());
+    auto parsed = query::ParseQuery(sql, *net.catalog());
+    parsed.value().set_key(key.value());
+    parsed.value().set_insertion_time(net.now());
+    oracle.AddQuery(std::make_shared<const query::ContinuousQuery>(
+        std::move(parsed).value()));
+  }
+
+  for (int i = 0; i < 150; ++i) {
+    // Every 30 tuples, move a random attribute-level identifier.
+    if (i % 30 == 15) {
+      bool is_r = placement.NextBernoulli(0.5);
+      std::string attr =
+          (is_r ? "a" : "b") + std::to_string(placement.NextBelow(4));
+      ASSERT_TRUE(net.MigrateAttribute(0, is_r ? "R" : "S", attr).ok());
+    }
+    auto [relation, values] = gen.NextTuple();
+    auto copy = values;
+    ASSERT_TRUE(net.InsertTuple(placement.NextBelow(net.num_nodes()),
+                                relation, std::move(values))
+                    .ok());
+    oracle.InsertTuple(std::make_shared<const rel::Tuple>(
+        relation, std::move(copy), net.now(), seq++));
+  }
+
+  std::vector<Notification> delivered;
+  for (size_t i = 0; i < net.num_nodes(); ++i) {
+    for (Notification& n : net.TakeNotifications(i)) {
+      delivered.push_back(std::move(n));
+    }
+  }
+  EXPECT_EQ(ref::ReferenceEngine::ContentSet(delivered), oracle.ContentSet());
+  EXPECT_FALSE(oracle.ContentSet().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, MidWorkloadMigrationTest,
+                         ::testing::Values(Algorithm::kSai, Algorithm::kDaiQ,
+                                           Algorithm::kDaiT,
+                                           Algorithm::kDaiV));
+
+class BestEffortChurnTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(BestEffortChurnTest, DeparturesNeverCauseSpuriousAnswers) {
+  // Nodes leave mid-workload. Their engine state is lost (the paper's
+  // best-effort contract), so some answers may be missed — but everything
+  // delivered must be a true answer, and nothing may crash.
+  workload::WorkloadOptions wopts;
+  wopts.seed = 23;
+  wopts.domain = 30;
+  workload::WorkloadGenerator gen(wopts);
+
+  Options opts;
+  opts.num_nodes = 48;
+  opts.algorithm = GetParam();
+  ContinuousQueryNetwork net(opts);
+  CJ_CHECK(gen.RegisterSchemas(net.catalog()).ok());
+  ref::ReferenceEngine oracle;
+  Rng placement(4);
+  uint64_t seq = 0;
+
+  // Subscribers live on the first 8 nodes, which never churn.
+  for (int i = 0; i < 12; ++i) {
+    std::string sql = gen.NextQuerySql();
+    auto key = net.SubmitQuery(placement.NextBelow(8), sql);
+    ASSERT_TRUE(key.ok());
+    auto parsed = query::ParseQuery(sql, *net.catalog());
+    parsed.value().set_key(key.value());
+    parsed.value().set_insertion_time(net.now());
+    oracle.AddQuery(std::make_shared<const query::ContinuousQuery>(
+        std::move(parsed).value()));
+  }
+
+  size_t departures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (i % 40 == 20 && net.network()->alive_count() > 24) {
+      // A non-subscriber node departs gracefully.
+      size_t victim = 8 + placement.NextBelow(net.num_nodes() - 8);
+      if (net.node(victim)->alive()) {
+        net.DisconnectNode(victim);
+        ++departures;
+      }
+    }
+    auto [relation, values] = gen.NextTuple();
+    auto copy = values;
+    size_t origin;
+    do {
+      origin = placement.NextBelow(net.num_nodes());
+    } while (!net.node(origin)->alive());
+    ASSERT_TRUE(net.InsertTuple(origin, relation, std::move(values)).ok());
+    oracle.InsertTuple(std::make_shared<const rel::Tuple>(
+        relation, std::move(copy), net.now(), seq++));
+  }
+  EXPECT_GT(departures, 0u);
+
+  std::set<std::string> actual;
+  for (size_t i = 0; i < 8; ++i) {
+    for (const Notification& n : net.TakeNotifications(i)) {
+      actual.insert(n.ContentKey());
+    }
+  }
+  std::set<std::string> expected = oracle.ContentSet();
+  // Best-effort: delivered ⊆ expected (no spurious answers).
+  std::vector<std::string> spurious;
+  std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                      expected.end(), std::back_inserter(spurious));
+  EXPECT_TRUE(spurious.empty())
+      << spurious.size() << " spurious answers, first: " << spurious[0];
+  // And churn of this magnitude should not wipe out the workload entirely.
+  EXPECT_GT(actual.size(), expected.size() / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, BestEffortChurnTest,
+                         ::testing::Values(Algorithm::kSai, Algorithm::kDaiQ,
+                                           Algorithm::kDaiT,
+                                           Algorithm::kDaiV));
+
+}  // namespace
+}  // namespace contjoin::core

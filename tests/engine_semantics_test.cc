@@ -1,0 +1,223 @@
+// Semantic edge cases and system-level properties: null handling (SQL
+// semantics), cross-type value matching (the DHT's canonical-string
+// convention), determinism, traffic bounds, and behaviour under nonzero
+// hop latency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/engine.h"
+#include "query/parser.h"
+#include "reference/reference_engine.h"
+#include "workload/workload.h"
+
+namespace contjoin::core {
+namespace {
+
+using rel::Value;
+
+void RegisterRS(ContinuousQueryNetwork* net) {
+  CJ_CHECK(net->catalog()
+               ->Register(rel::RelationSchema(
+                   "R", {{"A", rel::ValueType::kInt},
+                         {"B", rel::ValueType::kInt}}))
+               .ok());
+  CJ_CHECK(net->catalog()
+               ->Register(rel::RelationSchema(
+                   "S", {{"D", rel::ValueType::kInt},
+                         {"E", rel::ValueType::kInt}}))
+               .ok());
+}
+
+class NullSemanticsTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(NullSemanticsTest, NullJoinValuesNeverMatch) {
+  Options opts;
+  opts.num_nodes = 24;
+  opts.algorithm = GetParam();
+  ContinuousQueryNetwork net(opts);
+  RegisterRS(&net);
+  ASSERT_TRUE(net.SubmitQuery(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+                  .ok());
+  ASSERT_TRUE(net.InsertTuple(1, "R", {Value::Int(1), Value::Null()}).ok());
+  ASSERT_TRUE(net.InsertTuple(2, "S", {Value::Int(5), Value::Null()}).ok());
+  // NULL = NULL is unknown, not true (SQL semantics).
+  EXPECT_TRUE(net.TakeNotifications(0).empty());
+
+  // Non-null values still join.
+  ASSERT_TRUE(net.InsertTuple(1, "R", {Value::Int(2), Value::Int(7)}).ok());
+  ASSERT_TRUE(net.InsertTuple(2, "S", {Value::Int(6), Value::Int(7)}).ok());
+  EXPECT_EQ(net.TakeNotifications(0).size(), 1u);
+}
+
+TEST_P(NullSemanticsTest, NullFailsPredicates) {
+  Options opts;
+  opts.num_nodes = 24;
+  opts.algorithm = GetParam();
+  ContinuousQueryNetwork net(opts);
+  RegisterRS(&net);
+  ASSERT_TRUE(net.SubmitQuery(
+                     0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND "
+                        "R.A >= 0")
+                  .ok());
+  // R.A is null: the predicate is unknown, the tuple cannot trigger.
+  ASSERT_TRUE(net.InsertTuple(1, "R", {Value::Null(), Value::Int(7)}).ok());
+  ASSERT_TRUE(net.InsertTuple(2, "S", {Value::Int(5), Value::Int(7)}).ok());
+  EXPECT_TRUE(net.TakeNotifications(0).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, NullSemanticsTest,
+                         ::testing::Values(Algorithm::kSai, Algorithm::kDaiQ,
+                                           Algorithm::kDaiT,
+                                           Algorithm::kDaiV));
+
+TEST(CrossTypeTest, NumericStringEquivalenceAtValueLevel) {
+  // The DHT hashes canonical value strings (paper §4.2), so Int(2),
+  // Double(2.0) and Str("2") are the same value-level key. The library
+  // keeps local matching consistent with routing by using the same
+  // convention everywhere.
+  Options opts;
+  opts.num_nodes = 24;
+  opts.algorithm = Algorithm::kSai;
+  ContinuousQueryNetwork net(opts);
+  CJ_CHECK(net.catalog()
+               ->Register(rel::RelationSchema(
+                   "R", {{"A", rel::ValueType::kInt},
+                         {"B", rel::ValueType::kDouble}}))
+               .ok());
+  CJ_CHECK(net.catalog()
+               ->Register(rel::RelationSchema(
+                   "S", {{"D", rel::ValueType::kInt},
+                         {"E", rel::ValueType::kInt}}))
+               .ok());
+  ASSERT_TRUE(net.SubmitQuery(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E")
+                  .ok());
+  ASSERT_TRUE(net.InsertTuple(1, "R", {Value::Int(1), Value::Double(7.0)})
+                  .ok());
+  ASSERT_TRUE(net.InsertTuple(2, "S", {Value::Int(5), Value::Int(7)}).ok());
+  EXPECT_EQ(net.TakeNotifications(0).size(), 1u);
+
+  // A fractional double cannot equal any integer.
+  ASSERT_TRUE(net.InsertTuple(1, "R", {Value::Int(2), Value::Double(7.5)})
+                  .ok());
+  ASSERT_TRUE(net.InsertTuple(2, "S", {Value::Int(6), Value::Int(7)}).ok());
+  auto notifications = net.TakeNotifications(0);
+  // Only the (R.A=1, S.D=6) pair from the second S tuple.
+  ASSERT_EQ(notifications.size(), 1u);
+  EXPECT_EQ(notifications[0].row[0], Value::Int(1));
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalResults) {
+  auto run = []() {
+    workload::WorkloadOptions wopts;
+    wopts.seed = 77;
+    wopts.domain = 50;
+    workload::WorkloadGenerator gen(wopts);
+    Options opts;
+    opts.num_nodes = 32;
+    opts.algorithm = Algorithm::kDaiT;
+    opts.seed = 77;
+    auto net = std::make_unique<ContinuousQueryNetwork>(opts);
+    CJ_CHECK(gen.RegisterSchemas(net->catalog()).ok());
+    Rng placement(5);
+    for (int i = 0; i < 15; ++i) {
+      CJ_CHECK(net->SubmitQuery(placement.NextBelow(net->num_nodes()),
+                                gen.NextQuerySql())
+                   .ok());
+    }
+    for (int i = 0; i < 100; ++i) {
+      auto [relation, values] = gen.NextTuple();
+      CJ_CHECK(net->InsertTuple(placement.NextBelow(net->num_nodes()),
+                                relation, std::move(values))
+                   .ok());
+    }
+    std::multiset<std::string> contents;
+    for (size_t i = 0; i < net->num_nodes(); ++i) {
+      for (const auto& n : net->TakeNotifications(i)) {
+        contents.insert(n.ContentKey());
+      }
+    }
+    return std::make_pair(net->stats().total_hops(), contents);
+  };
+  auto [hops1, contents1] = run();
+  auto [hops2, contents2] = run();
+  EXPECT_EQ(hops1, hops2);
+  EXPECT_EQ(contents1, contents2);
+}
+
+TEST(TrafficBoundTest, TupleIndexingCostIsLogarithmic) {
+  // Paper §4.2: indexing a tuple of arity h costs 2h O(log N) hops; the
+  // shared multisend path should keep it well under the naive bound.
+  Options opts;
+  opts.num_nodes = 256;
+  opts.algorithm = Algorithm::kSai;
+  ContinuousQueryNetwork net(opts);
+  RegisterRS(&net);
+  const int kInserts = 100;
+  uint64_t before = net.stats().hops(sim::MsgClass::kTupleIndex);
+  Rng rng(9);
+  for (int i = 0; i < kInserts; ++i) {
+    ASSERT_TRUE(net.InsertTuple(rng.NextBelow(net.num_nodes()), "R",
+                                {Value::Int(i),
+                                 Value::Int(static_cast<int64_t>(
+                                     rng.NextBelow(1000)))})
+                    .ok());
+  }
+  double per_insert =
+      static_cast<double>(net.stats().hops(sim::MsgClass::kTupleIndex) -
+                          before) /
+      kInserts;
+  double naive_bound = 2.0 * 2.0 * std::log2(256.0);  // 2h * log2(N), h=2.
+  EXPECT_LT(per_insert, naive_bound);
+  EXPECT_GT(per_insert, 1.0);
+}
+
+TEST(LatencyTest, NonzeroHopLatencyPreservesAnswers) {
+  // With per-hop latency the cascade spreads over virtual time; the facade
+  // still drains every insertion's consequences, so answers are unchanged.
+  workload::WorkloadOptions wopts;
+  wopts.seed = 31;
+  wopts.domain = 40;
+  workload::WorkloadGenerator gen(wopts);
+  Options opts;
+  opts.num_nodes = 24;
+  opts.algorithm = Algorithm::kDaiQ;
+  opts.chord.hop_latency = 3;
+  ContinuousQueryNetwork net(opts);
+  CJ_CHECK(gen.RegisterSchemas(net.catalog()).ok());
+  ref::ReferenceEngine oracle;
+  Rng placement(4);
+  uint64_t seq = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::string sql = gen.NextQuerySql();
+    auto key = net.SubmitQuery(placement.NextBelow(net.num_nodes()), sql);
+    ASSERT_TRUE(key.ok());
+    auto parsed = query::ParseQuery(sql, *net.catalog());
+    parsed.value().set_key(key.value());
+    parsed.value().set_insertion_time(net.now());
+    oracle.AddQuery(std::make_shared<const query::ContinuousQuery>(
+        std::move(parsed).value()));
+  }
+  for (int i = 0; i < 80; ++i) {
+    auto [relation, values] = gen.NextTuple();
+    auto copy = values;
+    ASSERT_TRUE(net.InsertTuple(placement.NextBelow(net.num_nodes()),
+                                relation, std::move(values))
+                    .ok());
+    oracle.InsertTuple(std::make_shared<const rel::Tuple>(
+        relation, std::move(copy), net.now(), seq++));
+  }
+  std::vector<Notification> delivered;
+  for (size_t i = 0; i < net.num_nodes(); ++i) {
+    for (Notification& n : net.TakeNotifications(i)) {
+      delivered.push_back(std::move(n));
+    }
+  }
+  EXPECT_EQ(ref::ReferenceEngine::ContentSet(delivered), oracle.ContentSet());
+  EXPECT_FALSE(oracle.ContentSet().empty());
+}
+
+}  // namespace
+}  // namespace contjoin::core

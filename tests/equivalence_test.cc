@@ -1,0 +1,277 @@
+// Property tests: every distributed algorithm must produce exactly the
+// notification content set of the centralized reference engine, on random
+// workloads swept over algorithm x seed x workload shape (skew, predicates,
+// linear join conditions, interleaving, windows, replication, JFRT).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/engine.h"
+#include "query/parser.h"
+#include "reference/reference_engine.h"
+#include "workload/workload.h"
+
+namespace contjoin::core {
+namespace {
+
+struct Scenario {
+  Algorithm algorithm;
+  uint64_t seed;
+  double zipf_theta;
+  double linear_fraction;
+  double predicate_fraction;
+  double t2_fraction;       // Only meaningful for DAI-V.
+  rel::Timestamp window;
+  bool use_jfrt;
+  int replication;
+  size_t num_queries;
+  size_t num_tuples;
+  size_t interleave_every;  // Submit one extra query every N tuples.
+
+  std::string Name() const {
+    std::string out = AlgorithmName(algorithm);
+    out += "_s" + std::to_string(seed);
+    out += "_z" + std::to_string(static_cast<int>(zipf_theta * 10));
+    if (linear_fraction > 0) out += "_lin";
+    if (predicate_fraction > 0) out += "_pred";
+    if (t2_fraction > 0) {
+      out += "_t2x" + std::to_string(static_cast<int>(t2_fraction * 10));
+    }
+    if (window > 0) out += "_w" + std::to_string(window);
+    if (use_jfrt) out += "_jfrt";
+    if (replication > 1) out += "_rep" + std::to_string(replication);
+    for (char& c : out) {
+      if (c == '-') c = '_';
+    }
+    return out;
+  }
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(EquivalenceTest, MatchesReferenceEngine) {
+  const Scenario& sc = GetParam();
+
+  workload::WorkloadOptions wopts;
+  wopts.seed = sc.seed;
+  wopts.attrs_per_relation = 3;
+  wopts.domain = 40;  // Small domain so joins actually fire.
+  wopts.zipf_theta = sc.zipf_theta;
+  wopts.linear_fraction = sc.linear_fraction;
+  wopts.predicate_fraction = sc.predicate_fraction;
+  wopts.t2_fraction = sc.t2_fraction;
+  workload::WorkloadGenerator gen(wopts);
+
+  Options opts;
+  opts.num_nodes = 24;
+  opts.algorithm = sc.algorithm;
+  opts.seed = sc.seed;
+  opts.window = sc.window;
+  opts.use_jfrt = sc.use_jfrt;
+  opts.attribute_replication = sc.replication;
+  ContinuousQueryNetwork net(opts);
+  CJ_CHECK(gen.RegisterSchemas(net.catalog()).ok());
+
+  ref::ReferenceEngine oracle(sc.window);
+  Rng placement(sc.seed * 7 + 1);
+  uint64_t ref_seq = 0;
+
+  auto submit_one = [&]() {
+    std::string sql = gen.NextQuerySql();
+    size_t node = placement.NextBelow(net.num_nodes());
+    auto key = net.SubmitQuery(node, sql);
+    ASSERT_TRUE(key.ok()) << sql << ": " << key.status().ToString();
+    // Mirror into the oracle with the engine-assigned key and time.
+    auto parsed = query::ParseQuery(sql, *net.catalog());
+    ASSERT_TRUE(parsed.ok());
+    parsed.value().set_key(key.value());
+    parsed.value().set_insertion_time(net.now());
+    oracle.AddQuery(std::make_shared<const query::ContinuousQuery>(
+        std::move(parsed).value()));
+  };
+
+  for (size_t i = 0; i < sc.num_queries; ++i) submit_one();
+
+  for (size_t i = 0; i < sc.num_tuples; ++i) {
+    if (sc.interleave_every != 0 && i % sc.interleave_every == 0 && i > 0) {
+      submit_one();
+    }
+    auto [relation, values] = gen.NextTuple();
+    size_t node = placement.NextBelow(net.num_nodes());
+    std::vector<rel::Value> copy = values;
+    ASSERT_TRUE(net.InsertTuple(node, relation, std::move(values)).ok());
+    oracle.InsertTuple(std::make_shared<const rel::Tuple>(
+        relation, std::move(copy), net.now(), ref_seq++));
+  }
+
+  // Collect the distributed notifications from every subscriber node.
+  std::vector<Notification> delivered;
+  for (size_t i = 0; i < net.num_nodes(); ++i) {
+    for (Notification& n : net.TakeNotifications(i)) {
+      delivered.push_back(std::move(n));
+    }
+  }
+  std::set<std::string> actual = ref::ReferenceEngine::ContentSet(delivered);
+  std::set<std::string> expected = oracle.ContentSet();
+
+  // Diagnose asymmetries precisely.
+  std::vector<std::string> missing, extra;
+  std::set_difference(expected.begin(), expected.end(), actual.begin(),
+                      actual.end(), std::back_inserter(missing));
+  std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                      expected.end(), std::back_inserter(extra));
+  EXPECT_TRUE(missing.empty())
+      << missing.size() << " notifications missing, first: " << missing[0];
+  EXPECT_TRUE(extra.empty())
+      << extra.size() << " spurious notifications, first: " << extra[0];
+  // Sanity: the scenario should actually produce answers.
+  EXPECT_FALSE(expected.empty()) << "vacuous scenario: no joins fired";
+}
+
+std::vector<Scenario> AllScenarios() {
+  std::vector<Scenario> out;
+  // Base sweep: every algorithm on plain, skewed and uniform workloads
+  // with query/tuple interleaving.
+  for (Algorithm alg : {Algorithm::kSai, Algorithm::kDaiQ, Algorithm::kDaiT,
+                        Algorithm::kDaiV}) {
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+      for (double theta : {0.0, 0.9}) {
+        Scenario sc{};
+        sc.algorithm = alg;
+        sc.seed = seed;
+        sc.zipf_theta = theta;
+        sc.replication = 1;
+        sc.num_queries = 25;
+        sc.num_tuples = 120;
+        sc.interleave_every = 10;
+        out.push_back(sc);
+      }
+    }
+  }
+  // Linear join conditions + selection predicates.
+  for (Algorithm alg : {Algorithm::kSai, Algorithm::kDaiQ, Algorithm::kDaiT,
+                        Algorithm::kDaiV}) {
+    Scenario sc{};
+    sc.algorithm = alg;
+    sc.seed = 11;
+    sc.zipf_theta = 0.5;
+    sc.linear_fraction = 0.5;
+    sc.predicate_fraction = 0.4;
+    sc.replication = 1;
+    sc.num_queries = 30;
+    sc.num_tuples = 150;
+    sc.interleave_every = 13;
+    out.push_back(sc);
+  }
+  // Sliding windows.
+  for (Algorithm alg : {Algorithm::kSai, Algorithm::kDaiQ, Algorithm::kDaiT,
+                        Algorithm::kDaiV}) {
+    for (rel::Timestamp window : {5ull, 40ull}) {
+      Scenario sc{};
+      sc.algorithm = alg;
+      sc.seed = 21;
+      sc.zipf_theta = 0.9;
+      sc.window = window;
+      sc.replication = 1;
+      sc.num_queries = 20;
+      sc.num_tuples = 150;
+      sc.interleave_every = 15;
+      out.push_back(sc);
+    }
+  }
+  // JFRT must not change results, only traffic.
+  for (Algorithm alg : {Algorithm::kSai, Algorithm::kDaiQ, Algorithm::kDaiT,
+                        Algorithm::kDaiV}) {
+    Scenario sc{};
+    sc.algorithm = alg;
+    sc.seed = 31;
+    sc.zipf_theta = 0.9;
+    sc.use_jfrt = true;
+    sc.replication = 1;
+    sc.num_queries = 20;
+    sc.num_tuples = 120;
+    sc.interleave_every = 11;
+    out.push_back(sc);
+  }
+  // Attribute-level replication must not change results.
+  for (Algorithm alg : {Algorithm::kSai, Algorithm::kDaiQ, Algorithm::kDaiT,
+                        Algorithm::kDaiV}) {
+    Scenario sc{};
+    sc.algorithm = alg;
+    sc.seed = 41;
+    sc.zipf_theta = 0.9;
+    sc.replication = 4;
+    sc.num_queries = 20;
+    sc.num_tuples = 120;
+    sc.interleave_every = 9;
+    out.push_back(sc);
+  }
+  // DAI-V with T2 queries (its distinguishing capability), plus the
+  // key-prefixed variant exercised separately below.
+  for (double t2 : {0.5, 1.0}) {
+    Scenario sc{};
+    sc.algorithm = Algorithm::kDaiV;
+    sc.seed = 51;
+    sc.zipf_theta = 0.7;
+    sc.t2_fraction = t2;
+    sc.replication = 1;
+    sc.num_queries = 25;
+    sc.num_tuples = 150;
+    sc.interleave_every = 12;
+    out.push_back(sc);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EquivalenceTest,
+                         ::testing::ValuesIn(AllScenarios()),
+                         [](const auto& info) { return info.param.Name(); });
+
+// The DAI-V key-prefixed variant (§4.5) must also be answer-equivalent.
+TEST(DaivPrefixVariantTest, MatchesReference) {
+  workload::WorkloadOptions wopts;
+  wopts.seed = 61;
+  wopts.domain = 30;
+  wopts.t2_fraction = 0.5;
+  workload::WorkloadGenerator gen(wopts);
+
+  Options opts;
+  opts.num_nodes = 24;
+  opts.algorithm = Algorithm::kDaiV;
+  opts.daiv_prefix_query_key = true;
+  ContinuousQueryNetwork net(opts);
+  CJ_CHECK(gen.RegisterSchemas(net.catalog()).ok());
+  ref::ReferenceEngine oracle;
+  Rng placement(99);
+  uint64_t seq = 0;
+  for (int i = 0; i < 20; ++i) {
+    std::string sql = gen.NextQuerySql();
+    auto key = net.SubmitQuery(placement.NextBelow(net.num_nodes()), sql);
+    ASSERT_TRUE(key.ok());
+    auto parsed = query::ParseQuery(sql, *net.catalog());
+    parsed.value().set_key(key.value());
+    parsed.value().set_insertion_time(net.now());
+    oracle.AddQuery(std::make_shared<const query::ContinuousQuery>(
+        std::move(parsed).value()));
+  }
+  for (int i = 0; i < 120; ++i) {
+    auto [relation, values] = gen.NextTuple();
+    auto copy = values;
+    ASSERT_TRUE(net.InsertTuple(placement.NextBelow(net.num_nodes()),
+                                relation, std::move(values))
+                    .ok());
+    oracle.InsertTuple(std::make_shared<const rel::Tuple>(
+        relation, std::move(copy), net.now(), seq++));
+  }
+  std::vector<Notification> delivered;
+  for (size_t i = 0; i < net.num_nodes(); ++i) {
+    for (Notification& n : net.TakeNotifications(i)) {
+      delivered.push_back(std::move(n));
+    }
+  }
+  EXPECT_EQ(ref::ReferenceEngine::ContentSet(delivered), oracle.ContentSet());
+}
+
+}  // namespace
+}  // namespace contjoin::core

@@ -1,0 +1,234 @@
+#include "query/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace contjoin::query {
+namespace {
+
+using rel::RelationSchema;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest()
+      : r_("R", {{"A", ValueType::kInt},
+                 {"B", ValueType::kInt},
+                 {"C", ValueType::kDouble},
+                 {"N", ValueType::kString}}),
+        s_("S", {{"D", ValueType::kInt}, {"E", ValueType::kString}}) {
+    schemas_[0] = &r_;
+    schemas_[1] = &s_;
+  }
+
+  static AttrRef Ref(int side, size_t index, std::string display) {
+    AttrRef ref;
+    ref.side = side;
+    ref.attr_index = index;
+    ref.display = std::move(display);
+    return ref;
+  }
+
+  std::unique_ptr<Expr> RA() { return Expr::Attr(Ref(0, 0, "R.A")); }
+  std::unique_ptr<Expr> RB() { return Expr::Attr(Ref(0, 1, "R.B")); }
+  std::unique_ptr<Expr> RC() { return Expr::Attr(Ref(0, 2, "R.C")); }
+  std::unique_ptr<Expr> RN() { return Expr::Attr(Ref(0, 3, "R.N")); }
+  static std::unique_ptr<Expr> C(int64_t v) {
+    return Expr::Const(Value::Int(v));
+  }
+
+  RelationSchema r_, s_;
+  const RelationSchema* schemas_[2];
+};
+
+TEST_F(ExprTest, EvalConstAndAttr) {
+  Tuple t("R", {Value::Int(4), Value::Int(9), Value::Double(2.5),
+                Value::Str("x")},
+          0, 0);
+  EXPECT_EQ(C(7)->EvalSingle(0, t).value(), Value::Int(7));
+  EXPECT_EQ(RA()->EvalSingle(0, t).value(), Value::Int(4));
+  EXPECT_EQ(RN()->EvalSingle(0, t).value(), Value::Str("x"));
+}
+
+TEST_F(ExprTest, EvalArithmeticIntPreserving) {
+  Tuple t("R", {Value::Int(4), Value::Int(9), Value::Double(2.5),
+                Value::Str("x")},
+          0, 0);
+  // 4*R.A + R.B + 8 = 16 + 9 + 8 = 33, stays integer.
+  auto e = Expr::Binary(
+      Expr::Kind::kAdd,
+      Expr::Binary(Expr::Kind::kAdd,
+                   Expr::Binary(Expr::Kind::kMul, C(4), RA()), RB()),
+      C(8));
+  Value v = e->EvalSingle(0, t).value();
+  EXPECT_EQ(v.type(), ValueType::kInt);
+  EXPECT_EQ(v.as_int(), 33);
+}
+
+TEST_F(ExprTest, EvalMixedPromotesToDouble) {
+  Tuple t("R", {Value::Int(4), Value::Int(9), Value::Double(2.5),
+                Value::Str("x")},
+          0, 0);
+  auto e = Expr::Binary(Expr::Kind::kAdd, RA(), RC());
+  Value v = e->EvalSingle(0, t).value();
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_EQ(v.as_double(), 6.5);
+}
+
+TEST_F(ExprTest, EvalNegation) {
+  Tuple t("R", {Value::Int(4), Value::Int(9), Value::Double(2.5),
+                Value::Str("x")},
+          0, 0);
+  auto e = Expr::Unary(Expr::Kind::kNeg, RA());
+  EXPECT_EQ(e->EvalSingle(0, t).value(), Value::Int(-4));
+}
+
+TEST_F(ExprTest, EvalErrors) {
+  Tuple t("R", {Value::Int(4), Value::Int(9), Value::Double(2.5),
+                Value::Str("x")},
+          0, 0);
+  // Arithmetic on string.
+  auto e1 = Expr::Binary(Expr::Kind::kAdd, RN(), C(1));
+  EXPECT_FALSE(e1->EvalSingle(0, t).ok());
+  // Division by zero.
+  auto e2 = Expr::Binary(Expr::Kind::kDiv, RA(), C(0));
+  EXPECT_FALSE(e2->EvalSingle(0, t).ok());
+  // Unbound side.
+  const Tuple* tuples[2] = {nullptr, nullptr};
+  EXPECT_FALSE(RA()->Eval(tuples, 2).ok());
+}
+
+TEST_F(ExprTest, CollectAttrs) {
+  auto e = Expr::Binary(Expr::Kind::kAdd,
+                        Expr::Binary(Expr::Kind::kMul, C(4), RA()), RB());
+  auto attrs = e->Attrs();
+  EXPECT_EQ(attrs.size(), 2u);
+}
+
+TEST_F(ExprTest, ToStringRoundTrip) {
+  auto e = Expr::Binary(Expr::Kind::kSub,
+                        Expr::Binary(Expr::Kind::kMul, C(5), RA()), C(2));
+  EXPECT_EQ(e->ToString(), "((5 * R.A) - 2)");
+}
+
+TEST_F(ExprTest, AnalyzeLinearBareAttribute) {
+  auto form = AnalyzeLinear(*RA(), schemas_);
+  ASSERT_TRUE(form.has_value());
+  EXPECT_TRUE(form->bare);
+  EXPECT_EQ(form->ref.attr_index, 0u);
+}
+
+TEST_F(ExprTest, AnalyzeLinearBareStringAttributeAllowed) {
+  auto form = AnalyzeLinear(*RN(), schemas_);
+  ASSERT_TRUE(form.has_value());
+  EXPECT_TRUE(form->bare);
+}
+
+TEST_F(ExprTest, AnalyzeLinearAffineForm) {
+  // 5*A - 2  ->  scale 5, offset -2.
+  auto e = Expr::Binary(Expr::Kind::kSub,
+                        Expr::Binary(Expr::Kind::kMul, C(5), RA()), C(2));
+  auto form = AnalyzeLinear(*e, schemas_);
+  ASSERT_TRUE(form.has_value());
+  EXPECT_FALSE(form->bare);
+  EXPECT_EQ(form->scale, 5.0);
+  EXPECT_EQ(form->offset, -2.0);
+}
+
+TEST_F(ExprTest, AnalyzeLinearCombinesSameAttribute) {
+  // A + 2*A + 1 -> 3A + 1.
+  auto e = Expr::Binary(
+      Expr::Kind::kAdd,
+      Expr::Binary(Expr::Kind::kAdd, RA(),
+                   Expr::Binary(Expr::Kind::kMul, C(2), RA())),
+      C(1));
+  auto form = AnalyzeLinear(*e, schemas_);
+  ASSERT_TRUE(form.has_value());
+  EXPECT_EQ(form->scale, 3.0);
+  EXPECT_EQ(form->offset, 1.0);
+}
+
+TEST_F(ExprTest, AnalyzeLinearDivisionByConstant) {
+  auto e = Expr::Binary(Expr::Kind::kDiv, RA(), C(4));
+  auto form = AnalyzeLinear(*e, schemas_);
+  ASSERT_TRUE(form.has_value());
+  EXPECT_EQ(form->scale, 0.25);
+}
+
+TEST_F(ExprTest, AnalyzeLinearRejectsTwoAttributes) {
+  auto e = Expr::Binary(Expr::Kind::kAdd, RA(), RB());
+  EXPECT_FALSE(AnalyzeLinear(*e, schemas_).has_value());
+}
+
+TEST_F(ExprTest, AnalyzeLinearRejectsQuadratic) {
+  auto e = Expr::Binary(Expr::Kind::kMul, RA(), RA());
+  EXPECT_FALSE(AnalyzeLinear(*e, schemas_).has_value());
+}
+
+TEST_F(ExprTest, AnalyzeLinearRejectsAttrInDenominator) {
+  auto e = Expr::Binary(Expr::Kind::kDiv, C(1), RA());
+  EXPECT_FALSE(AnalyzeLinear(*e, schemas_).has_value());
+}
+
+TEST_F(ExprTest, AnalyzeLinearRejectsZeroScale) {
+  // A - A has scale 0: no unique solution.
+  auto e = Expr::Binary(Expr::Kind::kSub, RA(), RA());
+  EXPECT_FALSE(AnalyzeLinear(*e, schemas_).has_value());
+}
+
+TEST_F(ExprTest, AnalyzeLinearRejectsConstantOnly) {
+  EXPECT_FALSE(AnalyzeLinear(*C(5), schemas_).has_value());
+}
+
+TEST_F(ExprTest, AnalyzeLinearRejectsArithmeticOnStringAttr) {
+  auto e = Expr::Binary(Expr::Kind::kAdd, RN(), C(1));
+  EXPECT_FALSE(AnalyzeLinear(*e, schemas_).has_value());
+}
+
+TEST_F(ExprTest, InvertBareInt) {
+  LinearForm form{Ref(0, 0, "R.A"), true, 1.0, 0.0};
+  auto v = InvertLinear(form, ValueType::kInt, Value::Int(7));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Int(7));
+  // Fractional target cannot be an int attribute's value.
+  EXPECT_FALSE(
+      InvertLinear(form, ValueType::kInt, Value::Double(7.5)).has_value());
+  // Integral double target is fine.
+  EXPECT_EQ(*InvertLinear(form, ValueType::kInt, Value::Double(7.0)),
+            Value::Int(7));
+}
+
+TEST_F(ExprTest, InvertBareString) {
+  LinearForm form{Ref(0, 3, "R.N"), true, 1.0, 0.0};
+  auto v = InvertLinear(form, ValueType::kString, Value::Str("Smith"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Str("Smith"));
+}
+
+TEST_F(ExprTest, InvertAffine) {
+  // 5x - 2 = 13  ->  x = 3.
+  LinearForm form{Ref(0, 0, "R.A"), false, 5.0, -2.0};
+  auto v = InvertLinear(form, ValueType::kInt, Value::Int(13));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Int(3));
+}
+
+TEST_F(ExprTest, InvertAffineNonIntegralSolutionRejected) {
+  // 2x = 5 -> x = 2.5: impossible for an int attribute (§4.3.2).
+  LinearForm form{Ref(0, 0, "R.A"), false, 2.0, 0.0};
+  EXPECT_FALSE(InvertLinear(form, ValueType::kInt, Value::Int(5)).has_value());
+  // But fine for a double attribute.
+  auto v = InvertLinear(form, ValueType::kDouble, Value::Int(5));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Value::Double(2.5));
+}
+
+TEST_F(ExprTest, InvertRejectsNonNumericTarget) {
+  LinearForm form{Ref(0, 0, "R.A"), false, 2.0, 0.0};
+  EXPECT_FALSE(
+      InvertLinear(form, ValueType::kInt, Value::Str("abc")).has_value());
+}
+
+}  // namespace
+}  // namespace contjoin::query

@@ -1,0 +1,91 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace contjoin {
+namespace {
+
+TEST(LoadDistributionTest, EmptyIsZero) {
+  LoadDistribution d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.total(), 0.0);
+  EXPECT_EQ(d.mean(), 0.0);
+  EXPECT_EQ(d.max(), 0.0);
+  EXPECT_EQ(d.Gini(), 0.0);
+  EXPECT_EQ(d.Percentile(50), 0.0);
+}
+
+TEST(LoadDistributionTest, BasicStats) {
+  LoadDistribution d({1, 2, 3, 4});
+  EXPECT_EQ(d.count(), 4u);
+  EXPECT_EQ(d.total(), 10.0);
+  EXPECT_EQ(d.mean(), 2.5);
+  EXPECT_EQ(d.max(), 4.0);
+  EXPECT_EQ(d.min(), 1.0);
+}
+
+TEST(LoadDistributionTest, PercentileInterpolates) {
+  LoadDistribution d({10, 20, 30, 40, 50});
+  EXPECT_DOUBLE_EQ(d.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(50), 30.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(12.5), 15.0);
+}
+
+TEST(LoadDistributionTest, GiniOfEqualLoadsIsZero) {
+  LoadDistribution d({5, 5, 5, 5, 5});
+  EXPECT_NEAR(d.Gini(), 0.0, 1e-12);
+}
+
+TEST(LoadDistributionTest, GiniOfSingleHotspotIsNearOne) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1000.0;
+  LoadDistribution d(v);
+  EXPECT_NEAR(d.Gini(), 0.99, 1e-9);
+}
+
+TEST(LoadDistributionTest, GiniOrdering) {
+  LoadDistribution flat({4, 5, 5, 6});
+  LoadDistribution skewed({1, 1, 1, 17});
+  EXPECT_LT(flat.Gini(), skewed.Gini());
+}
+
+TEST(LoadDistributionTest, TopShare) {
+  std::vector<double> v(100, 1.0);
+  v[0] = 101.0;  // Total 200; top 1% (1 node) holds 101/200.
+  LoadDistribution d(v);
+  EXPECT_NEAR(d.TopShare(0.01), 101.0 / 200.0, 1e-12);
+  EXPECT_NEAR(d.TopShare(1.0), 1.0, 1e-12);
+}
+
+TEST(LoadDistributionTest, TopKMean) {
+  LoadDistribution d({1, 2, 3, 10});
+  EXPECT_DOUBLE_EQ(d.TopKMean(1), 10.0);
+  EXPECT_DOUBLE_EQ(d.TopKMean(2), 6.5);
+  EXPECT_DOUBLE_EQ(d.TopKMean(100), 4.0);  // Clamped to population.
+}
+
+TEST(LoadDistributionTest, SortedDescending) {
+  LoadDistribution d({3, 1, 2});
+  auto v = d.SortedDescending();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 3.0);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_EQ(v[2], 1.0);
+}
+
+TEST(LoadDistributionTest, AddInvalidatesCache) {
+  LoadDistribution d({1, 2, 3});
+  EXPECT_DOUBLE_EQ(d.Percentile(100), 3.0);
+  d.Add(99);
+  EXPECT_DOUBLE_EQ(d.Percentile(100), 99.0);
+}
+
+TEST(LoadDistributionTest, SummaryMentionsCount) {
+  LoadDistribution d({1, 2});
+  EXPECT_NE(d.Summary().find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace contjoin

@@ -1,0 +1,71 @@
+#include "core/jfrt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/uint160.h"
+
+namespace contjoin::core {
+namespace {
+
+chord::Node* FakeNode(uintptr_t v) {
+  return reinterpret_cast<chord::Node*>(v);  // Only identity is used.
+}
+
+TEST(JfrtTest, MissThenHit) {
+  Jfrt cache(4);
+  chord::NodeId k = HashKey("v1");
+  EXPECT_EQ(cache.Lookup(k), nullptr);
+  cache.Insert(k, FakeNode(1));
+  EXPECT_EQ(cache.Lookup(k), FakeNode(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(JfrtTest, UpdateOverwrites) {
+  Jfrt cache(4);
+  chord::NodeId k = HashKey("v1");
+  cache.Insert(k, FakeNode(1));
+  cache.Insert(k, FakeNode(2));
+  EXPECT_EQ(cache.Lookup(k), FakeNode(2));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(JfrtTest, EvictsLeastRecentlyUsed) {
+  Jfrt cache(2);
+  chord::NodeId a = HashKey("a"), b = HashKey("b"), c = HashKey("c");
+  cache.Insert(a, FakeNode(1));
+  cache.Insert(b, FakeNode(2));
+  EXPECT_NE(cache.Lookup(a), nullptr);  // a is now most recent.
+  cache.Insert(c, FakeNode(3));          // Evicts b.
+  EXPECT_EQ(cache.Lookup(b), nullptr);
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  EXPECT_NE(cache.Lookup(c), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(JfrtTest, EraseRemoves) {
+  Jfrt cache(4);
+  chord::NodeId k = HashKey("x");
+  cache.Insert(k, FakeNode(1));
+  cache.Erase(k);
+  EXPECT_EQ(cache.Lookup(k), nullptr);
+  cache.Erase(k);  // Idempotent.
+}
+
+TEST(JfrtTest, ZeroCapacityStoresNothing) {
+  Jfrt cache(0);
+  chord::NodeId k = HashKey("x");
+  cache.Insert(k, FakeNode(1));
+  EXPECT_EQ(cache.Lookup(k), nullptr);
+}
+
+TEST(JfrtTest, CapacityBound) {
+  Jfrt cache(8);
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert(HashKey("k" + std::to_string(i)), FakeNode(1));
+  }
+  EXPECT_EQ(cache.size(), 8u);
+}
+
+}  // namespace
+}  // namespace contjoin::core

@@ -1,0 +1,100 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace contjoin::query {
+namespace {
+
+std::vector<Token> Lex(std::string_view s) {
+  auto result = Tokenize(s);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = Lex("Select R _under x1");
+  EXPECT_EQ(tokens[0].text, "Select");
+  EXPECT_EQ(tokens[1].text, "R");
+  EXPECT_EQ(tokens[2].text, "_under");
+  EXPECT_EQ(tokens[3].text, "x1");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[static_cast<size_t>(i)].type, TokenType::kIdentifier);
+  }
+}
+
+TEST(LexerTest, IntegerAndDoubleLiterals) {
+  auto tokens = Lex("42 3.5 0.25 1e3 2.5E-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kDouble);
+  EXPECT_EQ(tokens[1].double_value, 3.5);
+  EXPECT_EQ(tokens[2].double_value, 0.25);
+  EXPECT_EQ(tokens[3].double_value, 1000.0);
+  EXPECT_EQ(tokens[4].double_value, 0.025);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuote) {
+  auto tokens = Lex("'Smith' 'O''Brien'");
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "Smith");
+  EXPECT_EQ(tokens[1].text, "O'Brien");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = Lex(", . ( ) + - * / = != <> < <= > >=");
+  std::vector<TokenType> expected{
+      TokenType::kComma, TokenType::kDot,   TokenType::kLParen,
+      TokenType::kRParen, TokenType::kPlus, TokenType::kMinus,
+      TokenType::kStar,  TokenType::kSlash, TokenType::kEq,
+      TokenType::kNeq,   TokenType::kNeq,   TokenType::kLt,
+      TokenType::kLe,    TokenType::kGt,    TokenType::kGe,
+      TokenType::kEnd};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, QualifiedAttribute) {
+  auto tokens = Lex("D.AuthorId");
+  EXPECT_EQ(tokens[0].text, "D");
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+  EXPECT_EQ(tokens[2].text, "AuthorId");
+}
+
+TEST(LexerTest, ErrorOnUnterminatedString) {
+  EXPECT_TRUE(Tokenize("'oops").status().IsParseError());
+}
+
+TEST(LexerTest, ErrorOnUnknownCharacter) {
+  EXPECT_TRUE(Tokenize("R.A = $5").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a ! b").status().IsParseError());
+}
+
+TEST(LexerTest, ErrorOnMalformedExponent) {
+  EXPECT_TRUE(Tokenize("1e").status().IsParseError());
+  EXPECT_TRUE(Tokenize("1e+").status().IsParseError());
+}
+
+TEST(LexerTest, IsKeywordCaseInsensitive) {
+  auto tokens = Lex("select FROM Where");
+  EXPECT_TRUE(IsKeyword(tokens[0], "SELECT"));
+  EXPECT_TRUE(IsKeyword(tokens[1], "from"));
+  EXPECT_TRUE(IsKeyword(tokens[2], "WHERE"));
+  EXPECT_FALSE(IsKeyword(tokens[0], "FROM"));
+}
+
+TEST(LexerTest, PositionsTracked) {
+  auto tokens = Lex("ab cd");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 3u);
+}
+
+}  // namespace
+}  // namespace contjoin::query

@@ -1,0 +1,88 @@
+#include "chord/local_store.h"
+
+#include <gtest/gtest.h>
+
+namespace contjoin::chord {
+namespace {
+
+struct TestItem : Payload {
+  explicit TestItem(int v) : value(v) {}
+  int value;
+};
+
+PayloadPtr Item(int v) { return std::make_shared<TestItem>(v); }
+
+int ValueOf(const PayloadPtr& p) {
+  return static_cast<const TestItem*>(p.get())->value;
+}
+
+TEST(LocalStoreTest, PutAndTake) {
+  LocalStore store;
+  NodeId k = HashKey("subscriber");
+  store.Put(k, Item(1));
+  store.Put(k, Item(2));
+  EXPECT_EQ(store.size(), 2u);
+  auto items = store.Take(k);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(ValueOf(items[0]), 1);
+  EXPECT_EQ(ValueOf(items[1]), 2);
+  EXPECT_TRUE(store.empty());
+  EXPECT_TRUE(store.Take(k).empty());
+}
+
+TEST(LocalStoreTest, TakeMissingKeyIsEmpty) {
+  LocalStore store;
+  EXPECT_TRUE(store.Take(HashKey("nothing")).empty());
+}
+
+TEST(LocalStoreTest, ExtractRangeTakesOnlyInterval) {
+  LocalStore store;
+  auto u = [](uint64_t v) { return Uint160::FromUint64(v); };
+  store.Put(u(5), Item(5));
+  store.Put(u(10), Item(10));
+  store.Put(u(15), Item(15));
+  // (5, 10]: only key 10.
+  auto out = store.ExtractRange(u(5), u(10));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, u(10));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(LocalStoreTest, ExtractRangeWrapsRing) {
+  LocalStore store;
+  auto u = [](uint64_t v) { return Uint160::FromUint64(v); };
+  Uint160 high = Uint160::Max() - u(1);
+  store.Put(high, Item(1));
+  store.Put(u(3), Item(3));
+  store.Put(u(50), Item(50));
+  // (Max-5, 10]: wraps past zero; catches high and 3 but not 50.
+  auto out = store.ExtractRange(Uint160::Max() - u(5), u(10));
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(LocalStoreTest, ExtractAll) {
+  LocalStore store;
+  store.Put(HashKey("a"), Item(1));
+  store.Put(HashKey("b"), Item(2));
+  store.Put(HashKey("b"), Item(3));
+  auto out = store.ExtractAll();
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(store.empty());
+  size_t total = 0;
+  for (auto& [k, items] : out) total += items.size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(LocalStoreTest, DegenerateRangeTakesEverything) {
+  LocalStore store;
+  NodeId a = HashKey("a");
+  store.Put(HashKey("x"), Item(1));
+  store.Put(HashKey("y"), Item(2));
+  auto out = store.ExtractRange(a, a);  // (a, a] = full ring.
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(store.empty());
+}
+
+}  // namespace
+}  // namespace contjoin::chord

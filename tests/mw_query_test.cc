@@ -1,0 +1,140 @@
+// Parser and representation tests for multi-way queries.
+
+#include "query/mw_query.h"
+
+#include <gtest/gtest.h>
+
+namespace contjoin::query {
+namespace {
+
+class MwQueryTest : public ::testing::Test {
+ protected:
+  MwQueryTest() {
+    for (const char* name : {"R", "S", "T", "U"}) {
+      CJ_CHECK(catalog_
+                   .Register(rel::RelationSchema(
+                       name, {{"a", rel::ValueType::kInt},
+                              {"b", rel::ValueType::kInt},
+                              {"c", rel::ValueType::kInt}}))
+                   .ok());
+    }
+  }
+
+  rel::Catalog catalog_;
+};
+
+TEST_F(MwQueryTest, ParsesThreeWayChain) {
+  auto q = ParseMwQuery(
+      "SELECT R.a, S.b, T.c FROM R, S, T WHERE R.a = S.a AND S.b = T.b",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_relations(), 3u);
+  ASSERT_EQ(q->conditions().size(), 2u);
+  EXPECT_EQ(q->conditions()[0].rel_a, 0);
+  EXPECT_EQ(q->conditions()[0].rel_b, 1);
+  EXPECT_EQ(q->conditions()[1].rel_a, 1);
+  EXPECT_EQ(q->conditions()[1].rel_b, 2);
+  EXPECT_EQ(q->select().size(), 3u);
+}
+
+TEST_F(MwQueryTest, ParsesFourWayStar) {
+  auto q = ParseMwQuery(
+      "SELECT R.a, U.c FROM R, S, T, U "
+      "WHERE R.a = S.a AND R.b = T.b AND R.c = U.c",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_relations(), 4u);
+  EXPECT_EQ(q->conditions().size(), 3u);
+}
+
+TEST_F(MwQueryTest, PredicatesAttachToRelations) {
+  auto q = ParseMwQuery(
+      "SELECT R.a FROM R, S, T WHERE R.a = S.a AND S.b = T.b AND T.c > 5 "
+      "AND R.b != 2",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->relations()[0].predicates.size(), 1u);
+  EXPECT_EQ(q->relations()[1].predicates.size(), 0u);
+  EXPECT_EQ(q->relations()[2].predicates.size(), 1u);
+}
+
+TEST_F(MwQueryTest, TwoWayQueriesAreAccepted) {
+  auto q = ParseMwQuery("SELECT R.a, S.b FROM R, S WHERE R.a = S.a",
+                        catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_relations(), 2u);
+}
+
+TEST_F(MwQueryTest, NextConditionWalksTheTree) {
+  auto q = ParseMwQuery(
+      "SELECT R.a FROM R, S, T WHERE S.b = T.b AND R.a = S.a", catalog_);
+  ASSERT_TRUE(q.ok());
+  // With only R bound, condition 1 (R.a = S.a) is the sole frontier edge.
+  EXPECT_EQ(q->NextCondition(0b001), 1);
+  // With R and S bound, condition 0 (S.b = T.b) opens.
+  EXPECT_EQ(q->NextCondition(0b011), 0);
+  EXPECT_EQ(q->NextCondition(0b111), -1);
+}
+
+TEST_F(MwQueryTest, ToStringRoundTrips) {
+  auto q = ParseMwQuery(
+      "SELECT R.a FROM R, S, T WHERE R.a = S.a AND S.b = T.b AND T.c >= 1",
+      catalog_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ToString(),
+            "SELECT R.a FROM R, S, T WHERE R.a = S.a AND S.b = T.b AND "
+            "T.c >= 1");
+}
+
+TEST_F(MwQueryTest, RejectsDisconnectedGraph) {
+  // Three relations, two conditions, but T unconnected: R-S twice... a
+  // second R-S condition is a cycle over {R,S} and leaves T unreachable.
+  auto q = ParseMwQuery(
+      "SELECT R.a FROM R, S, T WHERE R.a = S.a AND R.b = S.b", catalog_);
+  EXPECT_TRUE(q.status().IsUnsupported());
+}
+
+TEST_F(MwQueryTest, RejectsWrongConditionCount) {
+  auto q = ParseMwQuery("SELECT R.a FROM R, S, T WHERE R.a = S.a", catalog_);
+  EXPECT_TRUE(q.status().IsUnsupported());
+}
+
+TEST_F(MwQueryTest, RejectsExpressionJoinSides) {
+  auto q = ParseMwQuery(
+      "SELECT R.a FROM R, S, T WHERE R.a + 1 = S.a AND S.b = T.b", catalog_);
+  EXPECT_TRUE(q.status().IsUnsupported());
+}
+
+TEST_F(MwQueryTest, RejectsNonEqualityJoin) {
+  auto q = ParseMwQuery(
+      "SELECT R.a FROM R, S, T WHERE R.a < S.a AND S.b = T.b", catalog_);
+  EXPECT_TRUE(q.status().IsUnsupported());
+}
+
+TEST_F(MwQueryTest, RejectsSelfJoin) {
+  auto q = ParseMwQuery(
+      "SELECT X.a FROM R AS X, R AS Y, T WHERE X.a = Y.a AND Y.b = T.b",
+      catalog_);
+  EXPECT_TRUE(q.status().IsUnsupported());
+}
+
+TEST_F(MwQueryTest, RejectsUnknownRelationOrAttribute) {
+  EXPECT_TRUE(ParseMwQuery("SELECT Z.a FROM Z, S WHERE Z.a = S.a", catalog_)
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(ParseMwQuery("SELECT R.z FROM R, S WHERE R.a = S.a", catalog_)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(MwQueryTest, SideOfRelation) {
+  auto q = ParseMwQuery(
+      "SELECT R.a FROM R, S, T WHERE R.a = S.a AND S.b = T.b", catalog_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->SideOfRelation("R"), 0);
+  EXPECT_EQ(q->SideOfRelation("T"), 2);
+  EXPECT_EQ(q->SideOfRelation("X"), -1);
+}
+
+}  // namespace
+}  // namespace contjoin::query

@@ -1,0 +1,200 @@
+// The PIER-style one-time join baseline: broadcast scan + symmetric hash
+// join over the snapshot of stored tuples, validated against the oracle
+// and contrasted with continuous-query time semantics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/engine.h"
+#include "query/parser.h"
+#include "reference/reference_engine.h"
+#include "workload/workload.h"
+
+namespace contjoin::core {
+namespace {
+
+using rel::Value;
+
+class OneTimeJoinTest : public ::testing::TestWithParam<Algorithm> {
+ protected:
+  std::unique_ptr<ContinuousQueryNetwork> MakeNet(size_t nodes = 32) {
+    Options opts;
+    opts.num_nodes = nodes;
+    opts.algorithm = GetParam();
+    auto net = std::make_unique<ContinuousQueryNetwork>(opts);
+    CJ_CHECK(net->catalog()
+                 ->Register(rel::RelationSchema(
+                     "R", {{"A", rel::ValueType::kInt},
+                           {"B", rel::ValueType::kInt}}))
+                 .ok());
+    CJ_CHECK(net->catalog()
+                 ->Register(rel::RelationSchema(
+                     "S", {{"D", rel::ValueType::kInt},
+                           {"E", rel::ValueType::kInt}}))
+                 .ok());
+    return net;
+  }
+};
+
+TEST_P(OneTimeJoinTest, JoinsTheStoredSnapshot) {
+  auto net = MakeNet();
+  ASSERT_TRUE(net->InsertTuple(1, "R", {Value::Int(1), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(2, "R", {Value::Int(2), Value::Int(8)}).ok());
+  ASSERT_TRUE(net->InsertTuple(3, "S", {Value::Int(5), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(4, "S", {Value::Int(6), Value::Int(7)}).ok());
+  auto rows =
+      net->OneTimeJoin(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  std::set<std::string> contents;
+  for (const auto& n : rows.value()) contents.insert(n.ContentKey());
+  EXPECT_EQ(contents.size(), 2u);  // (1,5) and (1,6); R.B=8 matches nothing.
+  EXPECT_EQ(rows->size(), 2u);     // Each pair exactly once.
+}
+
+TEST_P(OneTimeJoinTest, SeesTuplesOlderThanAnyQuery) {
+  // The defining contrast with continuous semantics: a one-time join is a
+  // snapshot, so tuples inserted before the query participate.
+  auto net = MakeNet();
+  ASSERT_TRUE(net->InsertTuple(1, "R", {Value::Int(1), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(2, "S", {Value::Int(5), Value::Int(7)}).ok());
+  // A continuous query sees nothing (both tuples predate it)...
+  auto ckey = net->SubmitQuery(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E");
+  ASSERT_TRUE(ckey.ok());
+  EXPECT_TRUE(net->TakeNotifications(0).empty());
+  // ...the one-time join returns the pair.
+  auto rows =
+      net->OneTimeJoin(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_P(OneTimeJoinTest, PredicatesApply) {
+  auto net = MakeNet();
+  ASSERT_TRUE(net->InsertTuple(1, "R", {Value::Int(1), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(2, "R", {Value::Int(9), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(3, "S", {Value::Int(5), Value::Int(7)}).ok());
+  auto rows = net->OneTimeJoin(
+      0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND R.A > 5");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(rows.value()[0].row[0], Value::Int(9));
+}
+
+TEST_P(OneTimeJoinTest, ExpressionJoinConditions) {
+  auto net = MakeNet();
+  ASSERT_TRUE(net->InsertTuple(1, "R", {Value::Int(10), Value::Int(15)}).ok());
+  ASSERT_TRUE(net->InsertTuple(2, "S", {Value::Int(20), Value::Int(5)}).ok());
+  // T2 shape works: one-time rehash is by evaluated side values.
+  auto rows = net->OneTimeJoin(
+      0, "SELECT R.A, S.D FROM R, S WHERE R.A + R.B = S.D + S.E");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+}
+
+TEST_P(OneTimeJoinTest, EmptySnapshotYieldsNoRows) {
+  auto net = MakeNet();
+  auto rows =
+      net->OneTimeJoin(0, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_P(OneTimeJoinTest, RepeatedExecutionsAreIndependent) {
+  auto net = MakeNet();
+  ASSERT_TRUE(net->InsertTuple(1, "R", {Value::Int(1), Value::Int(7)}).ok());
+  ASSERT_TRUE(net->InsertTuple(2, "S", {Value::Int(5), Value::Int(7)}).ok());
+  for (int i = 0; i < 3; ++i) {
+    auto rows =
+        net->OneTimeJoin(i, "SELECT R.A, S.D FROM R, S WHERE R.B = S.E");
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->size(), 1u) << "execution " << i;
+  }
+}
+
+TEST_P(OneTimeJoinTest, MatchesOracleOnRandomSnapshots) {
+  workload::WorkloadOptions wopts;
+  wopts.seed = 5;
+  wopts.domain = 30;
+  wopts.predicate_fraction = 0.3;
+  workload::WorkloadGenerator gen(wopts);
+  Options opts;
+  opts.num_nodes = 24;
+  opts.algorithm = GetParam();
+  ContinuousQueryNetwork net2(opts);
+  CJ_CHECK(gen.RegisterSchemas(net2.catalog()).ok());
+  Rng placement(9);
+  std::vector<rel::TuplePtr> all;
+  uint64_t seq = 0;
+  for (int i = 0; i < 150; ++i) {
+    auto [relation, values] = gen.NextTuple();
+    auto copy = values;
+    ASSERT_TRUE(net2.InsertTuple(placement.NextBelow(net2.num_nodes()),
+                                 relation, std::move(values))
+                    .ok());
+    all.push_back(std::make_shared<const rel::Tuple>(
+        relation, std::move(copy), net2.now(), seq++));
+  }
+  for (int i = 0; i < 10; ++i) {
+    std::string sql = gen.NextQuerySql();
+    auto rows = net2.OneTimeJoin(placement.NextBelow(net2.num_nodes()), sql);
+    ASSERT_TRUE(rows.ok()) << sql;
+    // Oracle: a reference engine with insertion time 0 over the snapshot.
+    ref::ReferenceEngine oracle;
+    auto parsed = query::ParseQuery(sql, *net2.catalog());
+    ASSERT_TRUE(parsed.ok());
+    parsed.value().set_key(rows->empty() ? "otj" : rows.value()[0].query_key);
+    parsed.value().set_insertion_time(0);
+    oracle.AddQuery(std::make_shared<const query::ContinuousQuery>(
+        std::move(parsed).value()));
+    for (const auto& t : all) oracle.InsertTuple(t);
+    std::set<std::string> expected;
+    for (const auto& n : oracle.notifications()) {
+      expected.insert(n.ContentKey());
+    }
+    std::set<std::string> actual;
+    for (const auto& n : rows.value()) {
+      // Rekey the oracle contents to match (oracle knows the otj key only
+      // when rows exist).
+      actual.insert(n.ContentKey());
+    }
+    if (rows->empty()) {
+      EXPECT_TRUE(expected.empty()) << sql;
+    } else {
+      EXPECT_EQ(actual, expected) << sql;
+    }
+  }
+}
+
+TEST_P(OneTimeJoinTest, ErrorsAreReported) {
+  auto net = MakeNet();
+  EXPECT_TRUE(net->OneTimeJoin(999, "x").status().IsInvalidArgument());
+  EXPECT_TRUE(net->OneTimeJoin(0, "garbage").status().IsParseError());
+}
+
+INSTANTIATE_TEST_SUITE_P(TupleStoringAlgorithms, OneTimeJoinTest,
+                         ::testing::Values(Algorithm::kSai,
+                                           Algorithm::kDaiQ));
+
+TEST(OneTimeJoinGateTest, RejectedOnNonStoringAlgorithms) {
+  for (Algorithm alg : {Algorithm::kDaiT, Algorithm::kDaiV}) {
+    Options opts;
+    opts.num_nodes = 8;
+    opts.algorithm = alg;
+    ContinuousQueryNetwork net(opts);
+    CJ_CHECK(net.catalog()
+                 ->Register(rel::RelationSchema(
+                     "R", {{"A", rel::ValueType::kInt}}))
+                 .ok());
+    CJ_CHECK(net.catalog()
+                 ->Register(rel::RelationSchema(
+                     "S", {{"D", rel::ValueType::kInt}}))
+                 .ok());
+    EXPECT_TRUE(net.OneTimeJoin(0, "SELECT R.A FROM R, S WHERE R.A = S.D")
+                    .status()
+                    .IsUnsupported());
+  }
+}
+
+}  // namespace
+}  // namespace contjoin::core

@@ -1,0 +1,234 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace contjoin::query {
+namespace {
+
+using rel::Catalog;
+using rel::RelationSchema;
+using rel::ValueType;
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() {
+    CJ_CHECK(catalog_
+                 .Register(RelationSchema("Document",
+                                          {{"Id", ValueType::kInt},
+                                           {"Title", ValueType::kString},
+                                           {"Conference", ValueType::kString},
+                                           {"AuthorId", ValueType::kInt}}))
+                 .ok());
+    CJ_CHECK(catalog_
+                 .Register(RelationSchema("Authors",
+                                          {{"Id", ValueType::kInt},
+                                           {"Name", ValueType::kString},
+                                           {"Surname", ValueType::kString}}))
+                 .ok());
+    CJ_CHECK(catalog_
+                 .Register(RelationSchema("R", {{"A", ValueType::kInt},
+                                                {"B", ValueType::kInt},
+                                                {"C", ValueType::kInt}}))
+                 .ok());
+    CJ_CHECK(catalog_
+                 .Register(RelationSchema("S", {{"D", ValueType::kInt},
+                                                {"E", ValueType::kInt},
+                                                {"F", ValueType::kInt}}))
+                 .ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ParserTest, PaperExampleQuery) {
+  // The paper's §3.2 e-learning example.
+  auto q = ParseQuery(
+      "SELECT D.Title, D.Conference FROM Document AS D, Authors AS A "
+      "WHERE D.AuthorId = A.Id AND A.Surname = 'Smith'",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->type(), QueryType::kT1);
+  EXPECT_EQ(q->side(0).relation, "Document");
+  EXPECT_EQ(q->side(1).relation, "Authors");
+  EXPECT_EQ(q->side(0).index_attr_name(), "AuthorId");
+  EXPECT_EQ(q->side(1).index_attr_name(), "Id");
+  EXPECT_EQ(q->select().size(), 2u);
+  ASSERT_EQ(q->side(1).predicates.size(), 1u);
+  EXPECT_EQ(q->side(0).predicates.size(), 0u);
+  EXPECT_EQ(q->signature(), "Document.AuthorId = Authors.Id");
+}
+
+TEST_F(ParserTest, SimpleJoinWithoutAliases) {
+  auto q = ParseQuery("SELECT R.A, S.D FROM R, S WHERE R.B = S.E", catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->type(), QueryType::kT1);
+  EXPECT_EQ(q->side(0).alias, "R");
+  ASSERT_TRUE(q->side(0).linear.has_value());
+  EXPECT_TRUE(q->side(0).linear->bare);
+}
+
+TEST_F(ParserTest, JoinConditionOrderNormalizedToFromOrder) {
+  // Written as S.E = R.B; side 0 must still be R's expression.
+  auto q = ParseQuery("SELECT R.A FROM R, S WHERE S.E = R.B", catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->side(0).join_expr->ToString(), "R.B");
+  EXPECT_EQ(q->side(1).join_expr->ToString(), "S.E");
+}
+
+TEST_F(ParserTest, LinearT1Form) {
+  auto q = ParseQuery("SELECT R.A FROM R, S WHERE 2*R.B + 1 = S.E - 3",
+                      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->type(), QueryType::kT1);
+  ASSERT_TRUE(q->side(0).linear.has_value());
+  EXPECT_EQ(q->side(0).linear->scale, 2.0);
+  EXPECT_EQ(q->side(0).linear->offset, 1.0);
+  ASSERT_TRUE(q->side(1).linear.has_value());
+  EXPECT_EQ(q->side(1).linear->offset, -3.0);
+}
+
+TEST_F(ParserTest, T2MultiAttributeSides) {
+  // The paper's §4.5 example shape.
+  auto q = ParseQuery(
+      "SELECT R.A, S.D FROM R, S WHERE 4*R.B + R.C + 8 = 5*S.E + S.D - S.F",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->type(), QueryType::kT2);
+  EXPECT_FALSE(q->side(0).linear.has_value());
+  // Index attribute defaults to a referenced attribute of the side.
+  EXPECT_TRUE(q->side(0).index_attr_name() == "B" ||
+              q->side(0).index_attr_name() == "C");
+}
+
+TEST_F(ParserTest, ImplicitAliasForm) {
+  auto q = ParseQuery(
+      "SELECT D.Title FROM Document D, Authors A WHERE D.AuthorId = A.Id",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->side(0).alias, "D");
+}
+
+TEST_F(ParserTest, PredicatesAttachToTheirSide) {
+  auto q = ParseQuery(
+      "SELECT R.A FROM R, S WHERE R.B = S.E AND R.C > 5 AND S.F != 2 AND "
+      "S.D <= 7",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->side(0).predicates.size(), 1u);
+  EXPECT_EQ(q->side(1).predicates.size(), 2u);
+}
+
+TEST_F(ParserTest, PredicateEvaluation) {
+  auto q = ParseQuery("SELECT R.A FROM R, S WHERE R.B = S.E AND R.C > 5",
+                      catalog_);
+  ASSERT_TRUE(q.ok());
+  rel::Tuple pass("R", {rel::Value::Int(1), rel::Value::Int(2),
+                        rel::Value::Int(9)},
+                  0, 0);
+  rel::Tuple fail("R", {rel::Value::Int(1), rel::Value::Int(2),
+                        rel::Value::Int(3)},
+                  0, 0);
+  EXPECT_TRUE(q->side(0).SatisfiesPredicates(pass));
+  EXPECT_FALSE(q->side(0).SatisfiesPredicates(fail));
+}
+
+TEST_F(ParserTest, ToStringIsStable) {
+  auto q = ParseQuery("SELECT R.A FROM R, S WHERE R.B = S.E AND S.F = 1",
+                      catalog_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ToString(),
+            "SELECT R.A FROM R, S WHERE R.B = S.E AND S.F = 1");
+}
+
+// --- Error cases -----------------------------------------------------------
+
+TEST_F(ParserTest, RejectsUnknownRelation) {
+  auto q = ParseQuery("SELECT X.A FROM X, S WHERE X.A = S.D", catalog_);
+  EXPECT_TRUE(q.status().IsNotFound());
+}
+
+TEST_F(ParserTest, RejectsUnknownAttribute) {
+  auto q = ParseQuery("SELECT R.Z FROM R, S WHERE R.A = S.D", catalog_);
+  EXPECT_TRUE(q.status().IsNotFound());
+}
+
+TEST_F(ParserTest, RejectsSelfJoin) {
+  auto q = ParseQuery("SELECT A1.A FROM R AS A1, R AS A2 WHERE A1.B = A2.C",
+                      catalog_);
+  EXPECT_TRUE(q.status().IsUnsupported());
+}
+
+TEST_F(ParserTest, RejectsMissingJoinCondition) {
+  auto q = ParseQuery("SELECT R.A FROM R, S WHERE R.B = 5", catalog_);
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST_F(ParserTest, RejectsNonEqualityJoin) {
+  auto q = ParseQuery("SELECT R.A FROM R, S WHERE R.B < S.E", catalog_);
+  EXPECT_TRUE(q.status().IsUnsupported());
+}
+
+TEST_F(ParserTest, RejectsMultipleJoinConditions) {
+  auto q = ParseQuery("SELECT R.A FROM R, S WHERE R.B = S.E AND R.C = S.F",
+                      catalog_);
+  EXPECT_TRUE(q.status().IsUnsupported());
+}
+
+TEST_F(ParserTest, RejectsMixedSidesWithinOneExpression) {
+  auto q = ParseQuery("SELECT R.A FROM R, S WHERE R.B + S.E = S.F", catalog_);
+  EXPECT_TRUE(q.status().IsUnsupported());
+}
+
+TEST_F(ParserTest, RejectsUnqualifiedAttribute) {
+  auto q = ParseQuery("SELECT A FROM R, S WHERE R.B = S.E", catalog_);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(ParserTest, RejectsArithmeticOnStringAttribute) {
+  auto q = ParseQuery(
+      "SELECT D.Title FROM Document AS D, Authors AS A "
+      "WHERE D.AuthorId = A.Id AND A.Surname + 1 = 2",
+      catalog_);
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST_F(ParserTest, RejectsConstantConjunct) {
+  auto q = ParseQuery("SELECT R.A FROM R, S WHERE R.B = S.E AND 1 = 1",
+                      catalog_);
+  EXPECT_TRUE(q.status().IsParseError());
+}
+
+TEST_F(ParserTest, RejectsTrailingGarbage) {
+  auto q = ParseQuery("SELECT R.A FROM R, S WHERE R.B = S.E GROUP", catalog_);
+  EXPECT_TRUE(q.status().IsParseError());
+}
+
+TEST_F(ParserTest, RejectsThreeRelations) {
+  auto q = ParseQuery(
+      "SELECT R.A FROM R, S, Document WHERE R.B = S.E", catalog_);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(ParserTest, RejectsDuplicateAlias) {
+  auto q = ParseQuery("SELECT X.A FROM R AS X, S AS X WHERE X.A = X.D",
+                      catalog_);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(ParserTest, ParenthesizedExpressions) {
+  auto q = ParseQuery("SELECT R.A FROM R, S WHERE (R.B + 1) * 2 = S.E",
+                      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->type(), QueryType::kT1);
+  EXPECT_EQ(q->side(0).linear->scale, 2.0);
+  EXPECT_EQ(q->side(0).linear->offset, 2.0);
+}
+
+TEST_F(ParserTest, UnaryMinusInJoinCondition) {
+  auto q = ParseQuery("SELECT R.A FROM R, S WHERE -R.B = S.E", catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->side(0).linear->scale, -1.0);
+}
+
+}  // namespace
+}  // namespace contjoin::query

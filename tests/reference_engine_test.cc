@@ -1,0 +1,148 @@
+#include "reference/reference_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace contjoin::ref {
+namespace {
+
+using rel::Value;
+
+class ReferenceEngineTest : public ::testing::Test {
+ protected:
+  ReferenceEngineTest() {
+    CJ_CHECK(catalog_
+                 .Register(rel::RelationSchema(
+                     "R", {{"A", rel::ValueType::kInt},
+                           {"B", rel::ValueType::kInt}}))
+                 .ok());
+    CJ_CHECK(catalog_
+                 .Register(rel::RelationSchema(
+                     "S", {{"D", rel::ValueType::kInt},
+                           {"E", rel::ValueType::kInt}}))
+                 .ok());
+  }
+
+  query::QueryPtr MakeQuery(const std::string& sql, const std::string& key,
+                            rel::Timestamp ins_time) {
+    auto parsed = query::ParseQuery(sql, catalog_);
+    CJ_CHECK(parsed.ok()) << parsed.status().ToString();
+    parsed.value().set_key(key);
+    parsed.value().set_insertion_time(ins_time);
+    return std::make_shared<const query::ContinuousQuery>(
+        std::move(parsed).value());
+  }
+
+  rel::TuplePtr R(int64_t a, int64_t b, rel::Timestamp t) {
+    return std::make_shared<const rel::Tuple>(
+        "R", std::vector<Value>{Value::Int(a), Value::Int(b)}, t, seq_++);
+  }
+  rel::TuplePtr S(int64_t d, int64_t e, rel::Timestamp t) {
+    return std::make_shared<const rel::Tuple>(
+        "S", std::vector<Value>{Value::Int(d), Value::Int(e)}, t, seq_++);
+  }
+
+  rel::Catalog catalog_;
+  uint64_t seq_ = 0;
+};
+
+TEST_F(ReferenceEngineTest, BasicPairMatch) {
+  ReferenceEngine engine;
+  engine.AddQuery(
+      MakeQuery("SELECT R.A, S.D FROM R, S WHERE R.B = S.E", "q0", 0));
+  EXPECT_TRUE(engine.InsertTuple(R(1, 7, 1)).empty());
+  auto produced = engine.InsertTuple(S(9, 7, 2));
+  ASSERT_EQ(produced.size(), 1u);
+  EXPECT_EQ(produced[0].query_key, "q0");
+  ASSERT_EQ(produced[0].row.size(), 2u);
+  EXPECT_EQ(produced[0].row[0], Value::Int(1));
+  EXPECT_EQ(produced[0].row[1], Value::Int(9));
+  EXPECT_EQ(produced[0].earlier_pub, 1u);
+  EXPECT_EQ(produced[0].later_pub, 2u);
+}
+
+TEST_F(ReferenceEngineTest, NonMatchingValuesProduceNothing) {
+  ReferenceEngine engine;
+  engine.AddQuery(
+      MakeQuery("SELECT R.A, S.D FROM R, S WHERE R.B = S.E", "q0", 0));
+  engine.InsertTuple(R(1, 7, 1));
+  EXPECT_TRUE(engine.InsertTuple(S(9, 8, 2)).empty());
+}
+
+TEST_F(ReferenceEngineTest, TimeSemanticsTuplesBeforeQueryIgnored) {
+  ReferenceEngine engine;
+  engine.AddQuery(
+      MakeQuery("SELECT R.A, S.D FROM R, S WHERE R.B = S.E", "q0",
+                /*ins_time=*/10));
+  engine.InsertTuple(R(1, 7, 5));   // Before insT(q).
+  EXPECT_TRUE(engine.InsertTuple(S(9, 7, 20)).empty());
+  engine.InsertTuple(R(2, 7, 21));  // After: pairs with S(9,7).
+  auto all = engine.notifications();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].row[0], Value::Int(2));
+}
+
+TEST_F(ReferenceEngineTest, PredicatesFilter) {
+  ReferenceEngine engine;
+  engine.AddQuery(MakeQuery(
+      "SELECT R.A, S.D FROM R, S WHERE R.B = S.E AND R.A > 5", "q0", 0));
+  engine.InsertTuple(R(1, 7, 1));  // Fails R.A > 5.
+  engine.InsertTuple(R(9, 7, 2));
+  auto produced = engine.InsertTuple(S(3, 7, 3));
+  ASSERT_EQ(produced.size(), 1u);
+  EXPECT_EQ(produced[0].row[0], Value::Int(9));
+}
+
+TEST_F(ReferenceEngineTest, WindowExpiry) {
+  ReferenceEngine engine(/*window=*/5);
+  engine.AddQuery(
+      MakeQuery("SELECT R.A, S.D FROM R, S WHERE R.B = S.E", "q0", 0));
+  engine.InsertTuple(R(1, 7, 1));
+  EXPECT_EQ(engine.InsertTuple(S(2, 7, 4)).size(), 1u);   // Gap 3 <= 5.
+  EXPECT_EQ(engine.InsertTuple(S(3, 7, 20)).size(), 0u);  // Gap 19 > 5.
+}
+
+TEST_F(ReferenceEngineTest, ExpressionJoin) {
+  ReferenceEngine engine;
+  engine.AddQuery(MakeQuery(
+      "SELECT R.A, S.D FROM R, S WHERE R.A + R.B = S.D + S.E", "q0", 0));
+  engine.InsertTuple(R(10, 15, 1));          // Sum 25.
+  auto produced = engine.InsertTuple(S(20, 5, 2));  // Sum 25.
+  ASSERT_EQ(produced.size(), 1u);
+  EXPECT_TRUE(engine.InsertTuple(S(20, 6, 3)).empty());
+}
+
+TEST_F(ReferenceEngineTest, MultipleQueriesEachNotified) {
+  ReferenceEngine engine;
+  engine.AddQuery(
+      MakeQuery("SELECT R.A, S.D FROM R, S WHERE R.B = S.E", "q0", 0));
+  engine.AddQuery(
+      MakeQuery("SELECT R.B, S.E FROM R, S WHERE R.A = S.D", "q1", 0));
+  engine.InsertTuple(R(9, 7, 1));
+  auto produced = engine.InsertTuple(S(9, 7, 2));  // Matches both queries.
+  EXPECT_EQ(produced.size(), 2u);
+}
+
+TEST_F(ReferenceEngineTest, RemoveQueryStopsNotifications) {
+  ReferenceEngine engine;
+  engine.AddQuery(
+      MakeQuery("SELECT R.A, S.D FROM R, S WHERE R.B = S.E", "q0", 0));
+  engine.InsertTuple(R(1, 7, 1));
+  engine.RemoveQuery("q0");
+  EXPECT_TRUE(engine.InsertTuple(S(2, 7, 2)).empty());
+}
+
+TEST_F(ReferenceEngineTest, ContentSetDeduplicates) {
+  ReferenceEngine engine;
+  engine.AddQuery(
+      MakeQuery("SELECT R.A, S.D FROM R, S WHERE R.B = S.E", "q0", 0));
+  engine.InsertTuple(R(1, 7, 1));
+  engine.InsertTuple(R(1, 7, 2));  // Identical content, distinct tuple.
+  engine.InsertTuple(S(9, 7, 3));  // Two pairs, same row content.
+  EXPECT_EQ(engine.notifications().size(), 2u);
+  EXPECT_EQ(engine.ContentSet().size(), 1u);
+}
+
+}  // namespace
+}  // namespace contjoin::ref

@@ -1,0 +1,113 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/tuple.h"
+
+namespace contjoin::rel {
+namespace {
+
+RelationSchema DocSchema() {
+  return RelationSchema("Document", {{"Id", ValueType::kInt},
+                                     {"Title", ValueType::kString},
+                                     {"Conference", ValueType::kString},
+                                     {"AuthorId", ValueType::kInt}});
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  RelationSchema s = DocSchema();
+  EXPECT_EQ(s.name(), "Document");
+  EXPECT_EQ(s.arity(), 4u);
+  EXPECT_EQ(s.attribute(1).name, "Title");
+  EXPECT_EQ(s.AttributeIndex("AuthorId"), 3u);
+  EXPECT_FALSE(s.AttributeIndex("Nope").has_value());
+}
+
+TEST(SchemaTest, ToStringListsAttributes) {
+  EXPECT_EQ(DocSchema().ToString(),
+            "Document(Id int, Title string, Conference string, AuthorId int)");
+}
+
+TEST(CatalogTest, RegisterAndFind) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register(DocSchema()).ok());
+  ASSERT_NE(catalog.Find("Document"), nullptr);
+  EXPECT_EQ(catalog.Find("Document")->arity(), 4u);
+  EXPECT_EQ(catalog.Find("Missing"), nullptr);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(CatalogTest, RejectsDuplicates) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register(DocSchema()).ok());
+  EXPECT_TRUE(catalog.Register(DocSchema()).IsAlreadyExists());
+}
+
+TEST(CatalogTest, RejectsEmptyAndMalformed) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.Register(RelationSchema("", {{"A", ValueType::kInt}}))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(catalog.Register(RelationSchema("R", {})).IsInvalidArgument());
+  EXPECT_TRUE(catalog
+                  .Register(RelationSchema(
+                      "R", {{"A", ValueType::kInt}, {"A", ValueType::kInt}}))
+                  .IsInvalidArgument());
+}
+
+TEST(TupleTest, AccessorsAndTimes) {
+  Tuple t("Document", {Value::Int(1), Value::Str("DHTs"), Value::Str("ICDE"),
+                       Value::Int(9)},
+          /*pub_time=*/17, /*seq=*/3);
+  EXPECT_EQ(t.relation(), "Document");
+  EXPECT_EQ(t.arity(), 4u);
+  EXPECT_EQ(t.at(1).as_string(), "DHTs");
+  EXPECT_EQ(t.pub_time(), 17u);
+  EXPECT_EQ(t.seq(), 3u);
+  EXPECT_TRUE(t.Before(18, 0));
+  EXPECT_TRUE(t.Before(17, 4));
+  EXPECT_FALSE(t.Before(17, 3));
+  EXPECT_FALSE(t.Before(16, 9));
+}
+
+TEST(TupleTest, CheckAgainstSchema) {
+  RelationSchema schema = DocSchema();
+  Tuple good("Document",
+             {Value::Int(1), Value::Str("t"), Value::Str("c"), Value::Int(2)},
+             0, 0);
+  EXPECT_TRUE(good.CheckAgainst(schema).ok());
+
+  Tuple wrong_arity("Document", {Value::Int(1)}, 0, 0);
+  EXPECT_TRUE(wrong_arity.CheckAgainst(schema).IsInvalidArgument());
+
+  Tuple wrong_type("Document",
+                   {Value::Str("x"), Value::Str("t"), Value::Str("c"),
+                    Value::Int(2)},
+                   0, 0);
+  EXPECT_TRUE(wrong_type.CheckAgainst(schema).IsInvalidArgument());
+
+  Tuple wrong_rel("Authors",
+                  {Value::Int(1), Value::Str("t"), Value::Str("c"),
+                   Value::Int(2)},
+                  0, 0);
+  EXPECT_TRUE(wrong_rel.CheckAgainst(schema).IsInvalidArgument());
+}
+
+TEST(TupleTest, IntAcceptedForDoubleAttribute) {
+  RelationSchema schema("M", {{"X", ValueType::kDouble}});
+  Tuple t("M", {Value::Int(3)}, 0, 0);
+  EXPECT_TRUE(t.CheckAgainst(schema).ok());
+}
+
+TEST(TupleTest, NullAcceptedAnywhere) {
+  RelationSchema schema("M", {{"X", ValueType::kInt}});
+  Tuple t("M", {Value::Null()}, 0, 0);
+  EXPECT_TRUE(t.CheckAgainst(schema).ok());
+}
+
+TEST(TupleTest, ToStringRendersValues) {
+  Tuple t("R", {Value::Int(1), Value::Str("x")}, 0, 0);
+  EXPECT_EQ(t.ToString(), "R(1, 'x')");
+}
+
+}  // namespace
+}  // namespace contjoin::rel

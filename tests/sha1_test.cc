@@ -1,0 +1,80 @@
+#include "common/sha1.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace contjoin {
+namespace {
+
+std::string HexOf(std::string_view input) {
+  return Sha1::ToHex(Sha1::Hash(input));
+}
+
+// RFC 3174 / FIPS 180-1 test vectors.
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(HexOf(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(HexOf("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      HexOf("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 hasher;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  EXPECT_EQ(Sha1::ToHex(hasher.Finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, QuickBrownFox) {
+  EXPECT_EQ(HexOf("The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  std::string msg =
+      "Distributed evaluation of continuous equi-join queries over large "
+      "structured overlay networks";
+  Sha1 hasher;
+  for (char c : msg) hasher.Update(&c, 1);
+  EXPECT_EQ(hasher.Finish(), Sha1::Hash(msg));
+}
+
+TEST(Sha1Test, ExactBlockBoundaries) {
+  // 55, 56, 63, 64, 65 bytes straddle the padding edge cases.
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha1 a;
+    a.Update(msg);
+    Sha1 b;
+    b.Update(msg.substr(0, len / 2));
+    b.Update(msg.substr(len / 2));
+    EXPECT_EQ(a.Finish(), b.Finish()) << "length " << len;
+  }
+}
+
+TEST(Sha1Test, ResetReusesHasher) {
+  Sha1 hasher;
+  hasher.Update("garbage");
+  (void)hasher.Finish();
+  hasher.Reset();
+  hasher.Update("abc");
+  EXPECT_EQ(Sha1::ToHex(hasher.Finish()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha1::Hash("R+A"), Sha1::Hash("R+B"));
+  EXPECT_NE(Sha1::Hash("R+A+1"), Sha1::Hash("R+A+10"));
+}
+
+}  // namespace
+}  // namespace contjoin

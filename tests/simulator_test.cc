@@ -1,0 +1,134 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/net_stats.h"
+
+namespace contjoin::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(SimulatorTest, SameTimestampIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, CascadesAtZeroLatencyDrainBeforeLaterEvents) {
+  Simulator sim;
+  std::vector<std::string> order;
+  sim.Schedule(1, [&] {
+    order.push_back("a");
+    sim.Schedule(0, [&] {
+      order.push_back("a.child");
+      sim.Schedule(0, [&] { order.push_back("a.grandchild"); });
+    });
+  });
+  sim.Schedule(2, [&] { order.push_back("b"); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "a.child", "a.grandchild",
+                                             "b"}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int ran = 0;
+  sim.Schedule(5, [&] { ++ran; });
+  sim.Schedule(10, [&] { ++ran; });
+  sim.Schedule(11, [&] { ++ran; });
+  EXPECT_EQ(sim.RunUntil(10), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.Now(), 10u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(100);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(SimulatorTest, AdvanceTo) {
+  Simulator sim;
+  sim.AdvanceTo(42);
+  EXPECT_EQ(sim.Now(), 42u);
+}
+
+TEST(SimulatorTest, ScheduledDuringRunExecutes) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(1, [&] {
+    ++count;
+    sim.Schedule(5, [&] { ++count; });
+  });
+  sim.Run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), 6u);
+  EXPECT_EQ(sim.total_events_run(), 2u);
+}
+
+TEST(NetStatsTest, HopAccounting) {
+  NetStats stats;
+  stats.AddHop(MsgClass::kLookup);
+  stats.AddHops(MsgClass::kTupleIndex, 5);
+  EXPECT_EQ(stats.total_hops(), 6u);
+  EXPECT_EQ(stats.hops(MsgClass::kLookup), 1u);
+  EXPECT_EQ(stats.hops(MsgClass::kTupleIndex), 5u);
+  EXPECT_EQ(stats.hops(MsgClass::kNotification), 0u);
+}
+
+TEST(NetStatsTest, SinceComputesDelta) {
+  NetStats stats;
+  stats.AddHops(MsgClass::kRewrittenQuery, 3);
+  NetStats snapshot = stats;
+  stats.AddHops(MsgClass::kRewrittenQuery, 4);
+  stats.AddHop(MsgClass::kNotification);
+  NetStats delta = stats.Since(snapshot);
+  EXPECT_EQ(delta.hops(MsgClass::kRewrittenQuery), 4u);
+  EXPECT_EQ(delta.hops(MsgClass::kNotification), 1u);
+  EXPECT_EQ(delta.total_hops(), 5u);
+}
+
+TEST(NetStatsTest, ResetClears) {
+  NetStats stats;
+  stats.AddHop(MsgClass::kControl);
+  stats.AddDrop();
+  stats.Reset();
+  EXPECT_EQ(stats.total_hops(), 0u);
+  EXPECT_EQ(stats.dropped(), 0u);
+}
+
+TEST(NetStatsTest, ReportListsNonZeroClasses) {
+  NetStats stats;
+  stats.AddHop(MsgClass::kNotification);
+  std::string report = stats.Report();
+  EXPECT_NE(report.find("notification"), std::string::npos);
+  EXPECT_EQ(report.find("maintenance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace contjoin::sim

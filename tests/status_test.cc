@@ -1,0 +1,92 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/statusor.h"
+
+namespace contjoin {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad query");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad query");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad query");
+}
+
+TEST(StatusTest, AllErrorFactories) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyingSharesRepresentation) {
+  Status a = Status::NotFound("missing");
+  Status b = a;
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_EQ(b.message(), "missing");
+}
+
+Status FailsInner() { return Status::OutOfRange("inner"); }
+
+Status UsesReturnIfError() {
+  CJ_RETURN_IF_ERROR(FailsInner());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError().IsOutOfRange());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+StatusOr<int> MaybeInt(bool ok) {
+  if (ok) return 5;
+  return Status::Internal("boom");
+}
+
+StatusOr<int> UsesAssignOrReturn(bool ok) {
+  CJ_ASSIGN_OR_RETURN(int v, MaybeInt(ok));
+  return v + 1;
+}
+
+TEST(StatusOrTest, AssignOrReturn) {
+  EXPECT_EQ(UsesAssignOrReturn(true).value(), 6);
+  EXPECT_TRUE(UsesAssignOrReturn(false).status().IsInternal());
+}
+
+}  // namespace
+}  // namespace contjoin

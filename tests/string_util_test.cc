@@ -1,0 +1,72 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace contjoin {
+namespace {
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"a"}, ","), "a");
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, SplitString) {
+  auto v = SplitString("a,b,,c", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "");
+  EXPECT_EQ(v[3], "c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(AsciiToLower("SeLeCt"), "select");
+  EXPECT_EQ(AsciiToUpper("where"), "WHERE");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("select", "selec"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("node-17", "node-"));
+  EXPECT_FALSE(StartsWith("no", "node-"));
+}
+
+TEST(StringUtilTest, CanonicalDoubleIntegralPrintsAsInteger) {
+  EXPECT_EQ(CanonicalDouble(2.0), "2");
+  EXPECT_EQ(CanonicalDouble(-7.0), "-7");
+  EXPECT_EQ(CanonicalDouble(0.0), "0");
+  EXPECT_EQ(CanonicalDouble(1e6), "1000000");
+}
+
+TEST(StringUtilTest, CanonicalDoubleFractional) {
+  EXPECT_EQ(CanonicalDouble(2.5), "2.5");
+  EXPECT_EQ(CanonicalDouble(-0.125), "-0.125");
+}
+
+TEST(StringUtilTest, CanonicalDoubleRoundTrips) {
+  for (double v : {3.14159, 1.0 / 3.0, 123456.789, -9.99e-5}) {
+    EXPECT_EQ(std::stod(CanonicalDouble(v)), v);
+  }
+}
+
+TEST(StringUtilTest, CanonicalDoubleSpecials) {
+  EXPECT_EQ(CanonicalDouble(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(CanonicalDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(CanonicalDouble(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+}  // namespace
+}  // namespace contjoin

@@ -1,0 +1,153 @@
+#include "core/tables.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace contjoin::core {
+namespace {
+
+class TablesTest : public ::testing::Test {
+ protected:
+  TablesTest() {
+    CJ_CHECK(catalog_
+                 .Register(rel::RelationSchema(
+                     "R", {{"A", rel::ValueType::kInt},
+                           {"B", rel::ValueType::kInt}}))
+                 .ok());
+    CJ_CHECK(catalog_
+                 .Register(rel::RelationSchema(
+                     "S", {{"D", rel::ValueType::kInt},
+                           {"E", rel::ValueType::kInt}}))
+                 .ok());
+  }
+
+  query::QueryPtr MakeQuery(const std::string& key) {
+    auto parsed = query::ParseQuery(
+        "SELECT R.A, S.D FROM R, S WHERE R.B = S.E", catalog_);
+    CJ_CHECK(parsed.ok());
+    parsed.value().set_key(key);
+    return std::make_shared<const query::ContinuousQuery>(
+        std::move(parsed).value());
+  }
+
+  RewrittenEntry MakeEntry(query::QueryPtr q, const std::string& rk,
+                           rel::Timestamp pub, uint64_t seq) {
+    RewrittenEntry e;
+    e.query = std::move(q);
+    e.remaining_side = 1;
+    e.rewritten_key = rk;
+    e.required_value = rel::Value::Int(7);
+    e.row = {rel::Value::Int(1), std::nullopt};
+    e.trigger_pub = pub;
+    e.trigger_seq = seq;
+    return e;
+  }
+
+  rel::Catalog catalog_;
+};
+
+TEST_F(TablesTest, AlqtInsertFindRemove) {
+  AttrLevelQueryTable alqt;
+  auto q1 = MakeQuery("n1#0");
+  auto q2 = MakeQuery("n2#0");
+  alqt.Insert("R+B", q1->signature(), AlqtEntry{q1, 0});
+  alqt.Insert("R+B", q2->signature(), AlqtEntry{q2, 0});
+  alqt.Insert("S+E", q1->signature(), AlqtEntry{q1, 1});
+  EXPECT_EQ(alqt.size(), 3u);
+
+  const auto* groups = alqt.Find("R+B");
+  ASSERT_NE(groups, nullptr);
+  ASSERT_EQ(groups->size(), 1u);  // Same signature: one group.
+  EXPECT_EQ(groups->begin()->second.size(), 2u);
+  EXPECT_EQ(alqt.Find("R+A"), nullptr);
+
+  EXPECT_EQ(alqt.RemoveQuery("n1#0"), 2u);
+  EXPECT_EQ(alqt.size(), 1u);
+  EXPECT_EQ(alqt.Find("S+E"), nullptr);  // Emptied level-1 pruned.
+  EXPECT_NE(alqt.Find("R+B"), nullptr);
+}
+
+TEST_F(TablesTest, VlqtDedupByRewrittenKey) {
+  ValueLevelQueryTable vlqt;
+  auto q = MakeQuery("n1#0");
+  EXPECT_TRUE(vlqt.InsertOrRefresh("S+E", "7", MakeEntry(q, "rk1", 10, 1)));
+  EXPECT_FALSE(vlqt.InsertOrRefresh("S+E", "7", MakeEntry(q, "rk1", 20, 2)));
+  EXPECT_TRUE(vlqt.InsertOrRefresh("S+E", "7", MakeEntry(q, "rk2", 15, 3)));
+  EXPECT_EQ(vlqt.size(), 2u);
+
+  const auto* bucket = vlqt.Find("S+E", "7");
+  ASSERT_NE(bucket, nullptr);
+  // The duplicate only advanced the trigger time (§4.3.3).
+  EXPECT_EQ(bucket->at("rk1").latest_trigger_pub, 20u);
+  EXPECT_EQ(bucket->at("rk2").latest_trigger_pub, 15u);
+}
+
+TEST_F(TablesTest, VlqtRefreshNeverRewindsTime) {
+  ValueLevelQueryTable vlqt;
+  auto q = MakeQuery("n1#0");
+  vlqt.InsertOrRefresh("S+E", "7", MakeEntry(q, "rk1", 20, 5));
+  vlqt.InsertOrRefresh("S+E", "7", MakeEntry(q, "rk1", 10, 1));
+  EXPECT_EQ(vlqt.Find("S+E", "7")->at("rk1").latest_trigger_pub, 20u);
+}
+
+TEST_F(TablesTest, VlqtRemoveQuery) {
+  ValueLevelQueryTable vlqt;
+  auto q1 = MakeQuery("n1#0");
+  auto q2 = MakeQuery("n2#0");
+  vlqt.InsertOrRefresh("S+E", "7", MakeEntry(q1, "a", 1, 1));
+  vlqt.InsertOrRefresh("S+E", "8", MakeEntry(q1, "b", 2, 2));
+  vlqt.InsertOrRefresh("S+E", "7", MakeEntry(q2, "c", 3, 3));
+  EXPECT_EQ(vlqt.RemoveQuery("n1#0"), 2u);
+  EXPECT_EQ(vlqt.size(), 1u);
+  EXPECT_EQ(vlqt.Find("S+E", "8"), nullptr);
+}
+
+TEST_F(TablesTest, VlttInsertFindExpire) {
+  ValueLevelTupleTable vltt;
+  auto t1 = std::make_shared<const rel::Tuple>(
+      "S", std::vector<rel::Value>{rel::Value::Int(1), rel::Value::Int(7)},
+      10, 1);
+  auto t2 = std::make_shared<const rel::Tuple>(
+      "S", std::vector<rel::Value>{rel::Value::Int(2), rel::Value::Int(7)},
+      30, 2);
+  vltt.Insert("S+E", "7", StoredTuple{t1, 1});
+  vltt.Insert("S+E", "7", StoredTuple{t2, 1});
+  EXPECT_EQ(vltt.size(), 2u);
+  ASSERT_NE(vltt.Find("S+E", "7"), nullptr);
+  EXPECT_EQ(vltt.Find("S+E", "7")->size(), 2u);
+  EXPECT_EQ(vltt.Find("S+E", "9"), nullptr);
+
+  EXPECT_EQ(vltt.ExpireBefore(20), 1u);
+  EXPECT_EQ(vltt.size(), 1u);
+  EXPECT_EQ(vltt.Find("S+E", "7")->front().tuple->pub_time(), 30u);
+  EXPECT_EQ(vltt.ExpireBefore(100), 1u);
+  EXPECT_EQ(vltt.Find("S+E", "7"), nullptr);
+}
+
+TEST_F(TablesTest, DaivStoreSidesAreSeparate) {
+  DaivStore store;
+  store.Insert("25", "q1", 0, DaivStored{{rel::Value::Int(1)}, 10, 1});
+  store.Insert("25", "q1", 1, DaivStored{{rel::Value::Int(2)}, 11, 2});
+  store.Insert("25", "q2", 0, DaivStored{{rel::Value::Int(3)}, 12, 3});
+  EXPECT_EQ(store.size(), 3u);
+  ASSERT_NE(store.Find("25", "q1", 0), nullptr);
+  EXPECT_EQ(store.Find("25", "q1", 0)->size(), 1u);
+  EXPECT_EQ(store.Find("25", "q1", 1)->size(), 1u);
+  EXPECT_EQ(store.Find("26", "q1", 0), nullptr);
+  EXPECT_EQ(store.Find("25", "q3", 0), nullptr);
+}
+
+TEST_F(TablesTest, DaivStoreExpireAndRemove) {
+  DaivStore store;
+  store.Insert("25", "q1", 0, DaivStored{{}, 10, 1});
+  store.Insert("25", "q1", 0, DaivStored{{}, 30, 2});
+  store.Insert("30", "q1", 1, DaivStored{{}, 40, 3});
+  EXPECT_EQ(store.ExpireBefore(20), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.RemoveQuery("q1"), 2u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace contjoin::core

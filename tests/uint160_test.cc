@@ -1,0 +1,147 @@
+#include "common/uint160.h"
+
+#include <gtest/gtest.h>
+
+namespace contjoin {
+namespace {
+
+TEST(Uint160Test, DefaultIsZero) {
+  Uint160 z;
+  EXPECT_EQ(z.ToHex(), std::string(40, '0'));
+  EXPECT_EQ(z.Low64(), 0u);
+}
+
+TEST(Uint160Test, FromUint64RoundTrips) {
+  Uint160 v = Uint160::FromUint64(0x1234567890ABCDEFull);
+  EXPECT_EQ(v.Low64(), 0x1234567890ABCDEFull);
+  EXPECT_EQ(v.ToHex(), "0000000000000000000000001234567890abcdef");
+}
+
+TEST(Uint160Test, FromHexRoundTrips) {
+  bool ok = false;
+  Uint160 v = Uint160::FromHex("a9993e364706816aba3e25717850c26c9cd0d89d", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(v.ToHex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Uint160Test, FromHexShortIsValueExtended) {
+  bool ok = false;
+  Uint160 v = Uint160::FromHex("ff", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(v, Uint160::FromUint64(255));
+}
+
+TEST(Uint160Test, FromHexRejectsGarbage) {
+  bool ok = true;
+  (void)Uint160::FromHex("xyz", &ok);
+  EXPECT_FALSE(ok);
+  ok = true;
+  (void)Uint160::FromHex(std::string(41, 'a'), &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Uint160Test, AdditionCarriesAcrossWords) {
+  Uint160 a = Uint160::FromHex("00000000ffffffffffffffffffffffffffffffff");
+  Uint160 one = Uint160::FromUint64(1);
+  EXPECT_EQ((a + one).ToHex(), "0000000100000000000000000000000000000000");
+}
+
+TEST(Uint160Test, AdditionWrapsModulo2To160) {
+  Uint160 max = Uint160::Max();
+  Uint160 one = Uint160::FromUint64(1);
+  EXPECT_EQ(max + one, Uint160());
+  EXPECT_EQ(max + max, max - one);
+}
+
+TEST(Uint160Test, SubtractionBorrowsAndWraps) {
+  Uint160 zero;
+  Uint160 one = Uint160::FromUint64(1);
+  EXPECT_EQ(zero - one, Uint160::Max());
+  Uint160 a = Uint160::FromHex("0000000100000000000000000000000000000000");
+  EXPECT_EQ((a - one).ToHex(), "00000000ffffffffffffffffffffffffffffffff");
+}
+
+TEST(Uint160Test, AdditionSubtractionInverse) {
+  Uint160 a = HashKey("alpha");
+  Uint160 b = HashKey("beta");
+  EXPECT_EQ((a + b) - b, a);
+  EXPECT_EQ((a - b) + b, a);
+}
+
+TEST(Uint160Test, ComparisonIsLexicographicOnWords) {
+  Uint160 small = Uint160::FromUint64(5);
+  Uint160 big = Uint160::FromHex("8000000000000000000000000000000000000000");
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_EQ(small, Uint160::FromUint64(5));
+}
+
+TEST(Uint160Test, PowerOfTwo) {
+  EXPECT_EQ(Uint160::PowerOfTwo(0), Uint160::FromUint64(1));
+  EXPECT_EQ(Uint160::PowerOfTwo(63), Uint160::FromUint64(1ull << 63));
+  EXPECT_EQ(Uint160::PowerOfTwo(159).ToHex(),
+            "8000000000000000000000000000000000000000");
+  // Sum of all powers of two is 2^160 - 1.
+  Uint160 sum;
+  for (int i = 0; i < 160; ++i) sum += Uint160::PowerOfTwo(i);
+  EXPECT_EQ(sum, Uint160::Max());
+}
+
+TEST(Uint160Test, ClockwiseDistance) {
+  Uint160 a = Uint160::FromUint64(10);
+  Uint160 b = Uint160::FromUint64(3);
+  EXPECT_EQ(a.ClockwiseDistanceFrom(b), Uint160::FromUint64(7));
+  // Wrapping: from 10 back around to 3.
+  EXPECT_EQ(b.ClockwiseDistanceFrom(a),
+            Uint160::Max() - Uint160::FromUint64(6));
+}
+
+TEST(Uint160Test, InOpenClosedBasic) {
+  auto u = [](uint64_t v) { return Uint160::FromUint64(v); };
+  EXPECT_TRUE(u(5).InOpenClosed(u(3), u(8)));
+  EXPECT_TRUE(u(8).InOpenClosed(u(3), u(8)));   // Closed at b.
+  EXPECT_FALSE(u(3).InOpenClosed(u(3), u(8)));  // Open at a.
+  EXPECT_FALSE(u(9).InOpenClosed(u(3), u(8)));
+}
+
+TEST(Uint160Test, InOpenClosedWrapsAroundZero) {
+  auto u = [](uint64_t v) { return Uint160::FromUint64(v); };
+  Uint160 high = Uint160::Max() - u(10);
+  // Interval (Max-10, 5]: contains Max, 0, 3, 5 but not 6 or Max-10.
+  EXPECT_TRUE(Uint160::Max().InOpenClosed(high, u(5)));
+  EXPECT_TRUE(Uint160().InOpenClosed(high, u(5)));
+  EXPECT_TRUE(u(5).InOpenClosed(high, u(5)));
+  EXPECT_FALSE(u(6).InOpenClosed(high, u(5)));
+  EXPECT_FALSE(high.InOpenClosed(high, u(5)));
+}
+
+TEST(Uint160Test, DegenerateIntervalIsFullRing) {
+  auto a = HashKey("solo");
+  EXPECT_TRUE(a.InOpenClosed(a, a));
+  EXPECT_TRUE(HashKey("other").InOpenClosed(a, a));
+  EXPECT_FALSE(a.InOpenOpen(a, a));
+  EXPECT_TRUE(HashKey("other").InOpenOpen(a, a));
+}
+
+TEST(Uint160Test, InOpenOpenExcludesBothEnds) {
+  auto u = [](uint64_t v) { return Uint160::FromUint64(v); };
+  EXPECT_TRUE(u(5).InOpenOpen(u(3), u(8)));
+  EXPECT_FALSE(u(8).InOpenOpen(u(3), u(8)));
+  EXPECT_FALSE(u(3).InOpenOpen(u(3), u(8)));
+}
+
+TEST(Uint160Test, HashKeyMatchesSha1) {
+  Uint160 id = HashKey("abc");
+  EXPECT_EQ(id.ToHex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Uint160Test, HashValueSpreads) {
+  EXPECT_NE(HashKey("a").HashValue(), HashKey("b").HashValue());
+}
+
+TEST(Uint160Test, ShortString) {
+  EXPECT_EQ(HashKey("abc").ToShortString(), "a9993e3647");
+}
+
+}  // namespace
+}  // namespace contjoin

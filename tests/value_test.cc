@@ -1,0 +1,66 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+namespace contjoin::rel {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).as_int(), 5);
+  EXPECT_EQ(Value::Double(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::Str("x").as_string(), "x");
+}
+
+TEST(ValueTest, AsNumeric) {
+  EXPECT_EQ(Value::Int(7).AsNumeric(), 7.0);
+  EXPECT_EQ(Value::Double(1.5).AsNumeric(), 1.5);
+  EXPECT_FALSE(Value::Str("7").AsNumeric().has_value());
+  EXPECT_FALSE(Value::Null().AsNumeric().has_value());
+}
+
+TEST(ValueTest, KeyStringMatchesPaperConvention) {
+  // Paper §4.2: numeric values are treated as strings when hashed.
+  EXPECT_EQ(Value::Int(42).ToKeyString(), "42");
+  EXPECT_EQ(Value::Int(-3).ToKeyString(), "-3");
+  EXPECT_EQ(Value::Double(2.0).ToKeyString(), "2");
+  EXPECT_EQ(Value::Double(2.5).ToKeyString(), "2.5");
+  EXPECT_EQ(Value::Str("Smith").ToKeyString(), "Smith");
+}
+
+TEST(ValueTest, EqualityIsKeyStringEquality) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_EQ(Value::Int(2), Value::Str("2"));  // DHT-level behaviour.
+  EXPECT_NE(Value::Int(2), Value::Double(2.5));
+  EXPECT_NE(Value::Str("a"), Value::Str("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  // "10" < "9" lexicographically but 10 > 9 numerically.
+  EXPECT_GT(Value::Int(10).Compare(Value::Int(9)), 0);
+}
+
+TEST(ValueTest, CompareStringsLexicographic) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Str("x").Compare(Value::Str("x")), 0);
+  // Mixed string/number falls back to key strings.
+  EXPECT_LT(Value::Str("10").Compare(Value::Int(9)), 0);
+}
+
+TEST(ValueTest, ToStringQuotesStrings) {
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Int(4).ToString(), "4");
+}
+
+TEST(ValueTest, HashAgreesWithEquality) {
+  EXPECT_EQ(Value::Int(2).HashValue(), Value::Double(2.0).HashValue());
+  EXPECT_NE(Value::Int(2).HashValue(), Value::Int(3).HashValue());
+}
+
+}  // namespace
+}  // namespace contjoin::rel

@@ -1,0 +1,117 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace contjoin::workload {
+namespace {
+
+TEST(WorkloadTest, RegisterSchemas) {
+  WorkloadOptions opts;
+  WorkloadGenerator gen(opts);
+  rel::Catalog catalog;
+  ASSERT_TRUE(gen.RegisterSchemas(&catalog).ok());
+  ASSERT_NE(catalog.Find("R"), nullptr);
+  ASSERT_NE(catalog.Find("S"), nullptr);
+  EXPECT_EQ(catalog.Find("R")->arity(), opts.attrs_per_relation);
+  EXPECT_EQ(catalog.Find("R")->attribute(0).name, "a0");
+  EXPECT_EQ(catalog.Find("S")->attribute(0).name, "b0");
+}
+
+TEST(WorkloadTest, GeneratedQueriesParse) {
+  WorkloadOptions opts;
+  opts.t2_fraction = 0.3;
+  opts.linear_fraction = 0.3;
+  opts.predicate_fraction = 0.3;
+  WorkloadGenerator gen(opts);
+  rel::Catalog catalog;
+  ASSERT_TRUE(gen.RegisterSchemas(&catalog).ok());
+  for (int i = 0; i < 200; ++i) {
+    std::string sql = gen.NextQuerySql();
+    auto q = query::ParseQuery(sql, catalog);
+    ASSERT_TRUE(q.ok()) << sql << " -> " << q.status().ToString();
+  }
+}
+
+TEST(WorkloadTest, T2FractionZeroYieldsOnlyT1) {
+  WorkloadOptions opts;
+  opts.t2_fraction = 0.0;
+  WorkloadGenerator gen(opts);
+  rel::Catalog catalog;
+  ASSERT_TRUE(gen.RegisterSchemas(&catalog).ok());
+  for (int i = 0; i < 100; ++i) {
+    auto q = query::ParseQuery(gen.NextQuerySql(), catalog);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(q->type(), query::QueryType::kT1);
+  }
+}
+
+TEST(WorkloadTest, T2FractionOneYieldsOnlyT2) {
+  WorkloadOptions opts;
+  opts.t2_fraction = 1.0;
+  WorkloadGenerator gen(opts);
+  rel::Catalog catalog;
+  ASSERT_TRUE(gen.RegisterSchemas(&catalog).ok());
+  for (int i = 0; i < 50; ++i) {
+    auto q = query::ParseQuery(gen.NextQuerySql(), catalog);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(q->type(), query::QueryType::kT2);
+  }
+}
+
+TEST(WorkloadTest, TuplesMatchSchema) {
+  WorkloadOptions opts;
+  WorkloadGenerator gen(opts);
+  rel::Catalog catalog;
+  ASSERT_TRUE(gen.RegisterSchemas(&catalog).ok());
+  for (int i = 0; i < 100; ++i) {
+    auto [relation, values] = gen.NextTuple();
+    const rel::RelationSchema* schema = catalog.Find(relation);
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(values.size(), schema->arity());
+    for (const rel::Value& v : values) {
+      EXPECT_EQ(v.type(), rel::ValueType::kInt);
+      EXPECT_GE(v.as_int(), 0);
+      EXPECT_LT(v.as_int(), opts.domain);
+    }
+  }
+}
+
+TEST(WorkloadTest, BosRatioControlsRelationMix) {
+  WorkloadOptions opts;
+  opts.bos_ratio = 4.0;  // R : S arrivals at 4 : 1.
+  WorkloadGenerator gen(opts);
+  int r_count = 0;
+  const int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (gen.NextTuple().first == "R") ++r_count;
+  }
+  EXPECT_NEAR(static_cast<double>(r_count) / kDraws, 0.8, 0.02);
+}
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadOptions opts;
+  opts.seed = 99;
+  WorkloadGenerator a(opts), b(opts);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.NextQuerySql(), b.NextQuerySql());
+    EXPECT_EQ(a.NextTuple(), b.NextTuple());
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewShowsInValues) {
+  WorkloadOptions opts;
+  opts.zipf_theta = 1.2;
+  opts.domain = 1000;
+  WorkloadGenerator gen(opts);
+  int zeros = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (gen.SampleValue() == 0) ++zeros;
+  }
+  // Rank 0 should dominate under strong skew.
+  EXPECT_GT(zeros, 500);
+}
+
+}  // namespace
+}  // namespace contjoin::workload

@@ -1,0 +1,80 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace contjoin {
+namespace {
+
+std::vector<double> EmpiricalFrequencies(ZipfSampler* sampler, Rng* rng,
+                                         int draws) {
+  std::vector<double> freq(sampler->n(), 0.0);
+  for (int i = 0; i < draws; ++i) freq[sampler->Sample(rng)] += 1.0;
+  for (double& f : freq) f /= draws;
+  return freq;
+}
+
+TEST(ZipfTest, SamplesStayInDomain) {
+  Rng rng(1);
+  ZipfSampler zipf(100, 0.9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 100u);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(2);
+  ZipfSampler zipf(20, 0.0);
+  auto freq = EmpiricalFrequencies(&zipf, &rng, 200000);
+  for (double f : freq) EXPECT_NEAR(f, 0.05, 0.01);
+}
+
+TEST(ZipfTest, FrequenciesMatchTheory) {
+  Rng rng(3);
+  const double theta = 0.9;
+  const uint64_t n = 50;
+  ZipfSampler zipf(n, theta);
+  auto freq = EmpiricalFrequencies(&zipf, &rng, 400000);
+  double norm = 0;
+  for (uint64_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(k, theta);
+  for (uint64_t k = 1; k <= 10; ++k) {
+    double expected = (1.0 / std::pow(k, theta)) / norm;
+    EXPECT_NEAR(freq[k - 1], expected, expected * 0.1 + 0.002)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, RanksAreMonotonicallyLessFrequent) {
+  Rng rng(4);
+  ZipfSampler zipf(10, 1.2);
+  auto freq = EmpiricalFrequencies(&zipf, &rng, 300000);
+  for (size_t k = 1; k < 5; ++k) EXPECT_GT(freq[k - 1], freq[k]);
+}
+
+TEST(ZipfTest, HighThetaConcentrates) {
+  Rng rng(5);
+  ZipfSampler zipf(1000, 1.5);
+  int head = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Sample(&rng) < 10) ++head;
+  }
+  // Theory: top-10 mass = (sum_{k<=10} k^-1.5) / (sum_{k<=1000} k^-1.5),
+  // approximately 0.783.
+  EXPECT_NEAR(static_cast<double>(head) / kDraws, 0.783, 0.02);
+}
+
+TEST(ZipfTest, LargeDomainWorks) {
+  Rng rng(6);
+  ZipfSampler zipf(10'000'000, 0.8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 10'000'000u);
+}
+
+TEST(ZipfTest, SingletonDomain) {
+  Rng rng(7);
+  ZipfSampler zipf(1, 0.9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace contjoin
