@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contjoin_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/contjoin_bench_common.dir/bench_common.cc.o.d"
+  "libcontjoin_bench_common.a"
+  "libcontjoin_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contjoin_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcontjoin_bench_common.a"
+)

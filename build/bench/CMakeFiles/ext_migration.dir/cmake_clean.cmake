@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_migration.dir/ext_migration.cc.o"
+  "CMakeFiles/ext_migration.dir/ext_migration.cc.o.d"
+  "ext_migration"
+  "ext_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiway.dir/ext_multiway.cc.o"
+  "CMakeFiles/ext_multiway.dir/ext_multiway.cc.o.d"
+  "ext_multiway"
+  "ext_multiway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

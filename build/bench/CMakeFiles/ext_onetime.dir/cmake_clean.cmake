@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_onetime.dir/ext_onetime.cc.o"
+  "CMakeFiles/ext_onetime.dir/ext_onetime.cc.o.d"
+  "ext_onetime"
+  "ext_onetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_onetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_bos_ratio.dir/fig_bos_ratio.cc.o"
+  "CMakeFiles/fig_bos_ratio.dir/fig_bos_ratio.cc.o.d"
+  "fig_bos_ratio"
+  "fig_bos_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_bos_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_daiv_scal.dir/fig_daiv_scal.cc.o"
+  "CMakeFiles/fig_daiv_scal.dir/fig_daiv_scal.cc.o.d"
+  "fig_daiv_scal"
+  "fig_daiv_scal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_daiv_scal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

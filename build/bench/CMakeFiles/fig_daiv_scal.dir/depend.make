@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_daiv_scal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_load_dist_all.dir/fig_load_dist_all.cc.o"
+  "CMakeFiles/fig_load_dist_all.dir/fig_load_dist_all.cc.o.d"
+  "fig_load_dist_all"
+  "fig_load_dist_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_load_dist_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

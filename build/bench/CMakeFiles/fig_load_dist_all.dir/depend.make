@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_load_dist_all.
+# This may be replaced when dependencies are built.

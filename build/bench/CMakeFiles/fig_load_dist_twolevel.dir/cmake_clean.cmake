@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_load_dist_twolevel.dir/fig_load_dist_twolevel.cc.o"
+  "CMakeFiles/fig_load_dist_twolevel.dir/fig_load_dist_twolevel.cc.o.d"
+  "fig_load_dist_twolevel"
+  "fig_load_dist_twolevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_load_dist_twolevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_load_dist_twolevel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_multisend.dir/fig_multisend.cc.o"
+  "CMakeFiles/fig_multisend.dir/fig_multisend.cc.o.d"
+  "fig_multisend"
+  "fig_multisend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_multisend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

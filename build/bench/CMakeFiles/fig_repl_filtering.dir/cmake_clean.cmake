@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_repl_filtering.dir/fig_repl_filtering.cc.o"
+  "CMakeFiles/fig_repl_filtering.dir/fig_repl_filtering.cc.o.d"
+  "fig_repl_filtering"
+  "fig_repl_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_repl_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

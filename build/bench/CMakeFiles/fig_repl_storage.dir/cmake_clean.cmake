@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_repl_storage.dir/fig_repl_storage.cc.o"
+  "CMakeFiles/fig_repl_storage.dir/fig_repl_storage.cc.o.d"
+  "fig_repl_storage"
+  "fig_repl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_repl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_sai_attr_choice.dir/fig_sai_attr_choice.cc.o"
+  "CMakeFiles/fig_sai_attr_choice.dir/fig_sai_attr_choice.cc.o.d"
+  "fig_sai_attr_choice"
+  "fig_sai_attr_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sai_attr_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_sai_attr_choice.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_scal_network.dir/fig_scal_network.cc.o"
+  "CMakeFiles/fig_scal_network.dir/fig_scal_network.cc.o.d"
+  "fig_scal_network"
+  "fig_scal_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_scal_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_scal_network_top.dir/fig_scal_network_top.cc.o"
+  "CMakeFiles/fig_scal_network_top.dir/fig_scal_network_top.cc.o.d"
+  "fig_scal_network_top"
+  "fig_scal_network_top.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_scal_network_top.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_scal_network_top.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig_scal_queries.cc" "bench/CMakeFiles/fig_scal_queries.dir/fig_scal_queries.cc.o" "gcc" "bench/CMakeFiles/fig_scal_queries.dir/fig_scal_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/contjoin_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/contjoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/contjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/contjoin_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/contjoin_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/contjoin_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/contjoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/contjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

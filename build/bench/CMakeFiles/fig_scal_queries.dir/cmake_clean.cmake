@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_scal_queries.dir/fig_scal_queries.cc.o"
+  "CMakeFiles/fig_scal_queries.dir/fig_scal_queries.cc.o.d"
+  "fig_scal_queries"
+  "fig_scal_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_scal_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_scal_tuple_rate.dir/fig_scal_tuple_rate.cc.o"
+  "CMakeFiles/fig_scal_tuple_rate.dir/fig_scal_tuple_rate.cc.o.d"
+  "fig_scal_tuple_rate"
+  "fig_scal_tuple_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_scal_tuple_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_scal_tuple_rate.
+# This may be replaced when dependencies are built.

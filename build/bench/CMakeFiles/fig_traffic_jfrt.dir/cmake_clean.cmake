@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_traffic_jfrt.dir/fig_traffic_jfrt.cc.o"
+  "CMakeFiles/fig_traffic_jfrt.dir/fig_traffic_jfrt.cc.o.d"
+  "fig_traffic_jfrt"
+  "fig_traffic_jfrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_traffic_jfrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_traffic_queries.dir/fig_traffic_queries.cc.o"
+  "CMakeFiles/fig_traffic_queries.dir/fig_traffic_queries.cc.o.d"
+  "fig_traffic_queries"
+  "fig_traffic_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_traffic_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_window_filtering.dir/fig_window_filtering.cc.o"
+  "CMakeFiles/fig_window_filtering.dir/fig_window_filtering.cc.o.d"
+  "fig_window_filtering"
+  "fig_window_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_window_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

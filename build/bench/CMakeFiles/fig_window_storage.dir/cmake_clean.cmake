@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_window_storage.dir/fig_window_storage.cc.o"
+  "CMakeFiles/fig_window_storage.dir/fig_window_storage.cc.o.d"
+  "fig_window_storage"
+  "fig_window_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_window_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_algo_comparison.dir/table_algo_comparison.cc.o"
+  "CMakeFiles/table_algo_comparison.dir/table_algo_comparison.cc.o.d"
+  "table_algo_comparison"
+  "table_algo_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_algo_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn.dir/churn.cpp.o"
+  "CMakeFiles/churn.dir/churn.cpp.o.d"
+  "churn"
+  "churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shell.dir/shell.cpp.o"
+  "CMakeFiles/shell.dir/shell.cpp.o.d"
+  "shell"
+  "shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

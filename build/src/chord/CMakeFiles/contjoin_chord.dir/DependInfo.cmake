@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chord/local_store.cc" "src/chord/CMakeFiles/contjoin_chord.dir/local_store.cc.o" "gcc" "src/chord/CMakeFiles/contjoin_chord.dir/local_store.cc.o.d"
+  "/root/repo/src/chord/network.cc" "src/chord/CMakeFiles/contjoin_chord.dir/network.cc.o" "gcc" "src/chord/CMakeFiles/contjoin_chord.dir/network.cc.o.d"
+  "/root/repo/src/chord/node.cc" "src/chord/CMakeFiles/contjoin_chord.dir/node.cc.o" "gcc" "src/chord/CMakeFiles/contjoin_chord.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/contjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/contjoin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contjoin_chord.dir/local_store.cc.o"
+  "CMakeFiles/contjoin_chord.dir/local_store.cc.o.d"
+  "CMakeFiles/contjoin_chord.dir/network.cc.o"
+  "CMakeFiles/contjoin_chord.dir/network.cc.o.d"
+  "CMakeFiles/contjoin_chord.dir/node.cc.o"
+  "CMakeFiles/contjoin_chord.dir/node.cc.o.d"
+  "libcontjoin_chord.a"
+  "libcontjoin_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contjoin_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contjoin_common.dir/histogram.cc.o"
+  "CMakeFiles/contjoin_common.dir/histogram.cc.o.d"
+  "CMakeFiles/contjoin_common.dir/rng.cc.o"
+  "CMakeFiles/contjoin_common.dir/rng.cc.o.d"
+  "CMakeFiles/contjoin_common.dir/sha1.cc.o"
+  "CMakeFiles/contjoin_common.dir/sha1.cc.o.d"
+  "CMakeFiles/contjoin_common.dir/status.cc.o"
+  "CMakeFiles/contjoin_common.dir/status.cc.o.d"
+  "CMakeFiles/contjoin_common.dir/string_util.cc.o"
+  "CMakeFiles/contjoin_common.dir/string_util.cc.o.d"
+  "CMakeFiles/contjoin_common.dir/uint160.cc.o"
+  "CMakeFiles/contjoin_common.dir/uint160.cc.o.d"
+  "CMakeFiles/contjoin_common.dir/zipf.cc.o"
+  "CMakeFiles/contjoin_common.dir/zipf.cc.o.d"
+  "libcontjoin_common.a"
+  "libcontjoin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contjoin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contjoin_core.dir/engine.cc.o"
+  "CMakeFiles/contjoin_core.dir/engine.cc.o.d"
+  "CMakeFiles/contjoin_core.dir/jfrt.cc.o"
+  "CMakeFiles/contjoin_core.dir/jfrt.cc.o.d"
+  "CMakeFiles/contjoin_core.dir/messages.cc.o"
+  "CMakeFiles/contjoin_core.dir/messages.cc.o.d"
+  "CMakeFiles/contjoin_core.dir/tables.cc.o"
+  "CMakeFiles/contjoin_core.dir/tables.cc.o.d"
+  "libcontjoin_core.a"
+  "libcontjoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contjoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/expr.cc" "src/query/CMakeFiles/contjoin_query.dir/expr.cc.o" "gcc" "src/query/CMakeFiles/contjoin_query.dir/expr.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/contjoin_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/contjoin_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/mw_query.cc" "src/query/CMakeFiles/contjoin_query.dir/mw_query.cc.o" "gcc" "src/query/CMakeFiles/contjoin_query.dir/mw_query.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/contjoin_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/contjoin_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/contjoin_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/contjoin_query.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/contjoin_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/contjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

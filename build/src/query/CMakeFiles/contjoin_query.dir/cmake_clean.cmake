@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contjoin_query.dir/expr.cc.o"
+  "CMakeFiles/contjoin_query.dir/expr.cc.o.d"
+  "CMakeFiles/contjoin_query.dir/lexer.cc.o"
+  "CMakeFiles/contjoin_query.dir/lexer.cc.o.d"
+  "CMakeFiles/contjoin_query.dir/mw_query.cc.o"
+  "CMakeFiles/contjoin_query.dir/mw_query.cc.o.d"
+  "CMakeFiles/contjoin_query.dir/parser.cc.o"
+  "CMakeFiles/contjoin_query.dir/parser.cc.o.d"
+  "CMakeFiles/contjoin_query.dir/query.cc.o"
+  "CMakeFiles/contjoin_query.dir/query.cc.o.d"
+  "libcontjoin_query.a"
+  "libcontjoin_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contjoin_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

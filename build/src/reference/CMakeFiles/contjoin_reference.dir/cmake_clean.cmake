@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contjoin_reference.dir/mw_reference.cc.o"
+  "CMakeFiles/contjoin_reference.dir/mw_reference.cc.o.d"
+  "CMakeFiles/contjoin_reference.dir/reference_engine.cc.o"
+  "CMakeFiles/contjoin_reference.dir/reference_engine.cc.o.d"
+  "libcontjoin_reference.a"
+  "libcontjoin_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contjoin_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

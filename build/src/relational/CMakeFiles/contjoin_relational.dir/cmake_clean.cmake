@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contjoin_relational.dir/schema.cc.o"
+  "CMakeFiles/contjoin_relational.dir/schema.cc.o.d"
+  "CMakeFiles/contjoin_relational.dir/tuple.cc.o"
+  "CMakeFiles/contjoin_relational.dir/tuple.cc.o.d"
+  "CMakeFiles/contjoin_relational.dir/value.cc.o"
+  "CMakeFiles/contjoin_relational.dir/value.cc.o.d"
+  "libcontjoin_relational.a"
+  "libcontjoin_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contjoin_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contjoin_sim.dir/net_stats.cc.o"
+  "CMakeFiles/contjoin_sim.dir/net_stats.cc.o.d"
+  "CMakeFiles/contjoin_sim.dir/simulator.cc.o"
+  "CMakeFiles/contjoin_sim.dir/simulator.cc.o.d"
+  "libcontjoin_sim.a"
+  "libcontjoin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contjoin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

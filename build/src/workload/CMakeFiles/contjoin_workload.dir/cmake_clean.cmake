@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contjoin_workload.dir/driver.cc.o"
+  "CMakeFiles/contjoin_workload.dir/driver.cc.o.d"
+  "CMakeFiles/contjoin_workload.dir/workload.cc.o"
+  "CMakeFiles/contjoin_workload.dir/workload.cc.o.d"
+  "libcontjoin_workload.a"
+  "libcontjoin_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contjoin_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

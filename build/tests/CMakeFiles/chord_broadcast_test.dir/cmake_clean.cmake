@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_broadcast_test.dir/chord_broadcast_test.cc.o"
+  "CMakeFiles/chord_broadcast_test.dir/chord_broadcast_test.cc.o.d"
+  "chord_broadcast_test"
+  "chord_broadcast_test.pdb"
+  "chord_broadcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_broadcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_churn_property_test.dir/chord_churn_property_test.cc.o"
+  "CMakeFiles/chord_churn_property_test.dir/chord_churn_property_test.cc.o.d"
+  "chord_churn_property_test"
+  "chord_churn_property_test.pdb"
+  "chord_churn_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_churn_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

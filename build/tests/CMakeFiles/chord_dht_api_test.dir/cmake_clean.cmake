@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_dht_api_test.dir/chord_dht_api_test.cc.o"
+  "CMakeFiles/chord_dht_api_test.dir/chord_dht_api_test.cc.o.d"
+  "chord_dht_api_test"
+  "chord_dht_api_test.pdb"
+  "chord_dht_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_dht_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

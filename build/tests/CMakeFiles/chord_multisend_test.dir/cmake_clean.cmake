@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_multisend_test.dir/chord_multisend_test.cc.o"
+  "CMakeFiles/chord_multisend_test.dir/chord_multisend_test.cc.o.d"
+  "chord_multisend_test"
+  "chord_multisend_test.pdb"
+  "chord_multisend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_multisend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_protocol_test.dir/chord_protocol_test.cc.o"
+  "CMakeFiles/chord_protocol_test.dir/chord_protocol_test.cc.o.d"
+  "chord_protocol_test"
+  "chord_protocol_test.pdb"
+  "chord_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_ring_test.dir/chord_ring_test.cc.o"
+  "CMakeFiles/chord_ring_test.dir/chord_ring_test.cc.o.d"
+  "chord_ring_test"
+  "chord_ring_test.pdb"
+  "chord_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

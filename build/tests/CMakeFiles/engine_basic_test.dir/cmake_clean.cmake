@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_basic_test.dir/engine_basic_test.cc.o"
+  "CMakeFiles/engine_basic_test.dir/engine_basic_test.cc.o.d"
+  "engine_basic_test"
+  "engine_basic_test.pdb"
+  "engine_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_features_test.dir/engine_features_test.cc.o"
+  "CMakeFiles/engine_features_test.dir/engine_features_test.cc.o.d"
+  "engine_features_test"
+  "engine_features_test.pdb"
+  "engine_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_migration_test.dir/engine_migration_test.cc.o"
+  "CMakeFiles/engine_migration_test.dir/engine_migration_test.cc.o.d"
+  "engine_migration_test"
+  "engine_migration_test.pdb"
+  "engine_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

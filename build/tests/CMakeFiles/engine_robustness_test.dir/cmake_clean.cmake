@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_robustness_test.dir/engine_robustness_test.cc.o"
+  "CMakeFiles/engine_robustness_test.dir/engine_robustness_test.cc.o.d"
+  "engine_robustness_test"
+  "engine_robustness_test.pdb"
+  "engine_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_semantics_test.dir/engine_semantics_test.cc.o"
+  "CMakeFiles/engine_semantics_test.dir/engine_semantics_test.cc.o.d"
+  "engine_semantics_test"
+  "engine_semantics_test.pdb"
+  "engine_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

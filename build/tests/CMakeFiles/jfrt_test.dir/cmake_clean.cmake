@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jfrt_test.dir/jfrt_test.cc.o"
+  "CMakeFiles/jfrt_test.dir/jfrt_test.cc.o.d"
+  "jfrt_test"
+  "jfrt_test.pdb"
+  "jfrt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jfrt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

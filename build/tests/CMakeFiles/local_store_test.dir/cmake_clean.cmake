@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_store_test.dir/local_store_test.cc.o"
+  "CMakeFiles/local_store_test.dir/local_store_test.cc.o.d"
+  "local_store_test"
+  "local_store_test.pdb"
+  "local_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_engine_test.dir/mw_engine_test.cc.o"
+  "CMakeFiles/mw_engine_test.dir/mw_engine_test.cc.o.d"
+  "mw_engine_test"
+  "mw_engine_test.pdb"
+  "mw_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

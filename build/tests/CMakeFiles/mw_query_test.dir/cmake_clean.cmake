@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_query_test.dir/mw_query_test.cc.o"
+  "CMakeFiles/mw_query_test.dir/mw_query_test.cc.o.d"
+  "mw_query_test"
+  "mw_query_test.pdb"
+  "mw_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onetime_test.dir/onetime_test.cc.o"
+  "CMakeFiles/onetime_test.dir/onetime_test.cc.o.d"
+  "onetime_test"
+  "onetime_test.pdb"
+  "onetime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onetime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_engine_test.dir/reference_engine_test.cc.o"
+  "CMakeFiles/reference_engine_test.dir/reference_engine_test.cc.o.d"
+  "reference_engine_test"
+  "reference_engine_test.pdb"
+  "reference_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sha1_test.dir/sha1_test.cc.o"
+  "CMakeFiles/sha1_test.dir/sha1_test.cc.o.d"
+  "sha1_test"
+  "sha1_test.pdb"
+  "sha1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sha1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

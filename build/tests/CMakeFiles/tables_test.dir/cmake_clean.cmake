@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables_test.dir/tables_test.cc.o"
+  "CMakeFiles/tables_test.dir/tables_test.cc.o.d"
+  "tables_test"
+  "tables_test.pdb"
+  "tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uint160_test.dir/uint160_test.cc.o"
+  "CMakeFiles/uint160_test.dir/uint160_test.cc.o.d"
+  "uint160_test"
+  "uint160_test.pdb"
+  "uint160_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uint160_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
