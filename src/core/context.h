@@ -1,0 +1,91 @@
+// ProtocolContext: the narrow seam between the protocol role handlers
+// (rewriter / evaluator / subscriber / multi-way / one-time-join) and the
+// engine hosting them. Handlers reach the catalog, options, rng, per-node
+// state, transport, clock and notification sink exclusively through this
+// interface — it is the boundary a sharded simulator or a real wire
+// transport plugs into, and what unit tests mock to exercise one handler in
+// isolation.
+
+#ifndef CONTJOIN_CORE_CONTEXT_H_
+#define CONTJOIN_CORE_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chord/types.h"
+#include "common/rng.h"
+#include "core/notification.h"
+#include "core/options.h"
+#include "relational/tuple.h"
+#include "sim/net_stats.h"
+
+namespace contjoin::rel {
+class Catalog;
+}  // namespace contjoin::rel
+
+namespace contjoin::core {
+
+struct NodeState;
+class AlgorithmStrategy;
+
+class ProtocolContext {
+ public:
+  virtual ~ProtocolContext() = default;
+
+  // --- Configuration & environment -----------------------------------------
+
+  virtual const Options& options() const = 0;
+  /// Strategy object of the configured algorithm (SAI / DAI-Q / DAI-T /
+  /// DAI-V policy differences).
+  virtual const AlgorithmStrategy& strategy() const = 0;
+  virtual rel::Catalog& GetCatalog() = 0;
+  virtual Rng& GetRng() = 0;
+  /// Clock: current virtual time.
+  virtual rel::Timestamp now() const = 0;
+
+  // --- Per-node protocol state ----------------------------------------------
+
+  virtual NodeState& StateOf(chord::Node& node) = 0;
+
+  // --- Transport ------------------------------------------------------------
+
+  /// Routes `msg` from `from` toward Successor(msg.target).
+  virtual void Send(chord::Node& from, chord::AppMessage msg) = 0;
+  /// Routes a batch with the paper's recursive multisend (§2.3).
+  virtual void Multisend(chord::Node& from,
+                         std::vector<chord::AppMessage> msgs,
+                         sim::MsgClass cls) = 0;
+  /// Point-to-point (one-hop) delivery to a known address; `deliver` runs at
+  /// the destination when the hop completes.
+  virtual void Transmit(chord::Node* from, chord::Node* to, sim::MsgClass cls,
+                        std::function<void()> deliver) = 0;
+  /// Accounts one overlay hop of class `cls` (e.g. an implied response).
+  virtual void CountHop(sim::MsgClass cls) = 0;
+  /// Re-enters message dispatch at `node` — moved attribute-level
+  /// identifiers forward whole messages to their holder (§4.7).
+  virtual void Redeliver(chord::Node& node, const chord::AppMessage& msg) = 0;
+
+  // --- Subscribers & results -------------------------------------------------
+
+  /// Node currently registered under application key `key` (subscriber
+  /// lookup for direct notification delivery); nullptr if unknown.
+  virtual chord::Node* NodeByKey(const std::string& key) = 0;
+  /// Notification sink: appends `n` to `node`'s local inbox.
+  virtual void DepositNotification(chord::Node& node, Notification n) = 0;
+  /// One-time-join result sink: appends `rows` to the issuer-side result
+  /// buffer of execution `otj_id`.
+  virtual void AppendOtjResults(uint64_t otj_id,
+                                std::vector<Notification> rows) = 0;
+
+  /// True when a stored object published at `pub` is still inside the
+  /// sliding window relative to `now_time`.
+  bool InWindow(rel::Timestamp pub, rel::Timestamp now_time) const {
+    return options().window == 0 || now_time - pub <= options().window;
+  }
+};
+
+}  // namespace contjoin::core
+
+#endif  // CONTJOIN_CORE_CONTEXT_H_

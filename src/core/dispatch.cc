@@ -1,0 +1,48 @@
+#include "core/dispatch.h"
+
+#include "core/evaluator.h"
+#include "core/mw_protocol.h"
+#include "core/otj_protocol.h"
+#include "core/rewriter.h"
+#include "core/state.h"
+#include "core/subscriber.h"
+
+namespace contjoin::core {
+
+bool MessageDispatcher::Dispatch(ProtocolContext& ctx, chord::Node& node,
+                                 const chord::AppMessage& msg) const {
+  const auto* base = static_cast<const CqPayload*>(msg.payload.get());
+  if (base == nullptr) return false;
+  size_t index = static_cast<size_t>(base->type);
+  if (index >= handlers_.size() || handlers_[index] == nullptr) {
+    ++ctx.StateOf(node).metrics.msgs_unhandled;
+    return false;
+  }
+  ++ctx.StateOf(node).metrics.received_by_type[index];
+  handlers_[index](ctx, node, msg);
+  return true;
+}
+
+const MessageDispatcher& MessageDispatcher::Default() {
+  static const MessageDispatcher table = [] {
+    MessageDispatcher t;
+    t.Register(CqMsgType::kQueryIndex, rewriter::HandleQueryIndex);
+    t.Register(CqMsgType::kTupleAl, rewriter::HandleTupleAl);
+    t.Register(CqMsgType::kTupleVl, evaluator::HandleTupleVl);
+    t.Register(CqMsgType::kJoin, evaluator::HandleJoinMsg);
+    t.Register(CqMsgType::kDaivJoin, evaluator::HandleDaivJoinMsg);
+    t.Register(CqMsgType::kNotification, subscriber::HandleNotification);
+    t.Register(CqMsgType::kUnsubscribe, rewriter::HandleUnsubscribe);
+    t.Register(CqMsgType::kIpUpdate, subscriber::HandleIpUpdate);
+    t.Register(CqMsgType::kJfrtAck, rewriter::HandleJfrtAck);
+    t.Register(CqMsgType::kMigrateCmd, rewriter::HandleMigrateCmd);
+    t.Register(CqMsgType::kMwQueryIndex, mw::HandleQueryIndex);
+    t.Register(CqMsgType::kMwJoin, mw::HandleJoin);
+    t.Register(CqMsgType::kOtjScan, otj::HandleScan);
+    t.Register(CqMsgType::kOtjRehash, otj::HandleRehash);
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace contjoin::core

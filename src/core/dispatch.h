@@ -1,0 +1,45 @@
+// Message-dispatch registry: maps each CqMsgType to its role handler and
+// keeps per-type receive counters, replacing the monolithic switch. The
+// default table wires up the paper's protocols; tests can build their own
+// table to exercise handlers in isolation.
+
+#ifndef CONTJOIN_CORE_DISPATCH_H_
+#define CONTJOIN_CORE_DISPATCH_H_
+
+#include <array>
+
+#include "chord/types.h"
+#include "core/context.h"
+#include "core/messages.h"
+
+namespace contjoin::core {
+
+class MessageDispatcher {
+ public:
+  using Handler = void (*)(ProtocolContext&, chord::Node&,
+                           const chord::AppMessage&);
+
+  /// An empty table; use Register (or Default()) to populate it.
+  MessageDispatcher() = default;
+
+  void Register(CqMsgType type, Handler handler) {
+    handlers_[static_cast<size_t>(type)] = handler;
+  }
+
+  /// Routes `msg` to the handler registered for its payload type, counting
+  /// the receipt in the node's metrics. Returns false (and counts the
+  /// message as unhandled) when no handler is registered; a null payload is
+  /// ignored entirely.
+  bool Dispatch(ProtocolContext& ctx, chord::Node& node,
+                const chord::AppMessage& msg) const;
+
+  /// The shared table with every protocol handler registered.
+  static const MessageDispatcher& Default();
+
+ private:
+  std::array<Handler, kCqMsgTypeCount> handlers_{};
+};
+
+}  // namespace contjoin::core
+
+#endif  // CONTJOIN_CORE_DISPATCH_H_

@@ -3,73 +3,15 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "core/subscriber.h"
 
 namespace contjoin::core {
-
-const char* AlgorithmName(Algorithm a) {
-  switch (a) {
-    case Algorithm::kSai:
-      return "SAI";
-    case Algorithm::kDaiQ:
-      return "DAI-Q";
-    case Algorithm::kDaiT:
-      return "DAI-T";
-    case Algorithm::kDaiV:
-      return "DAI-V";
-  }
-  return "?";
-}
-
-const char* SaiStrategyName(SaiStrategy s) {
-  switch (s) {
-    case SaiStrategy::kRandom:
-      return "random";
-    case SaiStrategy::kLowerRate:
-      return "lower-rate";
-    case SaiStrategy::kLowerSkew:
-      return "lower-skew";
-    case SaiStrategy::kSmallerDomain:
-      return "smaller-domain";
-  }
-  return "?";
-}
-
-void AttrArrivalStats::Record(const std::string& value_key) {
-  ++tuples_seen;
-  if (value_counts.size() < kMaxTrackedValues ||
-      value_counts.count(value_key) > 0) {
-    ++value_counts[value_key];
-  } else {
-    ++overflow_values;
-  }
-}
-
-void AttrArrivalStats::Merge(const AttrArrivalStats& other) {
-  tuples_seen += other.tuples_seen;
-  overflow_values += other.overflow_values;
-  for (const auto& [value, count] : other.value_counts) {
-    if (value_counts.size() < kMaxTrackedValues ||
-        value_counts.count(value) > 0) {
-      value_counts[value] += count;
-    } else {
-      overflow_values += count;
-    }
-  }
-}
-
-double AttrArrivalStats::SkewEstimate() const {
-  if (tuples_seen == 0) return 0.0;
-  uint64_t max_count = 0;
-  for (const auto& [value, count] : value_counts) {
-    max_count = std::max(max_count, count);
-  }
-  return static_cast<double>(max_count) / static_cast<double>(tuples_seen);
-}
 
 // --- Construction -------------------------------------------------------------
 
 ContinuousQueryNetwork::ContinuousQueryNetwork(Options options)
     : options_(std::move(options)),
+      strategy_(&AlgorithmStrategy::For(options_.algorithm)),
       network_(&simulator_, options_.chord),
       rng_(options_.seed) {
   nodes_ = network_.BuildIdealRing(options_.num_nodes);
@@ -82,16 +24,6 @@ ContinuousQueryNetwork::ContinuousQueryNetwork(Options options)
 
 ContinuousQueryNetwork::~ContinuousQueryNetwork() = default;
 
-namespace {
-
-/// Attribute-level bucket key: "R+A#<replica>". One node can hold buckets
-/// for several (key, replica) pairs, especially after identifier moves.
-std::string MKey(const std::string& level1, int replica) {
-  return level1 + "#" + std::to_string(replica);
-}
-
-}  // namespace
-
 NodeState& ContinuousQueryNetwork::StateOf(chord::Node& node) {
   auto it = states_.find(&node);
   CJ_CHECK(it != states_.end()) << "node without engine state";
@@ -102,1491 +34,17 @@ void ContinuousQueryNetwork::Tick() {
   simulator_.AdvanceTo(simulator_.Now() + options_.time_step);
 }
 
-// --- Submission ------------------------------------------------------------------
-
-uint64_t ContinuousQueryNetwork::ProbeAttrRate(size_t node_index,
-                                               const std::string& relation,
-                                               const std::string& attr,
-                                               uint64_t* distinct,
-                                               double* skew) {
-  chord::Node* origin = nodes_[node_index];
-  chord::NodeId aid = AttrIndexId(relation, attr, /*replica=*/0);
-  chord::Node* rewriter = origin->FindSuccessor(aid, sim::MsgClass::kControl);
-  if (rewriter == nullptr) {
-    *distinct = 0;
-    *skew = 0;
-    return 0;
-  }
-  network_.CountHop(sim::MsgClass::kControl);  // The response.
-  std::string mkey = MKey(AttrKey(relation, attr), 0);
-  // Follow a moved identifier (§4.7) to the statistics' current holder.
-  auto moved = StateOf(*rewriter).moved_attrs.find(mkey);
-  if (moved != StateOf(*rewriter).moved_attrs.end() &&
-      moved->second.holder != nullptr && moved->second.holder->alive()) {
-    rewriter = moved->second.holder;
-    network_.CountHop(sim::MsgClass::kControl);
-  }
-  const AttrArrivalStats& stats = StateOf(*rewriter).attr_stats[mkey];
-  *distinct = stats.DistinctEstimate();
-  *skew = stats.SkewEstimate();
-  return stats.tuples_seen;
-}
-
-int ContinuousQueryNetwork::ChooseSaiIndexSide(
-    size_t node_index, const query::ContinuousQuery& q) {
-  if (options_.sai_strategy == SaiStrategy::kRandom) {
-    return static_cast<int>(rng_.NextBelow(2));
-  }
-  uint64_t rate[2], distinct[2];
-  double skew[2];
-  for (int s = 0; s < 2; ++s) {
-    rate[s] = ProbeAttrRate(node_index, q.side(s).relation,
-                            q.side(s).index_attr_name(), &distinct[s],
-                            &skew[s]);
-  }
-  switch (options_.sai_strategy) {
-    case SaiStrategy::kLowerRate:
-      // Index by the relation whose tuples arrive more rarely: fewer
-      // triggers, fewer rewrites, less traffic (§4.3.6).
-      if (rate[0] != rate[1]) return rate[0] < rate[1] ? 0 : 1;
-      break;
-    case SaiStrategy::kLowerSkew:
-      // Index by the attribute whose values spread evaluators widest.
-      if (skew[0] != skew[1]) return skew[0] < skew[1] ? 0 : 1;
-      break;
-    case SaiStrategy::kSmallerDomain:
-      // Index by the attribute with the smaller observed value range.
-      if (distinct[0] != distinct[1]) return distinct[0] < distinct[1] ? 0 : 1;
-      break;
-    case SaiStrategy::kRandom:
-      break;
-  }
-  return static_cast<int>(rng_.NextBelow(2));
-}
-
-StatusOr<std::string> ContinuousQueryNetwork::SubmitQuery(
-    size_t node_index, std::string_view sql) {
-  if (node_index >= nodes_.size()) {
-    return Status::InvalidArgument("node index out of range");
-  }
-  chord::Node* origin = nodes_[node_index];
-  if (!origin->alive()) {
-    return Status::FailedPrecondition("submitting node is offline");
-  }
-  CJ_ASSIGN_OR_RETURN(query::ContinuousQuery parsed,
-                      query::ParseQuery(sql, catalog_));
-  if (parsed.type() == query::QueryType::kT2 &&
-      options_.algorithm != Algorithm::kDaiV) {
-    return Status::Unsupported(
-        "queries of type T2 require DAI-V (paper §4.5); " +
-        std::string(AlgorithmName(options_.algorithm)) +
-        " handles only type T1");
-  }
-
-  Tick();
-  NodeState& origin_state = StateOf(*origin);
-  std::string key =
-      origin->key() + "#" + std::to_string(origin_state.next_query_serial++);
-  parsed.set_key(key);
-  parsed.set_subscriber_key(origin->key());
-  parsed.set_subscriber_ip(origin->ip());
-  parsed.set_insertion_time(simulator_.Now());
-
-  auto query = std::make_shared<const query::ContinuousQuery>(
-      std::move(parsed));
-
-  // Which sides index the query at the attribute level?
-  std::vector<int> sides;
-  if (options_.algorithm == Algorithm::kSai) {
-    sides.push_back(ChooseSaiIndexSide(node_index, *query));
-  } else {
-    sides = {0, 1};  // DAI algorithms double-index (§4.4.1).
-  }
-
-  std::vector<chord::AppMessage> batch;
-  for (int s : sides) {
-    const query::QuerySide& side = query->side(s);
-    for (int replica = 0; replica < options_.attribute_replication;
-         ++replica) {
-      auto payload = std::make_shared<QueryIndexPayload>();
-      payload->query = query;
-      payload->index_side = s;
-      payload->level1 = AttrKey(side.relation, side.index_attr_name());
-      payload->replica = replica;
-      chord::AppMessage msg;
-      msg.target =
-          AttrIndexId(side.relation, side.index_attr_name(), replica);
-      msg.cls = sim::MsgClass::kQueryIndex;
-      msg.payload = std::move(payload);
-      batch.push_back(std::move(msg));
-    }
-  }
-  if (batch.size() == 1) {
-    origin->Send(std::move(batch[0]));
-  } else {
-    origin->Multisend(std::move(batch), sim::MsgClass::kQueryIndex);
-  }
-  simulator_.Run();
-  submitted_[key] = query;
-  return key;
-}
-
-Status ContinuousQueryNetwork::InsertTuple(size_t node_index,
-                                           const std::string& relation,
-                                           std::vector<rel::Value> values) {
-  if (node_index >= nodes_.size()) {
-    return Status::InvalidArgument("node index out of range");
-  }
-  chord::Node* origin = nodes_[node_index];
-  if (!origin->alive()) {
-    return Status::FailedPrecondition("inserting node is offline");
-  }
-  const rel::RelationSchema* schema = catalog_.Find(relation);
-  if (schema == nullptr) {
-    return Status::NotFound("unknown relation '" + relation + "'");
-  }
-
-  Tick();
-  auto tuple = std::make_shared<const rel::Tuple>(
-      relation, std::move(values), simulator_.Now(), next_tuple_seq_++);
-  CJ_RETURN_IF_ERROR(tuple->CheckAgainst(*schema));
-
-  // Paper §4.2 (adapted for DAI-V §4.5: tuples are indexed only at the
-  // attribute level there): one multisend batch carrying all identifiers.
-  std::vector<chord::AppMessage> batch;
-  for (size_t i = 0; i < schema->arity(); ++i) {
-    const std::string& attr = schema->attribute(i).name;
-    int replica = options_.attribute_replication <= 1
-                      ? 0
-                      : static_cast<int>(rng_.NextBelow(
-                            static_cast<uint64_t>(
-                                options_.attribute_replication)));
-    auto al = std::make_shared<TupleIndexPayload>(/*value_level=*/false);
-    al->tuple = tuple;
-    al->attr_index = i;
-    al->level1 = AttrKey(relation, attr);
-    al->replica = replica;
-    chord::AppMessage al_msg;
-    al_msg.target = AttrIndexId(relation, attr, replica);
-    al_msg.cls = sim::MsgClass::kTupleIndex;
-    al_msg.payload = std::move(al);
-    batch.push_back(std::move(al_msg));
-
-    if (options_.algorithm != Algorithm::kDaiV) {
-      auto vl = std::make_shared<TupleIndexPayload>(/*value_level=*/true);
-      vl->tuple = tuple;
-      vl->attr_index = i;
-      vl->level1 = AttrKey(relation, attr);
-      vl->value_key = tuple->at(i).ToKeyString();
-      chord::AppMessage vl_msg;
-      vl_msg.target = ValueIndexId(relation, attr, vl->value_key);
-      vl_msg.cls = sim::MsgClass::kTupleIndex;
-      vl_msg.payload = std::move(vl);
-      batch.push_back(std::move(vl_msg));
-    }
-  }
-  origin->Multisend(std::move(batch), sim::MsgClass::kTupleIndex);
-  simulator_.Run();
-  return Status::OK();
-}
-
-// --- Multi-way joins (extension) ------------------------------------------------------
-
-namespace {
-
-/// Canonical content identity of a partial binding: query, bound set,
-/// bound select values and the pending join values. Identical keys imply
-/// identical downstream results, so evaluators deduplicate on it.
-std::string MwPartialKey(const MwPartial& p) {
-  std::string out = p.query->key();
-  out += "#" + std::to_string(p.bound_mask);
-  for (const auto& v : p.row) {
-    out += '\x1f';
-    out += v.has_value() ? v->ToKeyString() : std::string("?");
-  }
-  for (const auto& [edge, value] : p.pending) {
-    out += '\x1e';
-    out += std::to_string(edge) + ":" + value.ToKeyString();
-  }
-  return out;
-}
-
-}  // namespace
-
-StatusOr<std::string> ContinuousQueryNetwork::SubmitMultiwayQuery(
-    size_t node_index, std::string_view sql) {
-  if (node_index >= nodes_.size()) {
-    return Status::InvalidArgument("node index out of range");
-  }
-  if (options_.algorithm != Algorithm::kSai) {
-    return Status::Unsupported(
-        "multi-way queries run on the recursive-SAI extension; set "
-        "Algorithm::kSai");
-  }
-  if (options_.attribute_replication != 1) {
-    return Status::Unsupported(
-        "multi-way queries do not support attribute-level replication");
-  }
-  chord::Node* origin = nodes_[node_index];
-  if (!origin->alive()) {
-    return Status::FailedPrecondition("submitting node is offline");
-  }
-  CJ_ASSIGN_OR_RETURN(query::MwQuery parsed,
-                      query::ParseMwQuery(sql, catalog_));
-
-  Tick();
-  NodeState& origin_state = StateOf(*origin);
-  std::string key =
-      origin->key() + "#" + std::to_string(origin_state.next_query_serial++);
-  parsed.set_key(key);
-  parsed.set_subscriber_key(origin->key());
-  parsed.set_subscriber_ip(origin->ip());
-  parsed.set_insertion_time(simulator_.Now());
-  auto query = std::make_shared<const query::MwQuery>(std::move(parsed));
-
-  // Index at the attribute level under the root relation (index 0) and the
-  // attribute of its lowest incident join condition.
-  int root_cond = query->NextCondition(1u << 0);
-  CJ_CHECK(root_cond >= 0) << "spanning tree must touch the root";
-  const query::MwCondition& cond =
-      query->conditions()[static_cast<size_t>(root_cond)];
-  const query::MwRelation& root = query->relations()[0];
-  const std::string& attr =
-      root.schema->attribute(cond.AttrOn(0)).name;
-
-  auto payload = std::make_shared<MwQueryIndexPayload>();
-  payload->query = query;
-  payload->level1 = AttrKey(root.relation, attr);
-  chord::AppMessage msg;
-  msg.target = AttrIndexId(root.relation, attr, /*replica=*/0);
-  msg.cls = sim::MsgClass::kQueryIndex;
-  msg.payload = std::move(payload);
-  origin->Send(std::move(msg));
-  simulator_.Run();
-  return key;
-}
-
-void ContinuousQueryNetwork::HandleMwQueryIndex(chord::Node& node,
-                                                const MwQueryIndexPayload& p) {
-  NodeState& state = StateOf(node);
-  ++state.metrics.queries_received;
-  state.mw_alqt[MKey(p.level1, 0)].push_back(p.query);
-  ++state.mw_alqt_size;
-}
-
-void ContinuousQueryNetwork::MwQueuePartial(MwPartial p, MwJoinMap* out) {
-  const query::MwQuery& q = *p.query;
-  const query::MwCondition& cond =
-      q.conditions()[static_cast<size_t>(p.target_condition)];
-  // The unbound endpoint of the chased condition.
-  int bound_end = ((p.bound_mask >> cond.rel_a) & 1u) ? cond.rel_a
-                                                      : cond.rel_b;
-  int target_rel = cond.Other(bound_end);
-  const query::MwRelation& rel =
-      q.relations()[static_cast<size_t>(target_rel)];
-  const std::string& attr =
-      rel.schema->attribute(cond.AttrOn(target_rel)).name;
-  const rel::Value& required = p.pending.at(p.target_condition);
-  std::string value_key = required.ToKeyString();
-  std::string vkey_full = ValueKeyOf(rel.relation, attr, value_key);
-
-  PendingMwJoin& pending = (*out)[vkey_full];
-  if (pending.payload == nullptr) {
-    pending.vindex = HashKey(vkey_full);
-    pending.payload = std::make_shared<MwJoinPayload>();
-    pending.payload->level1 = AttrKey(rel.relation, attr);
-    pending.payload->value_key = value_key;
-  }
-  pending.payload->entries.push_back(std::move(p));
-}
-
-void ContinuousQueryNetwork::MwTrigger(chord::Node& node, NodeState& state,
-                                       const query::MwQueryPtr& q,
-                                       const rel::Tuple& tuple,
-                                       MwJoinMap* out) {
-  int side = q->SideOfRelation(tuple.relation());
-  CJ_CHECK(side >= 0);
-  if (tuple.pub_time() < q->insertion_time()) return;
-  if (!q->relations()[static_cast<size_t>(side)].SatisfiesPredicates(tuple)) {
-    return;
-  }
-  MwPartial p;
-  p.query = q;
-  p.bound_mask = 1u << side;
-  p.row.assign(q->select().size(), std::nullopt);
-  for (size_t i = 0; i < q->select().size(); ++i) {
-    if (q->select()[i].ref.side == side) {
-      p.row[i] = tuple.at(q->select()[i].ref.attr_index);
-    }
-  }
-  for (size_t c = 0; c < q->conditions().size(); ++c) {
-    const query::MwCondition& cond = q->conditions()[c];
-    if (!cond.Touches(side)) continue;
-    const rel::Value& v = tuple.at(cond.AttrOn(side));
-    if (v.is_null()) return;  // A null join value can never complete.
-    p.pending.emplace(static_cast<int>(c), v);
-  }
-  p.min_pub = p.max_pub = tuple.pub_time();
-  p.last_seq = tuple.seq();
-  p.target_condition = q->NextCondition(p.bound_mask);
-  CJ_CHECK(p.target_condition >= 0);
-  p.partial_key = MwPartialKey(p);
-  ++state.metrics.rewrites_sent;
-  MwQueuePartial(std::move(p), out);
-}
-
-void ContinuousQueryNetwork::MwExtend(chord::Node& node, const MwPartial& p,
-                                      const rel::Tuple& t2, MwJoinMap* out) {
-  const query::MwQuery& q = *p.query;
-  int side = q.SideOfRelation(t2.relation());
-  CJ_CHECK(side >= 0);
-  MwPartial np;
-  np.query = p.query;
-  np.bound_mask = p.bound_mask | (1u << side);
-  np.row = p.row;
-  for (size_t i = 0; i < q.select().size(); ++i) {
-    if (q.select()[i].ref.side == side) {
-      np.row[i] = t2.at(q.select()[i].ref.attr_index);
-    }
-  }
-  np.pending = p.pending;
-  np.pending.erase(p.target_condition);
-  for (size_t c = 0; c < q.conditions().size(); ++c) {
-    const query::MwCondition& cond = q.conditions()[c];
-    if (!cond.Touches(side)) continue;
-    int other = cond.Other(side);
-    if ((np.bound_mask >> other) & 1u) continue;  // Already consumed.
-    const rel::Value& v = t2.at(cond.AttrOn(side));
-    if (v.is_null()) return;
-    np.pending.emplace(static_cast<int>(c), v);
-  }
-  np.min_pub = std::min(p.min_pub, t2.pub_time());
-  np.max_pub = std::max(p.max_pub, t2.pub_time());
-  np.last_seq = std::max(p.last_seq, t2.seq());
-  np.target_condition = q.NextCondition(np.bound_mask);
-  if (np.target_condition < 0) {
-    // Every relation bound: the combination is an answer.
-    EmitMwNotification(node, q, np.row, np.min_pub, np.max_pub);
-    return;
-  }
-  np.partial_key = MwPartialKey(np);
-  ++StateOf(node).metrics.rewrites_sent;
-  MwQueuePartial(std::move(np), out);
-}
-
-void ContinuousQueryNetwork::DispatchMwJoins(chord::Node& node,
-                                             MwJoinMap joins) {
-  std::vector<chord::AppMessage> batch;
-  for (auto& [vkey, pending] : joins) {
-    chord::AppMessage msg;
-    msg.target = pending.vindex;
-    msg.cls = sim::MsgClass::kRewrittenQuery;
-    msg.payload = std::move(pending.payload);
-    batch.push_back(std::move(msg));
-  }
-  if (batch.size() == 1) {
-    node.Send(std::move(batch[0]));
-  } else if (!batch.empty()) {
-    node.Multisend(std::move(batch), sim::MsgClass::kRewrittenQuery);
-  }
-}
-
-void ContinuousQueryNetwork::HandleMwJoin(chord::Node& node,
-                                          const MwJoinPayload& p) {
-  NodeState& state = StateOf(node);
-  ++state.metrics.joins_received;
-  ++state.metrics.filter_ops_value;
-  MwJoinMap next;
-  for (const MwPartial& entry : p.entries) {
-    NodeState::MwBucket& bucket = state.mw_vlqt[p.level1][p.value_key];
-    auto it = bucket.find(entry.partial_key);
-    bool is_new = it == bucket.end();
-    if (is_new) {
-      bucket.emplace(entry.partial_key, entry);
-      ++state.mw_vlqt_size;
-    } else {
-      // Identical content: keep the tightest publication span so windowed
-      // matching stays maximally permissive for future tuples.
-      if (entry.min_pub > it->second.min_pub) {
-        it->second.min_pub = entry.min_pub;
-        it->second.max_pub = entry.max_pub;
-        it->second.last_seq = entry.last_seq;
-      }
-    }
-    if (!is_new && options_.window == 0) continue;
-    // Match against already-stored tuples of the target relation/value.
-    const auto* tuples = state.vltt.Find(p.level1, p.value_key);
-    if (tuples == nullptr) continue;
-    const query::MwQuery& q = *entry.query;
-    const query::MwCondition& cond =
-        q.conditions()[static_cast<size_t>(entry.target_condition)];
-    int bound_end = ((entry.bound_mask >> cond.rel_a) & 1u) ? cond.rel_a
-                                                            : cond.rel_b;
-    int target_rel = cond.Other(bound_end);
-    const query::MwRelation& rel =
-        q.relations()[static_cast<size_t>(target_rel)];
-    for (const StoredTuple& st : *tuples) {
-      ++state.metrics.filter_ops_value;
-      const rel::Tuple& t2 = *st.tuple;
-      if (t2.pub_time() < q.insertion_time()) continue;
-      rel::Timestamp span_min = std::min(entry.min_pub, t2.pub_time());
-      rel::Timestamp span_max = std::max(entry.max_pub, t2.pub_time());
-      if (options_.window != 0 && span_max - span_min > options_.window) {
-        continue;
-      }
-      if (!rel.SatisfiesPredicates(t2)) continue;
-      MwExtend(node, entry, t2, &next);
-    }
-  }
-  if (!next.empty()) DispatchMwJoins(node, std::move(next));
-}
-
-void ContinuousQueryNetwork::MwMatchTupleVl(chord::Node& node,
-                                            NodeState& state,
-                                            const TupleIndexPayload& p) {
-  auto l1 = state.mw_vlqt.find(p.level1);
-  if (l1 == state.mw_vlqt.end()) return;
-  auto l2 = l1->second.find(p.value_key);
-  if (l2 == l1->second.end()) return;
-  const rel::Tuple& tuple = *p.tuple;
-  MwJoinMap next;
-  for (const auto& [partial_key, partial] : l2->second) {
-    ++state.metrics.filter_ops_value;
-    const query::MwQuery& q = *partial.query;
-    if (tuple.pub_time() < q.insertion_time()) continue;
-    rel::Timestamp span_min = std::min(partial.min_pub, tuple.pub_time());
-    rel::Timestamp span_max = std::max(partial.max_pub, tuple.pub_time());
-    if (options_.window != 0 && span_max - span_min > options_.window) {
-      continue;
-    }
-    int side = q.SideOfRelation(tuple.relation());
-    if (side < 0) continue;
-    if (!q.relations()[static_cast<size_t>(side)].SatisfiesPredicates(
-            tuple)) {
-      continue;
-    }
-    MwExtend(node, partial, tuple, &next);
-  }
-  if (!next.empty()) DispatchMwJoins(node, std::move(next));
-}
-
-// --- One-time joins (PIER baseline) ---------------------------------------------------
-
-StatusOr<std::vector<Notification>> ContinuousQueryNetwork::OneTimeJoin(
-    size_t node_index, std::string_view sql) {
-  if (node_index >= nodes_.size()) {
-    return Status::InvalidArgument("node index out of range");
-  }
-  if (options_.algorithm != Algorithm::kSai &&
-      options_.algorithm != Algorithm::kDaiQ) {
-    return Status::Unsupported(
-        "one-time joins scan value-level tuple storage, which only SAI and "
-        "DAI-Q maintain");
-  }
-  chord::Node* origin = nodes_[node_index];
-  if (!origin->alive()) {
-    return Status::FailedPrecondition("issuing node is offline");
-  }
-  CJ_ASSIGN_OR_RETURN(query::ContinuousQuery parsed,
-                      query::ParseQuery(sql, catalog_));
-
-  Tick();
-  uint64_t otj_id = next_otj_id_++;
-  parsed.set_key(origin->key() + "#otj" + std::to_string(otj_id));
-  parsed.set_subscriber_key(origin->key());
-  parsed.set_subscriber_ip(origin->ip());
-  parsed.set_insertion_time(0);  // Snapshot: every stored tuple qualifies.
-  auto query = std::make_shared<const query::ContinuousQuery>(
-      std::move(parsed));
-
-  auto payload = std::make_shared<OtjScanPayload>();
-  payload->query = query;
-  payload->otj_id = otj_id;
-  payload->issuer = origin;
-  origin->Broadcast(std::move(payload), sim::MsgClass::kOneTime);
-  simulator_.Run();
-
-  std::vector<Notification> results = std::move(otj_results_[otj_id]);
-  otj_results_.erase(otj_id);
-  // Drop the temporary collector buffers of this execution.
-  for (auto& [node, state] : states_) state->otj_buffers.erase(otj_id);
-  return results;
-}
-
-void ContinuousQueryNetwork::HandleOtjScan(chord::Node& node,
-                                           const OtjScanPayload& p) {
-  NodeState& state = StateOf(node);
-  ++state.metrics.filter_ops_value;
-  const query::ContinuousQuery& q = *p.query;
-
-  // Rehash this node's slice of the two base relations by join value.
-  // Every tuple lives in the VLTT once per attribute; the copy stored
-  // under attribute 0 is the canonical one for scans.
-  struct Pending {
-    chord::NodeId vindex;
-    std::shared_ptr<OtjRehashPayload> payload;
-  };
-  std::map<std::string, Pending> groups;
-  state.vltt.ForEach([&](const StoredTuple& stored) {
-    if (stored.index_attr != 0) return;
-    const rel::Tuple& tuple = *stored.tuple;
-    int side = q.SideOfRelation(tuple.relation());
-    if (side < 0) return;
-    ++state.metrics.filter_ops_value;
-    if (!q.side(side).SatisfiesPredicates(tuple)) return;
-    auto value = q.side(side).join_expr->EvalSingle(side, tuple);
-    if (!value.ok() || value.value().is_null()) return;
-    std::string value_key = value.value().ToKeyString();
-
-    OtjTuple entry;
-    entry.side = side;
-    entry.row.assign(q.select().size(), std::nullopt);
-    for (size_t i = 0; i < q.select().size(); ++i) {
-      if (q.select()[i].ref.side == side) {
-        entry.row[i] = tuple.at(q.select()[i].ref.attr_index);
-      }
-    }
-    entry.pub_time = tuple.pub_time();
-    entry.seq = tuple.seq();
-
-    Pending& pending = groups[value_key];
-    if (pending.payload == nullptr) {
-      pending.vindex = HashKey("otj#" + std::to_string(p.otj_id) + "#" +
-                               value_key);
-      pending.payload = std::make_shared<OtjRehashPayload>();
-      pending.payload->query = p.query;
-      pending.payload->otj_id = p.otj_id;
-      pending.payload->issuer = p.issuer;
-      pending.payload->value_key = value_key;
-    }
-    pending.payload->entries.push_back(std::move(entry));
-  });
-
-  std::vector<chord::AppMessage> batch;
-  for (auto& [value_key, pending] : groups) {
-    chord::AppMessage msg;
-    msg.target = pending.vindex;
-    msg.cls = sim::MsgClass::kOneTime;
-    msg.payload = std::move(pending.payload);
-    batch.push_back(std::move(msg));
-  }
-  if (batch.size() == 1) {
-    node.Send(std::move(batch[0]));
-  } else if (!batch.empty()) {
-    node.Multisend(std::move(batch), sim::MsgClass::kOneTime);
-  }
-}
-
-void ContinuousQueryNetwork::HandleOtjRehash(chord::Node& node,
-                                             const OtjRehashPayload& p) {
-  NodeState& state = StateOf(node);
-  ++state.metrics.filter_ops_value;
-  const query::ContinuousQuery& q = *p.query;
-  auto& sides = state.otj_buffers[p.otj_id][p.value_key];
-  auto rows = std::make_shared<std::vector<Notification>>();
-  for (const OtjTuple& entry : p.entries) {
-    // Symmetric hash join: probe the opposite buffer, then insert.
-    for (const OtjTuple& other :
-         sides[static_cast<size_t>(1 - entry.side)]) {
-      ++state.metrics.filter_ops_value;
-      Notification n;
-      n.query_key = q.key();
-      n.row.reserve(q.select().size());
-      bool complete = true;
-      for (size_t i = 0; i < q.select().size(); ++i) {
-        const auto& mine = entry.row[i];
-        const auto& theirs = other.row[i];
-        if (mine.has_value()) {
-          n.row.push_back(*mine);
-        } else if (theirs.has_value()) {
-          n.row.push_back(*theirs);
-        } else {
-          complete = false;
-          break;
-        }
-      }
-      if (!complete) continue;
-      n.earlier_pub = std::min(entry.pub_time, other.pub_time);
-      n.later_pub = std::max(entry.pub_time, other.pub_time);
-      n.created_at = simulator_.Now();
-      rows->push_back(std::move(n));
-    }
-    sides[static_cast<size_t>(entry.side)].push_back(entry);
-  }
-  if (rows->empty()) return;
-  // Stream the rows straight back to the issuer (PIER-style).
-  chord::Node* issuer = p.issuer;
-  if (issuer == nullptr) return;
-  uint64_t otj_id = p.otj_id;
-  if (issuer == &node) {
-    auto& out = otj_results_[otj_id];
-    out.insert(out.end(), rows->begin(), rows->end());
-    return;
-  }
-  network_.Transmit(&node, issuer, sim::MsgClass::kOneTime,
-                    [this, otj_id, rows]() {
-                      auto& out = otj_results_[otj_id];
-                      out.insert(out.end(), rows->begin(), rows->end());
-                    });
-}
-
 // --- Message dispatch ---------------------------------------------------------------
 
 void ContinuousQueryNetwork::HandleMessage(chord::Node& node,
                                            const chord::AppMessage& msg) {
-  const auto* base = static_cast<const CqPayload*>(msg.payload.get());
-  if (base == nullptr) return;
-  switch (base->type) {
-    case CqMsgType::kQueryIndex:
-      HandleQueryIndex(node, msg);
-      return;
-    case CqMsgType::kTupleAl:
-      HandleTupleAl(node, msg);
-      return;
-    case CqMsgType::kTupleVl:
-      HandleTupleVl(node, *static_cast<const TupleIndexPayload*>(base));
-      return;
-    case CqMsgType::kJoin:
-      HandleJoin(node, *static_cast<const JoinPayload*>(base));
-      return;
-    case CqMsgType::kDaivJoin:
-      HandleDaivJoin(node, *static_cast<const DaivJoinPayload*>(base));
-      return;
-    case CqMsgType::kNotification: {
-      const auto& p = *static_cast<const NotificationPayload*>(base);
-      if (node.key() == p.subscriber_key) {
-        StateOf(node).inbox.push_back(p.notification);
-        // Tell the evaluator our (possibly new) address (§4.6).
-        if (p.evaluator != nullptr && p.evaluator != &node &&
-            p.evaluator->alive()) {
-          auto update = std::make_shared<IpUpdatePayload>();
-          update->subscriber_key = node.key();
-          update->node = &node;
-          update->ip = node.ip();
-          chord::Node* evaluator = p.evaluator;
-          network_.Transmit(&node, evaluator, sim::MsgClass::kControl,
-                            [this, evaluator, update]() {
-                              StateOf(*evaluator)
-                                  .subscriber_addr[update->subscriber_key] = {
-                                  update->node, update->ip};
-                            });
-        }
-      } else {
-        // Subscriber off-line: store under its identifier; the Chord key
-        // transfer hands it back on reconnection (§4.6).
-        node.store().Put(HashKey(p.subscriber_key), msg.payload);
-      }
-      return;
-    }
-    case CqMsgType::kUnsubscribe:
-      HandleUnsubscribe(node, msg);
-      return;
-    case CqMsgType::kMigrateCmd:
-      HandleMigrateCmd(node, msg);
-      return;
-    case CqMsgType::kMwQueryIndex:
-      HandleMwQueryIndex(node,
-                         *static_cast<const MwQueryIndexPayload*>(base));
-      return;
-    case CqMsgType::kMwJoin:
-      HandleMwJoin(node, *static_cast<const MwJoinPayload*>(base));
-      return;
-    case CqMsgType::kOtjScan:
-      HandleOtjScan(node, *static_cast<const OtjScanPayload*>(base));
-      return;
-    case CqMsgType::kOtjRehash:
-      HandleOtjRehash(node, *static_cast<const OtjRehashPayload*>(base));
-      return;
-    case CqMsgType::kIpUpdate: {
-      const auto& p = *static_cast<const IpUpdatePayload*>(base);
-      StateOf(node).subscriber_addr[p.subscriber_key] = {p.node, p.ip};
-      return;
-    }
-    case CqMsgType::kJfrtAck: {
-      const auto& p = *static_cast<const JfrtAckPayload*>(base);
-      StateOf(node).jfrt.Insert(p.vindex, p.evaluator);
-      return;
-    }
-  }
+  MessageDispatcher::Default().Dispatch(*this, node, msg);
 }
 
 void ContinuousQueryNetwork::HandleStoredItems(
     chord::Node& node, const chord::NodeId& key,
     std::vector<chord::PayloadPtr> items) {
-  for (chord::PayloadPtr& item : items) {
-    const auto* base = static_cast<const CqPayload*>(item.get());
-    if (base != nullptr && base->type == CqMsgType::kNotification) {
-      const auto& p = *static_cast<const NotificationPayload*>(base);
-      if (p.subscriber_key == node.key()) {
-        StateOf(node).inbox.push_back(p.notification);
-        continue;
-      }
-    }
-    node.store().Put(key, std::move(item));
-  }
-}
-
-// --- Rewriter role -----------------------------------------------------------------
-
-bool ContinuousQueryNetwork::ForwardIfMoved(chord::Node& node,
-                                            NodeState& state,
-                                            const std::string& mkey,
-                                            const chord::AppMessage& msg) {
-  auto moved = state.moved_attrs.find(mkey);
-  if (moved == state.moved_attrs.end()) return false;
-  chord::Node* holder = moved->second.holder;
-  if (holder == nullptr || !holder->alive()) {
-    // The holder left the ring: the role falls back to the base node
-    // (best-effort; the moved state is lost, as with any departure).
-    state.moved_attrs.erase(moved);
-    return false;
-  }
-  chord::AppMessage copy = msg;
-  network_.Transmit(&node, holder, msg.cls,
-                    [this, holder, copy = std::move(copy)]() {
-                      HandleMessage(*holder, copy);
-                    });
-  return true;
-}
-
-void ContinuousQueryNetwork::HandleQueryIndex(chord::Node& node,
-                                              const chord::AppMessage& msg) {
-  const auto& p = *static_cast<const QueryIndexPayload*>(msg.payload.get());
-  NodeState& state = StateOf(node);
-  std::string mkey = MKey(p.level1, p.replica);
-  if (ForwardIfMoved(node, state, mkey, msg)) return;
-  ++state.metrics.queries_received;
-  state.alqt.Insert(mkey, p.query->signature(),
-                    AlqtEntry{p.query, p.index_side});
-}
-
-void ContinuousQueryNetwork::HandleTupleAl(chord::Node& node,
-                                           const chord::AppMessage& msg) {
-  const auto& p = *static_cast<const TupleIndexPayload*>(msg.payload.get());
-  NodeState& state = StateOf(node);
-  std::string mkey = MKey(p.level1, p.replica);
-  if (ForwardIfMoved(node, state, mkey, msg)) return;
-  ++state.metrics.tuples_received_attr;
-  ++state.metrics.filter_ops_attr;
-  const rel::Tuple& tuple = *p.tuple;
-  state.attr_stats[mkey].Record(tuple.at(p.attr_index).ToKeyString());
-
-  // Multi-way queries indexed under this key (extension).
-  auto mw_it = state.mw_alqt.find(mkey);
-  if (mw_it != state.mw_alqt.end()) {
-    state.metrics.filter_ops_attr += mw_it->second.size();
-    MwJoinMap mw_joins;
-    for (const query::MwQueryPtr& q : mw_it->second) {
-      MwTrigger(node, state, q, tuple, &mw_joins);
-    }
-    if (!mw_joins.empty()) DispatchMwJoins(node, std::move(mw_joins));
-  }
-
-  const AttrLevelQueryTable::GroupMap* groups = state.alqt.Find(mkey);
-  if (groups == nullptr) return;
-
-  std::map<std::string, PendingJoin> t1_joins;
-  std::map<std::string, PendingDaivJoin> daiv_joins;
-  for (const auto& [signature, group] : *groups) {
-    state.metrics.filter_ops_attr += group.size();
-    for (const AlqtEntry& entry : group) {
-      const query::ContinuousQuery& q = *entry.query;
-      // Time semantics: only tuples published at/after insT(q) trigger it.
-      if (tuple.pub_time() < q.insertion_time()) continue;
-      if (!q.side(entry.index_side).SatisfiesPredicates(tuple)) continue;
-      if (options_.algorithm == Algorithm::kDaiV) {
-        RewriteDaiv(node, state, entry, tuple, &daiv_joins);
-      } else {
-        RewriteT1(node, state, entry, tuple, &t1_joins);
-      }
-    }
-  }
-  if (!t1_joins.empty()) DispatchJoins(node, state, std::move(t1_joins));
-  if (!daiv_joins.empty()) {
-    DispatchDaivJoins(node, state, std::move(daiv_joins));
-  }
-}
-
-
-void ContinuousQueryNetwork::RewriteT1(chord::Node& node, NodeState& state,
-                                       const AlqtEntry& entry,
-                                       const rel::Tuple& tuple,
-                                       std::map<std::string, PendingJoin>* out) {
-  const query::ContinuousQuery& q = *entry.query;
-  const int s = entry.index_side;
-  const int o = 1 - s;
-  const query::QuerySide& trigger_side = q.side(s);
-  const query::QuerySide& remaining = q.side(o);
-  CJ_CHECK(remaining.linear.has_value()) << "T1 side lost its linear form";
-
-  auto val_idx = trigger_side.join_expr->EvalSingle(s, tuple);
-  if (!val_idx.ok()) return;
-  // SQL semantics: a null join value never matches anything.
-  if (val_idx.value().is_null()) return;
-  rel::ValueType attr_type =
-      remaining.schema->attribute(remaining.linear->ref.attr_index).type;
-  auto val_da =
-      query::InvertLinear(*remaining.linear, attr_type, val_idx.value());
-  if (!val_da.has_value()) {
-    // No representable solution: the rewritten query could never match, so
-    // it is not reindexed (§4.3.2, saving a message).
-    ++state.metrics.rewrites_skipped_nosol;
-    return;
-  }
-  std::string value_key = val_da->ToKeyString();
-
-  // Bind the trigger side's select values (the generalized projection).
-  RowTemplate row(q.select().size());
-  std::string bound;
-  for (size_t i = 0; i < q.select().size(); ++i) {
-    const query::SelectItem& item = q.select()[i];
-    if (item.ref.side == s) {
-      row[i] = tuple.at(item.ref.attr_index);
-      bound += '\x1f';
-      bound += row[i]->ToKeyString();
-    }
-  }
-  // Key(q') = Key(q) + bound select values + valDA (§4.3.3), plus the
-  // trigger side: without it, symmetric value coincidences across the two
-  // sides of the join condition could collide into one key.
-  std::string rewritten_key =
-      q.key() + "|" + std::to_string(s) + "|" + bound + "|" + value_key;
-
-  if (options_.algorithm == Algorithm::kDaiT && options_.window == 0) {
-    // A DAI-T rewriter never reindexes the same rewritten query twice
-    // (§4.4.3). (With a sliding window the evaluator needs fresh trigger
-    // times, so deduplication is disabled.)
-    if (!state.sent_rewritten_keys.insert(rewritten_key).second) {
-      ++state.metrics.rewrites_skipped_dup;
-      return;
-    }
-  }
-
-  const std::string& dis_attr =
-      remaining.schema->attribute(remaining.linear->ref.attr_index).name;
-  std::string vkey_full = ValueKeyOf(remaining.relation, dis_attr, value_key);
-
-  PendingJoin& pending = (*out)[vkey_full];
-  if (pending.payload == nullptr) {
-    pending.vindex = HashKey(vkey_full);
-    pending.payload = std::make_shared<JoinPayload>();
-    pending.payload->level1 = AttrKey(remaining.relation, dis_attr);
-    pending.payload->value_key = value_key;
-    pending.payload->rewriter = &node;
-    pending.payload->vindex = pending.vindex;
-  }
-  RewrittenEntry rewritten;
-  rewritten.query = entry.query;
-  rewritten.remaining_side = o;
-  rewritten.rewritten_key = std::move(rewritten_key);
-  rewritten.required_value = *val_da;
-  rewritten.row = std::move(row);
-  rewritten.trigger_pub = tuple.pub_time();
-  rewritten.trigger_seq = tuple.seq();
-  pending.payload->entries.push_back(std::move(rewritten));
-  ++state.metrics.rewrites_sent;
-  if (options_.track_evaluators) {
-    state.query_evaluators[q.key()].insert(pending.vindex);
-  }
-}
-
-void ContinuousQueryNetwork::RewriteDaiv(
-    chord::Node& node, NodeState& state, const AlqtEntry& entry,
-    const rel::Tuple& tuple, std::map<std::string, PendingDaivJoin>* out) {
-  const query::ContinuousQuery& q = *entry.query;
-  const int s = entry.index_side;
-  auto val_jc = q.side(s).join_expr->EvalSingle(s, tuple);
-  if (!val_jc.ok()) return;
-  if (val_jc.value().is_null()) return;  // Null join values never match.
-  std::string value_key = val_jc.value().ToKeyString();
-
-  RowTemplate row(q.select().size());
-  for (size_t i = 0; i < q.select().size(); ++i) {
-    const query::SelectItem& item = q.select()[i];
-    if (item.ref.side == s) row[i] = tuple.at(item.ref.attr_index);
-  }
-
-  // Group key: DAI-V groups purely by value; the key-prefixed variant
-  // (§4.5) separates queries and loses grouping — that is its cost.
-  std::string group_key = options_.daiv_prefix_query_key
-                              ? q.key() + "+" + value_key
-                              : value_key;
-  PendingDaivJoin& pending = (*out)[group_key];
-  if (pending.payload == nullptr) {
-    pending.vindex = options_.daiv_prefix_query_key
-                         ? DaivPrefixedIndexId(q.key(), value_key)
-                         : DaivIndexId(value_key);
-    pending.payload = std::make_shared<DaivJoinPayload>();
-    pending.payload->value_key = value_key;
-    pending.payload->rewriter = &node;
-    pending.payload->vindex = pending.vindex;
-  }
-  DaivEntry daiv_entry;
-  daiv_entry.query = entry.query;
-  daiv_entry.trigger_side = s;
-  daiv_entry.row = std::move(row);
-  daiv_entry.trigger_pub = tuple.pub_time();
-  daiv_entry.trigger_seq = tuple.seq();
-  pending.payload->entries.push_back(std::move(daiv_entry));
-  ++state.metrics.rewrites_sent;
-  if (options_.track_evaluators) {
-    state.query_evaluators[q.key()].insert(pending.vindex);
-  }
-}
-
-namespace {
-
-/// Routes a join payload directly to a cached evaluator, falling back to
-/// normal routing (with an ack request) if the cache entry went stale.
-template <typename PayloadT>
-void DeliverViaJfrt(chord::Network* network, chord::Node* from,
-                    chord::Node* cached, const chord::NodeId& vindex,
-                    std::shared_ptr<PayloadT> payload,
-                    std::function<void(chord::Node&, const PayloadT&)>
-                        handler) {
-  network->Transmit(
-      from, cached, sim::MsgClass::kRewrittenQuery,
-      [cached, vindex, payload = std::move(payload),
-       handler = std::move(handler)]() {
-        if (cached->IsResponsibleFor(vindex)) {
-          handler(*cached, *payload);
-          return;
-        }
-        // Stale cache entry: re-route; the true evaluator's ack will
-        // refresh the rewriter's table.
-        auto copy = std::make_shared<PayloadT>(*payload);
-        copy->want_ack = true;
-        chord::AppMessage msg;
-        msg.target = vindex;
-        msg.cls = sim::MsgClass::kRewrittenQuery;
-        msg.payload = std::move(copy);
-        cached->Send(std::move(msg));
-      });
-}
-
-}  // namespace
-
-void ContinuousQueryNetwork::DispatchJoins(
-    chord::Node& node, NodeState& state,
-    std::map<std::string, PendingJoin> joins) {
-  std::vector<chord::AppMessage> batch;
-  for (auto& [vkey, pending] : joins) {
-    if (options_.use_jfrt) {
-      chord::Node* cached = state.jfrt.Lookup(pending.vindex);
-      if (cached != nullptr && !cached->alive()) {
-        // The cached evaluator left the ring: drop the entry and fall back
-        // to routing (the new evaluator's ack will refill the table).
-        state.jfrt.Erase(pending.vindex);
-        cached = nullptr;
-      }
-      if (cached != nullptr) {
-        DeliverViaJfrt<JoinPayload>(
-            &network_, &node, cached, pending.vindex,
-            std::move(pending.payload),
-            [this](chord::Node& n, const JoinPayload& p) {
-              HandleJoin(n, p);
-            });
-        continue;
-      }
-      pending.payload->want_ack = true;
-    }
-    chord::AppMessage msg;
-    msg.target = pending.vindex;
-    msg.cls = sim::MsgClass::kRewrittenQuery;
-    msg.payload = std::move(pending.payload);
-    batch.push_back(std::move(msg));
-  }
-  if (batch.size() == 1) {
-    node.Send(std::move(batch[0]));
-  } else if (!batch.empty()) {
-    node.Multisend(std::move(batch), sim::MsgClass::kRewrittenQuery);
-  }
-}
-
-void ContinuousQueryNetwork::DispatchDaivJoins(
-    chord::Node& node, NodeState& state,
-    std::map<std::string, PendingDaivJoin> joins) {
-  std::vector<chord::AppMessage> batch;
-  for (auto& [vkey, pending] : joins) {
-    if (options_.use_jfrt) {
-      chord::Node* cached = state.jfrt.Lookup(pending.vindex);
-      if (cached != nullptr && !cached->alive()) {
-        state.jfrt.Erase(pending.vindex);
-        cached = nullptr;
-      }
-      if (cached != nullptr) {
-        DeliverViaJfrt<DaivJoinPayload>(
-            &network_, &node, cached, pending.vindex,
-            std::move(pending.payload),
-            [this](chord::Node& n, const DaivJoinPayload& p) {
-              HandleDaivJoin(n, p);
-            });
-        continue;
-      }
-      pending.payload->want_ack = true;
-    }
-    chord::AppMessage msg;
-    msg.target = pending.vindex;
-    msg.cls = sim::MsgClass::kRewrittenQuery;
-    msg.payload = std::move(pending.payload);
-    batch.push_back(std::move(msg));
-  }
-  if (batch.size() == 1) {
-    node.Send(std::move(batch[0]));
-  } else if (!batch.empty()) {
-    node.Multisend(std::move(batch), sim::MsgClass::kRewrittenQuery);
-  }
-}
-
-// --- Evaluator role ------------------------------------------------------------------
-
-namespace {
-
-/// Completes a row template with the remaining side's select values.
-RowTemplate MergeRow(const RowTemplate& partial,
-                     const query::ContinuousQuery& q, int remaining_side,
-                     const rel::Tuple& tuple) {
-  RowTemplate merged = partial;
-  for (size_t i = 0; i < q.select().size(); ++i) {
-    const query::SelectItem& item = q.select()[i];
-    if (item.ref.side == remaining_side) {
-      merged[i] = tuple.at(item.ref.attr_index);
-    }
-  }
-  return merged;
-}
-
-}  // namespace
-
-void ContinuousQueryNetwork::HandleJoin(chord::Node& node,
-                                        const JoinPayload& p) {
-  NodeState& state = StateOf(node);
-  ++state.metrics.joins_received;
-  ++state.metrics.filter_ops_value;
-
-  if (p.want_ack && options_.use_jfrt && p.rewriter != nullptr &&
-      p.rewriter != &node && p.rewriter->alive()) {
-    auto ack = std::make_shared<JfrtAckPayload>();
-    ack->vindex = p.vindex;
-    ack->evaluator = &node;
-    chord::Node* rewriter = p.rewriter;
-    network_.Transmit(&node, rewriter, sim::MsgClass::kControl,
-                      [this, rewriter, ack]() {
-                        StateOf(*rewriter).jfrt.Insert(ack->vindex,
-                                                       ack->evaluator);
-                      });
-  }
-
-  for (const RewrittenEntry& entry : p.entries) {
-    const query::ContinuousQuery& q = *entry.query;
-    switch (options_.algorithm) {
-      case Algorithm::kSai: {
-        bool is_new = state.vlqt.InsertOrRefresh(p.level1, p.value_key, entry);
-        // A refresh (duplicate rewritten key) only advances the trigger
-        // time. Without a window no new content is possible, but with one,
-        // tuples stored between the old and new triggers may pair with the
-        // fresher trigger, so the match must be repeated.
-        if (!is_new && options_.window == 0) break;
-        const auto* bucket = state.vltt.Find(p.level1, p.value_key);
-        if (bucket == nullptr) break;
-        for (const StoredTuple& st : *bucket) {
-          ++state.metrics.filter_ops_value;
-          const rel::Tuple& t2 = *st.tuple;
-          if (t2.pub_time() < q.insertion_time()) continue;
-          rel::Timestamp earlier = std::min(t2.pub_time(), entry.trigger_pub);
-          rel::Timestamp later = std::max(t2.pub_time(), entry.trigger_pub);
-          if (!InWindow(earlier, later)) continue;
-          if (!q.side(entry.remaining_side).SatisfiesPredicates(t2)) continue;
-          EmitNotification(node, q,
-                           MergeRow(entry.row, q, entry.remaining_side, t2),
-                           earlier, later);
-        }
-        break;
-      }
-      case Algorithm::kDaiQ: {
-        // Notifications are created when rewritten queries arrive (§4.4.2);
-        // each satisfying pair is produced by exactly one of the two
-        // rewriters thanks to the strict "stored older than trigger" rule.
-        const auto* bucket = state.vltt.Find(p.level1, p.value_key);
-        if (bucket == nullptr) break;
-        for (const StoredTuple& st : *bucket) {
-          ++state.metrics.filter_ops_value;
-          const rel::Tuple& t2 = *st.tuple;
-          if (!t2.Before(entry.trigger_pub, entry.trigger_seq)) continue;
-          if (t2.pub_time() < q.insertion_time()) continue;
-          if (!InWindow(t2.pub_time(), entry.trigger_pub)) continue;
-          if (!q.side(entry.remaining_side).SatisfiesPredicates(t2)) continue;
-          EmitNotification(node, q,
-                           MergeRow(entry.row, q, entry.remaining_side, t2),
-                           t2.pub_time(), entry.trigger_pub);
-        }
-        break;
-      }
-      case Algorithm::kDaiT:
-        // Evaluators store rewritten queries and wait for tuples (§4.4.3).
-        state.vlqt.InsertOrRefresh(p.level1, p.value_key, entry);
-        break;
-      case Algorithm::kDaiV:
-        CJ_CHECK(false) << "T1 join message under DAI-V";
-    }
-  }
-}
-
-void ContinuousQueryNetwork::HandleTupleVl(chord::Node& node,
-                                           const TupleIndexPayload& p) {
-  NodeState& state = StateOf(node);
-  ++state.metrics.tuples_received_value;
-  ++state.metrics.filter_ops_value;
-  const rel::TuplePtr& tuple = p.tuple;
-
-  // SAI and DAI-T match stored rewritten queries on tuple arrival.
-  if (options_.algorithm == Algorithm::kSai ||
-      options_.algorithm == Algorithm::kDaiT) {
-    const auto* bucket = state.vlqt.Find(p.level1, p.value_key);
-    if (bucket != nullptr) {
-      for (const auto& [rewritten_key, sr] : *bucket) {
-        ++state.metrics.filter_ops_value;
-        const query::ContinuousQuery& q = *sr.query;
-        if (tuple->pub_time() < q.insertion_time()) continue;
-        rel::Timestamp earlier =
-            std::min(tuple->pub_time(), sr.latest_trigger_pub);
-        rel::Timestamp later =
-            std::max(tuple->pub_time(), sr.latest_trigger_pub);
-        if (!InWindow(earlier, later)) continue;
-        if (!q.side(sr.remaining_side).SatisfiesPredicates(*tuple)) continue;
-        EmitNotification(node, q,
-                         MergeRow(sr.row, q, sr.remaining_side, *tuple),
-                         earlier, later);
-      }
-    }
-  }
-
-  // Multi-way partials stored here are extended by matching tuples
-  // (extension; recursive-SAI completeness mirrors §4.3.4).
-  MwMatchTupleVl(node, state, p);
-
-  // SAI and DAI-Q store tuples at the value level (SAI for completeness,
-  // §4.3.4; DAI-Q because its evaluators join on query arrival, §4.4.2).
-  if (options_.algorithm == Algorithm::kSai ||
-      options_.algorithm == Algorithm::kDaiQ) {
-    state.vltt.Insert(p.level1, p.value_key,
-                      StoredTuple{tuple, p.attr_index});
-  }
-}
-
-void ContinuousQueryNetwork::HandleDaivJoin(chord::Node& node,
-                                            const DaivJoinPayload& p) {
-  NodeState& state = StateOf(node);
-  ++state.metrics.joins_received;
-  ++state.metrics.filter_ops_value;
-
-  if (p.want_ack && options_.use_jfrt && p.rewriter != nullptr &&
-      p.rewriter != &node && p.rewriter->alive()) {
-    auto ack = std::make_shared<JfrtAckPayload>();
-    ack->vindex = p.vindex;
-    ack->evaluator = &node;
-    chord::Node* rewriter = p.rewriter;
-    network_.Transmit(&node, rewriter, sim::MsgClass::kControl,
-                      [this, rewriter, ack]() {
-                        StateOf(*rewriter).jfrt.Insert(ack->vindex,
-                                                       ack->evaluator);
-                      });
-  }
-
-  for (const DaivEntry& entry : p.entries) {
-    const query::ContinuousQuery& q = *entry.query;
-    const int opposite = 1 - entry.trigger_side;
-    const auto* bucket = state.daiv.Find(p.value_key, q.key(), opposite);
-    if (bucket != nullptr) {
-      for (const DaivStored& stored : *bucket) {
-        ++state.metrics.filter_ops_value;
-        // Strictly-older rule keeps each pair exactly-once.
-        bool older = stored.pub_time < entry.trigger_pub ||
-                     (stored.pub_time == entry.trigger_pub &&
-                      stored.seq < entry.trigger_seq);
-        if (!older) continue;
-        if (!InWindow(stored.pub_time, entry.trigger_pub)) continue;
-        RowTemplate merged = entry.row;
-        for (size_t i = 0; i < merged.size(); ++i) {
-          if (!merged[i].has_value() && stored.row[i].has_value()) {
-            merged[i] = stored.row[i];
-          }
-        }
-        EmitNotification(node, q, std::move(merged), stored.pub_time,
-                         entry.trigger_pub);
-      }
-    }
-    state.daiv.Insert(p.value_key, q.key(), entry.trigger_side,
-                      DaivStored{entry.row, entry.trigger_pub,
-                                 entry.trigger_seq});
-  }
-}
-
-// --- Notifications ------------------------------------------------------------------
-
-void ContinuousQueryNetwork::EmitNotification(chord::Node& evaluator,
-                                              const query::ContinuousQuery& q,
-                                              RowTemplate merged,
-                                              rel::Timestamp earlier,
-                                              rel::Timestamp later) {
-  Notification n;
-  n.query_key = q.key();
-  n.row.reserve(merged.size());
-  for (auto& v : merged) {
-    CJ_CHECK(v.has_value()) << "incomplete notification row for " << q.key();
-    n.row.push_back(std::move(*v));
-  }
-  n.earlier_pub = earlier;
-  n.later_pub = later;
-  n.created_at = simulator_.Now();
-  ++StateOf(evaluator).metrics.notifications_created;
-  DeliverNotification(evaluator, q.subscriber_key(), q.subscriber_ip(),
-                      std::move(n));
-}
-
-void ContinuousQueryNetwork::EmitMwNotification(chord::Node& evaluator,
-                                                const query::MwQuery& q,
-                                                const RowTemplate& row,
-                                                rel::Timestamp earlier,
-                                                rel::Timestamp later) {
-  Notification n;
-  n.query_key = q.key();
-  n.row.reserve(row.size());
-  for (const auto& v : row) {
-    CJ_CHECK(v.has_value()) << "incomplete multi-way row for " << q.key();
-    n.row.push_back(*v);
-  }
-  n.earlier_pub = earlier;
-  n.later_pub = later;
-  n.created_at = simulator_.Now();
-  ++StateOf(evaluator).metrics.notifications_created;
-  DeliverNotification(evaluator, q.subscriber_key(), q.subscriber_ip(),
-                      std::move(n));
-}
-
-void ContinuousQueryNetwork::DeliverNotification(
-    chord::Node& evaluator, const std::string& subscriber_key,
-    uint64_t subscriber_ip, Notification n) {
-  NodeState& ev_state = StateOf(evaluator);
-  chord::Node* target = nullptr;
-  uint64_t expect_ip = subscriber_ip;
-  auto learned = ev_state.subscriber_addr.find(subscriber_key);
-  if (learned != ev_state.subscriber_addr.end()) {
-    target = learned->second.node;
-    expect_ip = learned->second.ip;
-  } else {
-    auto it = nodes_by_key_.find(subscriber_key);
-    if (it != nodes_by_key_.end()) target = it->second;
-  }
-
-  if (target == &evaluator && target->alive()) {
-    ev_state.inbox.push_back(std::move(n));  // Local subscriber.
-    return;
-  }
-  if (target != nullptr && target->alive() && target->ip() == expect_ip) {
-    // Direct delivery by IP: one overlay hop (§4.6).
-    chord::Node* t = target;
-    auto shared = std::make_shared<Notification>(std::move(n));
-    network_.Transmit(&evaluator, t, sim::MsgClass::kNotification,
-                      [this, t, shared]() {
-                        StateOf(*t).inbox.push_back(*shared);
-                      });
-    return;
-  }
-  // Off-line or moved: route to Successor(Id(n)) where it is delivered or
-  // stored (§4.6).
-  auto payload = std::make_shared<NotificationPayload>();
-  payload->notification = std::move(n);
-  payload->subscriber_key = subscriber_key;
-  payload->evaluator = &evaluator;
-  chord::AppMessage msg;
-  msg.target = HashKey(subscriber_key);
-  msg.cls = sim::MsgClass::kNotification;
-  msg.payload = std::move(payload);
-  evaluator.Send(std::move(msg));
-}
-
-// --- Unsubscription (extension) -----------------------------------------------------
-
-Status ContinuousQueryNetwork::Unsubscribe(size_t node_index,
-                                           const std::string& query_key) {
-  if (node_index >= nodes_.size()) {
-    return Status::InvalidArgument("node index out of range");
-  }
-  auto it = submitted_.find(query_key);
-  if (it == submitted_.end()) {
-    return Status::NotFound("unknown query key '" + query_key + "'");
-  }
-  const query::ContinuousQuery& q = *it->second;
-  chord::Node* origin = nodes_[node_index];
-  if (!origin->alive()) {
-    return Status::FailedPrecondition("node is offline");
-  }
-
-  Tick();
-  // Remove from every possible rewriter (both sides and all replicas cover
-  // the SAI single-side case too — the extra recipients are no-ops).
-  std::vector<chord::AppMessage> batch;
-  for (int s = 0; s < 2; ++s) {
-    for (int replica = 0; replica < options_.attribute_replication;
-         ++replica) {
-      auto payload = std::make_shared<UnsubscribePayload>();
-      payload->query_key = query_key;
-      payload->at_evaluator = false;
-      payload->level1 =
-          AttrKey(q.side(s).relation, q.side(s).index_attr_name());
-      payload->replica = replica;
-      chord::AppMessage msg;
-      msg.target = AttrIndexId(q.side(s).relation,
-                               q.side(s).index_attr_name(), replica);
-      msg.cls = sim::MsgClass::kControl;
-      msg.payload = std::move(payload);
-      batch.push_back(std::move(msg));
-    }
-  }
-  origin->Multisend(std::move(batch), sim::MsgClass::kControl);
-  simulator_.Run();
-  submitted_.erase(it);
-  return Status::OK();
-}
-
-void ContinuousQueryNetwork::HandleUnsubscribe(chord::Node& node,
-                                               const chord::AppMessage& msg) {
-  const auto& p = *static_cast<const UnsubscribePayload*>(msg.payload.get());
-  NodeState& state = StateOf(node);
-  if (p.at_evaluator) {
-    state.vlqt.RemoveQuery(p.query_key);
-    state.daiv.RemoveQuery(p.query_key);
-    return;
-  }
-  if (ForwardIfMoved(node, state, MKey(p.level1, p.replica), msg)) return;
-  state.alqt.RemoveQuery(p.query_key);
-  auto tracked = state.query_evaluators.find(p.query_key);
-  if (tracked == state.query_evaluators.end()) return;
-  std::vector<chord::AppMessage> batch;
-  for (const chord::NodeId& vindex : tracked->second) {
-    auto payload = std::make_shared<UnsubscribePayload>();
-    payload->query_key = p.query_key;
-    payload->at_evaluator = true;
-    chord::AppMessage msg;
-    msg.target = vindex;
-    msg.cls = sim::MsgClass::kControl;
-    msg.payload = std::move(payload);
-    batch.push_back(std::move(msg));
-  }
-  state.query_evaluators.erase(tracked);
-  if (!batch.empty()) {
-    node.Multisend(std::move(batch), sim::MsgClass::kControl);
-  }
-}
-
-// --- §4.7 "moving an identifier" ------------------------------------------------------
-
-Status ContinuousQueryNetwork::MigrateAttribute(size_t node_index,
-                                                const std::string& relation,
-                                                const std::string& attr,
-                                                int replica) {
-  if (node_index >= nodes_.size()) {
-    return Status::InvalidArgument("node index out of range");
-  }
-  const rel::RelationSchema* schema = catalog_.Find(relation);
-  if (schema == nullptr) {
-    return Status::NotFound("unknown relation '" + relation + "'");
-  }
-  if (!schema->AttributeIndex(attr).has_value()) {
-    return Status::NotFound("relation '" + relation +
-                            "' has no attribute '" + attr + "'");
-  }
-  if (replica < 0 || replica >= options_.attribute_replication) {
-    return Status::InvalidArgument("replica out of range");
-  }
-  chord::Node* origin = nodes_[node_index];
-  if (!origin->alive()) {
-    return Status::FailedPrecondition("node is offline");
-  }
-  Tick();
-  auto payload = std::make_shared<MigrateCmdPayload>();
-  payload->level1 = AttrKey(relation, attr);
-  payload->replica = replica;
-  chord::AppMessage msg;
-  msg.target = AttrIndexId(relation, attr, replica);
-  msg.cls = sim::MsgClass::kControl;
-  msg.payload = std::move(payload);
-  origin->Send(std::move(msg));
-  simulator_.Run();
-  return Status::OK();
-}
-
-void ContinuousQueryNetwork::HandleMigrateCmd(chord::Node& node,
-                                              const chord::AppMessage& msg) {
-  const auto& p = *static_cast<const MigrateCmdPayload*>(msg.payload.get());
-  NodeState& state = StateOf(node);
-  std::string mkey = MKey(p.level1, p.replica);
-
-  // At the base node of an already-moved key: forward to the holder, with
-  // the base recorded so the holder can update our pointer afterwards.
-  auto moved = state.moved_attrs.find(mkey);
-  if (moved != state.moved_attrs.end() && moved->second.holder != nullptr &&
-      moved->second.holder->alive()) {
-    auto fwd = std::make_shared<MigrateCmdPayload>(p);
-    fwd->base = &node;
-    chord::Node* holder = moved->second.holder;
-    chord::AppMessage copy = msg;
-    copy.payload = std::move(fwd);
-    network_.Transmit(&node, holder, sim::MsgClass::kControl,
-                      [this, holder, copy = std::move(copy)]() {
-                        HandleMessage(*holder, copy);
-                      });
-    return;
-  }
-
-  // We hold the bucket: pick the next identifier and its successor.
-  auto held = state.held_generation.find(mkey);
-  int next_gen = (held == state.held_generation.end() ? 0 : held->second) + 1;
-  chord::NodeId new_id =
-      HashKey(mkey + "#m" + std::to_string(next_gen));
-  chord::Node* target = node.FindSuccessor(new_id, sim::MsgClass::kControl);
-  chord::Node* base = p.base != nullptr ? p.base : &node;
-  if (target == nullptr) return;
-  if (target == &node) {
-    // The fresh identifier still lands here; only the generation advances.
-    state.held_generation[mkey] = next_gen;
-    return;
-  }
-
-  // Move the bucket and its statistics (one control transfer).
-  auto bucket =
-      std::make_shared<AttrLevelQueryTable::GroupMap>(
-          state.alqt.TakeLevel1(mkey));
-  auto stats = std::make_shared<AttrArrivalStats>();
-  auto stats_it = state.attr_stats.find(mkey);
-  if (stats_it != state.attr_stats.end()) {
-    *stats = std::move(stats_it->second);
-    state.attr_stats.erase(stats_it);
-  }
-  state.held_generation.erase(mkey);
-  network_.Transmit(&node, target, sim::MsgClass::kControl,
-                    [this, target, mkey, bucket, stats, next_gen]() {
-                      NodeState& ts = StateOf(*target);
-                      for (auto& [signature, group] : *bucket) {
-                        for (AlqtEntry& entry : group) {
-                          ts.alqt.Insert(mkey, signature, std::move(entry));
-                        }
-                      }
-                      ts.attr_stats[mkey].Merge(*stats);
-                      ts.held_generation[mkey] = next_gen;
-                    });
-
-  // Point the base at the new holder.
-  if (base == &node) {
-    state.moved_attrs[mkey] = NodeState::MovedAttr{next_gen, target};
-  } else {
-    network_.Transmit(&node, base, sim::MsgClass::kControl,
-                      [this, base, mkey, target, next_gen]() {
-                        StateOf(*base).moved_attrs[mkey] =
-                            NodeState::MovedAttr{next_gen, target};
-                      });
-  }
+  subscriber::AbsorbStoredItems(*this, node, key, std::move(items));
 }
 
 // --- Results & dynamics ---------------------------------------------------------------
@@ -1594,16 +52,16 @@ void ContinuousQueryNetwork::HandleMigrateCmd(chord::Node& node,
 std::vector<Notification> ContinuousQueryNetwork::TakeNotifications(
     size_t node_index) {
   CJ_CHECK(node_index < nodes_.size());
-  NodeState& state = StateOf(*nodes_[node_index]);
-  std::vector<Notification> out = std::move(state.inbox);
-  state.inbox.clear();
+  subscriber::State& sub = StateOf(*nodes_[node_index]).subscriber;
+  std::vector<Notification> out = std::move(sub.inbox);
+  sub.inbox.clear();
   return out;
 }
 
 size_t ContinuousQueryNetwork::PendingNotifications(size_t node_index) const {
   CJ_CHECK(node_index < nodes_.size());
   auto it = states_.find(nodes_[node_index]);
-  return it->second->inbox.size();
+  return it->second->subscriber.inbox.size();
 }
 
 void ContinuousQueryNetwork::DisconnectNode(size_t node_index) {
@@ -1641,13 +99,13 @@ NodeStorage ContinuousQueryNetwork::storage(size_t node_index) const {
   const chord::Node* node = nodes_[node_index];
   const NodeState& state = *states_.find(node)->second;
   NodeStorage out;
-  out.alqt_queries = state.alqt.size();
-  out.vlqt_rewritten = state.vlqt.size();
-  out.vltt_tuples = state.vltt.size();
-  out.daiv_entries = state.daiv.size();
+  out.alqt_queries = state.rewriter.alqt.size();
+  out.vlqt_rewritten = state.evaluator.vlqt.size();
+  out.vltt_tuples = state.evaluator.vltt.size();
+  out.daiv_entries = state.evaluator.daiv.size();
   out.stored_notifications = const_cast<chord::Node*>(node)->store().size();
-  out.mw_queries = state.mw_alqt_size;
-  out.mw_partials = state.mw_vlqt_size;
+  out.mw_queries = state.mw.alqt_size;
+  out.mw_partials = state.mw.vlqt_size;
   return out;
 }
 
@@ -1656,74 +114,53 @@ const NodeState* ContinuousQueryNetwork::state(size_t node_index) const {
   return states_.find(nodes_[node_index])->second.get();
 }
 
-LoadDistribution ContinuousQueryNetwork::FilteringLoadDistribution() const {
+namespace {
+
+/// Per-alive-node load distribution over an arbitrary projection.
+template <typename Fn>
+LoadDistribution DistributionOver(const std::vector<chord::Node*>& nodes,
+                                  Fn&& load_of) {
   LoadDistribution out;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (!nodes_[i]->alive()) continue;
-    out.Add(static_cast<double>(metrics(i).TotalFilterOps()));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i]->alive()) continue;
+    out.Add(static_cast<double>(load_of(i)));
   }
   return out;
+}
+
+}  // namespace
+
+LoadDistribution ContinuousQueryNetwork::FilteringLoadDistribution() const {
+  return DistributionOver(
+      nodes_, [this](size_t i) { return metrics(i).TotalFilterOps(); });
 }
 
 LoadDistribution ContinuousQueryNetwork::AttrFilteringLoadDistribution()
     const {
-  LoadDistribution out;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (!nodes_[i]->alive()) continue;
-    out.Add(static_cast<double>(metrics(i).filter_ops_attr));
-  }
-  return out;
+  return DistributionOver(
+      nodes_, [this](size_t i) { return metrics(i).filter_ops_attr; });
 }
 
 LoadDistribution ContinuousQueryNetwork::ValueFilteringLoadDistribution()
     const {
-  LoadDistribution out;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (!nodes_[i]->alive()) continue;
-    out.Add(static_cast<double>(metrics(i).filter_ops_value));
-  }
-  return out;
+  return DistributionOver(
+      nodes_, [this](size_t i) { return metrics(i).filter_ops_value; });
 }
 
 LoadDistribution ContinuousQueryNetwork::StorageLoadDistribution() const {
-  LoadDistribution out;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (!nodes_[i]->alive()) continue;
-    out.Add(static_cast<double>(storage(i).Total()));
-  }
-  return out;
+  return DistributionOver(nodes_,
+                          [this](size_t i) { return storage(i).Total(); });
 }
 
 NodeMetrics ContinuousQueryNetwork::TotalMetrics() const {
   NodeMetrics total;
-  for (const auto& [node, state] : states_) {
-    const NodeMetrics& m = state->metrics;
-    total.filter_ops_attr += m.filter_ops_attr;
-    total.filter_ops_value += m.filter_ops_value;
-    total.tuples_received_attr += m.tuples_received_attr;
-    total.tuples_received_value += m.tuples_received_value;
-    total.joins_received += m.joins_received;
-    total.queries_received += m.queries_received;
-    total.rewrites_sent += m.rewrites_sent;
-    total.rewrites_skipped_dup += m.rewrites_skipped_dup;
-    total.rewrites_skipped_nosol += m.rewrites_skipped_nosol;
-    total.notifications_created += m.notifications_created;
-  }
+  for (const auto& [node, state] : states_) total.Accumulate(state->metrics);
   return total;
 }
 
 NodeStorage ContinuousQueryNetwork::TotalStorage() const {
   NodeStorage total;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    NodeStorage s = storage(i);
-    total.alqt_queries += s.alqt_queries;
-    total.vlqt_rewritten += s.vlqt_rewritten;
-    total.vltt_tuples += s.vltt_tuples;
-    total.daiv_entries += s.daiv_entries;
-    total.stored_notifications += s.stored_notifications;
-    total.mw_queries += s.mw_queries;
-    total.mw_partials += s.mw_partials;
-  }
+  for (size_t i = 0; i < nodes_.size(); ++i) total.Accumulate(storage(i));
   return total;
 }
 
@@ -1739,8 +176,7 @@ size_t ContinuousQueryNetwork::PruneExpired() {
       now_time > options_.window ? now_time - options_.window : 0;
   size_t dropped = 0;
   for (auto& [node, state] : states_) {
-    dropped += state->vltt.ExpireBefore(cutoff);
-    dropped += state->daiv.ExpireBefore(cutoff);
+    dropped += evaluator::ExpireBefore(state->evaluator, cutoff);
   }
   return dropped;
 }

@@ -1,17 +1,18 @@
-// The continuous-query engine: the per-node rewriter/evaluator protocol of
-// the paper's four algorithms (SAI, DAI-Q, DAI-T, DAI-V) and the public
-// facade ContinuousQueryNetwork that applications program against.
+// The continuous-query engine facade: ContinuousQueryNetwork owns the
+// simulator, the Chord ring and the per-node protocol state, and exposes
+// the submission / results / introspection API applications program
+// against. The protocol logic itself lives in the role modules (rewriter,
+// evaluator, subscriber, mw, otj) behind the ProtocolContext seam; the
+// facade implements that seam and routes incoming messages through the
+// dispatch registry.
 
 #ifndef CONTJOIN_CORE_ENGINE_H_
 #define CONTJOIN_CORE_ENGINE_H_
 
-#include <array>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "chord/network.h"
@@ -19,90 +20,18 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/statusor.h"
-#include "core/jfrt.h"
+#include "core/algorithm.h"
+#include "core/context.h"
+#include "core/dispatch.h"
 #include "core/messages.h"
 #include "core/metrics.h"
 #include "core/options.h"
-#include "core/tables.h"
+#include "core/state.h"
 #include "query/parser.h"
 #include "relational/schema.h"
 #include "sim/simulator.h"
 
 namespace contjoin::core {
-
-/// Per-attribute arrival statistics a rewriter keeps so index-attribute
-/// selection strategies can consult it at query-submission time (§4.3.6:
-/// "any node can simply ask the two possible rewriter nodes").
-struct AttrArrivalStats {
-  uint64_t tuples_seen = 0;
-  /// Bounded per-value frequency map (skew / distinct-count estimation).
-  std::unordered_map<std::string, uint64_t> value_counts;
-  uint64_t overflow_values = 0;  // Arrivals beyond the tracked-value cap.
-
-  static constexpr size_t kMaxTrackedValues = 4096;
-
-  void Record(const std::string& value_key);
-  /// Folds another node's statistics in (identifier migration, §4.7).
-  void Merge(const AttrArrivalStats& other);
-  /// Share of the most frequent value (1.0 = fully skewed).
-  double SkewEstimate() const;
-  size_t DistinctEstimate() const { return value_counts.size(); }
-};
-
-/// State a node keeps to play its roles (rewriter / evaluator / subscriber).
-struct NodeState {
-  explicit NodeState(size_t jfrt_capacity) : jfrt(jfrt_capacity) {}
-
-  AttrLevelQueryTable alqt;
-  ValueLevelQueryTable vlqt;
-  ValueLevelTupleTable vltt;
-  DaivStore daiv;
-  Jfrt jfrt;
-  NodeMetrics metrics;
-
-  /// Arrival statistics per attribute-level key "R+A#<replica>".
-  std::unordered_map<std::string, AttrArrivalStats> attr_stats;
-  std::unordered_set<std::string> sent_rewritten_keys;  // DAI-T dedup (§4.4.3).
-
-  /// §4.7 "moving an identifier": at the base node of a moved key, where
-  /// the role now lives; at the holder, the generation it holds.
-  struct MovedAttr {
-    int generation;
-    chord::Node* holder;
-  };
-  std::unordered_map<std::string, MovedAttr> moved_attrs;
-  std::unordered_map<std::string, int> held_generation;
-  /// query key -> evaluator identifiers used (for unsubscription).
-  std::unordered_map<std::string, std::set<chord::NodeId>> query_evaluators;
-  /// Learned subscriber addresses (IP updates, §4.6).
-  struct Addr {
-    chord::Node* node;
-    uint64_t ip;
-  };
-  std::unordered_map<std::string, Addr> subscriber_addr;
-
-  std::vector<Notification> inbox;
-  uint64_t next_query_serial = 0;
-
-  // --- Multi-way extension state -------------------------------------------
-
-  /// Multi-way queries indexed at this rewriter, by "R+A#replica".
-  std::unordered_map<std::string, std::vector<query::MwQueryPtr>> mw_alqt;
-  /// Stored partial bindings: "R+A" -> value -> partial key -> partial.
-  using MwBucket = std::unordered_map<std::string, MwPartial>;
-  std::unordered_map<std::string, std::unordered_map<std::string, MwBucket>>
-      mw_vlqt;
-  size_t mw_alqt_size = 0;
-  size_t mw_vlqt_size = 0;
-
-  // --- One-time join (PIER baseline) collector buffers --------------------
-
-  /// otj id -> join value -> per-side rehashed tuples.
-  std::unordered_map<
-      uint64_t,
-      std::unordered_map<std::string, std::array<std::vector<OtjTuple>, 2>>>
-      otj_buffers;
-};
 
 /// The complete system: simulator + Chord ring + continuous-query protocol.
 ///
@@ -116,7 +45,8 @@ struct NodeState {
 ///   auto key = net.SubmitQuery(7, "SELECT ... FROM R, S WHERE R.B = S.E");
 ///   net.InsertTuple(12, "R", {rel::Value::Int(1), ...});
 ///   for (auto& n : net.TakeNotifications(7)) ...;
-class ContinuousQueryNetwork : public chord::Application {
+class ContinuousQueryNetwork : public chord::Application,
+                               private ProtocolContext {
  public:
   explicit ContinuousQueryNetwork(Options options);
   ~ContinuousQueryNetwork() override;
@@ -127,7 +57,7 @@ class ContinuousQueryNetwork : public chord::Application {
   // --- Setup ----------------------------------------------------------------
 
   rel::Catalog* catalog() { return &catalog_; }
-  const Options& options() const { return options_; }
+  const Options& options() const override { return options_; }
 
   // --- Submitting work ---------------------------------------------------------
 
@@ -196,7 +126,7 @@ class ContinuousQueryNetwork : public chord::Application {
   chord::Network* network() { return &network_; }
   sim::Simulator* simulator() { return &simulator_; }
   sim::NetStats& stats() { return network_.stats(); }
-  rel::Timestamp now() const { return simulator_.Now(); }
+  rel::Timestamp now() const override { return simulator_.Now(); }
 
   const NodeMetrics& metrics(size_t node_index) const;
   NodeStorage storage(size_t node_index) const;
@@ -229,95 +159,46 @@ class ContinuousQueryNetwork : public chord::Application {
                          std::vector<chord::PayloadPtr> items) override;
 
  private:
-  NodeState& StateOf(chord::Node& node);
+  // --- ProtocolContext seam (role handlers reach the engine through this) ---
+
+  const AlgorithmStrategy& strategy() const override { return *strategy_; }
+  rel::Catalog& GetCatalog() override { return catalog_; }
+  Rng& GetRng() override { return rng_; }
+  NodeState& StateOf(chord::Node& node) override;
+  void Send(chord::Node& from, chord::AppMessage msg) override {
+    from.Send(std::move(msg));
+  }
+  void Multisend(chord::Node& from, std::vector<chord::AppMessage> msgs,
+                 sim::MsgClass cls) override {
+    from.Multisend(std::move(msgs), cls);
+  }
+  void Transmit(chord::Node* from, chord::Node* to, sim::MsgClass cls,
+                std::function<void()> deliver) override {
+    network_.Transmit(from, to, cls, std::move(deliver));
+  }
+  void CountHop(sim::MsgClass cls) override { network_.CountHop(cls); }
+  void Redeliver(chord::Node& node, const chord::AppMessage& msg) override {
+    HandleMessage(node, msg);
+  }
+  chord::Node* NodeByKey(const std::string& key) override {
+    auto it = nodes_by_key_.find(key);
+    return it == nodes_by_key_.end() ? nullptr : it->second;
+  }
+  void DepositNotification(chord::Node& node, Notification n) override {
+    StateOf(node).subscriber.inbox.push_back(std::move(n));
+  }
+  void AppendOtjResults(uint64_t otj_id,
+                        std::vector<Notification> rows) override {
+    auto& out = otj_results_[otj_id];
+    out.insert(out.end(), std::make_move_iterator(rows.begin()),
+               std::make_move_iterator(rows.end()));
+  }
 
   /// Advances virtual time by time_step and drains pending events.
   void Tick();
 
-  // Submission helpers.
-  int ChooseSaiIndexSide(size_t node_index, const query::ContinuousQuery& q);
-  uint64_t ProbeAttrRate(size_t node_index, const std::string& relation,
-                         const std::string& attr, uint64_t* distinct,
-                         double* skew);
-
-  // Message handlers (per role). Attribute-level handlers receive the full
-  // message so a moved key can forward it unchanged (§4.7).
-  void HandleQueryIndex(chord::Node& node, const chord::AppMessage& msg);
-  void HandleTupleAl(chord::Node& node, const chord::AppMessage& msg);
-  void HandleTupleVl(chord::Node& node, const TupleIndexPayload& p);
-  void HandleJoin(chord::Node& node, const JoinPayload& p);
-  void HandleDaivJoin(chord::Node& node, const DaivJoinPayload& p);
-  void HandleUnsubscribe(chord::Node& node, const chord::AppMessage& msg);
-  void HandleMigrateCmd(chord::Node& node, const chord::AppMessage& msg);
-  void HandleMwQueryIndex(chord::Node& node, const MwQueryIndexPayload& p);
-  void HandleMwJoin(chord::Node& node, const MwJoinPayload& p);
-  void HandleOtjScan(chord::Node& node, const OtjScanPayload& p);
-  void HandleOtjRehash(chord::Node& node, const OtjRehashPayload& p);
-
-  /// Forwards an attribute-level message when its key has moved (§4.7);
-  /// returns true if forwarded.
-  bool ForwardIfMoved(chord::Node& node, NodeState& state,
-                      const std::string& mkey, const chord::AppMessage& msg);
-
-  // Rewriting machinery.
-  struct PendingJoin {
-    chord::NodeId vindex;
-    std::shared_ptr<JoinPayload> payload;
-  };
-  struct PendingDaivJoin {
-    chord::NodeId vindex;
-    std::shared_ptr<DaivJoinPayload> payload;
-  };
-  void RewriteT1(chord::Node& node, NodeState& state, const AlqtEntry& entry,
-                 const rel::Tuple& tuple,
-                 std::map<std::string, PendingJoin>* out);
-  void RewriteDaiv(chord::Node& node, NodeState& state, const AlqtEntry& entry,
-                   const rel::Tuple& tuple,
-                   std::map<std::string, PendingDaivJoin>* out);
-  void DispatchJoins(chord::Node& node, NodeState& state,
-                     std::map<std::string, PendingJoin> joins);
-  void DispatchDaivJoins(chord::Node& node, NodeState& state,
-                         std::map<std::string, PendingDaivJoin> joins);
-
-  // Multi-way machinery.
-  struct PendingMwJoin {
-    chord::NodeId vindex;
-    std::shared_ptr<MwJoinPayload> payload;
-  };
-  using MwJoinMap = std::map<std::string, PendingMwJoin>;
-  /// Starts a fresh partial from a root-relation tuple (at the rewriter).
-  void MwTrigger(chord::Node& node, NodeState& state,
-                 const query::MwQueryPtr& q, const rel::Tuple& tuple,
-                 MwJoinMap* out);
-  /// Extends `p` with a matched tuple: emits a notification when complete,
-  /// otherwise queues the next-hop partial.
-  void MwExtend(chord::Node& node, const MwPartial& p, const rel::Tuple& t2,
-                MwJoinMap* out);
-  /// Queues `p` (already targeted) into the per-evaluator groups.
-  void MwQueuePartial(MwPartial p, MwJoinMap* out);
-  void DispatchMwJoins(chord::Node& node, MwJoinMap joins);
-  /// Matches an incoming value-level tuple against stored partials.
-  void MwMatchTupleVl(chord::Node& node, NodeState& state,
-                      const TupleIndexPayload& p);
-
-  // Notification creation & delivery.
-  void EmitNotification(chord::Node& evaluator, const query::ContinuousQuery& q,
-                        RowTemplate merged, rel::Timestamp earlier,
-                        rel::Timestamp later);
-  void EmitMwNotification(chord::Node& evaluator, const query::MwQuery& q,
-                          const RowTemplate& row, rel::Timestamp earlier,
-                          rel::Timestamp later);
-  void DeliverNotification(chord::Node& evaluator,
-                           const std::string& subscriber_key,
-                           uint64_t subscriber_ip, Notification n);
-
-  /// True when a stored object from `pub` is still inside the window
-  /// relative to `now_time`.
-  bool InWindow(rel::Timestamp pub, rel::Timestamp now_time) const {
-    return options_.window == 0 || now_time - pub <= options_.window;
-  }
-
   Options options_;
+  const AlgorithmStrategy* strategy_;
   sim::Simulator simulator_;
   chord::Network network_;
   rel::Catalog catalog_;

@@ -1,0 +1,203 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "chord/node.h"
+#include "common/logging.h"
+#include "core/algorithm.h"
+#include "core/mw_protocol.h"
+#include "core/state.h"
+#include "core/subscriber.h"
+
+namespace contjoin::core::evaluator {
+
+void RemoveQuery(State& state, const std::string& query_key) {
+  state.vlqt.RemoveQuery(query_key);
+  state.daiv.RemoveQuery(query_key);
+}
+
+size_t ExpireBefore(State& state, rel::Timestamp cutoff) {
+  size_t dropped = 0;
+  dropped += state.vltt.ExpireBefore(cutoff);
+  dropped += state.daiv.ExpireBefore(cutoff);
+  return dropped;
+}
+
+namespace {
+
+/// Completes a row template with the remaining side's select values.
+RowTemplate MergeRow(const RowTemplate& partial,
+                     const query::ContinuousQuery& q, int remaining_side,
+                     const rel::Tuple& tuple) {
+  RowTemplate merged = partial;
+  for (size_t i = 0; i < q.select().size(); ++i) {
+    const query::SelectItem& item = q.select()[i];
+    if (item.ref.side == remaining_side) {
+      merged[i] = tuple.at(item.ref.attr_index);
+    }
+  }
+  return merged;
+}
+
+/// Fills the rewriter's JFRT when it asked for an ack (one control hop).
+template <typename PayloadT>
+void MaybeAckJfrt(ProtocolContext& ctx, chord::Node& node, const PayloadT& p) {
+  if (!p.want_ack || !ctx.options().use_jfrt || p.rewriter == nullptr ||
+      p.rewriter == &node || !p.rewriter->alive()) {
+    return;
+  }
+  chord::Node* rw = p.rewriter;
+  chord::NodeId vindex = p.vindex;
+  chord::Node* evaluator_node = &node;
+  ctx.Transmit(&node, rw, sim::MsgClass::kControl,
+               [ctx = &ctx, rw, vindex, evaluator_node]() {
+                 ctx->StateOf(*rw).rewriter.jfrt.Insert(vindex,
+                                                        evaluator_node);
+               });
+}
+
+}  // namespace
+
+void HandleJoin(ProtocolContext& ctx, chord::Node& node,
+                const JoinPayload& p) {
+  NodeState& state = ctx.StateOf(node);
+  ++state.metrics.joins_received;
+  ++state.metrics.filter_ops_value;
+
+  MaybeAckJfrt(ctx, node, p);
+
+  const AlgorithmStrategy& strategy = ctx.strategy();
+  CJ_CHECK(!strategy.RewritesToDaiv()) << "T1 join message under DAI-V";
+  for (const RewrittenEntry& entry : p.entries) {
+    const query::ContinuousQuery& q = *entry.query;
+    if (strategy.StoresRewrittenQueries()) {
+      bool is_new =
+          state.evaluator.vlqt.InsertOrRefresh(p.level1, p.value_key, entry);
+      // A refresh (duplicate rewritten key) only advances the trigger
+      // time. Without a window no new content is possible, but with one,
+      // tuples stored between the old and new triggers may pair with the
+      // fresher trigger, so the match must be repeated.
+      if (strategy.MatchesTuplesOnJoinArrival() && !is_new &&
+          ctx.options().window == 0) {
+        continue;
+      }
+    }
+    if (!strategy.MatchesTuplesOnJoinArrival()) continue;
+    const auto* bucket = state.evaluator.vltt.Find(p.level1, p.value_key);
+    if (bucket == nullptr) continue;
+    for (const StoredTuple& st : *bucket) {
+      ++state.metrics.filter_ops_value;
+      const rel::Tuple& t2 = *st.tuple;
+      if (strategy.RequiresStrictlyOlderStored() &&
+          !t2.Before(entry.trigger_pub, entry.trigger_seq)) {
+        // The strict "stored older than trigger" rule makes each pair the
+        // responsibility of exactly one of the two rewriters (§4.4.2).
+        continue;
+      }
+      if (t2.pub_time() < q.insertion_time()) continue;
+      rel::Timestamp earlier = std::min(t2.pub_time(), entry.trigger_pub);
+      rel::Timestamp later = std::max(t2.pub_time(), entry.trigger_pub);
+      if (!ctx.InWindow(earlier, later)) continue;
+      if (!q.side(entry.remaining_side).SatisfiesPredicates(t2)) continue;
+      subscriber::EmitNotification(
+          ctx, node, q, MergeRow(entry.row, q, entry.remaining_side, t2),
+          earlier, later);
+    }
+  }
+}
+
+void HandleTupleVl(ProtocolContext& ctx, chord::Node& node,
+                   const chord::AppMessage& msg) {
+  const auto& p = *static_cast<const TupleIndexPayload*>(msg.payload.get());
+  NodeState& state = ctx.StateOf(node);
+  ++state.metrics.tuples_received_value;
+  ++state.metrics.filter_ops_value;
+  const rel::TuplePtr& tuple = p.tuple;
+  const AlgorithmStrategy& strategy = ctx.strategy();
+
+  // SAI and DAI-T match stored rewritten queries on tuple arrival.
+  if (strategy.MatchesRewrittenOnTupleArrival()) {
+    const auto* bucket = state.evaluator.vlqt.Find(p.level1, p.value_key);
+    if (bucket != nullptr) {
+      for (const auto& [rewritten_key, sr] : *bucket) {
+        ++state.metrics.filter_ops_value;
+        const query::ContinuousQuery& q = *sr.query;
+        if (tuple->pub_time() < q.insertion_time()) continue;
+        rel::Timestamp earlier =
+            std::min(tuple->pub_time(), sr.latest_trigger_pub);
+        rel::Timestamp later =
+            std::max(tuple->pub_time(), sr.latest_trigger_pub);
+        if (!ctx.InWindow(earlier, later)) continue;
+        if (!q.side(sr.remaining_side).SatisfiesPredicates(*tuple)) continue;
+        subscriber::EmitNotification(
+            ctx, node, q, MergeRow(sr.row, q, sr.remaining_side, *tuple),
+            earlier, later);
+      }
+    }
+  }
+
+  // Multi-way partials stored here are extended by matching tuples
+  // (extension; recursive-SAI completeness mirrors §4.3.4).
+  mw::MatchTupleVl(ctx, node, state, p);
+
+  // SAI and DAI-Q store tuples at the value level (SAI for completeness,
+  // §4.3.4; DAI-Q because its evaluators join on query arrival, §4.4.2).
+  if (strategy.StoresTuples()) {
+    state.evaluator.vltt.Insert(p.level1, p.value_key,
+                                StoredTuple{tuple, p.attr_index});
+  }
+}
+
+void HandleDaivJoin(ProtocolContext& ctx, chord::Node& node,
+                    const DaivJoinPayload& p) {
+  NodeState& state = ctx.StateOf(node);
+  ++state.metrics.joins_received;
+  ++state.metrics.filter_ops_value;
+
+  MaybeAckJfrt(ctx, node, p);
+
+  for (const DaivEntry& entry : p.entries) {
+    const query::ContinuousQuery& q = *entry.query;
+    const int opposite = 1 - entry.trigger_side;
+    const auto* bucket =
+        state.evaluator.daiv.Find(p.value_key, q.key(), opposite);
+    if (bucket != nullptr) {
+      for (const DaivStored& stored : *bucket) {
+        ++state.metrics.filter_ops_value;
+        // Strictly-older rule keeps each pair exactly-once.
+        bool older = stored.pub_time < entry.trigger_pub ||
+                     (stored.pub_time == entry.trigger_pub &&
+                      stored.seq < entry.trigger_seq);
+        if (!older) continue;
+        if (!ctx.InWindow(stored.pub_time, entry.trigger_pub)) continue;
+        RowTemplate merged = entry.row;
+        for (size_t i = 0; i < merged.size(); ++i) {
+          if (!merged[i].has_value() && stored.row[i].has_value()) {
+            merged[i] = stored.row[i];
+          }
+        }
+        subscriber::EmitNotification(ctx, node, q, std::move(merged),
+                                     stored.pub_time, entry.trigger_pub);
+      }
+    }
+    state.evaluator.daiv.Insert(
+        p.value_key, q.key(), entry.trigger_side,
+        DaivStored{entry.row, entry.trigger_pub, entry.trigger_seq});
+  }
+}
+
+void HandleJoinMsg(ProtocolContext& ctx, chord::Node& node,
+                   const chord::AppMessage& msg) {
+  HandleJoin(ctx, node,
+             *static_cast<const JoinPayload*>(msg.payload.get()));
+}
+
+void HandleDaivJoinMsg(ProtocolContext& ctx, chord::Node& node,
+                       const chord::AppMessage& msg) {
+  HandleDaivJoin(ctx, node,
+                 *static_cast<const DaivJoinPayload*>(msg.payload.get()));
+}
+
+}  // namespace contjoin::core::evaluator

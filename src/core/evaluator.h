@@ -1,0 +1,50 @@
+// The evaluator role (value level, paper §4.3.4/§4.4/§4.5): stores
+// rewritten queries (VLQT), tuples (VLTT) and DAI-V projections, and
+// produces notifications by matching the two against each other according
+// to the configured algorithm's policy.
+
+#ifndef CONTJOIN_CORE_EVALUATOR_H_
+#define CONTJOIN_CORE_EVALUATOR_H_
+
+#include <cstddef>
+#include <string>
+
+#include "chord/types.h"
+#include "core/context.h"
+#include "core/messages.h"
+#include "core/tables.h"
+
+namespace contjoin::core::evaluator {
+
+/// The tables a node keeps to play the evaluator role.
+struct State {
+  ValueLevelQueryTable vlqt;
+  ValueLevelTupleTable vltt;
+  DaivStore daiv;
+};
+
+/// Evaluator-side unsubscription: drops every trace of `query_key`.
+void RemoveQuery(State& state, const std::string& query_key);
+
+/// Sliding-window expiry over the evaluator's value-level state; returns
+/// the number of objects dropped.
+size_t ExpireBefore(State& state, rel::Timestamp cutoff);
+
+// Payload-level entry points: the JFRT fast path delivers join payloads
+// directly (one hop, no routing), bypassing message dispatch.
+void HandleJoin(ProtocolContext& ctx, chord::Node& node,
+                const JoinPayload& p);
+void HandleDaivJoin(ProtocolContext& ctx, chord::Node& node,
+                    const DaivJoinPayload& p);
+
+// Message handlers (wired up by the dispatch registry).
+void HandleTupleVl(ProtocolContext& ctx, chord::Node& node,
+                   const chord::AppMessage& msg);
+void HandleJoinMsg(ProtocolContext& ctx, chord::Node& node,
+                   const chord::AppMessage& msg);
+void HandleDaivJoinMsg(ProtocolContext& ctx, chord::Node& node,
+                       const chord::AppMessage& msg);
+
+}  // namespace contjoin::core::evaluator
+
+#endif  // CONTJOIN_CORE_EVALUATOR_H_

@@ -5,6 +5,7 @@
 #ifndef CONTJOIN_CORE_MESSAGES_H_
 #define CONTJOIN_CORE_MESSAGES_H_
 
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <optional>
@@ -66,6 +67,10 @@ enum class CqMsgType : unsigned char {
   kOtjScan,    // One-time join: broadcast scan request (PIER baseline).
   kOtjRehash,  // One-time join: tuples rehashed by join value.
 };
+
+/// Number of message types (size of dispatch / per-type counter tables).
+inline constexpr size_t kCqMsgTypeCount =
+    static_cast<size_t>(CqMsgType::kOtjRehash) + 1;
 
 /// Base payload carrying the dispatch tag.
 struct CqPayload : chord::Payload {

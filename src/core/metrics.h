@@ -15,8 +15,11 @@
 #ifndef CONTJOIN_CORE_METRICS_H_
 #define CONTJOIN_CORE_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
+
+#include "core/messages.h"
 
 namespace contjoin::core {
 
@@ -37,7 +40,31 @@ struct NodeMetrics {
   uint64_t rewrites_skipped_nosol = 0; // Inversion had no representable sol.
   uint64_t notifications_created = 0;
 
+  // --- Dispatch-level receipts -------------------------------------------------
+  /// Messages dispatched here, by CqMsgType index.
+  std::array<uint64_t, kCqMsgTypeCount> received_by_type{};
+  /// Messages whose type had no registered handler.
+  uint64_t msgs_unhandled = 0;
+
   uint64_t TotalFilterOps() const { return filter_ops_attr + filter_ops_value; }
+
+  /// Folds another node's counters in (system-wide aggregation).
+  void Accumulate(const NodeMetrics& m) {
+    filter_ops_attr += m.filter_ops_attr;
+    filter_ops_value += m.filter_ops_value;
+    tuples_received_attr += m.tuples_received_attr;
+    tuples_received_value += m.tuples_received_value;
+    joins_received += m.joins_received;
+    queries_received += m.queries_received;
+    rewrites_sent += m.rewrites_sent;
+    rewrites_skipped_dup += m.rewrites_skipped_dup;
+    rewrites_skipped_nosol += m.rewrites_skipped_nosol;
+    notifications_created += m.notifications_created;
+    for (size_t i = 0; i < received_by_type.size(); ++i) {
+      received_by_type[i] += m.received_by_type[i];
+    }
+    msgs_unhandled += m.msgs_unhandled;
+  }
 
   void Reset() { *this = NodeMetrics(); }
 };
@@ -55,6 +82,17 @@ struct NodeStorage {
   uint64_t Total() const {
     return alqt_queries + vlqt_rewritten + vltt_tuples + daiv_entries +
            stored_notifications + mw_queries + mw_partials;
+  }
+
+  /// Folds another node's snapshot in (system-wide aggregation).
+  void Accumulate(const NodeStorage& s) {
+    alqt_queries += s.alqt_queries;
+    vlqt_rewritten += s.vlqt_rewritten;
+    vltt_tuples += s.vltt_tuples;
+    daiv_entries += s.daiv_entries;
+    stored_notifications += s.stored_notifications;
+    mw_queries += s.mw_queries;
+    mw_partials += s.mw_partials;
   }
 };
 

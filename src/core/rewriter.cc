@@ -1,0 +1,444 @@
+#include "core/rewriter.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "chord/node.h"
+#include "common/logging.h"
+#include "core/algorithm.h"
+#include "core/evaluator.h"
+#include "core/messages.h"
+#include "core/mw_protocol.h"
+#include "core/state.h"
+
+namespace contjoin::core {
+
+void AttrArrivalStats::Record(const std::string& value_key) {
+  ++tuples_seen;
+  if (value_counts.size() < kMaxTrackedValues ||
+      value_counts.count(value_key) > 0) {
+    ++value_counts[value_key];
+  } else {
+    ++overflow_values;
+  }
+}
+
+void AttrArrivalStats::Merge(const AttrArrivalStats& other) {
+  tuples_seen += other.tuples_seen;
+  overflow_values += other.overflow_values;
+  for (const auto& [value, count] : other.value_counts) {
+    if (value_counts.size() < kMaxTrackedValues ||
+        value_counts.count(value) > 0) {
+      value_counts[value] += count;
+    } else {
+      overflow_values += count;
+    }
+  }
+}
+
+double AttrArrivalStats::SkewEstimate() const {
+  if (tuples_seen == 0) return 0.0;
+  uint64_t max_count = 0;
+  for (const auto& [value, count] : value_counts) {
+    max_count = std::max(max_count, count);
+  }
+  return static_cast<double>(max_count) / static_cast<double>(tuples_seen);
+}
+
+namespace rewriter {
+
+std::string MKey(const std::string& level1, int replica) {
+  return level1 + "#" + std::to_string(replica);
+}
+
+bool ForwardIfMoved(ProtocolContext& ctx, chord::Node& node, State& state,
+                    const std::string& mkey, const chord::AppMessage& msg) {
+  auto moved = state.moved_attrs.find(mkey);
+  if (moved == state.moved_attrs.end()) return false;
+  chord::Node* holder = moved->second.holder;
+  if (holder == nullptr || !holder->alive()) {
+    // The holder left the ring: the role falls back to the base node
+    // (best-effort; the moved state is lost, as with any departure).
+    state.moved_attrs.erase(moved);
+    return false;
+  }
+  chord::AppMessage copy = msg;
+  ctx.Transmit(&node, holder, msg.cls,
+               [ctx = &ctx, holder, copy = std::move(copy)]() {
+                 ctx->Redeliver(*holder, copy);
+               });
+  return true;
+}
+
+void HandleQueryIndex(ProtocolContext& ctx, chord::Node& node,
+                      const chord::AppMessage& msg) {
+  const auto& p = *static_cast<const QueryIndexPayload*>(msg.payload.get());
+  NodeState& state = ctx.StateOf(node);
+  std::string mkey = MKey(p.level1, p.replica);
+  if (ForwardIfMoved(ctx, node, state.rewriter, mkey, msg)) return;
+  ++state.metrics.queries_received;
+  state.rewriter.alqt.Insert(mkey, p.query->signature(),
+                             AlqtEntry{p.query, p.index_side});
+}
+
+namespace {
+
+// --- Rewriting machinery -----------------------------------------------------
+
+struct PendingJoin {
+  chord::NodeId vindex;
+  std::shared_ptr<JoinPayload> payload;
+};
+struct PendingDaivJoin {
+  chord::NodeId vindex;
+  std::shared_ptr<DaivJoinPayload> payload;
+};
+
+/// Rewrites the T1 query of `entry` triggered by `tuple` into a
+/// select-project query reindexed at the value level (§4.3.2/§4.3.3).
+void RewriteT1(ProtocolContext& ctx, chord::Node& node, NodeState& state,
+               const AlqtEntry& entry, const rel::Tuple& tuple,
+               std::map<std::string, PendingJoin>* out) {
+  const query::ContinuousQuery& q = *entry.query;
+  const int s = entry.index_side;
+  const int o = 1 - s;
+  const query::QuerySide& trigger_side = q.side(s);
+  const query::QuerySide& remaining = q.side(o);
+  CJ_CHECK(remaining.linear.has_value()) << "T1 side lost its linear form";
+
+  auto val_idx = trigger_side.join_expr->EvalSingle(s, tuple);
+  if (!val_idx.ok()) return;
+  // SQL semantics: a null join value never matches anything.
+  if (val_idx.value().is_null()) return;
+  rel::ValueType attr_type =
+      remaining.schema->attribute(remaining.linear->ref.attr_index).type;
+  auto val_da =
+      query::InvertLinear(*remaining.linear, attr_type, val_idx.value());
+  if (!val_da.has_value()) {
+    // No representable solution: the rewritten query could never match, so
+    // it is not reindexed (§4.3.2, saving a message).
+    ++state.metrics.rewrites_skipped_nosol;
+    return;
+  }
+  std::string value_key = val_da->ToKeyString();
+
+  // Bind the trigger side's select values (the generalized projection).
+  RowTemplate row(q.select().size());
+  std::string bound;
+  for (size_t i = 0; i < q.select().size(); ++i) {
+    const query::SelectItem& item = q.select()[i];
+    if (item.ref.side == s) {
+      row[i] = tuple.at(item.ref.attr_index);
+      bound += '\x1f';
+      bound += row[i]->ToKeyString();
+    }
+  }
+  // Key(q') = Key(q) + bound select values + valDA (§4.3.3), plus the
+  // trigger side: without it, symmetric value coincidences across the two
+  // sides of the join condition could collide into one key.
+  std::string rewritten_key =
+      q.key() + "|" + std::to_string(s) + "|" + bound + "|" + value_key;
+
+  if (ctx.strategy().DeduplicatesRewrites(ctx.options())) {
+    if (!state.rewriter.sent_rewritten_keys.insert(rewritten_key).second) {
+      ++state.metrics.rewrites_skipped_dup;
+      return;
+    }
+  }
+
+  const std::string& dis_attr =
+      remaining.schema->attribute(remaining.linear->ref.attr_index).name;
+  std::string vkey_full = ValueKeyOf(remaining.relation, dis_attr, value_key);
+
+  PendingJoin& pending = (*out)[vkey_full];
+  if (pending.payload == nullptr) {
+    pending.vindex = HashKey(vkey_full);
+    pending.payload = std::make_shared<JoinPayload>();
+    pending.payload->level1 = AttrKey(remaining.relation, dis_attr);
+    pending.payload->value_key = value_key;
+    pending.payload->rewriter = &node;
+    pending.payload->vindex = pending.vindex;
+  }
+  RewrittenEntry rewritten;
+  rewritten.query = entry.query;
+  rewritten.remaining_side = o;
+  rewritten.rewritten_key = std::move(rewritten_key);
+  rewritten.required_value = *val_da;
+  rewritten.row = std::move(row);
+  rewritten.trigger_pub = tuple.pub_time();
+  rewritten.trigger_seq = tuple.seq();
+  pending.payload->entries.push_back(std::move(rewritten));
+  ++state.metrics.rewrites_sent;
+  if (ctx.options().track_evaluators) {
+    state.rewriter.query_evaluators[q.key()].insert(pending.vindex);
+  }
+}
+
+/// DAI-V rewrite (§4.5): the trigger tuple's projection travels with the
+/// rewritten query to Hash(value) (or Hash(Key(q)+value)).
+void RewriteDaiv(ProtocolContext& ctx, chord::Node& node, NodeState& state,
+                 const AlqtEntry& entry, const rel::Tuple& tuple,
+                 std::map<std::string, PendingDaivJoin>* out) {
+  const query::ContinuousQuery& q = *entry.query;
+  const int s = entry.index_side;
+  auto val_jc = q.side(s).join_expr->EvalSingle(s, tuple);
+  if (!val_jc.ok()) return;
+  if (val_jc.value().is_null()) return;  // Null join values never match.
+  std::string value_key = val_jc.value().ToKeyString();
+
+  RowTemplate row(q.select().size());
+  for (size_t i = 0; i < q.select().size(); ++i) {
+    const query::SelectItem& item = q.select()[i];
+    if (item.ref.side == s) row[i] = tuple.at(item.ref.attr_index);
+  }
+
+  // Group key: DAI-V groups purely by value; the key-prefixed variant
+  // (§4.5) separates queries and loses grouping — that is its cost.
+  std::string group_key = ctx.options().daiv_prefix_query_key
+                              ? q.key() + "+" + value_key
+                              : value_key;
+  PendingDaivJoin& pending = (*out)[group_key];
+  if (pending.payload == nullptr) {
+    pending.vindex = ctx.options().daiv_prefix_query_key
+                         ? DaivPrefixedIndexId(q.key(), value_key)
+                         : DaivIndexId(value_key);
+    pending.payload = std::make_shared<DaivJoinPayload>();
+    pending.payload->value_key = value_key;
+    pending.payload->rewriter = &node;
+    pending.payload->vindex = pending.vindex;
+  }
+  DaivEntry daiv_entry;
+  daiv_entry.query = entry.query;
+  daiv_entry.trigger_side = s;
+  daiv_entry.row = std::move(row);
+  daiv_entry.trigger_pub = tuple.pub_time();
+  daiv_entry.trigger_seq = tuple.seq();
+  pending.payload->entries.push_back(std::move(daiv_entry));
+  ++state.metrics.rewrites_sent;
+  if (ctx.options().track_evaluators) {
+    state.rewriter.query_evaluators[q.key()].insert(pending.vindex);
+  }
+}
+
+/// Routes a join payload directly to a cached evaluator, falling back to
+/// normal routing (with an ack request) if the cache entry went stale.
+template <typename PayloadT>
+void DeliverViaJfrt(ProtocolContext& ctx, chord::Node* from,
+                    chord::Node* cached, const chord::NodeId& vindex,
+                    std::shared_ptr<PayloadT> payload,
+                    void (*handler)(ProtocolContext&, chord::Node&,
+                                    const PayloadT&)) {
+  ctx.Transmit(
+      from, cached, sim::MsgClass::kRewrittenQuery,
+      [ctx = &ctx, cached, vindex, payload = std::move(payload), handler]() {
+        if (cached->IsResponsibleFor(vindex)) {
+          handler(*ctx, *cached, *payload);
+          return;
+        }
+        // Stale cache entry: re-route; the true evaluator's ack will
+        // refresh the rewriter's table.
+        auto copy = std::make_shared<PayloadT>(*payload);
+        copy->want_ack = true;
+        chord::AppMessage msg;
+        msg.target = vindex;
+        msg.cls = sim::MsgClass::kRewrittenQuery;
+        msg.payload = std::move(copy);
+        ctx->Send(*cached, std::move(msg));
+      });
+}
+
+/// Sends the grouped per-evaluator payloads, via the JFRT when enabled.
+template <typename PendingT, typename PayloadT>
+void DispatchPending(ProtocolContext& ctx, chord::Node& node,
+                     NodeState& state, std::map<std::string, PendingT> joins,
+                     void (*handler)(ProtocolContext&, chord::Node&,
+                                     const PayloadT&)) {
+  std::vector<chord::AppMessage> batch;
+  for (auto& [vkey, pending] : joins) {
+    if (ctx.options().use_jfrt) {
+      chord::Node* cached = state.rewriter.jfrt.Lookup(pending.vindex);
+      if (cached != nullptr && !cached->alive()) {
+        // The cached evaluator left the ring: drop the entry and fall back
+        // to routing (the new evaluator's ack will refill the table).
+        state.rewriter.jfrt.Erase(pending.vindex);
+        cached = nullptr;
+      }
+      if (cached != nullptr) {
+        DeliverViaJfrt<PayloadT>(ctx, &node, cached, pending.vindex,
+                                 std::move(pending.payload), handler);
+        continue;
+      }
+      pending.payload->want_ack = true;
+    }
+    chord::AppMessage msg;
+    msg.target = pending.vindex;
+    msg.cls = sim::MsgClass::kRewrittenQuery;
+    msg.payload = std::move(pending.payload);
+    batch.push_back(std::move(msg));
+  }
+  if (batch.size() == 1) {
+    ctx.Send(node, std::move(batch[0]));
+  } else if (!batch.empty()) {
+    ctx.Multisend(node, std::move(batch), sim::MsgClass::kRewrittenQuery);
+  }
+}
+
+}  // namespace
+
+void HandleTupleAl(ProtocolContext& ctx, chord::Node& node,
+                   const chord::AppMessage& msg) {
+  const auto& p = *static_cast<const TupleIndexPayload*>(msg.payload.get());
+  NodeState& state = ctx.StateOf(node);
+  std::string mkey = MKey(p.level1, p.replica);
+  if (ForwardIfMoved(ctx, node, state.rewriter, mkey, msg)) return;
+  ++state.metrics.tuples_received_attr;
+  ++state.metrics.filter_ops_attr;
+  const rel::Tuple& tuple = *p.tuple;
+  state.rewriter.attr_stats[mkey].Record(tuple.at(p.attr_index).ToKeyString());
+
+  // Multi-way queries indexed under this key (extension).
+  mw::TriggerAll(ctx, node, state, mkey, tuple);
+
+  const AttrLevelQueryTable::GroupMap* groups = state.rewriter.alqt.Find(mkey);
+  if (groups == nullptr) return;
+
+  const AlgorithmStrategy& strategy = ctx.strategy();
+  std::map<std::string, PendingJoin> t1_joins;
+  std::map<std::string, PendingDaivJoin> daiv_joins;
+  for (const auto& [signature, group] : *groups) {
+    state.metrics.filter_ops_attr += group.size();
+    for (const AlqtEntry& entry : group) {
+      const query::ContinuousQuery& q = *entry.query;
+      // Time semantics: only tuples published at/after insT(q) trigger it.
+      if (tuple.pub_time() < q.insertion_time()) continue;
+      if (!q.side(entry.index_side).SatisfiesPredicates(tuple)) continue;
+      if (strategy.RewritesToDaiv()) {
+        RewriteDaiv(ctx, node, state, entry, tuple, &daiv_joins);
+      } else {
+        RewriteT1(ctx, node, state, entry, tuple, &t1_joins);
+      }
+    }
+  }
+  if (!t1_joins.empty()) {
+    DispatchPending<PendingJoin, JoinPayload>(
+        ctx, node, state, std::move(t1_joins), evaluator::HandleJoin);
+  }
+  if (!daiv_joins.empty()) {
+    DispatchPending<PendingDaivJoin, DaivJoinPayload>(
+        ctx, node, state, std::move(daiv_joins), evaluator::HandleDaivJoin);
+  }
+}
+
+void HandleUnsubscribe(ProtocolContext& ctx, chord::Node& node,
+                       const chord::AppMessage& msg) {
+  const auto& p = *static_cast<const UnsubscribePayload*>(msg.payload.get());
+  NodeState& state = ctx.StateOf(node);
+  if (p.at_evaluator) {
+    evaluator::RemoveQuery(state.evaluator, p.query_key);
+    return;
+  }
+  if (ForwardIfMoved(ctx, node, state.rewriter, MKey(p.level1, p.replica),
+                     msg)) {
+    return;
+  }
+  state.rewriter.alqt.RemoveQuery(p.query_key);
+  auto tracked = state.rewriter.query_evaluators.find(p.query_key);
+  if (tracked == state.rewriter.query_evaluators.end()) return;
+  std::vector<chord::AppMessage> batch;
+  for (const chord::NodeId& vindex : tracked->second) {
+    auto payload = std::make_shared<UnsubscribePayload>();
+    payload->query_key = p.query_key;
+    payload->at_evaluator = true;
+    chord::AppMessage out;
+    out.target = vindex;
+    out.cls = sim::MsgClass::kControl;
+    out.payload = std::move(payload);
+    batch.push_back(std::move(out));
+  }
+  state.rewriter.query_evaluators.erase(tracked);
+  if (!batch.empty()) {
+    ctx.Multisend(node, std::move(batch), sim::MsgClass::kControl);
+  }
+}
+
+void HandleMigrateCmd(ProtocolContext& ctx, chord::Node& node,
+                      const chord::AppMessage& msg) {
+  const auto& p = *static_cast<const MigrateCmdPayload*>(msg.payload.get());
+  NodeState& state = ctx.StateOf(node);
+  std::string mkey = MKey(p.level1, p.replica);
+
+  // At the base node of an already-moved key: forward to the holder, with
+  // the base recorded so the holder can update our pointer afterwards.
+  auto moved = state.rewriter.moved_attrs.find(mkey);
+  if (moved != state.rewriter.moved_attrs.end() &&
+      moved->second.holder != nullptr && moved->second.holder->alive()) {
+    auto fwd = std::make_shared<MigrateCmdPayload>(p);
+    fwd->base = &node;
+    chord::Node* holder = moved->second.holder;
+    chord::AppMessage copy = msg;
+    copy.payload = std::move(fwd);
+    ctx.Transmit(&node, holder, sim::MsgClass::kControl,
+                 [ctx = &ctx, holder, copy = std::move(copy)]() {
+                   ctx->Redeliver(*holder, copy);
+                 });
+    return;
+  }
+
+  // We hold the bucket: pick the next identifier and its successor.
+  auto held = state.rewriter.held_generation.find(mkey);
+  int next_gen =
+      (held == state.rewriter.held_generation.end() ? 0 : held->second) + 1;
+  chord::NodeId new_id = HashKey(mkey + "#m" + std::to_string(next_gen));
+  chord::Node* target = node.FindSuccessor(new_id, sim::MsgClass::kControl);
+  chord::Node* base = p.base != nullptr ? p.base : &node;
+  if (target == nullptr) return;
+  if (target == &node) {
+    // The fresh identifier still lands here; only the generation advances.
+    state.rewriter.held_generation[mkey] = next_gen;
+    return;
+  }
+
+  // Move the bucket and its statistics (one control transfer).
+  auto bucket = std::make_shared<AttrLevelQueryTable::GroupMap>(
+      state.rewriter.alqt.TakeLevel1(mkey));
+  auto stats = std::make_shared<AttrArrivalStats>();
+  auto stats_it = state.rewriter.attr_stats.find(mkey);
+  if (stats_it != state.rewriter.attr_stats.end()) {
+    *stats = std::move(stats_it->second);
+    state.rewriter.attr_stats.erase(stats_it);
+  }
+  state.rewriter.held_generation.erase(mkey);
+  ctx.Transmit(&node, target, sim::MsgClass::kControl,
+               [ctx = &ctx, target, mkey, bucket, stats, next_gen]() {
+                 rewriter::State& ts = ctx->StateOf(*target).rewriter;
+                 for (auto& [signature, group] : *bucket) {
+                   for (AlqtEntry& entry : group) {
+                     ts.alqt.Insert(mkey, signature, std::move(entry));
+                   }
+                 }
+                 ts.attr_stats[mkey].Merge(*stats);
+                 ts.held_generation[mkey] = next_gen;
+               });
+
+  // Point the base at the new holder.
+  if (base == &node) {
+    state.rewriter.moved_attrs[mkey] = State::MovedAttr{next_gen, target};
+  } else {
+    ctx.Transmit(&node, base, sim::MsgClass::kControl,
+                 [ctx = &ctx, base, mkey, target, next_gen]() {
+                   ctx->StateOf(*base).rewriter.moved_attrs[mkey] =
+                       State::MovedAttr{next_gen, target};
+                 });
+  }
+}
+
+void HandleJfrtAck(ProtocolContext& ctx, chord::Node& node,
+                   const chord::AppMessage& msg) {
+  const auto& p = *static_cast<const JfrtAckPayload*>(msg.payload.get());
+  ctx.StateOf(node).rewriter.jfrt.Insert(p.vindex, p.evaluator);
+}
+
+}  // namespace rewriter
+}  // namespace contjoin::core

@@ -1,0 +1,34 @@
+// NodeState: the composition of the per-role protocol tables one node
+// keeps. Each role module owns its slice; the engine owns the map from
+// Chord nodes to their NodeState.
+
+#ifndef CONTJOIN_CORE_STATE_H_
+#define CONTJOIN_CORE_STATE_H_
+
+#include <cstddef>
+
+#include "core/evaluator.h"
+#include "core/metrics.h"
+#include "core/mw_protocol.h"
+#include "core/otj_protocol.h"
+#include "core/rewriter.h"
+#include "core/subscriber.h"
+
+namespace contjoin::core {
+
+/// State a node keeps to play its roles (rewriter / evaluator / subscriber,
+/// plus the multi-way and one-time-join extensions).
+struct NodeState {
+  explicit NodeState(size_t jfrt_capacity) : rewriter(jfrt_capacity) {}
+
+  rewriter::State rewriter;
+  evaluator::State evaluator;
+  subscriber::State subscriber;
+  mw::State mw;
+  otj::State otj;
+  NodeMetrics metrics;
+};
+
+}  // namespace contjoin::core
+
+#endif  // CONTJOIN_CORE_STATE_H_

@@ -1,0 +1,319 @@
+// Submission-side facade methods of ContinuousQueryNetwork: parsing and
+// indexing queries and tuples, one-time joins, unsubscription and the
+// Â§4.7 migration command. Split from engine.cc so the facade core stays
+// small; both files implement the same class.
+
+#include "core/engine.h"
+
+#include "common/logging.h"
+
+namespace contjoin::core {
+
+// --- Submission ------------------------------------------------------------------
+
+StatusOr<std::string> ContinuousQueryNetwork::SubmitQuery(
+    size_t node_index, std::string_view sql) {
+  if (node_index >= nodes_.size()) {
+    return Status::InvalidArgument("node index out of range");
+  }
+  chord::Node* origin = nodes_[node_index];
+  if (!origin->alive()) {
+    return Status::FailedPrecondition("submitting node is offline");
+  }
+  CJ_ASSIGN_OR_RETURN(query::ContinuousQuery parsed,
+                      query::ParseQuery(sql, catalog_));
+  if (parsed.type() == query::QueryType::kT2 &&
+      !strategy_->SupportsT2Queries()) {
+    return Status::Unsupported(
+        "queries of type T2 require DAI-V (paper §4.5); " +
+        std::string(strategy_->name()) + " handles only type T1");
+  }
+
+  Tick();
+  NodeState& origin_state = StateOf(*origin);
+  std::string key =
+      origin->key() + "#" +
+      std::to_string(origin_state.subscriber.next_query_serial++);
+  parsed.set_key(key);
+  parsed.set_subscriber_key(origin->key());
+  parsed.set_subscriber_ip(origin->ip());
+  parsed.set_insertion_time(simulator_.Now());
+
+  auto query = std::make_shared<const query::ContinuousQuery>(
+      std::move(parsed));
+
+  // Which sides index the query at the attribute level?
+  std::vector<int> sides;
+  if (strategy_->DoubleIndexesQueries()) {
+    sides = {0, 1};  // DAI algorithms double-index (§4.4.1).
+  } else {
+    sides.push_back(ChooseSaiIndexSide(*this, *origin, *query));
+  }
+
+  std::vector<chord::AppMessage> batch;
+  for (int s : sides) {
+    const query::QuerySide& side = query->side(s);
+    for (int replica = 0; replica < options_.attribute_replication;
+         ++replica) {
+      auto payload = std::make_shared<QueryIndexPayload>();
+      payload->query = query;
+      payload->index_side = s;
+      payload->level1 = AttrKey(side.relation, side.index_attr_name());
+      payload->replica = replica;
+      chord::AppMessage msg;
+      msg.target =
+          AttrIndexId(side.relation, side.index_attr_name(), replica);
+      msg.cls = sim::MsgClass::kQueryIndex;
+      msg.payload = std::move(payload);
+      batch.push_back(std::move(msg));
+    }
+  }
+  if (batch.size() == 1) {
+    origin->Send(std::move(batch[0]));
+  } else {
+    origin->Multisend(std::move(batch), sim::MsgClass::kQueryIndex);
+  }
+  simulator_.Run();
+  submitted_[key] = query;
+  return key;
+}
+
+Status ContinuousQueryNetwork::InsertTuple(size_t node_index,
+                                           const std::string& relation,
+                                           std::vector<rel::Value> values) {
+  if (node_index >= nodes_.size()) {
+    return Status::InvalidArgument("node index out of range");
+  }
+  chord::Node* origin = nodes_[node_index];
+  if (!origin->alive()) {
+    return Status::FailedPrecondition("inserting node is offline");
+  }
+  const rel::RelationSchema* schema = catalog_.Find(relation);
+  if (schema == nullptr) {
+    return Status::NotFound("unknown relation '" + relation + "'");
+  }
+
+  Tick();
+  auto tuple = std::make_shared<const rel::Tuple>(
+      relation, std::move(values), simulator_.Now(), next_tuple_seq_++);
+  CJ_RETURN_IF_ERROR(tuple->CheckAgainst(*schema));
+
+  // Paper §4.2 (adapted for DAI-V §4.5: tuples are indexed only at the
+  // attribute level there): one multisend batch carrying all identifiers.
+  std::vector<chord::AppMessage> batch;
+  for (size_t i = 0; i < schema->arity(); ++i) {
+    const std::string& attr = schema->attribute(i).name;
+    int replica = options_.attribute_replication <= 1
+                      ? 0
+                      : static_cast<int>(rng_.NextBelow(
+                            static_cast<uint64_t>(
+                                options_.attribute_replication)));
+    auto al = std::make_shared<TupleIndexPayload>(/*value_level=*/false);
+    al->tuple = tuple;
+    al->attr_index = i;
+    al->level1 = AttrKey(relation, attr);
+    al->replica = replica;
+    chord::AppMessage al_msg;
+    al_msg.target = AttrIndexId(relation, attr, replica);
+    al_msg.cls = sim::MsgClass::kTupleIndex;
+    al_msg.payload = std::move(al);
+    batch.push_back(std::move(al_msg));
+
+    if (strategy_->IndexesTuplesAtValueLevel()) {
+      auto vl = std::make_shared<TupleIndexPayload>(/*value_level=*/true);
+      vl->tuple = tuple;
+      vl->attr_index = i;
+      vl->level1 = AttrKey(relation, attr);
+      vl->value_key = tuple->at(i).ToKeyString();
+      chord::AppMessage vl_msg;
+      vl_msg.target = ValueIndexId(relation, attr, vl->value_key);
+      vl_msg.cls = sim::MsgClass::kTupleIndex;
+      vl_msg.payload = std::move(vl);
+      batch.push_back(std::move(vl_msg));
+    }
+  }
+  origin->Multisend(std::move(batch), sim::MsgClass::kTupleIndex);
+  simulator_.Run();
+  return Status::OK();
+}
+
+// --- Multi-way joins (extension) ------------------------------------------------------
+
+StatusOr<std::string> ContinuousQueryNetwork::SubmitMultiwayQuery(
+    size_t node_index, std::string_view sql) {
+  if (node_index >= nodes_.size()) {
+    return Status::InvalidArgument("node index out of range");
+  }
+  if (!strategy_->SupportsRecursiveMultiway()) {
+    return Status::Unsupported(
+        "multi-way queries run on the recursive-SAI extension; set "
+        "Algorithm::kSai");
+  }
+  if (options_.attribute_replication != 1) {
+    return Status::Unsupported(
+        "multi-way queries do not support attribute-level replication");
+  }
+  chord::Node* origin = nodes_[node_index];
+  if (!origin->alive()) {
+    return Status::FailedPrecondition("submitting node is offline");
+  }
+  CJ_ASSIGN_OR_RETURN(query::MwQuery parsed,
+                      query::ParseMwQuery(sql, catalog_));
+
+  Tick();
+  NodeState& origin_state = StateOf(*origin);
+  std::string key =
+      origin->key() + "#" +
+      std::to_string(origin_state.subscriber.next_query_serial++);
+  parsed.set_key(key);
+  parsed.set_subscriber_key(origin->key());
+  parsed.set_subscriber_ip(origin->ip());
+  parsed.set_insertion_time(simulator_.Now());
+  auto query = std::make_shared<const query::MwQuery>(std::move(parsed));
+
+  // Index at the attribute level under the root relation (index 0) and the
+  // attribute of its lowest incident join condition.
+  int root_cond = query->NextCondition(1u << 0);
+  CJ_CHECK(root_cond >= 0) << "spanning tree must touch the root";
+  const query::MwCondition& cond =
+      query->conditions()[static_cast<size_t>(root_cond)];
+  const query::MwRelation& root = query->relations()[0];
+  const std::string& attr =
+      root.schema->attribute(cond.AttrOn(0)).name;
+
+  auto payload = std::make_shared<MwQueryIndexPayload>();
+  payload->query = query;
+  payload->level1 = AttrKey(root.relation, attr);
+  chord::AppMessage msg;
+  msg.target = AttrIndexId(root.relation, attr, /*replica=*/0);
+  msg.cls = sim::MsgClass::kQueryIndex;
+  msg.payload = std::move(payload);
+  origin->Send(std::move(msg));
+  simulator_.Run();
+  return key;
+}
+
+// --- One-time joins (PIER baseline) ---------------------------------------------------
+
+StatusOr<std::vector<Notification>> ContinuousQueryNetwork::OneTimeJoin(
+    size_t node_index, std::string_view sql) {
+  if (node_index >= nodes_.size()) {
+    return Status::InvalidArgument("node index out of range");
+  }
+  if (!strategy_->StoresTuples()) {
+    return Status::Unsupported(
+        "one-time joins scan value-level tuple storage, which only SAI and "
+        "DAI-Q maintain");
+  }
+  chord::Node* origin = nodes_[node_index];
+  if (!origin->alive()) {
+    return Status::FailedPrecondition("issuing node is offline");
+  }
+  CJ_ASSIGN_OR_RETURN(query::ContinuousQuery parsed,
+                      query::ParseQuery(sql, catalog_));
+
+  Tick();
+  uint64_t otj_id = next_otj_id_++;
+  parsed.set_key(origin->key() + "#otj" + std::to_string(otj_id));
+  parsed.set_subscriber_key(origin->key());
+  parsed.set_subscriber_ip(origin->ip());
+  parsed.set_insertion_time(0);  // Snapshot: every stored tuple qualifies.
+  auto query = std::make_shared<const query::ContinuousQuery>(
+      std::move(parsed));
+
+  auto payload = std::make_shared<OtjScanPayload>();
+  payload->query = query;
+  payload->otj_id = otj_id;
+  payload->issuer = origin;
+  origin->Broadcast(std::move(payload), sim::MsgClass::kOneTime);
+  simulator_.Run();
+
+  std::vector<Notification> results = std::move(otj_results_[otj_id]);
+  otj_results_.erase(otj_id);
+  // Drop the temporary collector buffers of this execution.
+  for (auto& [node, state] : states_) state->otj.buffers.erase(otj_id);
+  return results;
+}
+
+// --- Unsubscription (extension) -----------------------------------------------------
+
+Status ContinuousQueryNetwork::Unsubscribe(size_t node_index,
+                                           const std::string& query_key) {
+  if (node_index >= nodes_.size()) {
+    return Status::InvalidArgument("node index out of range");
+  }
+  auto it = submitted_.find(query_key);
+  if (it == submitted_.end()) {
+    return Status::NotFound("unknown query key '" + query_key + "'");
+  }
+  const query::ContinuousQuery& q = *it->second;
+  chord::Node* origin = nodes_[node_index];
+  if (!origin->alive()) {
+    return Status::FailedPrecondition("node is offline");
+  }
+
+  Tick();
+  // Remove from every possible rewriter (both sides and all replicas cover
+  // the SAI single-side case too — the extra recipients are no-ops).
+  std::vector<chord::AppMessage> batch;
+  for (int s = 0; s < 2; ++s) {
+    for (int replica = 0; replica < options_.attribute_replication;
+         ++replica) {
+      auto payload = std::make_shared<UnsubscribePayload>();
+      payload->query_key = query_key;
+      payload->at_evaluator = false;
+      payload->level1 =
+          AttrKey(q.side(s).relation, q.side(s).index_attr_name());
+      payload->replica = replica;
+      chord::AppMessage msg;
+      msg.target = AttrIndexId(q.side(s).relation,
+                               q.side(s).index_attr_name(), replica);
+      msg.cls = sim::MsgClass::kControl;
+      msg.payload = std::move(payload);
+      batch.push_back(std::move(msg));
+    }
+  }
+  origin->Multisend(std::move(batch), sim::MsgClass::kControl);
+  simulator_.Run();
+  submitted_.erase(it);
+  return Status::OK();
+}
+
+// --- §4.7 "moving an identifier" ------------------------------------------------------
+
+Status ContinuousQueryNetwork::MigrateAttribute(size_t node_index,
+                                                const std::string& relation,
+                                                const std::string& attr,
+                                                int replica) {
+  if (node_index >= nodes_.size()) {
+    return Status::InvalidArgument("node index out of range");
+  }
+  const rel::RelationSchema* schema = catalog_.Find(relation);
+  if (schema == nullptr) {
+    return Status::NotFound("unknown relation '" + relation + "'");
+  }
+  if (!schema->AttributeIndex(attr).has_value()) {
+    return Status::NotFound("relation '" + relation +
+                            "' has no attribute '" + attr + "'");
+  }
+  if (replica < 0 || replica >= options_.attribute_replication) {
+    return Status::InvalidArgument("replica out of range");
+  }
+  chord::Node* origin = nodes_[node_index];
+  if (!origin->alive()) {
+    return Status::FailedPrecondition("node is offline");
+  }
+  Tick();
+  auto payload = std::make_shared<MigrateCmdPayload>();
+  payload->level1 = AttrKey(relation, attr);
+  payload->replica = replica;
+  chord::AppMessage msg;
+  msg.target = AttrIndexId(relation, attr, replica);
+  msg.cls = sim::MsgClass::kControl;
+  msg.payload = std::move(payload);
+  origin->Send(std::move(msg));
+  simulator_.Run();
+  return Status::OK();
+}
+
+}  // namespace contjoin::core

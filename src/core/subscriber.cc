@@ -1,0 +1,139 @@
+#include "core/subscriber.h"
+
+#include <memory>
+#include <utility>
+
+#include "chord/node.h"
+#include "common/logging.h"
+#include "core/state.h"
+
+namespace contjoin::core::subscriber {
+
+void EmitNotification(ProtocolContext& ctx, chord::Node& evaluator,
+                      const query::ContinuousQuery& q, RowTemplate merged,
+                      rel::Timestamp earlier, rel::Timestamp later) {
+  Notification n;
+  n.query_key = q.key();
+  n.row.reserve(merged.size());
+  for (auto& v : merged) {
+    CJ_CHECK(v.has_value()) << "incomplete notification row for " << q.key();
+    n.row.push_back(std::move(*v));
+  }
+  n.earlier_pub = earlier;
+  n.later_pub = later;
+  n.created_at = ctx.now();
+  ++ctx.StateOf(evaluator).metrics.notifications_created;
+  DeliverNotification(ctx, evaluator, q.subscriber_key(), q.subscriber_ip(),
+                      std::move(n));
+}
+
+void EmitMwNotification(ProtocolContext& ctx, chord::Node& evaluator,
+                        const query::MwQuery& q, const RowTemplate& row,
+                        rel::Timestamp earlier, rel::Timestamp later) {
+  Notification n;
+  n.query_key = q.key();
+  n.row.reserve(row.size());
+  for (const auto& v : row) {
+    CJ_CHECK(v.has_value()) << "incomplete multi-way row for " << q.key();
+    n.row.push_back(*v);
+  }
+  n.earlier_pub = earlier;
+  n.later_pub = later;
+  n.created_at = ctx.now();
+  ++ctx.StateOf(evaluator).metrics.notifications_created;
+  DeliverNotification(ctx, evaluator, q.subscriber_key(), q.subscriber_ip(),
+                      std::move(n));
+}
+
+void DeliverNotification(ProtocolContext& ctx, chord::Node& evaluator,
+                         const std::string& subscriber_key,
+                         uint64_t subscriber_ip, Notification n) {
+  State& ev_state = ctx.StateOf(evaluator).subscriber;
+  chord::Node* target = nullptr;
+  uint64_t expect_ip = subscriber_ip;
+  auto learned = ev_state.subscriber_addr.find(subscriber_key);
+  if (learned != ev_state.subscriber_addr.end()) {
+    target = learned->second.node;
+    expect_ip = learned->second.ip;
+  } else {
+    target = ctx.NodeByKey(subscriber_key);
+  }
+
+  if (target == &evaluator && target->alive()) {
+    ev_state.inbox.push_back(std::move(n));  // Local subscriber.
+    return;
+  }
+  if (target != nullptr && target->alive() && target->ip() == expect_ip) {
+    // Direct delivery by IP: one overlay hop (§4.6).
+    chord::Node* t = target;
+    auto shared = std::make_shared<Notification>(std::move(n));
+    ctx.Transmit(&evaluator, t, sim::MsgClass::kNotification,
+                 [ctx = &ctx, t, shared]() {
+                   ctx->DepositNotification(*t, *shared);
+                 });
+    return;
+  }
+  // Off-line or moved: route to Successor(Id(n)) where it is delivered or
+  // stored (§4.6).
+  auto payload = std::make_shared<NotificationPayload>();
+  payload->notification = std::move(n);
+  payload->subscriber_key = subscriber_key;
+  payload->evaluator = &evaluator;
+  chord::AppMessage msg;
+  msg.target = HashKey(subscriber_key);
+  msg.cls = sim::MsgClass::kNotification;
+  msg.payload = std::move(payload);
+  ctx.Send(evaluator, std::move(msg));
+}
+
+void AbsorbStoredItems(ProtocolContext& ctx, chord::Node& node,
+                       const chord::NodeId& key,
+                       std::vector<chord::PayloadPtr> items) {
+  for (chord::PayloadPtr& item : items) {
+    const auto* base = static_cast<const CqPayload*>(item.get());
+    if (base != nullptr && base->type == CqMsgType::kNotification) {
+      const auto& p = *static_cast<const NotificationPayload*>(base);
+      if (p.subscriber_key == node.key()) {
+        ctx.DepositNotification(node, p.notification);
+        continue;
+      }
+    }
+    node.store().Put(key, std::move(item));
+  }
+}
+
+void HandleNotification(ProtocolContext& ctx, chord::Node& node,
+                        const chord::AppMessage& msg) {
+  const auto& p =
+      *static_cast<const NotificationPayload*>(msg.payload.get());
+  if (node.key() == p.subscriber_key) {
+    ctx.DepositNotification(node, p.notification);
+    // Tell the evaluator our (possibly new) address (§4.6).
+    if (p.evaluator != nullptr && p.evaluator != &node &&
+        p.evaluator->alive()) {
+      chord::Node* evaluator = p.evaluator;
+      std::string subscriber_key = node.key();
+      chord::Node* self = &node;
+      uint64_t ip = node.ip();
+      ctx.Transmit(&node, evaluator, sim::MsgClass::kControl,
+                   [ctx = &ctx, evaluator, subscriber_key, self, ip]() {
+                     ctx->StateOf(*evaluator)
+                         .subscriber.subscriber_addr[subscriber_key] = {self,
+                                                                        ip};
+                   });
+    }
+  } else {
+    // Subscriber off-line: store under its identifier; the Chord key
+    // transfer hands it back on reconnection (§4.6).
+    node.store().Put(HashKey(p.subscriber_key), msg.payload);
+  }
+}
+
+void HandleIpUpdate(ProtocolContext& ctx, chord::Node& node,
+                    const chord::AppMessage& msg) {
+  const auto& p = *static_cast<const IpUpdatePayload*>(msg.payload.get());
+  ctx.StateOf(node).subscriber.subscriber_addr[p.subscriber_key] = {p.node,
+                                                                    p.ip};
+}
+
+}  // namespace contjoin::core::subscriber

@@ -79,8 +79,8 @@ TEST_P(MigrationTest, BucketActuallyMoves) {
   const NodeState* base_state = net->state(base_index);
   // SAI may have indexed the query by the S side; the pointer is set either
   // way once the key moves.
-  auto moved = base_state->moved_attrs.find("R+B#0");
-  ASSERT_NE(moved, base_state->moved_attrs.end());
+  auto moved = base_state->rewriter.moved_attrs.find("R+B#0");
+  ASSERT_NE(moved, base_state->rewriter.moved_attrs.end());
   chord::Node* holder = moved->second.holder;
   ASSERT_NE(holder, nullptr);
   ASSERT_NE(holder, base);
@@ -89,7 +89,7 @@ TEST_P(MigrationTest, BucketActuallyMoves) {
     EXPECT_LT(net->storage(base_index).alqt_queries, base_alqt_before);
   }
   const NodeState* holder_state = net->state(IndexOf(net.get(), holder));
-  EXPECT_EQ(holder_state->held_generation.at("R+B#0"), 1);
+  EXPECT_EQ(holder_state->rewriter.held_generation.at("R+B#0"), 1);
 }
 
 TEST_P(MigrationTest, RepeatedMigrationRepointsBaseDirectly) {
@@ -101,8 +101,8 @@ TEST_P(MigrationTest, RepeatedMigrationRepointsBaseDirectly) {
   chord::Node* base =
       net->network()->OracleSuccessor(AttrIndexId("R", "B", 0));
   const NodeState* base_state = net->state(IndexOf(net.get(), base));
-  auto moved = base_state->moved_attrs.find("R+B#0");
-  ASSERT_NE(moved, base_state->moved_attrs.end());
+  auto moved = base_state->rewriter.moved_attrs.find("R+B#0");
+  ASSERT_NE(moved, base_state->rewriter.moved_attrs.end());
   EXPECT_EQ(moved->second.generation, 2);
   // Answers still flow after two moves.
   ASSERT_TRUE(net->InsertTuple(2, "R", {Value::Int(1), Value::Int(7)}).ok());

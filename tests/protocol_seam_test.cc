@@ -1,0 +1,243 @@
+// Unit tests for the protocol role handlers exercised through a mock
+// ProtocolContext — no simulator, no ring. Covers the §4.7 moved-identifier
+// forwarding path of the rewriter, sliding-window expiry of the evaluator
+// tables, and the dispatch registry's handling of unregistered types.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "chord/node.h"
+#include "chord/types.h"
+#include "core/algorithm.h"
+#include "core/context.h"
+#include "core/dispatch.h"
+#include "core/evaluator.h"
+#include "core/messages.h"
+#include "core/rewriter.h"
+#include "core/state.h"
+#include "relational/schema.h"
+
+namespace contjoin::core {
+namespace {
+
+/// Minimal ProtocolContext: records every transport call and delivers
+/// Transmit callbacks synchronously.
+class MockContext : public ProtocolContext {
+ public:
+  explicit MockContext(Options options)
+      : options_(std::move(options)), rng_(options_.seed) {}
+
+  const Options& options() const override { return options_; }
+  const AlgorithmStrategy& strategy() const override {
+    return AlgorithmStrategy::For(options_.algorithm);
+  }
+  rel::Catalog& GetCatalog() override { return catalog_; }
+  Rng& GetRng() override { return rng_; }
+  rel::Timestamp now() const override { return now_time; }
+
+  NodeState& StateOf(chord::Node& node) override {
+    auto it = states_.find(&node);
+    if (it == states_.end()) {
+      it = states_
+               .emplace(&node,
+                        std::make_unique<NodeState>(options_.jfrt_capacity))
+               .first;
+    }
+    return *it->second;
+  }
+
+  void Send(chord::Node&, chord::AppMessage msg) override {
+    sent.push_back(std::move(msg));
+  }
+  void Multisend(chord::Node&, std::vector<chord::AppMessage> msgs,
+                 sim::MsgClass) override {
+    for (auto& m : msgs) sent.push_back(std::move(m));
+  }
+  void Transmit(chord::Node* from, chord::Node* to, sim::MsgClass cls,
+                std::function<void()> deliver) override {
+    transmits.push_back({from, to, cls});
+    deliver();
+  }
+  void CountHop(sim::MsgClass) override { ++hops; }
+  void Redeliver(chord::Node& node, const chord::AppMessage& msg) override {
+    redelivered.push_back({&node, msg});
+  }
+  chord::Node* NodeByKey(const std::string&) override { return nullptr; }
+  void DepositNotification(chord::Node&, Notification n) override {
+    inbox.push_back(std::move(n));
+  }
+  void AppendOtjResults(uint64_t, std::vector<Notification>) override {}
+
+  struct TransmitRecord {
+    chord::Node* from;
+    chord::Node* to;
+    sim::MsgClass cls;
+  };
+
+  rel::Timestamp now_time = 0;
+  std::vector<chord::AppMessage> sent;
+  std::vector<TransmitRecord> transmits;
+  std::vector<std::pair<chord::Node*, chord::AppMessage>> redelivered;
+  std::vector<Notification> inbox;
+  uint64_t hops = 0;
+
+ private:
+  Options options_;
+  rel::Catalog catalog_;
+  Rng rng_;
+  std::unordered_map<chord::Node*, std::unique_ptr<NodeState>> states_;
+};
+
+chord::AppMessage AlTupleMessage(const std::string& level1) {
+  auto p = std::make_shared<TupleIndexPayload>(/*value_level=*/false);
+  p->tuple = std::make_shared<rel::Tuple>(
+      "R", std::vector<rel::Value>{rel::Value::Int(1)}, /*pub_time=*/1,
+      /*seq=*/1);
+  p->level1 = level1;
+  chord::AppMessage msg;
+  msg.target = HashKey(level1);
+  msg.cls = sim::MsgClass::kTupleIndex;
+  msg.payload = std::move(p);
+  return msg;
+}
+
+// --- Rewriter: §4.7 moved identifiers -----------------------------------------
+
+TEST(RewriterForwardIfMoved, ForwardsToHolderAndRedelivers) {
+  MockContext ctx{Options{}};
+  chord::Node base(nullptr, "base", 0);
+  chord::Node holder(nullptr, "holder", 0);
+  holder.SetAliveDirect(true);
+
+  const std::string mkey = rewriter::MKey("R+A", 0);
+  rewriter::State& state = ctx.StateOf(base).rewriter;
+  state.moved_attrs[mkey] = rewriter::State::MovedAttr{1, &holder};
+
+  chord::AppMessage msg = AlTupleMessage("R+A");
+  EXPECT_TRUE(rewriter::ForwardIfMoved(ctx, base, state, mkey, msg));
+
+  // One point-to-point hop base -> holder of the message's class, and the
+  // message re-enters dispatch at the holder.
+  ASSERT_EQ(ctx.transmits.size(), 1u);
+  EXPECT_EQ(ctx.transmits[0].from, &base);
+  EXPECT_EQ(ctx.transmits[0].to, &holder);
+  EXPECT_EQ(ctx.transmits[0].cls, sim::MsgClass::kTupleIndex);
+  ASSERT_EQ(ctx.redelivered.size(), 1u);
+  EXPECT_EQ(ctx.redelivered[0].first, &holder);
+  EXPECT_EQ(ctx.redelivered[0].second.payload, msg.payload);
+}
+
+TEST(RewriterForwardIfMoved, FallsBackToBaseWhenHolderIsDead) {
+  MockContext ctx{Options{}};
+  chord::Node base(nullptr, "base", 0);
+  chord::Node holder(nullptr, "holder", 0);  // Never joined: not alive.
+
+  const std::string mkey = rewriter::MKey("R+A", 0);
+  rewriter::State& state = ctx.StateOf(base).rewriter;
+  state.moved_attrs[mkey] = rewriter::State::MovedAttr{1, &holder};
+
+  chord::AppMessage msg = AlTupleMessage("R+A");
+  EXPECT_FALSE(rewriter::ForwardIfMoved(ctx, base, state, mkey, msg));
+  // The stale pointer is dropped; the base node resumes the role.
+  EXPECT_TRUE(state.moved_attrs.empty());
+  EXPECT_TRUE(ctx.transmits.empty());
+}
+
+TEST(RewriterForwardIfMoved, IgnoresUnmovedKeys) {
+  MockContext ctx{Options{}};
+  chord::Node base(nullptr, "base", 0);
+  rewriter::State& state = ctx.StateOf(base).rewriter;
+
+  chord::AppMessage msg = AlTupleMessage("R+A");
+  EXPECT_FALSE(
+      rewriter::ForwardIfMoved(ctx, base, state, rewriter::MKey("R+A", 0), msg));
+  EXPECT_TRUE(ctx.transmits.empty());
+  EXPECT_TRUE(ctx.redelivered.empty());
+}
+
+// --- Evaluator: sliding-window expiry ------------------------------------------
+
+TEST(EvaluatorExpiry, DropsOnlyTuplesOlderThanCutoff) {
+  evaluator::State state;
+  auto stored_at = [](rel::Timestamp pub, uint64_t seq) {
+    StoredTuple s;
+    s.tuple = std::make_shared<rel::Tuple>(
+        "R", std::vector<rel::Value>{rel::Value::Int(7)}, pub, seq);
+    return s;
+  };
+  state.vltt.Insert("R+A", "7", stored_at(5, 1));
+  state.vltt.Insert("R+A", "7", stored_at(50, 2));
+  state.daiv.Insert("7", "q1", 0, DaivStored{{}, /*pub_time=*/5, /*seq=*/3});
+  state.daiv.Insert("7", "q1", 0, DaivStored{{}, /*pub_time=*/50, /*seq=*/4});
+
+  EXPECT_EQ(evaluator::ExpireBefore(state, /*cutoff=*/20), 2u);
+  EXPECT_EQ(state.vltt.size(), 1u);
+  EXPECT_EQ(state.daiv.size(), 1u);
+
+  // Survivors are the fresh ones.
+  const auto* bucket = state.vltt.Find("R+A", "7");
+  ASSERT_NE(bucket, nullptr);
+  ASSERT_EQ(bucket->size(), 1u);
+  EXPECT_EQ((*bucket)[0].tuple->pub_time(), 50u);
+
+  // Expiring again at the same cutoff is a no-op.
+  EXPECT_EQ(evaluator::ExpireBefore(state, /*cutoff=*/20), 0u);
+}
+
+// --- Dispatch registry ----------------------------------------------------------
+
+int g_seam_handler_calls = 0;
+
+void CountingHandler(ProtocolContext&, chord::Node&,
+                     const chord::AppMessage&) {
+  ++g_seam_handler_calls;
+}
+
+TEST(MessageDispatch, RejectsUnregisteredTypes) {
+  MockContext ctx{Options{}};
+  chord::Node node(nullptr, "n", 0);
+
+  MessageDispatcher table;  // Nothing registered.
+  chord::AppMessage msg = AlTupleMessage("R+A");
+  EXPECT_FALSE(table.Dispatch(ctx, node, msg));
+
+  const NodeMetrics& m = ctx.StateOf(node).metrics;
+  EXPECT_EQ(m.msgs_unhandled, 1u);
+  for (uint64_t count : m.received_by_type) EXPECT_EQ(count, 0u);
+}
+
+TEST(MessageDispatch, IgnoresNullPayloads) {
+  MockContext ctx{Options{}};
+  chord::Node node(nullptr, "n", 0);
+
+  chord::AppMessage msg;  // No payload at all.
+  EXPECT_FALSE(MessageDispatcher::Default().Dispatch(ctx, node, msg));
+  EXPECT_EQ(ctx.StateOf(node).metrics.msgs_unhandled, 0u);
+}
+
+TEST(MessageDispatch, RoutesAndCountsRegisteredTypes) {
+  MockContext ctx{Options{}};
+  chord::Node node(nullptr, "n", 0);
+
+  MessageDispatcher table;
+  table.Register(CqMsgType::kTupleAl, CountingHandler);
+
+  g_seam_handler_calls = 0;
+  chord::AppMessage msg = AlTupleMessage("R+A");
+  EXPECT_TRUE(table.Dispatch(ctx, node, msg));
+  EXPECT_TRUE(table.Dispatch(ctx, node, msg));
+  EXPECT_EQ(g_seam_handler_calls, 2);
+
+  const NodeMetrics& m = ctx.StateOf(node).metrics;
+  EXPECT_EQ(
+      m.received_by_type[static_cast<size_t>(CqMsgType::kTupleAl)], 2u);
+  EXPECT_EQ(m.msgs_unhandled, 0u);
+}
+
+}  // namespace
+}  // namespace contjoin::core
