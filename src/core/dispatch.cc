@@ -1,5 +1,6 @@
 #include "core/dispatch.h"
 
+#include "common/logging.h"
 #include "core/evaluator.h"
 #include "core/mw_protocol.h"
 #include "core/otj_protocol.h"
@@ -26,20 +27,22 @@ bool MessageDispatcher::Dispatch(ProtocolContext& ctx, chord::Node& node,
 const MessageDispatcher& MessageDispatcher::Default() {
   static const MessageDispatcher table = [] {
     MessageDispatcher t;
-    t.Register(CqMsgType::kQueryIndex, rewriter::HandleQueryIndex);
-    t.Register(CqMsgType::kTupleAl, rewriter::HandleTupleAl);
-    t.Register(CqMsgType::kTupleVl, evaluator::HandleTupleVl);
-    t.Register(CqMsgType::kJoin, evaluator::HandleJoinMsg);
-    t.Register(CqMsgType::kDaivJoin, evaluator::HandleDaivJoinMsg);
-    t.Register(CqMsgType::kNotification, subscriber::HandleNotification);
-    t.Register(CqMsgType::kUnsubscribe, rewriter::HandleUnsubscribe);
-    t.Register(CqMsgType::kIpUpdate, subscriber::HandleIpUpdate);
-    t.Register(CqMsgType::kJfrtAck, rewriter::HandleJfrtAck);
-    t.Register(CqMsgType::kMigrateCmd, rewriter::HandleMigrateCmd);
-    t.Register(CqMsgType::kMwQueryIndex, mw::HandleQueryIndex);
-    t.Register(CqMsgType::kMwJoin, mw::HandleJoin);
-    t.Register(CqMsgType::kOtjScan, otj::HandleScan);
-    t.Register(CqMsgType::kOtjRehash, otj::HandleRehash);
+    // Register refuses duplicates; a false return here is a wiring bug.
+    CJ_CHECK(t.Register(CqMsgType::kQueryIndex, rewriter::HandleQueryIndex));
+    CJ_CHECK(t.Register(CqMsgType::kTupleAl, rewriter::HandleTupleAl));
+    CJ_CHECK(t.Register(CqMsgType::kTupleVl, evaluator::HandleTupleVl));
+    CJ_CHECK(t.Register(CqMsgType::kJoin, evaluator::HandleJoinMsg));
+    CJ_CHECK(t.Register(CqMsgType::kDaivJoin, evaluator::HandleDaivJoinMsg));
+    CJ_CHECK(
+        t.Register(CqMsgType::kNotification, subscriber::HandleNotification));
+    CJ_CHECK(t.Register(CqMsgType::kUnsubscribe, rewriter::HandleUnsubscribe));
+    CJ_CHECK(t.Register(CqMsgType::kIpUpdate, subscriber::HandleIpUpdate));
+    CJ_CHECK(t.Register(CqMsgType::kJfrtAck, rewriter::HandleJfrtAck));
+    CJ_CHECK(t.Register(CqMsgType::kMigrateCmd, rewriter::HandleMigrateCmd));
+    CJ_CHECK(t.Register(CqMsgType::kMwQueryIndex, mw::HandleQueryIndex));
+    CJ_CHECK(t.Register(CqMsgType::kMwJoin, mw::HandleJoin));
+    CJ_CHECK(t.Register(CqMsgType::kOtjScan, otj::HandleScan));
+    CJ_CHECK(t.Register(CqMsgType::kOtjRehash, otj::HandleRehash));
     return t;
   }();
   return table;

@@ -22,8 +22,19 @@ class MessageDispatcher {
   /// An empty table; use Register (or Default()) to populate it.
   MessageDispatcher() = default;
 
-  void Register(CqMsgType type, Handler handler) {
-    handlers_[static_cast<size_t>(type)] = handler;
+  /// Registers a handler for `type`. Every message type has exactly one
+  /// owning role: if a handler is already registered the call is refused
+  /// (the existing handler stays) and false is returned, so a wiring
+  /// mistake surfaces instead of silently rerouting a protocol message.
+  bool Register(CqMsgType type, Handler handler) {
+    size_t index = static_cast<size_t>(type);
+    if (handlers_[index] != nullptr) return false;
+    handlers_[index] = handler;
+    return true;
+  }
+
+  bool HasHandler(CqMsgType type) const {
+    return handlers_[static_cast<size_t>(type)] != nullptr;
   }
 
   /// Routes `msg` to the handler registered for its payload type, counting

@@ -154,6 +154,7 @@ LoadDistribution ContinuousQueryNetwork::StorageLoadDistribution() const {
 
 NodeMetrics ContinuousQueryNetwork::TotalMetrics() const {
   NodeMetrics total;
+  // contjoin-check: ordered-ok(commutative accumulation of counters)
   for (const auto& [node, state] : states_) total.Accumulate(state->metrics);
   return total;
 }
@@ -165,6 +166,7 @@ NodeStorage ContinuousQueryNetwork::TotalStorage() const {
 }
 
 void ContinuousQueryNetwork::ResetLoadMetrics() {
+  // contjoin-check: ordered-ok(independent per-node reset, no emission)
   for (auto& [node, state] : states_) state->metrics.Reset();
   network_.stats().Reset();
 }
@@ -175,6 +177,7 @@ size_t ContinuousQueryNetwork::PruneExpired() {
   rel::Timestamp cutoff =
       now_time > options_.window ? now_time - options_.window : 0;
   size_t dropped = 0;
+  // contjoin-check: ordered-ok(commutative sum of per-node expiry counts)
   for (auto& [node, state] : states_) {
     dropped += evaluator::ExpireBefore(state->evaluator, cutoff);
   }

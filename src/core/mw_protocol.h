@@ -8,6 +8,7 @@
 #define CONTJOIN_CORE_MW_PROTOCOL_H_
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,7 +28,10 @@ struct State {
   /// Multi-way queries indexed at this rewriter, by "R+A#replica".
   std::unordered_map<std::string, std::vector<query::MwQueryPtr>> alqt;
   /// Stored partial bindings: "R+A" -> value -> partial key -> partial.
-  using Bucket = std::unordered_map<std::string, MwPartial>;
+  /// Buckets are ordered maps: an arriving tuple iterates a whole bucket
+  /// emitting notifications and next-hop partials, so the order must be
+  /// reproducible.
+  using Bucket = std::map<std::string, MwPartial>;
   std::unordered_map<std::string, std::unordered_map<std::string, Bucket>>
       vlqt;
   size_t alqt_size = 0;

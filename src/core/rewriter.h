@@ -8,6 +8,7 @@
 #define CONTJOIN_CORE_REWRITER_H_
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -26,7 +27,10 @@ namespace contjoin::core {
 struct AttrArrivalStats {
   uint64_t tuples_seen = 0;
   /// Bounded per-value frequency map (skew / distinct-count estimation).
-  std::unordered_map<std::string, uint64_t> value_counts;
+  /// Ordered: when two bounded maps merge at the capacity limit (§4.7
+  /// identifier moves), the iteration order decides which values stay
+  /// tracked, so it must not depend on hash-table layout.
+  std::map<std::string, uint64_t> value_counts;
   uint64_t overflow_values = 0;  // Arrivals beyond the tracked-value cap.
 
   static constexpr size_t kMaxTrackedValues = 4096;

@@ -6,9 +6,13 @@
 #ifndef CONTJOIN_CORE_TABLES_H_
 #define CONTJOIN_CORE_TABLES_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/messages.h"
@@ -28,10 +32,14 @@ struct AlqtEntry {
 /// Attribute-level query table: level 1 keyed by the index attribute
 /// ("R+A"), level 2 by the join-condition signature, grouping similar
 /// queries so a tuple triggers a whole group in one step (§4.3.5).
+///
+/// Level 2 is an ordered map: triggered groups are iterated when building
+/// outgoing join batches, so the iteration order reaches the wire and must
+/// not depend on hash-table layout.
 class AttrLevelQueryTable {
  public:
   using Group = std::vector<AlqtEntry>;
-  using GroupMap = std::unordered_map<std::string, Group>;
+  using GroupMap = std::map<std::string, Group>;
 
   void Insert(const std::string& level1, const std::string& signature,
               AlqtEntry entry);
@@ -70,10 +78,11 @@ struct StoredRewritten {
 
 /// Value-level query table: level 1 keyed by the load-distributing
 /// attribute ("DisR+DisA"), level 2 by the required value, then by
-/// rewritten key.
+/// rewritten key. Buckets are ordered maps: an arriving tuple iterates a
+/// whole bucket emitting notifications, so the order must be reproducible.
 class ValueLevelQueryTable {
  public:
-  using Bucket = std::unordered_map<std::string, StoredRewritten>;
+  using Bucket = std::map<std::string, StoredRewritten>;
 
   /// Inserts or refreshes; returns true when the rewritten key is new.
   bool InsertOrRefresh(const std::string& level1, const std::string& value_key,
@@ -119,14 +128,31 @@ class ValueLevelTupleTable {
   /// Drops every tuple with pub_time < cutoff; returns the number dropped.
   size_t ExpireBefore(rel::Timestamp cutoff);
 
-  /// Visits every stored tuple (one-time scans). A tuple stored under h
-  /// attributes is visited h times; filter on StoredTuple::index_attr to
-  /// see each tuple once.
+  /// Visits every stored tuple (one-time scans) in deterministic
+  /// (level1, value) key order — scans feed rehash messages, so the visit
+  /// order reaches the wire. A tuple stored under h attributes is visited
+  /// h times; filter on StoredTuple::index_attr to see each tuple once.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
+    using ByValue = std::unordered_map<std::string, Bucket>;
+    std::vector<std::pair<std::string_view, const ByValue*>> level1s;
+    level1s.reserve(map_.size());
+    // contjoin-check: ordered-ok(keys are collected and sorted below)
     for (const auto& [level1, by_value] : map_) {
-      for (const auto& [value, bucket] : by_value) {
-        for (const StoredTuple& stored : bucket) fn(stored);
+      level1s.emplace_back(level1, &by_value);
+    }
+    std::sort(level1s.begin(), level1s.end());
+    std::vector<std::pair<std::string_view, const Bucket*>> values;
+    for (const auto& [level1, by_value] : level1s) {
+      values.clear();
+      values.reserve(by_value->size());
+      // contjoin-check: ordered-ok(keys are collected and sorted below)
+      for (const auto& [value, bucket] : *by_value) {
+        values.emplace_back(value, &bucket);
+      }
+      std::sort(values.begin(), values.end());
+      for (const auto& [value, bucket] : values) {
+        for (const StoredTuple& stored : *bucket) fn(stored);
       }
     }
   }

@@ -1,0 +1,76 @@
+// Exhaustiveness of the CqMsgType enum ↔ payload-struct mapping: every
+// enumerator has a payload struct whose constructor tags it, and the
+// count constant tracks the enum. tools/check/contjoin_check enforces the
+// same invariant textually; this test enforces it at the type level, so a
+// new message type cannot land without both a payload and (via
+// protocol_seam_test) a dispatch handler.
+
+#include "core/messages.h"
+
+#include <bitset>
+#include <type_traits>
+
+#include "gtest/gtest.h"
+
+namespace contjoin::core {
+namespace {
+
+static_assert(kCqMsgTypeCount == 14,
+              "CqMsgType changed: update the payload coverage below, the "
+              "dispatch registry, and this count");
+
+static_assert(static_cast<size_t>(CqMsgType::kOtjRehash) + 1 ==
+                  kCqMsgTypeCount,
+              "kCqMsgTypeCount must be derived from the last enumerator");
+
+// Payload structs default to their own tag and stay cheap to slice-copy
+// through the dispatch layer.
+static_assert(std::is_base_of_v<chord::Payload, CqPayload>);
+
+TEST(MessagesTest, EveryEnumeratorHasExactlyOnePayloadTag) {
+  std::bitset<kCqMsgTypeCount> tagged;
+  auto tag = [&tagged](CqMsgType t) {
+    size_t index = static_cast<size_t>(t);
+    ASSERT_LT(index, kCqMsgTypeCount);
+    EXPECT_FALSE(tagged.test(index))
+        << "two payload structs tag enumerator " << index;
+    tagged.set(index);
+  };
+
+  tag(QueryIndexPayload().type);
+  tag(TupleIndexPayload(/*value_level=*/false).type);  // kTupleAl
+  tag(TupleIndexPayload(/*value_level=*/true).type);   // kTupleVl
+  tag(JoinPayload().type);
+  tag(DaivJoinPayload().type);
+  tag(NotificationPayload().type);
+  tag(UnsubscribePayload().type);
+  tag(IpUpdatePayload().type);
+  tag(JfrtAckPayload().type);
+  tag(MigrateCmdPayload().type);
+  tag(MwQueryIndexPayload().type);
+  tag(MwJoinPayload().type);
+  tag(OtjScanPayload().type);
+  tag(OtjRehashPayload().type);
+
+  EXPECT_TRUE(tagged.all()) << "untagged enumerators: " << tagged.to_string();
+}
+
+TEST(MessagesTest, PayloadTagsMatchTheIntendedEnumerator) {
+  EXPECT_EQ(QueryIndexPayload().type, CqMsgType::kQueryIndex);
+  EXPECT_EQ(TupleIndexPayload(false).type, CqMsgType::kTupleAl);
+  EXPECT_EQ(TupleIndexPayload(true).type, CqMsgType::kTupleVl);
+  EXPECT_EQ(JoinPayload().type, CqMsgType::kJoin);
+  EXPECT_EQ(DaivJoinPayload().type, CqMsgType::kDaivJoin);
+  EXPECT_EQ(NotificationPayload().type, CqMsgType::kNotification);
+  EXPECT_EQ(UnsubscribePayload().type, CqMsgType::kUnsubscribe);
+  EXPECT_EQ(IpUpdatePayload().type, CqMsgType::kIpUpdate);
+  EXPECT_EQ(JfrtAckPayload().type, CqMsgType::kJfrtAck);
+  EXPECT_EQ(MigrateCmdPayload().type, CqMsgType::kMigrateCmd);
+  EXPECT_EQ(MwQueryIndexPayload().type, CqMsgType::kMwQueryIndex);
+  EXPECT_EQ(MwJoinPayload().type, CqMsgType::kMwJoin);
+  EXPECT_EQ(OtjScanPayload().type, CqMsgType::kOtjScan);
+  EXPECT_EQ(OtjRehashPayload().type, CqMsgType::kOtjRehash);
+}
+
+}  // namespace
+}  // namespace contjoin::core

@@ -220,6 +220,96 @@ TEST(MessageDispatch, IgnoresNullPayloads) {
   EXPECT_EQ(ctx.StateOf(node).metrics.msgs_unhandled, 0u);
 }
 
+/// One default-constructed message of every CqMsgType, in enum order.
+std::vector<chord::AppMessage> OneMessagePerType() {
+  std::vector<std::shared_ptr<CqPayload>> payloads = {
+      std::make_shared<QueryIndexPayload>(),
+      std::make_shared<TupleIndexPayload>(/*value_level=*/false),
+      std::make_shared<TupleIndexPayload>(/*value_level=*/true),
+      std::make_shared<JoinPayload>(),
+      std::make_shared<DaivJoinPayload>(),
+      std::make_shared<NotificationPayload>(),
+      std::make_shared<UnsubscribePayload>(),
+      std::make_shared<IpUpdatePayload>(),
+      std::make_shared<JfrtAckPayload>(),
+      std::make_shared<MigrateCmdPayload>(),
+      std::make_shared<MwQueryIndexPayload>(),
+      std::make_shared<MwJoinPayload>(),
+      std::make_shared<OtjScanPayload>(),
+      std::make_shared<OtjRehashPayload>(),
+  };
+  std::vector<chord::AppMessage> msgs;
+  for (auto& p : payloads) {
+    chord::AppMessage msg;
+    msg.payload = std::move(p);
+    msgs.push_back(std::move(msg));
+  }
+  return msgs;
+}
+
+TEST(MessageDispatch, DuplicateRegistrationIsRejected) {
+  MessageDispatcher table;
+  EXPECT_TRUE(table.Register(CqMsgType::kTupleAl, CountingHandler));
+  // Second registration for the same type is refused and the original
+  // handler keeps routing.
+  EXPECT_FALSE(table.Register(CqMsgType::kTupleAl, nullptr));
+  EXPECT_FALSE(table.Register(CqMsgType::kTupleAl, CountingHandler));
+
+  MockContext ctx{Options{}};
+  chord::Node node(nullptr, "n", 0);
+  g_seam_handler_calls = 0;
+  chord::AppMessage msg = AlTupleMessage("R+A");
+  EXPECT_TRUE(table.Dispatch(ctx, node, msg));
+  EXPECT_EQ(g_seam_handler_calls, 1);
+}
+
+TEST(MessageDispatch, DefaultTableCoversEveryEnumerator) {
+  for (size_t i = 0; i < kCqMsgTypeCount; ++i) {
+    EXPECT_TRUE(
+        MessageDispatcher::Default().HasHandler(static_cast<CqMsgType>(i)))
+        << "no default handler for CqMsgType " << i;
+  }
+}
+
+TEST(MessageDispatch, CountsReceivedByTypeForEveryEnumerator) {
+  MockContext ctx{Options{}};
+  chord::Node node(nullptr, "n", 0);
+
+  MessageDispatcher table;
+  for (size_t i = 0; i < kCqMsgTypeCount; ++i) {
+    EXPECT_TRUE(table.Register(static_cast<CqMsgType>(i), CountingHandler));
+  }
+
+  g_seam_handler_calls = 0;
+  std::vector<chord::AppMessage> msgs = OneMessagePerType();
+  ASSERT_EQ(msgs.size(), kCqMsgTypeCount);
+  for (const chord::AppMessage& msg : msgs) {
+    EXPECT_TRUE(table.Dispatch(ctx, node, msg));
+  }
+  EXPECT_EQ(g_seam_handler_calls, static_cast<int>(kCqMsgTypeCount));
+
+  const NodeMetrics& m = ctx.StateOf(node).metrics;
+  for (size_t i = 0; i < kCqMsgTypeCount; ++i) {
+    EXPECT_EQ(m.received_by_type[i], 1u) << "type " << i;
+  }
+  EXPECT_EQ(m.msgs_unhandled, 0u);
+}
+
+TEST(MessageDispatch, CountsUnhandledForEveryEnumerator) {
+  MockContext ctx{Options{}};
+  chord::Node node(nullptr, "n", 0);
+
+  MessageDispatcher empty;
+  std::vector<chord::AppMessage> msgs = OneMessagePerType();
+  for (const chord::AppMessage& msg : msgs) {
+    EXPECT_FALSE(empty.Dispatch(ctx, node, msg));
+  }
+
+  const NodeMetrics& m = ctx.StateOf(node).metrics;
+  EXPECT_EQ(m.msgs_unhandled, kCqMsgTypeCount);
+  for (uint64_t count : m.received_by_type) EXPECT_EQ(count, 0u);
+}
+
 TEST(MessageDispatch, RoutesAndCountsRegisteredTypes) {
   MockContext ctx{Options{}};
   chord::Node node(nullptr, "n", 0);

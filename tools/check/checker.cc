@@ -1,0 +1,669 @@
+#include "checker.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace contjoin::check {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// --- Layer DAG ----------------------------------------------------------------
+//
+// Allowed include targets per src/ layer. A layer may always include
+// itself; anything else must be listed here. Adding a directory under
+// src/ requires teaching this table its place in the DAG — that is the
+// point: the architecture changes only by explicit decision.
+
+const std::map<std::string, std::set<std::string>>& AllowedDeps() {
+  static const std::map<std::string, std::set<std::string>> kDeps = {
+      {"common", {}},
+      {"relational", {"common"}},
+      {"query", {"common", "relational"}},
+      {"sim", {"common"}},
+      {"chord", {"common", "sim"}},
+      {"core", {"common", "relational", "query", "sim", "chord"}},
+      {"workload", {"common", "relational", "query", "sim", "chord", "core"}},
+      {"reference",
+       {"common", "relational", "query", "sim", "chord", "core"}},
+  };
+  return kDeps;
+}
+
+/// Protocol role modules: these reach shared engine state only through the
+/// ProtocolContext seam, so the engine facade header is off-limits.
+const std::set<std::string>& RoleModuleStems() {
+  static const std::set<std::string> kStems = {
+      "rewriter", "evaluator", "subscriber", "mw_protocol", "otj_protocol"};
+  return kStems;
+}
+
+// --- File plumbing ------------------------------------------------------------
+
+struct SourceFile {
+  std::string rel_path;  // Relative to the root, '/'-separated.
+  std::string text;
+  std::vector<std::string> lines;
+};
+
+std::string ReadFileText(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+/// Every .h/.cc under <root>/src, sorted by path so diagnostics are stable
+/// across filesystems and directory-entry orderings.
+std::vector<SourceFile> ListSources(const std::string& root) {
+  std::vector<SourceFile> out;
+  fs::path src = fs::path(root) / "src";
+  if (!fs::exists(src)) return out;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    fs::path p = entry.path();
+    if (p.extension() == ".h" || p.extension() == ".cc") paths.push_back(p);
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    SourceFile f;
+    f.rel_path = fs::relative(p, fs::path(root)).generic_string();
+    f.text = ReadFileText(p);
+    f.lines = SplitLines(f.text);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+/// First path component after src/ ("src/core/engine.h" -> "core").
+std::string LayerOf(const std::string& rel_path) {
+  const std::string prefix = "src/";
+  if (rel_path.rfind(prefix, 0) != 0) return "";
+  size_t start = prefix.size();
+  size_t slash = rel_path.find('/', start);
+  if (slash == std::string::npos) return "";
+  return rel_path.substr(start, slash - start);
+}
+
+/// Filename without directory or extension ("src/core/rewriter.cc" ->
+/// "rewriter").
+std::string StemOf(const std::string& rel_path) {
+  return fs::path(rel_path).stem().string();
+}
+
+/// 1-based line number of a character offset.
+size_t LineOfOffset(const std::string& text, size_t offset) {
+  size_t line = 1;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+/// Replaces // and /* */ comment bodies with spaces (newlines preserved),
+/// so token scans skip prose while offsets and line numbers stay valid.
+std::string StripComments(const std::string& text) {
+  std::string out = text;
+  size_t i = 0;
+  while (i + 1 < out.size()) {
+    if (out[i] == '/' && out[i + 1] == '/') {
+      while (i < out.size() && out[i] != '\n') out[i++] = ' ';
+    } else if (out[i] == '/' && out[i + 1] == '*') {
+      out[i] = out[i + 1] = ' ';
+      i += 2;
+      while (i + 1 < out.size() && !(out[i] == '*' && out[i + 1] == '/')) {
+        if (out[i] != '\n') out[i] = ' ';
+        ++i;
+      }
+      if (i + 1 < out.size()) {
+        out[i] = out[i + 1] = ' ';
+        i += 2;
+      }
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Offset one past the matching closer for the opener at `open`, or npos.
+size_t MatchBracket(const std::string& text, size_t open, char open_ch,
+                    char close_ch) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == open_ch) ++depth;
+    if (text[i] == close_ch && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+// --- Rule 1: layering ---------------------------------------------------------
+
+const std::regex kIncludeRe(R"(^\s*#\s*include\s*\"([^\"]+)\")");
+
+void CheckFileLayering(const SourceFile& f, std::vector<Diagnostic>* out) {
+  std::string layer = LayerOf(f.rel_path);
+  if (layer.empty()) return;
+  auto allowed = AllowedDeps().find(layer);
+  if (allowed == AllowedDeps().end()) {
+    out->push_back({f.rel_path, 0, "layering",
+                    "unknown layer 'src/" + layer +
+                        "'; add it to the DAG in tools/check/checker.cc"});
+    return;
+  }
+  bool role_module =
+      layer == "core" && RoleModuleStems().count(StemOf(f.rel_path)) > 0;
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(f.lines[i], m, kIncludeRe)) continue;
+    std::string target = m[1].str();
+    if (role_module && target == "core/engine.h") {
+      out->push_back(
+          {f.rel_path, i + 1, "layering",
+           "role module includes core/engine.h; role handlers reach "
+           "shared state only through the ProtocolContext seam "
+           "(core/context.h)"});
+      continue;
+    }
+    size_t slash = target.find('/');
+    if (slash == std::string::npos) continue;
+    std::string target_layer = target.substr(0, slash);
+    if (AllowedDeps().count(target_layer) == 0) continue;  // Not a layer.
+    if (target_layer == layer) continue;
+    if (allowed->second.count(target_layer) == 0) {
+      out->push_back({f.rel_path, i + 1, "layering",
+                      "layer 'src/" + layer + "' must not include '" +
+                          target + "' (allowed: own layer + lower layers "
+                          "of the DAG)"});
+    }
+  }
+}
+
+// --- Rule 2: message / dispatch exhaustiveness --------------------------------
+
+std::vector<std::string> ParseEnumerators(const std::string& stripped,
+                                          size_t enum_pos) {
+  std::vector<std::string> enums;
+  size_t open = stripped.find('{', enum_pos);
+  if (open == std::string::npos) return enums;
+  size_t close = MatchBracket(stripped, open, '{', '}');
+  if (close == std::string::npos) return enums;
+  std::string body = stripped.substr(open + 1, close - open - 2);
+  std::regex ident(R"((k\w+))");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), ident);
+       it != std::sregex_iterator(); ++it) {
+    enums.push_back((*it)[1].str());
+  }
+  return enums;
+}
+
+/// Collects `CqMsgType::kX` tokens appearing inside the argument list of
+/// each `CqPayload(...)` constructor call, with the line of each token.
+std::vector<std::pair<std::string, size_t>> ParseConstructorTags(
+    const std::string& stripped) {
+  std::vector<std::pair<std::string, size_t>> tags;
+  const std::string needle = "CqPayload(";
+  std::regex token(R"(CqMsgType::(k\w+))");
+  size_t pos = 0;
+  while ((pos = stripped.find(needle, pos)) != std::string::npos) {
+    size_t open = pos + needle.size() - 1;
+    size_t end = MatchBracket(stripped, open, '(', ')');
+    if (end == std::string::npos) break;
+    std::string args = stripped.substr(open, end - open);
+    for (auto it = std::sregex_iterator(args.begin(), args.end(), token);
+         it != std::sregex_iterator(); ++it) {
+      tags.emplace_back((*it)[1].str(),
+                        LineOfOffset(stripped, open + it->position(0)));
+    }
+    pos = end;
+  }
+  return tags;
+}
+
+}  // namespace
+
+void CheckLayering(const CheckConfig& config, std::vector<Diagnostic>* out) {
+  for (const SourceFile& f : ListSources(config.root)) {
+    CheckFileLayering(f, out);
+  }
+}
+
+void CheckMessages(const CheckConfig& config, std::vector<Diagnostic>* out) {
+  fs::path messages = fs::path(config.root) / "src" / "core" / "messages.h";
+  fs::path dispatch = fs::path(config.root) / "src" / "core" / "dispatch.cc";
+  if (!fs::exists(messages) || !fs::exists(dispatch)) return;
+  const std::string messages_rel = "src/core/messages.h";
+  const std::string dispatch_rel = "src/core/dispatch.cc";
+  std::string mtext = StripComments(ReadFileText(messages));
+  std::string dtext = StripComments(ReadFileText(dispatch));
+
+  size_t enum_pos = mtext.find("enum class CqMsgType");
+  if (enum_pos == std::string::npos) {
+    out->push_back({messages_rel, 0, "messages",
+                    "enum class CqMsgType not found"});
+    return;
+  }
+  std::vector<std::string> enums = ParseEnumerators(mtext, enum_pos);
+  if (enums.empty()) {
+    out->push_back({messages_rel, LineOfOffset(mtext, enum_pos), "messages",
+                    "CqMsgType has no enumerators"});
+    return;
+  }
+  std::set<std::string> enum_set(enums.begin(), enums.end());
+
+  // kCqMsgTypeCount must be derived from the last enumerator.
+  std::regex count_re(
+      R"(kCqMsgTypeCount\s*=\s*static_cast<\s*size_t\s*>\(\s*CqMsgType::(k\w+)\s*\)\s*\+\s*1)");
+  std::smatch cm;
+  if (!std::regex_search(mtext, cm, count_re)) {
+    out->push_back({messages_rel, 0, "messages",
+                    "kCqMsgTypeCount must be defined as "
+                    "static_cast<size_t>(CqMsgType::<last>) + 1"});
+  } else if (cm[1].str() != enums.back()) {
+    out->push_back({messages_rel,
+                    LineOfOffset(mtext, static_cast<size_t>(cm.position(0))),
+                    "messages",
+                    "kCqMsgTypeCount is derived from CqMsgType::" +
+                        cm[1].str() + " but the last enumerator is " +
+                        enums.back()});
+  }
+
+  // Every enumerator tagged by exactly one CqPayload(...) constructor.
+  std::map<std::string, std::vector<size_t>> tag_lines;
+  for (const auto& [name, line] : ParseConstructorTags(mtext)) {
+    tag_lines[name].push_back(line);
+    if (enum_set.count(name) == 0) {
+      out->push_back({messages_rel, line, "messages",
+                      "payload constructor tags unknown enumerator "
+                      "CqMsgType::" + name});
+    }
+  }
+  for (const std::string& e : enums) {
+    auto it = tag_lines.find(e);
+    if (it == tag_lines.end()) {
+      out->push_back({messages_rel, 0, "messages",
+                      "CqMsgType::" + e +
+                          " has no payload struct (no CqPayload(CqMsgType::" +
+                          e + ") constructor tag)"});
+    } else if (it->second.size() > 1) {
+      out->push_back({messages_rel, it->second[1], "messages",
+                      "CqMsgType::" + e + " is tagged by " +
+                          std::to_string(it->second.size()) +
+                          " payload constructors; exactly one expected"});
+    }
+  }
+
+  // Every enumerator registered exactly once in the dispatch table.
+  std::regex reg_re(R"(Register\s*\(\s*CqMsgType::(k\w+))");
+  std::map<std::string, std::vector<size_t>> reg_lines;
+  for (auto it = std::sregex_iterator(dtext.begin(), dtext.end(), reg_re);
+       it != std::sregex_iterator(); ++it) {
+    std::string name = (*it)[1].str();
+    size_t line = LineOfOffset(dtext, static_cast<size_t>(it->position(0)));
+    reg_lines[name].push_back(line);
+    if (enum_set.count(name) == 0) {
+      out->push_back({dispatch_rel, line, "messages",
+                      "handler registered for unknown enumerator "
+                      "CqMsgType::" + name});
+    }
+  }
+  for (const std::string& e : enums) {
+    auto it = reg_lines.find(e);
+    if (it == reg_lines.end()) {
+      out->push_back({dispatch_rel, 0, "messages",
+                      "CqMsgType::" + e +
+                          " has no handler in the default dispatch table"});
+    } else if (it->second.size() > 1) {
+      out->push_back({dispatch_rel, it->second[1], "messages",
+                      "CqMsgType::" + e + " registered " +
+                          std::to_string(it->second.size()) +
+                          " times in the default dispatch table"});
+    }
+  }
+}
+
+namespace {
+
+// --- Rule 3: determinism ------------------------------------------------------
+
+struct BannedToken {
+  const char* token;
+  const char* why;
+};
+
+constexpr BannedToken kBanned[] = {
+    {"rand(", "use common/rng.h (seeded, reproducible) instead"},
+    {"srand(", "use common/rng.h (seeded, reproducible) instead"},
+    {"system_clock::now",
+     "wall clocks break reproducible runs; use the simulator's virtual "
+     "clock (ProtocolContext::Now)"},
+    {"time(",
+     "wall clocks break reproducible runs; use the simulator's virtual "
+     "clock (ProtocolContext::Now)"},
+};
+
+/// True when the two lines above `line_index` or the line itself carry an
+/// ordered-ok waiver.
+bool HasOrderedOkWaiver(const std::vector<std::string>& lines,
+                        size_t line_index) {
+  const std::string needle = "contjoin-check: ordered-ok(";
+  size_t first = line_index >= 2 ? line_index - 2 : 0;
+  for (size_t i = first; i <= line_index && i < lines.size(); ++i) {
+    if (lines[i].find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Names declared anywhere in src/ with an unordered container type
+/// (directly, or via an alias of one). Collected tree-wide so a member
+/// declared in a header is recognized when iterated in a .cc file.
+std::set<std::string> CollectUnorderedNames(
+    const std::vector<SourceFile>& files) {
+  std::set<std::string> aliases;
+  // Pass A: using-aliases of unordered containers.
+  std::regex alias_re(
+      R"(using\s+(\w+)\s*=\s*(?:std::\s*)?unordered_(?:map|set)\s*<)");
+  std::vector<std::string> stripped_texts;
+  stripped_texts.reserve(files.size());
+  for (const SourceFile& f : files) {
+    stripped_texts.push_back(StripComments(f.text));
+    const std::string& text = stripped_texts.back();
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), alias_re);
+         it != std::sregex_iterator(); ++it) {
+      aliases.insert((*it)[1].str());
+    }
+  }
+
+  // After a type, accept `*`/`&` then an identifier that is a variable
+  // (terminated by ; = { , or a closing paren — not an opening paren,
+  // which would make it a function name).
+  auto capture_var = [](const std::string& text, size_t pos,
+                        std::set<std::string>* names) {
+    while (pos < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '*' || text[pos] == '&')) {
+      ++pos;
+    }
+    size_t start = pos;
+    while (pos < text.size() && IsIdentChar(text[pos])) ++pos;
+    if (pos == start) return;
+    std::string name = text.substr(start, pos - start);
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+    if (pos < text.size() && (text[pos] == ';' || text[pos] == '=' ||
+                              text[pos] == '{' || text[pos] == ',' ||
+                              text[pos] == ')')) {
+      names->insert(name);
+    }
+  };
+
+  std::set<std::string> names;
+  for (const std::string& text : stripped_texts) {
+    // Pass B1: direct unordered_map<...> / unordered_set<...> declarations.
+    std::regex direct_re(R"(unordered_(?:map|set)\s*<)");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), direct_re);
+         it != std::sregex_iterator(); ++it) {
+      size_t open = static_cast<size_t>(it->position(0)) + it->length(0) - 1;
+      size_t end = MatchBracket(text, open, '<', '>');
+      if (end == std::string::npos) continue;
+      capture_var(text, end, &names);
+    }
+    // Pass B2: declarations via a collected alias (possibly qualified).
+    for (const std::string& alias : aliases) {
+      size_t pos = 0;
+      while ((pos = text.find(alias, pos)) != std::string::npos) {
+        size_t end = pos + alias.size();
+        bool word_start = pos == 0 || !IsIdentChar(text[pos - 1]);
+        bool word_end = end >= text.size() || !IsIdentChar(text[end]);
+        if (word_start && word_end) capture_var(text, end, &names);
+        pos = end;
+      }
+    }
+  }
+  return names;
+}
+
+/// Final identifier of a range-for container expression: "*groups" ->
+/// "groups", "state.mw.alqt" -> "alqt", "items_" -> "items_".
+std::string TrailingIdentifier(const std::string& expr) {
+  size_t end = expr.size();
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(expr[end - 1])) != 0) {
+    --end;
+  }
+  if (end > 0 && (expr[end - 1] == ')' || expr[end - 1] == ']')) return "";
+  size_t start = end;
+  while (start > 0 && IsIdentChar(expr[start - 1])) --start;
+  return expr.substr(start, end - start);
+}
+
+void CheckFileDeterminism(const SourceFile& f,
+                          const std::set<std::string>& unordered_names,
+                          std::vector<Diagnostic>* out) {
+  std::string stripped = StripComments(f.text);
+  std::vector<std::string> stripped_lines = SplitLines(stripped);
+
+  // Banned nondeterminism sources.
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    const std::string& line = stripped_lines[i];
+    for (const BannedToken& banned : kBanned) {
+      size_t pos = 0;
+      std::string token = banned.token;
+      while ((pos = line.find(token, pos)) != std::string::npos) {
+        // Skip identifier tails (pub_time() is not time()) and member
+        // calls (sim.time() reads the virtual clock, which is fine).
+        bool word_start = pos == 0 || (!IsIdentChar(line[pos - 1]) &&
+                                       line[pos - 1] != '.');
+        if (word_start) {
+          out->push_back({f.rel_path, i + 1, "determinism",
+                          "banned call '" + token + "': " + banned.why});
+        }
+        pos += token.size();
+      }
+    }
+  }
+
+  // Range-for over unordered containers needs an ordered-ok waiver.
+  size_t pos = 0;
+  while ((pos = stripped.find("for", pos)) != std::string::npos) {
+    bool word = (pos == 0 || !IsIdentChar(stripped[pos - 1])) &&
+                (pos + 3 >= stripped.size() || !IsIdentChar(stripped[pos + 3]));
+    size_t after = pos + 3;
+    pos = after;
+    if (!word) continue;
+    while (after < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[after])) != 0) {
+      ++after;
+    }
+    if (after >= stripped.size() || stripped[after] != '(') continue;
+    size_t close = MatchBracket(stripped, after, '(', ')');
+    if (close == std::string::npos) continue;
+    std::string head = stripped.substr(after + 1, close - after - 2);
+    // The range-for separator: a ':' that is not part of '::'.
+    size_t colon = std::string::npos;
+    for (size_t i = 0; i + 1 <= head.size(); ++i) {
+      if (head[i] != ':') continue;
+      if ((i + 1 < head.size() && head[i + 1] == ':') ||
+          (i > 0 && head[i - 1] == ':')) {
+        continue;
+      }
+      colon = i;
+      break;
+    }
+    if (colon == std::string::npos) continue;
+    std::string container = head.substr(colon + 1);
+    std::string name = TrailingIdentifier(container);
+    if (name.empty() || unordered_names.count(name) == 0) continue;
+    size_t line_index = LineOfOffset(stripped, after) - 1;
+    if (HasOrderedOkWaiver(f.lines, line_index)) continue;
+    out->push_back(
+        {f.rel_path, line_index + 1, "determinism",
+         "iteration over unordered container '" + name +
+             "' — hash-table order must not reach emission (sort the "
+             "keys, use an ordered container, or waive with "
+             "// contjoin-check: ordered-ok(<reason>))"});
+  }
+}
+
+}  // namespace
+
+void CheckDeterminism(const CheckConfig& config,
+                      std::vector<Diagnostic>* out) {
+  std::vector<SourceFile> files = ListSources(config.root);
+  std::set<std::string> unordered_names = CollectUnorderedNames(files);
+  for (const SourceFile& f : files) {
+    CheckFileDeterminism(f, unordered_names, out);
+  }
+}
+
+// --- Rule 4: lint promotion ---------------------------------------------------
+
+void CheckLintConfig(const CheckConfig& config,
+                     std::vector<Diagnostic>* out) {
+  const char* kPromoted[] = {"bugprone-use-after-move",
+                             "bugprone-dangling-handle", "performance-*"};
+  fs::path tidy = fs::path(config.root) / ".clang-tidy";
+  if (!fs::exists(tidy)) {
+    out->push_back({".clang-tidy", 0, "lint-config",
+                    ".clang-tidy missing; the lint gate has no profile"});
+    return;
+  }
+  std::string text = ReadFileText(tidy);
+  std::vector<std::string> lines = SplitLines(text);
+
+  // Collect the (possibly folded multi-line) values of the two keys.
+  auto value_of = [&lines](const std::string& key) {
+    std::string value;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].rfind(key + ":", 0) != 0) continue;
+      value = lines[i].substr(key.size() + 1);
+      if (value.find('>') != std::string::npos ||
+          value.find('|') != std::string::npos) {
+        for (size_t j = i + 1;
+             j < lines.size() && (lines[j].empty() || lines[j][0] == ' ');
+             ++j) {
+          value += " " + lines[j];
+        }
+      }
+      break;
+    }
+    return value;
+  };
+  std::string checks = value_of("Checks");
+  std::string errors = value_of("WarningsAsErrors");
+
+  for (const char* check : kPromoted) {
+    std::string family = std::string(check).substr(0, std::string(check).find('-'));
+    bool enabled = checks.find(check) != std::string::npos ||
+                   checks.find(family + "-*") != std::string::npos;
+    if (!enabled) {
+      out->push_back({".clang-tidy", 0, "lint-config",
+                      std::string("promoted check '") + check +
+                          "' is not enabled in Checks"});
+    }
+    if (errors.find(check) == std::string::npos) {
+      out->push_back({".clang-tidy", 0, "lint-config",
+                      std::string("promoted check '") + check +
+                          "' must be listed in WarningsAsErrors "
+                          "(warnings-as-errors lint gate)"});
+    }
+  }
+}
+
+// --- Compile-database coverage ------------------------------------------------
+
+void CheckCompileDb(const CheckConfig& config, std::vector<Diagnostic>* out) {
+  if (config.compile_db.empty()) return;
+  if (!fs::exists(config.compile_db)) {
+    out->push_back({config.compile_db, 0, "compile-db",
+                    "compile database not found (configure with "
+                    "CMAKE_EXPORT_COMPILE_COMMANDS=ON)"});
+    return;
+  }
+  std::string db = ReadFileText(config.compile_db);
+  std::set<std::string> built;
+  std::regex file_re(R"re("file"\s*:\s*"([^"]+)")re");
+  for (auto it = std::sregex_iterator(db.begin(), db.end(), file_re);
+       it != std::sregex_iterator(); ++it) {
+    built.insert(fs::path((*it)[1].str()).lexically_normal().generic_string());
+  }
+  for (const SourceFile& f : ListSources(config.root)) {
+    if (fs::path(f.rel_path).extension() != ".cc") continue;
+    fs::path abs = fs::absolute(fs::path(config.root) / f.rel_path)
+                       .lexically_normal();
+    bool found = built.count(abs.generic_string()) > 0;
+    if (!found) {
+      // Fall back to a suffix match (relative entries in the database).
+      for (const std::string& b : built) {
+        if (b.size() >= f.rel_path.size() &&
+            b.compare(b.size() - f.rel_path.size(), f.rel_path.size(),
+                      f.rel_path) == 0) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      out->push_back({f.rel_path, 0, "compile-db",
+                      "translation unit missing from the compile database — "
+                      "it is not built by any target (dead code or a "
+                      "CMakeLists.txt omission)"});
+    }
+  }
+}
+
+// --- Driver -------------------------------------------------------------------
+
+std::vector<Diagnostic> RunChecks(const CheckConfig& config) {
+  std::vector<Diagnostic> out;
+  if (config.check_layering) CheckLayering(config, &out);
+  if (config.check_messages) CheckMessages(config, &out);
+  if (config.check_determinism) CheckDeterminism(config, &out);
+  if (config.check_lint_config) CheckLintConfig(config, &out);
+  CheckCompileDb(config, &out);
+  std::sort(out.begin(), out.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return out;
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  std::string out = d.file;
+  if (d.line > 0) out += ":" + std::to_string(d.line);
+  out += ": [" + d.rule + "] " + d.message;
+  return out;
+}
+
+}  // namespace contjoin::check

@@ -1,0 +1,77 @@
+// contjoin_check: project-specific static analysis enforcing the
+// architecture PR 1 introduced and the determinism guarantees the paper's
+// evaluation rests on. Four rule families:
+//
+//  1. layering      — the include graph of src/ must respect the layer DAG
+//                     (common → relational/query/sim → chord → core →
+//                     workload/reference), and the protocol role modules
+//                     (rewriter, evaluator, subscriber, mw_protocol,
+//                     otj_protocol) may reach shared engine state only via
+//                     the ProtocolContext seam — never core/engine.h.
+//  2. messages      — every CqMsgType enumerator is tagged by exactly one
+//                     payload-struct constructor in core/messages.h, has
+//                     exactly one registered handler in core/dispatch.cc,
+//                     and kCqMsgTypeCount is derived from the last
+//                     enumerator.
+//  3. determinism   — src/ must not call std::rand/srand or read wall
+//                     clocks (system_clock::now, time()); range-for
+//                     iteration over an unordered container requires a
+//                     `// contjoin-check: ordered-ok(<reason>)` waiver on
+//                     the loop line or one of the two lines above it.
+//  4. lint-config   — the promoted clang-tidy checks
+//                     (bugprone-use-after-move, bugprone-dangling-handle,
+//                     performance-*) must be enabled and listed in
+//                     WarningsAsErrors in .clang-tidy.
+//
+// The tool is deliberately textual (no libclang): it runs anywhere the
+// source tree does, in milliseconds, and its rules are narrow enough that
+// token-level scanning is reliable. It operates on the tree plus the
+// exported compile database (every src/ translation unit must be built).
+
+#ifndef CONTJOIN_TOOLS_CHECK_CHECKER_H_
+#define CONTJOIN_TOOLS_CHECK_CHECKER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace contjoin::check {
+
+struct Diagnostic {
+  std::string file;  // Path relative to the checked root.
+  size_t line = 0;   // 1-based; 0 for file- or config-level findings.
+  std::string rule;  // "layering", "messages", "determinism", "lint-config",
+                     // "compile-db".
+  std::string message;
+};
+
+struct CheckConfig {
+  std::string root;        // Tree root (contains src/ and .clang-tidy).
+  std::string compile_db;  // Optional compile_commands.json path; empty
+                           // skips the compile-database coverage check.
+  bool check_layering = true;
+  bool check_messages = true;
+  bool check_determinism = true;
+  bool check_lint_config = true;
+};
+
+/// Runs every enabled rule family; diagnostics come back sorted by file,
+/// line, rule (deterministic across runs and filesystems).
+std::vector<Diagnostic> RunChecks(const CheckConfig& config);
+
+// Individual rule families (exposed so the fixture tests can prove each
+// one fires in isolation).
+void CheckLayering(const CheckConfig& config, std::vector<Diagnostic>* out);
+void CheckMessages(const CheckConfig& config, std::vector<Diagnostic>* out);
+void CheckDeterminism(const CheckConfig& config,
+                      std::vector<Diagnostic>* out);
+void CheckLintConfig(const CheckConfig& config,
+                     std::vector<Diagnostic>* out);
+void CheckCompileDb(const CheckConfig& config, std::vector<Diagnostic>* out);
+
+/// "file:line: [rule] message" (line omitted when 0).
+std::string FormatDiagnostic(const Diagnostic& d);
+
+}  // namespace contjoin::check
+
+#endif  // CONTJOIN_TOOLS_CHECK_CHECKER_H_

@@ -1,0 +1,141 @@
+#include "checker.h"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace contjoin::check {
+namespace {
+
+std::string Fixture(const std::string& name) {
+  return std::string(CONTJOIN_CHECK_TESTDATA) + "/" + name;
+}
+
+size_t CountRule(const std::vector<Diagnostic>& diags,
+                 const std::string& rule) {
+  return static_cast<size_t>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&rule](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+bool AnyMessageContains(const std::vector<Diagnostic>& diags,
+                        const std::string& needle) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&needle](const Diagnostic& d) {
+                       return d.message.find(needle) != std::string::npos;
+                     });
+}
+
+TEST(CheckerTest, CleanFixtureHasNoFindings) {
+  CheckConfig config;
+  config.root = Fixture("clean");
+  std::vector<Diagnostic> diags = RunChecks(config);
+  for (const Diagnostic& d : diags) ADD_FAILURE() << FormatDiagnostic(d);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(CheckerTest, LayeringRuleFires) {
+  CheckConfig config;
+  config.root = Fixture("layering_bad");
+  std::vector<Diagnostic> diags;
+  CheckLayering(config, &diags);
+  EXPECT_EQ(diags.size(), 3u);
+  // Upward include from the bottom layer.
+  EXPECT_TRUE(AnyMessageContains(diags, "layer 'src/common'"));
+  // Sideways include chord -> query.
+  EXPECT_TRUE(AnyMessageContains(diags, "layer 'src/chord'"));
+  // Role module bypassing the seam.
+  EXPECT_TRUE(AnyMessageContains(diags, "ProtocolContext seam"));
+}
+
+TEST(CheckerTest, MessagesRuleFires) {
+  CheckConfig config;
+  config.root = Fixture("messages_bad");
+  std::vector<Diagnostic> diags;
+  CheckMessages(config, &diags);
+  EXPECT_EQ(CountRule(diags, "messages"), 7u);
+  EXPECT_TRUE(AnyMessageContains(diags, "last enumerator is kGamma"));
+  EXPECT_TRUE(AnyMessageContains(diags, "kAlpha is tagged by 2"));
+  EXPECT_TRUE(AnyMessageContains(diags, "kBeta has no payload struct"));
+  EXPECT_TRUE(AnyMessageContains(diags, "kGamma has no payload struct"));
+  EXPECT_TRUE(AnyMessageContains(diags, "kAlpha registered 2 times"));
+  EXPECT_TRUE(AnyMessageContains(diags, "kGamma has no handler"));
+  EXPECT_TRUE(AnyMessageContains(diags, "unknown enumerator CqMsgType::kDelta"));
+}
+
+TEST(CheckerTest, DeterminismRuleFires) {
+  CheckConfig config;
+  config.root = Fixture("determinism_bad");
+  std::vector<Diagnostic> diags;
+  CheckDeterminism(config, &diags);
+  EXPECT_TRUE(AnyMessageContains(diags, "banned call 'rand('"));
+  EXPECT_TRUE(AnyMessageContains(diags, "banned call 'srand('"));
+  EXPECT_TRUE(AnyMessageContains(diags, "banned call 'system_clock::now'"));
+  EXPECT_TRUE(AnyMessageContains(diags, "banned call 'time('"));
+  // Two unwaived unordered iterations (direct member + alias-typed member);
+  // the third loop carries an ordered-ok waiver and must not be flagged.
+  EXPECT_TRUE(AnyMessageContains(diags, "container 'counts'"));
+  EXPECT_TRUE(AnyMessageContains(diags, "container 'by_alias'"));
+  EXPECT_EQ(CountRule(diags, "determinism"), 6u);
+}
+
+TEST(CheckerTest, LintConfigRuleFires) {
+  CheckConfig config;
+  config.root = Fixture("lint_bad");
+  std::vector<Diagnostic> diags;
+  CheckLintConfig(config, &diags);
+  EXPECT_EQ(CountRule(diags, "lint-config"), 5u);
+  EXPECT_TRUE(AnyMessageContains(diags, "'performance-*' is not enabled"));
+  EXPECT_TRUE(
+      AnyMessageContains(diags, "'bugprone-use-after-move' must be listed"));
+}
+
+TEST(CheckerTest, CompileDbCoverageFires) {
+  // A database listing only rewriter.cc: dispatch.cc must be reported as
+  // unbuilt.
+  std::string db_path =
+      ::testing::TempDir() + "/contjoin_check_partial_db.json";
+  {
+    std::ofstream db(db_path);
+    db << "[{\"directory\": \"/tmp\", \"command\": \"c++ -c\", "
+          "\"file\": \"src/core/rewriter.cc\"}]\n";
+  }
+  CheckConfig config;
+  config.root = Fixture("clean");
+  config.compile_db = db_path;
+  std::vector<Diagnostic> diags;
+  CheckCompileDb(config, &diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "src/core/dispatch.cc");
+  EXPECT_EQ(diags[0].rule, "compile-db");
+}
+
+TEST(CheckerTest, DiagnosticsAreSortedAndStable) {
+  CheckConfig config;
+  config.root = Fixture("messages_bad");
+  std::vector<Diagnostic> first = RunChecks(config);
+  std::vector<Diagnostic> second = RunChecks(config);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(FormatDiagnostic(first[i]), FormatDiagnostic(second[i]));
+  }
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(first[i - 1].file, first[i].file);
+  }
+}
+
+// The real tree must satisfy every invariant the checker enforces: this is
+// the same gate CI runs via the contjoin_check binary.
+TEST(CheckerTest, RealSourceTreeIsClean) {
+  CheckConfig config;
+  config.root = CONTJOIN_SOURCE_ROOT;
+  std::vector<Diagnostic> diags = RunChecks(config);
+  for (const Diagnostic& d : diags) ADD_FAILURE() << FormatDiagnostic(d);
+  EXPECT_TRUE(diags.empty());
+}
+
+}  // namespace
+}  // namespace contjoin::check

@@ -1,0 +1,72 @@
+// CLI driver for contjoin_check. Exit status 0 when the tree is clean,
+// 1 when any diagnostic fires, 2 on usage errors.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "checker.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: contjoin_check --root DIR [-p compile_commands.json] "
+         "[--rule NAME]...\n"
+         "\n"
+         "Rules (default: all): layering, messages, determinism, "
+         "lint-config.\n"
+         "The compile-database coverage check runs whenever -p is given.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  contjoin::check::CheckConfig config;
+  bool rules_selected = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      config.root = argv[++i];
+    } else if (arg == "-p" && i + 1 < argc) {
+      config.compile_db = argv[++i];
+    } else if (arg == "--rule" && i + 1 < argc) {
+      if (!rules_selected) {
+        config.check_layering = config.check_messages =
+            config.check_determinism = config.check_lint_config = false;
+        rules_selected = true;
+      }
+      std::string rule = argv[++i];
+      if (rule == "layering") {
+        config.check_layering = true;
+      } else if (rule == "messages") {
+        config.check_messages = true;
+      } else if (rule == "determinism") {
+        config.check_determinism = true;
+      } else if (rule == "lint-config") {
+        config.check_lint_config = true;
+      } else {
+        std::cerr << "unknown rule: " << rule << "\n";
+        return Usage();
+      }
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return Usage();
+    }
+  }
+  if (config.root.empty()) return Usage();
+
+  std::vector<contjoin::check::Diagnostic> diags =
+      contjoin::check::RunChecks(config);
+  for (const auto& d : diags) {
+    std::cout << contjoin::check::FormatDiagnostic(d) << "\n";
+  }
+  if (diags.empty()) {
+    std::cout << "contjoin_check: clean\n";
+    return 0;
+  }
+  std::cout << "contjoin_check: " << diags.size() << " finding"
+            << (diags.size() == 1 ? "" : "s") << "\n";
+  return 1;
+}

@@ -1,0 +1,8 @@
+#ifndef FIXTURE_CLEAN_COMMON_UTIL_H_
+#define FIXTURE_CLEAN_COMMON_UTIL_H_
+
+namespace fixture {
+inline int Identity(int x) { return x; }
+}  // namespace fixture
+
+#endif  // FIXTURE_CLEAN_COMMON_UTIL_H_

@@ -1,0 +1,14 @@
+#include "core/messages.h"
+
+namespace fixture {
+
+using Handler = void (*)();
+
+void Register(CqMsgType type, Handler handler);
+
+void RegisterAll() {
+  Register(CqMsgType::kAlpha, nullptr);
+  Register(CqMsgType::kBeta, nullptr);
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+#ifndef FIXTURE_CLEAN_CORE_MESSAGES_H_
+#define FIXTURE_CLEAN_CORE_MESSAGES_H_
+
+#include <cstddef>
+
+#include "common/util.h"
+
+namespace fixture {
+
+enum class CqMsgType : unsigned char {
+  kAlpha,
+  kBeta,
+};
+
+inline constexpr size_t kCqMsgTypeCount =
+    static_cast<size_t>(CqMsgType::kBeta) + 1;
+
+struct CqPayload {
+  explicit CqPayload(CqMsgType t) : type(t) {}
+  CqMsgType type;
+};
+
+struct AlphaPayload : CqPayload {
+  AlphaPayload() : CqPayload(CqMsgType::kAlpha) {}
+};
+
+struct BetaPayload : CqPayload {
+  BetaPayload() : CqPayload(CqMsgType::kBeta) {}
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CLEAN_CORE_MESSAGES_H_

@@ -1,0 +1,10 @@
+// A role module that plays by the rules: same-layer includes plus lower
+// layers only, no core/engine.h.
+#include "common/util.h"
+#include "core/messages.h"
+
+namespace fixture {
+
+int Rewrite(int x) { return Identity(x) + 1; }
+
+}  // namespace fixture

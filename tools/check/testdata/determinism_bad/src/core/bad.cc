@@ -1,0 +1,28 @@
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+#include "core/state.h"
+
+namespace fixture {
+
+long Bad(State& state) {
+  std::srand(42);
+  int r = std::rand();
+  auto wall = std::chrono::system_clock::now();
+  long stamp = time(nullptr);
+  long sum = r + stamp + wall.time_since_epoch().count();
+  for (const auto& [key, value] : state.counts) {
+    sum += value;
+  }
+  for (const auto& [key, value] : state.by_alias) {
+    sum += value;
+  }
+  // contjoin-check: ordered-ok(fixture: commutative sum, waiver honoured)
+  for (const auto& [key, value] : state.counts) {
+    sum += value;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+#ifndef FIXTURE_DETERMINISM_BAD_CORE_STATE_H_
+#define FIXTURE_DETERMINISM_BAD_CORE_STATE_H_
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+using CountMap = std::unordered_map<std::string, int>;
+
+struct State {
+  std::unordered_map<std::string, int> counts;
+  CountMap by_alias;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_DETERMINISM_BAD_CORE_STATE_H_

@@ -1,0 +1,7 @@
+#ifndef FIXTURE_LAYERING_BAD_CHORD_NODE_H_
+#define FIXTURE_LAYERING_BAD_CHORD_NODE_H_
+
+// Violation: chord sits below query in the DAG and must not include it.
+#include "query/parser.h"
+
+#endif  // FIXTURE_LAYERING_BAD_CHORD_NODE_H_

@@ -1,0 +1,7 @@
+#ifndef FIXTURE_LAYERING_BAD_COMMON_CLOCK_H_
+#define FIXTURE_LAYERING_BAD_COMMON_CLOCK_H_
+
+// Violation: common is the bottom layer and must not reach up into core.
+#include "core/engine.h"
+
+#endif  // FIXTURE_LAYERING_BAD_COMMON_CLOCK_H_

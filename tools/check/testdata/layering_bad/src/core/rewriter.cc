@@ -1,0 +1,8 @@
+// Violation: a role module bypassing the ProtocolContext seam.
+#include "core/engine.h"
+
+namespace fixture {
+
+int Rewrite(int x) { return x; }
+
+}  // namespace fixture

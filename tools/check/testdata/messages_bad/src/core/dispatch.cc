@@ -1,0 +1,18 @@
+#include "core/messages.h"
+
+namespace fixture {
+
+using Handler = void (*)();
+
+void Register(CqMsgType type, Handler handler);
+
+void RegisterAll() {
+  // Violations: kAlpha registered twice, kGamma never, and kDelta is not
+  // an enumerator at all.
+  Register(CqMsgType::kAlpha, nullptr);
+  Register(CqMsgType::kAlpha, nullptr);
+  Register(CqMsgType::kBeta, nullptr);
+  Register(CqMsgType::kDelta, nullptr);
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+#ifndef FIXTURE_MESSAGES_BAD_CORE_MESSAGES_H_
+#define FIXTURE_MESSAGES_BAD_CORE_MESSAGES_H_
+
+#include <cstddef>
+
+namespace fixture {
+
+enum class CqMsgType : unsigned char {
+  kAlpha,
+  kBeta,
+  kGamma,
+};
+
+// Violation: derived from kBeta instead of the last enumerator kGamma.
+inline constexpr size_t kCqMsgTypeCount =
+    static_cast<size_t>(CqMsgType::kBeta) + 1;
+
+struct CqPayload {
+  explicit CqPayload(CqMsgType t) : type(t) {}
+  CqMsgType type;
+};
+
+struct AlphaPayload : CqPayload {
+  AlphaPayload() : CqPayload(CqMsgType::kAlpha) {}
+};
+
+// Violation: kAlpha tagged a second time; kBeta and kGamma never tagged.
+struct AlphaAgainPayload : CqPayload {
+  AlphaAgainPayload() : CqPayload(CqMsgType::kAlpha) {}
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_MESSAGES_BAD_CORE_MESSAGES_H_
