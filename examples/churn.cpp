@@ -61,9 +61,10 @@ int main() {
   std::printf("immediately after the crash, lookup accuracy: %.1f%%\n",
               LookupAccuracy(&network, &rng, 200));
 
-  // Successor lists + stabilization heal the ring.
+  // Successor lists + stabilization heal the ring; heal time is the number
+  // of maintenance rounds until every pointer matches the oracle again.
   rounds = network.StabilizeUntilConsistent(300);
-  std::printf("after %d maintenance rounds: fully consistent: %s, "
+  std::printf("heal time: %d maintenance rounds; fully consistent: %s, "
               "lookup accuracy: %.1f%%\n",
               rounds, network.RingIsFullyConsistent() ? "yes" : "no",
               LookupAccuracy(&network, &rng, 200));
@@ -82,7 +83,7 @@ int main() {
     }
   }
   rounds = network.StabilizeUntilConsistent(300);
-  std::printf("after %d maintenance rounds: %zu nodes alive, "
+  std::printf("heal time: %d maintenance rounds; %zu nodes alive, "
               "fully consistent: %s, lookup accuracy: %.1f%%\n",
               rounds, network.alive_count(),
               network.RingIsFullyConsistent() ? "yes" : "no",

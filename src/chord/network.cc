@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "faults/fault_plan.h"
 
 namespace contjoin::chord {
 
@@ -152,13 +153,34 @@ void Network::Transmit(Node* from, Node* to, sim::MsgClass cls,
   (void)from;
   stats_.AddHop(cls);
   if (to == nullptr || !to->alive()) {
-    stats_.AddDrop();
+    stats_.AddDrop(cls);
     return;
   }
-  simulator_->Schedule(options_.hop_latency,
-                       [this, to, action = std::move(action)]() {
+  sim::SimTime latency = options_.hop_latency;
+  if (fault_plan_ != nullptr) {
+    faults::FaultDecision fate = fault_plan_->Decide(cls);
+    if (fate.drop) {
+      stats_.AddDrop(cls);
+      return;
+    }
+    latency += fate.extra_delay;
+    for (int i = 0; i < fate.duplicates; ++i) {
+      // The duplicate is real traffic: one more hop, delivered at the same
+      // time as the original (delivery still re-checks liveness).
+      stats_.AddHop(cls);
+      simulator_->Schedule(latency, [this, to, cls, action]() {
+        if (!to->alive()) {
+          stats_.AddDrop(cls);
+          return;
+        }
+        action();
+      });
+    }
+  }
+  simulator_->Schedule(latency,
+                       [this, to, cls, action = std::move(action)]() {
                          if (!to->alive()) {
-                           stats_.AddDrop();
+                           stats_.AddDrop(cls);
                            return;
                          }
                          action();

@@ -17,6 +17,10 @@
 #include "sim/net_stats.h"
 #include "sim/simulator.h"
 
+namespace contjoin::faults {
+class FaultPlan;
+}  // namespace contjoin::faults
+
 namespace contjoin::chord {
 
 /// Transport and protocol knobs.
@@ -103,7 +107,13 @@ class Network {
   /// Hop accounting for synchronous probe RPCs (iterative lookups), which
   /// execute inline rather than through the event queue.
   void CountHop(sim::MsgClass cls) { stats_.AddHop(cls); }
-  void CountDrop() { stats_.AddDrop(); }
+  void CountDrop(sim::MsgClass cls) { stats_.AddDrop(cls); }
+
+  /// Installs (or clears, with nullptr) the fault-injection plan consulted
+  /// by Transmit. The plan must outlive the network. No plan means the
+  /// historical loss-free transport.
+  void set_fault_plan(faults::FaultPlan* plan) { fault_plan_ = plan; }
+  faults::FaultPlan* fault_plan() const { return fault_plan_; }
 
   // --- Node lifecycle hooks (used by Node) ------------------------------------
 
@@ -119,6 +129,7 @@ class Network {
   sim::Simulator* simulator_;
   NetworkOptions options_;
   sim::NetStats stats_;
+  faults::FaultPlan* fault_plan_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<NodeId, Node*> by_id_;  // All nodes ever created, dead included.
   size_t alive_count_ = 0;

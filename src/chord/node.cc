@@ -196,7 +196,7 @@ Node* Node::FindSuccessor(const NodeId& target, sim::MsgClass cls) {
     network_->CountHop(cls);  // Probe RPC to the next node.
     cur = next;
   }
-  network_->CountDrop();
+  network_->CountDrop(cls);
   return nullptr;
 }
 
@@ -237,7 +237,7 @@ void Node::Send(AppMessage msg) {
 
 void Node::RouteMessage(AppMessage msg, int ttl) {
   if (!alive_) {
-    network_->CountDrop();
+    network_->CountDrop(msg.cls);
     return;
   }
   if (IsResponsibleFor(msg.target)) {
@@ -245,12 +245,12 @@ void Node::RouteMessage(AppMessage msg, int ttl) {
     return;
   }
   if (ttl <= 0) {
-    network_->CountDrop();
+    network_->CountDrop(msg.cls);
     return;
   }
   Node* next = NextHopFor(msg.target);
   if (next == nullptr || next == this) {
-    network_->CountDrop();
+    network_->CountDrop(msg.cls);
     return;
   }
   sim::MsgClass cls = msg.cls;
@@ -268,7 +268,7 @@ void Node::Multisend(std::vector<AppMessage> msgs, sim::MsgClass cls) {
 void Node::HandleBatch(std::vector<AppMessage> batch, sim::MsgClass cls,
                        int ttl) {
   if (!alive_) {
-    network_->CountDrop();
+    network_->CountDrop(cls);
     return;
   }
   // Consume every message we are responsible for; keep the rest.
@@ -283,7 +283,7 @@ void Node::HandleBatch(std::vector<AppMessage> batch, sim::MsgClass cls,
   }
   if (remaining.empty()) return;
   if (ttl <= 0) {
-    network_->CountDrop();
+    network_->CountDrop(cls);
     return;
   }
   // Head = the remaining target nearest clockwise from here (the batch was
@@ -299,7 +299,7 @@ void Node::HandleBatch(std::vector<AppMessage> batch, sim::MsgClass cls,
   }
   Node* next = NextHopFor(remaining[head].target);
   if (next == nullptr || next == this) {
-    network_->CountDrop();
+    network_->CountDrop(cls);
     return;
   }
   network_->Transmit(this, next, cls,
@@ -313,7 +313,7 @@ void Node::MultisendIterative(std::vector<AppMessage> msgs) {
   for (AppMessage& msg : msgs) {
     Node* dest = FindSuccessor(msg.target, msg.cls);
     if (dest == nullptr) {
-      network_->CountDrop();
+      network_->CountDrop(msg.cls);
       continue;
     }
     network_->Transmit(this, dest, msg.cls, [dest, msg = std::move(msg)]() {
@@ -324,7 +324,7 @@ void Node::MultisendIterative(std::vector<AppMessage> msgs) {
 
 void Node::DeliverLocal(const AppMessage& msg) {
   if (!alive_) {
-    network_->CountDrop();
+    network_->CountDrop(msg.cls);
     return;
   }
   switch (msg.kind) {

@@ -38,6 +38,11 @@ struct AppMessage {
   sim::MsgClass cls = sim::MsgClass::kControl;
   PayloadPtr payload;
   MsgKind kind = MsgKind::kApp;
+  /// Reliable-delivery envelope (chord routes it opaquely; the application
+  /// layer acks/dedups on it). 0 = best-effort, no ack expected.
+  uint64_t reliable_id = 0;
+  /// Where the delivery ack goes. Only set when reliable_id != 0.
+  Node* reliable_origin = nullptr;
 };
 
 /// Internal payload of a DhtPut in flight.

@@ -20,6 +20,7 @@
 #include "core/options.h"
 #include "relational/tuple.h"
 #include "sim/net_stats.h"
+#include "sim/simulator.h"
 
 namespace contjoin::rel {
 class Catalog;
@@ -66,6 +67,13 @@ class ProtocolContext {
   /// Re-enters message dispatch at `node` — moved attribute-level
   /// identifiers forward whole messages to their holder (§4.7).
   virtual void Redeliver(chord::Node& node, const chord::AppMessage& msg) = 0;
+
+  // --- Reliable delivery ------------------------------------------------------
+
+  /// Fresh engine-unique id for a reliably-sent message (never 0).
+  virtual uint64_t NextReliableId() = 0;
+  /// Runs `fn` after `delay` virtual time units (retry timers).
+  virtual void ScheduleAfter(sim::SimTime delay, std::function<void()> fn) = 0;
 
   // --- Subscribers & results -------------------------------------------------
 

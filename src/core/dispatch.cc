@@ -4,6 +4,7 @@
 #include "core/evaluator.h"
 #include "core/mw_protocol.h"
 #include "core/otj_protocol.h"
+#include "core/reliability.h"
 #include "core/rewriter.h"
 #include "core/state.h"
 #include "core/subscriber.h"
@@ -14,6 +15,10 @@ bool MessageDispatcher::Dispatch(ProtocolContext& ctx, chord::Node& node,
                                  const chord::AppMessage& msg) const {
   const auto* base = static_cast<const CqPayload*>(msg.payload.get());
   if (base == nullptr) return false;
+  if (msg.reliable_id != 0 &&
+      reliability::ObserveDelivery(ctx, node, msg)) {
+    return true;  // Duplicate delivery: acked again, handler suppressed.
+  }
   size_t index = static_cast<size_t>(base->type);
   if (index >= handlers_.size() || handlers_[index] == nullptr) {
     ++ctx.StateOf(node).metrics.msgs_unhandled;
@@ -43,6 +48,8 @@ const MessageDispatcher& MessageDispatcher::Default() {
     CJ_CHECK(t.Register(CqMsgType::kMwJoin, mw::HandleJoin));
     CJ_CHECK(t.Register(CqMsgType::kOtjScan, otj::HandleScan));
     CJ_CHECK(t.Register(CqMsgType::kOtjRehash, otj::HandleRehash));
+    CJ_CHECK(t.Register(CqMsgType::kDeliveryAck,
+                        reliability::HandleDeliveryAck));
     return t;
   }();
   return table;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/uint160.h"
 #include "core/subscriber.h"
 
 namespace contjoin::core {
@@ -14,6 +15,10 @@ ContinuousQueryNetwork::ContinuousQueryNetwork(Options options)
       strategy_(&AlgorithmStrategy::For(options_.algorithm)),
       network_(&simulator_, options_.chord),
       rng_(options_.seed) {
+  if (options_.faults.active()) {
+    fault_plan_ = std::make_unique<faults::FaultPlan>(options_.faults);
+    network_.set_fault_plan(fault_plan_.get());
+  }
   nodes_ = network_.BuildIdealRing(options_.num_nodes);
   for (chord::Node* node : nodes_) {
     node->set_app(this);
@@ -32,6 +37,7 @@ NodeState& ContinuousQueryNetwork::StateOf(chord::Node& node) {
 
 void ContinuousQueryNetwork::Tick() {
   simulator_.AdvanceTo(simulator_.Now() + options_.time_step);
+  ProcessChurnDue();
 }
 
 // --- Message dispatch ---------------------------------------------------------------
@@ -85,6 +91,220 @@ void ContinuousQueryNetwork::ReconnectNode(size_t node_index, bool new_ip) {
   node->Reconnect(bootstrap, new_ip);
   network_.RewireIdeal();
   simulator_.Run();
+}
+
+// --- Fault tolerance -----------------------------------------------------------------
+
+void ContinuousQueryNetwork::InstallChurnScript(faults::ChurnScript script) {
+  CJ_CHECK(script.IsSorted()) << "churn events must be time-sorted";
+  churn_script_ = std::move(script);
+  churn_next_ = 0;
+}
+
+void ContinuousQueryNetwork::ProcessChurnDue() {
+  bool crashed = false;
+  bool changed = false;
+  while (churn_next_ < churn_script_.events.size() &&
+         churn_script_.events[churn_next_].at <= simulator_.Now()) {
+    const faults::ChurnEvent& ev = churn_script_.events[churn_next_++];
+    if (ev.kind == faults::ChurnEvent::Kind::kCrash) {
+      // Never crash the last node; the script event is simply skipped.
+      if (network_.alive_count() <= 1) continue;
+      std::vector<chord::Node*> alive;
+      alive.reserve(network_.alive_count());
+      for (chord::Node* n : nodes_) {
+        if (n->alive()) alive.push_back(n);
+      }
+      CrashNodeInternal(alive[ev.ordinal % alive.size()]);
+      crashed = true;
+    } else {
+      JoinNewNodeInternal();
+    }
+    changed = true;
+  }
+  if (!changed) return;
+  network_.RewireIdeal();
+  simulator_.Run();
+  if (options_.reliability.enabled && options_.reliability.repair_on_churn) {
+    ReconcilePlacement();
+    // Joins only displace responsibility (handled by the handoff above);
+    // crashes destroy state, which only the origin logs can rebuild.
+    if (crashed) RefreshIndexes();
+  }
+}
+
+void ContinuousQueryNetwork::CrashNode(size_t node_index) {
+  CJ_CHECK(node_index < nodes_.size());
+  CJ_CHECK(network_.alive_count() > 1) << "cannot crash the last node";
+  CrashNodeInternal(nodes_[node_index]);
+  network_.RewireIdeal();
+  simulator_.Run();
+}
+
+void ContinuousQueryNetwork::CrashNodeInternal(chord::Node* node) {
+  if (!node->alive()) return;
+  node->Fail();
+  NodeState& state = StateOf(*node);
+  // The process dies: every protocol table is gone. The subscriber inbox
+  // and query serial survive — they model client-side application state,
+  // not overlay state.
+  state.rewriter = rewriter::State(options_.jfrt_capacity);
+  state.evaluator = evaluator::State();
+  state.mw = mw::State();
+  state.otj = otj::State();
+  state.reliability = reliability::State();
+  state.subscriber.subscriber_addr.clear();
+  node->store().ExtractAll();  // Ring-stored items die with the node.
+}
+
+chord::Node* ContinuousQueryNetwork::JoinNewNodeInternal() {
+  chord::Node* node = network_.CreateNode(
+      "churn-" + std::to_string(churn_join_serial_++));
+  node->SetAliveDirect(true);
+  network_.OnNodeBirth();
+  node->set_app(this);
+  states_.emplace(node, std::make_unique<NodeState>(options_.jfrt_capacity));
+  nodes_.push_back(node);
+  nodes_by_key_[node->key()] = node;
+  return node;
+}
+
+size_t ContinuousQueryNetwork::JoinNewNode() {
+  JoinNewNodeInternal();
+  network_.RewireIdeal();
+  simulator_.Run();
+  return nodes_.size() - 1;
+}
+
+chord::Node* ContinuousQueryNetwork::FirstAliveNode() const {
+  for (chord::Node* node : nodes_) {
+    if (node->alive()) return node;
+  }
+  return nullptr;
+}
+
+chord::Node* ContinuousQueryNetwork::EntryNode(size_t node_index) {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    chord::Node* node = nodes_[(node_index + i) % nodes_.size()];
+    if (node->alive()) return node;
+  }
+  CJ_CHECK(false) << "no alive node";  // Churn never crashes the last node.
+  return nullptr;
+}
+
+size_t ContinuousQueryNetwork::ReconcilePlacement() {
+  size_t moved = 0;
+  auto transfer = [this, &moved](size_t objects) {
+    network_.CountHop(sim::MsgClass::kControl);
+    moved += objects;
+  };
+  for (chord::Node* node : nodes_) {
+    if (!node->alive()) continue;
+    NodeState& state = StateOf(*node);
+
+    // ALQT buckets, keyed "R+A#<replica>". Buckets holding a moved
+    // identifier's generation (§4.7) live away from their base identifier
+    // on purpose and keep doing so; the base forwarding pointer covers them.
+    for (const std::string& mkey : state.rewriter.alqt.Level1Keys()) {
+      if (state.rewriter.held_generation.count(mkey) > 0) continue;
+      size_t pos = mkey.rfind('#');
+      CJ_CHECK(pos != std::string::npos) << "malformed ALQT key " << mkey;
+      int replica = std::stoi(mkey.substr(pos + 1));
+      chord::Node* home = network_.OracleSuccessor(
+          AttrIndexIdOfKey(mkey.substr(0, pos), replica));
+      if (home == nullptr || home == node) continue;
+      auto bucket = state.rewriter.alqt.TakeLevel1(mkey);
+      size_t objects = 0;
+      for (const auto& [signature, group] : bucket) objects += group.size();
+      StateOf(*home).rewriter.alqt.AbsorbLevel1(mkey, std::move(bucket));
+      auto stats = state.rewriter.attr_stats.find(mkey);
+      if (stats != state.rewriter.attr_stats.end()) {
+        StateOf(*home).rewriter.attr_stats[mkey].Merge(stats->second);
+        state.rewriter.attr_stats.erase(stats);
+      }
+      transfer(objects);
+    }
+
+    // VLQT / VLTT buckets: home = Successor(Hash(level1 + "+" + value)).
+    for (const auto& [level1, value_key] :
+         state.evaluator.vlqt.BucketKeys()) {
+      chord::Node* home =
+          network_.OracleSuccessor(ValueIndexIdOfKey(level1, value_key));
+      if (home == nullptr || home == node) continue;
+      auto bucket = state.evaluator.vlqt.TakeBucket(level1, value_key);
+      size_t objects = bucket.size();
+      StateOf(*home).evaluator.vlqt.AbsorbBucket(level1, value_key,
+                                                 std::move(bucket));
+      transfer(objects);
+    }
+    for (const auto& [level1, value_key] :
+         state.evaluator.vltt.BucketKeys()) {
+      chord::Node* home =
+          network_.OracleSuccessor(ValueIndexIdOfKey(level1, value_key));
+      if (home == nullptr || home == node) continue;
+      auto bucket = state.evaluator.vltt.TakeBucket(level1, value_key);
+      size_t objects = bucket.size();
+      StateOf(*home).evaluator.vltt.AbsorbBucket(level1, value_key,
+                                                 std::move(bucket));
+      transfer(objects);
+    }
+
+    // DAI-V buckets: the sub key is "Key(q)#L/R"; the home identifier is
+    // Hash(value) or Hash(Key(q)+value) for the key-prefixed variant.
+    for (const auto& [value_key, sub_key] :
+         state.evaluator.daiv.BucketKeys()) {
+      CJ_CHECK(sub_key.size() > 2) << "malformed DAI-V sub key " << sub_key;
+      chord::NodeId home_id =
+          options_.daiv_prefix_query_key
+              ? DaivPrefixedIndexId(sub_key.substr(0, sub_key.size() - 2),
+                                    value_key)
+              : DaivIndexId(value_key);
+      chord::Node* home = network_.OracleSuccessor(home_id);
+      if (home == nullptr || home == node) continue;
+      auto bucket = state.evaluator.daiv.TakeBucket(value_key, sub_key);
+      size_t objects = bucket.size();
+      StateOf(*home).evaluator.daiv.AbsorbBucket(value_key, sub_key,
+                                                 std::move(bucket));
+      transfer(objects);
+    }
+
+    // DHT-stored items (notifications for off-line subscribers): re-place
+    // each key at its current successor.
+    auto stored = node->store().ExtractAll();
+    for (auto& [key, items] : stored) {
+      chord::Node* home = network_.OracleSuccessor(key);
+      if (home == nullptr) home = node;
+      if (home != node) transfer(items.size());
+      for (chord::PayloadPtr& item : items) {
+        home->store().Put(key, std::move(item));
+      }
+    }
+  }
+  return moved;
+}
+
+void ContinuousQueryNetwork::RefreshIndexes() {
+  // DAI-T's rewrite dedup would suppress re-creating exactly the rewritten
+  // state a crash destroyed: reset it before replaying. Over-rewriting is
+  // safe — receiver-side table inserts are idempotent and redundant
+  // notifications collapse at the subscriber.
+  for (chord::Node* node : nodes_) {
+    if (!node->alive()) continue;
+    StateOf(*node).rewriter.sent_rewritten_keys.clear();
+  }
+  for (const query::QueryPtr& query : submission_log_) {
+    chord::Node* origin = NodeByKey(query->subscriber_key());
+    if (origin == nullptr || !origin->alive()) origin = FirstAliveNode();
+    if (origin == nullptr) return;
+    IndexQueryFrom(origin, query);
+    simulator_.Run();
+  }
+  for (const auto& [publisher, tuple] : publish_log_) {
+    chord::Node* origin = publisher->alive() ? publisher : FirstAliveNode();
+    if (origin == nullptr) return;
+    PublishTupleFrom(origin, tuple);
+    simulator_.Run();
+  }
 }
 
 // --- Metrics -------------------------------------------------------------------------

@@ -27,6 +27,8 @@
 #include "core/metrics.h"
 #include "core/options.h"
 #include "core/state.h"
+#include "faults/churn.h"
+#include "faults/fault_plan.h"
 #include "query/parser.h"
 #include "relational/schema.h"
 #include "sim/simulator.h"
@@ -119,6 +121,43 @@ class ContinuousQueryNetwork : public chord::Application,
   /// handed back through the Chord key-transfer rule.
   void ReconnectNode(size_t node_index, bool new_ip);
 
+  // --- Fault tolerance (extension; §3.2 is best-effort by design) -------------
+
+  /// Installs a scripted churn schedule (events must be time-sorted). Due
+  /// events are applied as virtual time passes, at operation boundaries
+  /// (quiescent points of the event queue), followed by the repair sweep
+  /// when options.reliability enables it.
+  void InstallChurnScript(faults::ChurnScript script);
+
+  /// Crashes a node without warning: ring failure plus loss of all its
+  /// volatile protocol state (ALQT/VLQT/VLTT/DAI-V tables, JFRT, dedup
+  /// caches, DHT-stored items). The subscriber inbox and query serial
+  /// survive, modeling client-side application state.
+  void CrashNode(size_t node_index);
+
+  /// Adds a brand-new node to the ring (ideal rewire; ReconcilePlacement
+  /// moves the index entries it is now responsible for). Returns its index.
+  size_t JoinNewNode();
+
+  /// Soft-state repair, part 1 — key-range handoff: moves every ALQT /
+  /// VLQT / VLTT / DAI-V bucket and DHT-stored item whose home identifier
+  /// now resolves to a different alive node over to that node (one control
+  /// hop per moved bucket). Returns the number of objects moved.
+  size_t ReconcilePlacement();
+
+  /// Soft-state repair, part 2 — re-index refresh: replays every live
+  /// query submission and tuple publication from the origin-side durable
+  /// logs with their original keys and timestamps. Receiver-side dedup and
+  /// idempotent table inserts make the replay converge instead of
+  /// duplicating state.
+  void RefreshIndexes();
+
+  const faults::FaultPlan* fault_plan() const { return fault_plan_.get(); }
+  /// Churn events not yet applied.
+  size_t PendingChurnEvents() const {
+    return churn_script_.events.size() - churn_next_;
+  }
+
   // --- Introspection ---------------------------------------------------------------
 
   size_t num_nodes() const { return nodes_.size(); }
@@ -180,6 +219,10 @@ class ContinuousQueryNetwork : public chord::Application,
   void Redeliver(chord::Node& node, const chord::AppMessage& msg) override {
     HandleMessage(node, msg);
   }
+  uint64_t NextReliableId() override { return ++next_reliable_id_; }
+  void ScheduleAfter(sim::SimTime delay, std::function<void()> fn) override {
+    simulator_.Schedule(delay, std::move(fn));
+  }
   chord::Node* NodeByKey(const std::string& key) override {
     auto it = nodes_by_key_.find(key);
     return it == nodes_by_key_.end() ? nullptr : it->second;
@@ -194,8 +237,31 @@ class ContinuousQueryNetwork : public chord::Application,
                std::make_move_iterator(rows.end()));
   }
 
-  /// Advances virtual time by time_step and drains pending events.
+  /// Advances virtual time by time_step, applies churn events that became
+  /// due, and drains pending events.
   void Tick();
+
+  /// Applies scripted churn events with at <= Now, then repairs.
+  void ProcessChurnDue();
+  void CrashNodeInternal(chord::Node* node);
+  chord::Node* JoinNewNodeInternal();
+  chord::Node* FirstAliveNode() const;
+
+  /// Resolves the entry node for a client operation after Tick(): the
+  /// scripted churn applied there may have crashed the node the caller
+  /// chose while it was still up, and publishing from a dead process
+  /// would silently void the whole batch. A real client notices the dead
+  /// connection and resubmits through the next node that is up; probing
+  /// in index order keeps the choice deterministic.
+  chord::Node* EntryNode(size_t node_index);
+
+  /// Builds and sends the attribute-level index messages for `query` from
+  /// `origin` (shared by SubmitQuery and RefreshIndexes).
+  void IndexQueryFrom(chord::Node* origin, const query::QueryPtr& query);
+  /// Builds and multisends the al-/vl-index batch for `tuple` from
+  /// `origin` (shared by InsertTuple and RefreshIndexes).
+  void PublishTupleFrom(chord::Node* origin,
+                        const std::shared_ptr<const rel::Tuple>& tuple);
 
   Options options_;
   const AlgorithmStrategy* strategy_;
@@ -215,6 +281,20 @@ class ContinuousQueryNetwork : public chord::Application,
   uint64_t next_otj_id_ = 0;
 
   uint64_t next_tuple_seq_ = 0;
+
+  // --- Fault tolerance ---------------------------------------------------------
+
+  std::unique_ptr<faults::FaultPlan> fault_plan_;
+  uint64_t next_reliable_id_ = 0;
+  faults::ChurnScript churn_script_;
+  size_t churn_next_ = 0;  // First unapplied script event.
+  uint64_t churn_join_serial_ = 0;
+  /// Origin-side durable logs feeding RefreshIndexes, in original order.
+  /// Entries keep their engine-assigned keys and timestamps so a replay
+  /// reproduces the same match decisions.
+  std::vector<query::QueryPtr> submission_log_;
+  std::vector<std::pair<chord::Node*, std::shared_ptr<const rel::Tuple>>>
+      publish_log_;
 };
 
 }  // namespace contjoin::core

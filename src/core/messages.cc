@@ -8,16 +8,25 @@ std::string AttrKey(const std::string& relation, const std::string& attr) {
   return relation + "+" + attr;
 }
 
-chord::NodeId AttrIndexId(const std::string& relation, const std::string& attr,
-                          int replica) {
-  std::string key = AttrKey(relation, attr);
+chord::NodeId AttrIndexIdOfKey(const std::string& attr_key, int replica) {
+  std::string key = attr_key;
   if (replica > 0) key += "#r" + std::to_string(replica);
   return HashKey(key);
+}
+
+chord::NodeId AttrIndexId(const std::string& relation, const std::string& attr,
+                          int replica) {
+  return AttrIndexIdOfKey(AttrKey(relation, attr), replica);
 }
 
 std::string ValueKeyOf(const std::string& relation, const std::string& attr,
                        const std::string& value_key) {
   return relation + "+" + attr + "+" + value_key;
+}
+
+chord::NodeId ValueIndexIdOfKey(const std::string& attr_key,
+                                const std::string& value_key) {
+  return HashKey(attr_key + "+" + value_key);
 }
 
 chord::NodeId ValueIndexId(const std::string& relation,

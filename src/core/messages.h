@@ -36,9 +36,16 @@ std::string AttrKey(const std::string& relation, const std::string& attr);
 chord::NodeId AttrIndexId(const std::string& relation, const std::string& attr,
                           int replica);
 
+/// AttrIndexId from an already-built attribute key (repair sweeps re-derive
+/// a bucket's home identifier from its stored "R+A" key).
+chord::NodeId AttrIndexIdOfKey(const std::string& attr_key, int replica);
+
 /// Value-level key "R+A+v" and its identifier.
 std::string ValueKeyOf(const std::string& relation, const std::string& attr,
                        const std::string& value_key);
+/// ValueIndexId from an already-built attribute key.
+chord::NodeId ValueIndexIdOfKey(const std::string& attr_key,
+                                const std::string& value_key);
 chord::NodeId ValueIndexId(const std::string& relation,
                            const std::string& attr,
                            const std::string& value_key);
@@ -66,11 +73,12 @@ enum class CqMsgType : unsigned char {
   kMwJoin,        // Multi-way partial binding reindexed at the value level.
   kOtjScan,    // One-time join: broadcast scan request (PIER baseline).
   kOtjRehash,  // One-time join: tuples rehashed by join value.
+  kDeliveryAck,  // Reliable-delivery ack for a message id (back to origin).
 };
 
 /// Number of message types (size of dispatch / per-type counter tables).
 inline constexpr size_t kCqMsgTypeCount =
-    static_cast<size_t>(CqMsgType::kOtjRehash) + 1;
+    static_cast<size_t>(CqMsgType::kDeliveryAck) + 1;
 
 /// Base payload carrying the dispatch tag.
 struct CqPayload : chord::Payload {
@@ -239,6 +247,14 @@ struct OtjRehashPayload : CqPayload {
   chord::Node* issuer = nullptr;
   std::string value_key;  // Join value, canonical form.
   std::vector<OtjTuple> entries;
+};
+
+/// Confirms delivery of the reliable message `msg_id` to its origin, which
+/// then stops retrying it. Acks themselves are best-effort: a lost ack only
+/// costs a redundant retry, which the receiver's dedup absorbs.
+struct DeliveryAckPayload : CqPayload {
+  DeliveryAckPayload() : CqPayload(CqMsgType::kDeliveryAck) {}
+  uint64_t msg_id = 0;
 };
 
 

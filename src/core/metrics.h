@@ -40,6 +40,13 @@ struct NodeMetrics {
   uint64_t rewrites_skipped_nosol = 0; // Inversion had no representable sol.
   uint64_t notifications_created = 0;
 
+  // --- Reliable delivery (extension) --------------------------------------------
+  uint64_t reliable_sent = 0;       // Messages armed with a reliable id here.
+  uint64_t reliable_retries = 0;    // Timeout-triggered resends.
+  uint64_t reliable_acks_sent = 0;  // Delivery acks emitted by this node.
+  uint64_t reliable_dups_suppressed = 0;  // Duplicate deliveries absorbed.
+  uint64_t reliable_abandoned = 0;  // Gave up after max_retries.
+
   // --- Dispatch-level receipts -------------------------------------------------
   /// Messages dispatched here, by CqMsgType index.
   std::array<uint64_t, kCqMsgTypeCount> received_by_type{};
@@ -60,6 +67,11 @@ struct NodeMetrics {
     rewrites_skipped_dup += m.rewrites_skipped_dup;
     rewrites_skipped_nosol += m.rewrites_skipped_nosol;
     notifications_created += m.notifications_created;
+    reliable_sent += m.reliable_sent;
+    reliable_retries += m.reliable_retries;
+    reliable_acks_sent += m.reliable_acks_sent;
+    reliable_dups_suppressed += m.reliable_dups_suppressed;
+    reliable_abandoned += m.reliable_abandoned;
     for (size_t i = 0; i < received_by_type.size(); ++i) {
       received_by_type[i] += m.received_by_type[i];
     }

@@ -7,6 +7,7 @@
 #include <cstddef>
 
 #include "chord/network.h"
+#include "faults/fault_plan.h"
 #include "relational/tuple.h"
 
 namespace contjoin::core {
@@ -25,6 +26,25 @@ enum class SaiStrategy : unsigned char {
 };
 
 const char* SaiStrategyName(SaiStrategy s);
+
+/// Reliable-delivery knobs (extension beyond the paper: §3.2 leaves failure
+/// handling to the DHT; this layer adds ack/retry + dedup + repair on top).
+struct ReliabilityOptions {
+  /// Master switch. Off = the paper's best-effort semantics, bit-identical
+  /// to the engine without this subsystem.
+  bool enabled = false;
+
+  /// Retries per critical message before giving up.
+  int max_retries = 8;
+
+  /// First retry fires after base_timeout * max(1, hop_latency) virtual
+  /// time units; subsequent retries back off exponentially (x2).
+  uint64_t base_timeout = 64;
+
+  /// Run the soft-state repair sweep (index handoff + re-index refresh)
+  /// after scripted churn events.
+  bool repair_on_churn = true;
+};
 
 struct Options {
   /// Ring size for the built-in ideal ring; ignored when the caller builds
@@ -63,6 +83,11 @@ struct Options {
   uint64_t seed = 42;
 
   chord::NetworkOptions chord;
+
+  /// Fault injection applied to the overlay transport (none by default).
+  faults::FaultOptions faults;
+
+  ReliabilityOptions reliability;
 };
 
 }  // namespace contjoin::core

@@ -1,0 +1,136 @@
+#include "core/reliability.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "core/state.h"
+
+namespace contjoin::core {
+namespace reliability {
+namespace {
+
+void OnTimeout(ProtocolContext& ctx, chord::Node& node, uint64_t id,
+               int attempt);
+
+void ScheduleRetry(ProtocolContext& ctx, chord::Node& node, uint64_t id,
+                   int attempt) {
+  uint64_t scale = std::max<uint64_t>(1, ctx.options().chord.hop_latency);
+  // Exponential backoff, shift-capped so pathological max_retries settings
+  // cannot overflow the virtual clock.
+  int shift = std::min(attempt - 1, 20);
+  sim::SimTime timeout = ctx.options().reliability.base_timeout * scale
+                         << shift;
+  ctx.ScheduleAfter(timeout, [ctx_ptr = &ctx, node_ptr = &node, id,
+                              attempt]() {
+    OnTimeout(*ctx_ptr, *node_ptr, id, attempt);
+  });
+}
+
+void OnTimeout(ProtocolContext& ctx, chord::Node& node, uint64_t id,
+               int attempt) {
+  NodeState& ns = ctx.StateOf(node);
+  auto it = ns.reliability.pending.find(id);
+  if (it == ns.reliability.pending.end()) return;  // Acked meanwhile.
+  if (!node.alive()) {
+    // The origin itself is gone; its durable logs, not this timer, are
+    // what resurrects the intent.
+    ns.reliability.pending.erase(it);
+    return;
+  }
+  if (it->second.attempts >= ctx.options().reliability.max_retries) {
+    ++ns.metrics.reliable_abandoned;
+    ns.reliability.pending.erase(it);
+    return;
+  }
+  ++it->second.attempts;
+  ++ns.metrics.reliable_retries;
+  ctx.Send(node, it->second.msg);
+  ScheduleRetry(ctx, node, id, it->second.attempts + 1);
+}
+
+}  // namespace
+
+bool IsCritical(CqMsgType type) {
+  switch (type) {
+    case CqMsgType::kQueryIndex:
+    case CqMsgType::kTupleAl:
+    case CqMsgType::kTupleVl:
+    case CqMsgType::kJoin:
+    case CqMsgType::kDaivJoin:
+    case CqMsgType::kNotification:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Arm(ProtocolContext& ctx, chord::Node& from, chord::AppMessage& msg) {
+  msg.reliable_id = ctx.NextReliableId();
+  msg.reliable_origin = &from;
+  NodeState& ns = ctx.StateOf(from);
+  ns.reliability.pending.emplace(msg.reliable_id, PendingSend{msg, 0});
+  ++ns.metrics.reliable_sent;
+  ScheduleRetry(ctx, from, msg.reliable_id, 1);
+}
+
+void SendReliable(ProtocolContext& ctx, chord::Node& from,
+                  chord::AppMessage msg) {
+  const auto* payload = static_cast<const CqPayload*>(msg.payload.get());
+  if (ctx.options().reliability.enabled && payload != nullptr &&
+      IsCritical(payload->type)) {
+    Arm(ctx, from, msg);
+  }
+  ctx.Send(from, std::move(msg));
+}
+
+void ArmAll(ProtocolContext& ctx, chord::Node& from,
+            std::vector<chord::AppMessage>& msgs) {
+  if (!ctx.options().reliability.enabled) return;
+  for (chord::AppMessage& msg : msgs) {
+    const auto* payload = static_cast<const CqPayload*>(msg.payload.get());
+    if (payload != nullptr && IsCritical(payload->type)) {
+      Arm(ctx, from, msg);
+    }
+  }
+}
+
+bool ObserveDelivery(ProtocolContext& ctx, chord::Node& node,
+                     const chord::AppMessage& msg) {
+  NodeState& ns = ctx.StateOf(node);
+  chord::Node* origin = msg.reliable_origin;
+  if (origin == &node) {
+    // Delivered back at the origin (it owns the target key): confirm
+    // in place, no ack traffic.
+    ns.reliability.pending.erase(msg.reliable_id);
+  } else if (origin != nullptr && origin->alive()) {
+    auto ack = std::make_shared<DeliveryAckPayload>();
+    ack->msg_id = msg.reliable_id;
+    chord::AppMessage out;
+    out.target = origin->id();
+    out.cls = sim::MsgClass::kControl;
+    out.payload = std::move(ack);
+    ++ns.metrics.reliable_acks_sent;
+    // One direct hop back: the receiver learned the origin's address from
+    // the message. The ack itself is best-effort — a lost ack only causes
+    // a retry, which this dedup set absorbs.
+    ctx.Transmit(&node, origin, sim::MsgClass::kControl,
+                 [ctx_ptr = &ctx, origin, out]() {
+                   ctx_ptr->Redeliver(*origin, out);
+                 });
+  }
+  if (!ns.reliability.seen.insert(msg.reliable_id).second) {
+    ++ns.metrics.reliable_dups_suppressed;
+    return true;
+  }
+  return false;
+}
+
+void HandleDeliveryAck(ProtocolContext& ctx, chord::Node& node,
+                       const chord::AppMessage& msg) {
+  const auto& p = static_cast<const DeliveryAckPayload&>(*msg.payload);
+  ctx.StateOf(node).reliability.pending.erase(p.msg_id);
+}
+
+}  // namespace reliability
+}  // namespace contjoin::core

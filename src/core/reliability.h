@@ -1,0 +1,76 @@
+// Reliable delivery for the critical protocol messages (extension beyond
+// the paper: §3.2 "leaves all handling of failures to the underlying DHT",
+// so a dropped query-index, vl-index, join(q') or notification is silently
+// lost forever). This module adds a sender-side ack/timeout/retry loop with
+// exponential backoff and receiver-side dedup on engine-unique message ids.
+// It is a role module: engine state is reached only through the
+// ProtocolContext seam. With ReliabilityOptions::enabled == false every
+// entry point degrades to the historical best-effort send, bit-identically.
+
+#ifndef CONTJOIN_CORE_RELIABILITY_H_
+#define CONTJOIN_CORE_RELIABILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "chord/types.h"
+#include "core/context.h"
+#include "core/messages.h"
+
+namespace contjoin::core {
+namespace reliability {
+
+/// A message awaiting its delivery ack at the origin.
+struct PendingSend {
+  chord::AppMessage msg;
+  int attempts = 0;  // Retries performed so far.
+};
+
+/// Per-node reliability state (volatile: a crash wipes it, like the other
+/// protocol tables; the origin-side durable logs live in the engine).
+struct State {
+  /// Sender side: un-acked reliable messages by id.
+  std::map<uint64_t, PendingSend> pending;
+  /// Receiver side: ids already processed here (dedup set).
+  std::set<uint64_t> seen;
+};
+
+/// True for the message types the tentpole protects: query indexing,
+/// al-/vl-tuple indexing, rewritten-query reindex, DAI-V projections and
+/// notification delivery. Control chatter (acks, JFRT hints, IP updates)
+/// stays best-effort — losing it costs performance, never answers.
+bool IsCritical(CqMsgType type);
+
+/// Stamps `msg` with a fresh reliable id, records it in the origin's
+/// pending table and starts the retry timer. The caller still transports
+/// the message (routed send, multisend batch, or direct Transmit).
+void Arm(ProtocolContext& ctx, chord::Node& from, chord::AppMessage& msg);
+
+/// Routed send with reliability when enabled and the payload is critical;
+/// plain ctx.Send otherwise.
+void SendReliable(ProtocolContext& ctx, chord::Node& from,
+                  chord::AppMessage msg);
+
+/// Arms every critical message of a batch when reliability is enabled;
+/// a no-op otherwise. The caller keeps its original transport call
+/// (Send / Multisend) untouched, so the wire behaviour with reliability
+/// disabled is bit-identical to the historical engine.
+void ArmAll(ProtocolContext& ctx, chord::Node& from,
+            std::vector<chord::AppMessage>& msgs);
+
+/// Receiver-side hook, called by the dispatcher for every message carrying
+/// a reliable id: acks to the origin and returns true when the id was
+/// already processed here (the caller then suppresses the handler).
+bool ObserveDelivery(ProtocolContext& ctx, chord::Node& node,
+                     const chord::AppMessage& msg);
+
+/// kDeliveryAck handler: clears the acked id from the pending table.
+void HandleDeliveryAck(ProtocolContext& ctx, chord::Node& node,
+                       const chord::AppMessage& msg);
+
+}  // namespace reliability
+}  // namespace contjoin::core
+
+#endif  // CONTJOIN_CORE_RELIABILITY_H_

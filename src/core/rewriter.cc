@@ -11,6 +11,7 @@
 #include "core/evaluator.h"
 #include "core/messages.h"
 #include "core/mw_protocol.h"
+#include "core/reliability.h"
 #include "core/state.h"
 
 namespace contjoin::core {
@@ -230,6 +231,31 @@ void DeliverViaJfrt(ProtocolContext& ctx, chord::Node* from,
                     std::shared_ptr<PayloadT> payload,
                     void (*handler)(ProtocolContext&, chord::Node&,
                                     const PayloadT&)) {
+  if (ctx.options().reliability.enabled) {
+    // Armed fast path: deliver through message dispatch at the cached node
+    // so the receiver-side ack / dedup hook sees the message; a lost hop is
+    // then retried by the origin's timer over normal routing.
+    chord::AppMessage msg;
+    msg.target = vindex;
+    msg.cls = sim::MsgClass::kRewrittenQuery;
+    msg.payload = payload;
+    reliability::Arm(ctx, *from, msg);
+    ctx.Transmit(from, cached, sim::MsgClass::kRewrittenQuery,
+                 [ctx = &ctx, cached, vindex, msg, payload]() {
+                   if (cached->IsResponsibleFor(vindex)) {
+                     ctx->Redeliver(*cached, msg);
+                     return;
+                   }
+                   // Stale cache entry: re-route under the same reliable
+                   // id; the true evaluator's ack refreshes the table.
+                   auto copy = std::make_shared<PayloadT>(*payload);
+                   copy->want_ack = true;
+                   chord::AppMessage fwd = msg;
+                   fwd.payload = std::move(copy);
+                   ctx->Send(*cached, std::move(fwd));
+                 });
+    return;
+  }
   ctx.Transmit(
       from, cached, sim::MsgClass::kRewrittenQuery,
       [ctx = &ctx, cached, vindex, payload = std::move(payload), handler]() {
@@ -278,6 +304,7 @@ void DispatchPending(ProtocolContext& ctx, chord::Node& node,
     msg.payload = std::move(pending.payload);
     batch.push_back(std::move(msg));
   }
+  reliability::ArmAll(ctx, node, batch);
   if (batch.size() == 1) {
     ctx.Send(node, std::move(batch[0]));
   } else if (!batch.empty()) {

@@ -11,6 +11,7 @@
 #include "core/metrics.h"
 #include "core/mw_protocol.h"
 #include "core/otj_protocol.h"
+#include "core/reliability.h"
 #include "core/rewriter.h"
 #include "core/subscriber.h"
 
@@ -26,6 +27,7 @@ struct NodeState {
   subscriber::State subscriber;
   mw::State mw;
   otj::State otj;
+  reliability::State reliability;
   NodeMetrics metrics;
 };
 

@@ -6,42 +6,14 @@
 #include "core/engine.h"
 
 #include "common/logging.h"
+#include "core/reliability.h"
 
 namespace contjoin::core {
 
 // --- Submission ------------------------------------------------------------------
 
-StatusOr<std::string> ContinuousQueryNetwork::SubmitQuery(
-    size_t node_index, std::string_view sql) {
-  if (node_index >= nodes_.size()) {
-    return Status::InvalidArgument("node index out of range");
-  }
-  chord::Node* origin = nodes_[node_index];
-  if (!origin->alive()) {
-    return Status::FailedPrecondition("submitting node is offline");
-  }
-  CJ_ASSIGN_OR_RETURN(query::ContinuousQuery parsed,
-                      query::ParseQuery(sql, catalog_));
-  if (parsed.type() == query::QueryType::kT2 &&
-      !strategy_->SupportsT2Queries()) {
-    return Status::Unsupported(
-        "queries of type T2 require DAI-V (paper §4.5); " +
-        std::string(strategy_->name()) + " handles only type T1");
-  }
-
-  Tick();
-  NodeState& origin_state = StateOf(*origin);
-  std::string key =
-      origin->key() + "#" +
-      std::to_string(origin_state.subscriber.next_query_serial++);
-  parsed.set_key(key);
-  parsed.set_subscriber_key(origin->key());
-  parsed.set_subscriber_ip(origin->ip());
-  parsed.set_insertion_time(simulator_.Now());
-
-  auto query = std::make_shared<const query::ContinuousQuery>(
-      std::move(parsed));
-
+void ContinuousQueryNetwork::IndexQueryFrom(chord::Node* origin,
+                                            const query::QueryPtr& query) {
   // Which sides index the query at the attribute level?
   std::vector<int> sides;
   if (strategy_->DoubleIndexesQueries()) {
@@ -68,13 +40,92 @@ StatusOr<std::string> ContinuousQueryNetwork::SubmitQuery(
       batch.push_back(std::move(msg));
     }
   }
+  reliability::ArmAll(*this, *origin, batch);
   if (batch.size() == 1) {
     origin->Send(std::move(batch[0]));
   } else {
     origin->Multisend(std::move(batch), sim::MsgClass::kQueryIndex);
   }
+}
+
+void ContinuousQueryNetwork::PublishTupleFrom(
+    chord::Node* origin, const std::shared_ptr<const rel::Tuple>& tuple) {
+  const rel::RelationSchema* schema = catalog_.Find(tuple->relation());
+  CJ_CHECK(schema != nullptr);
+  // Paper §4.2 (adapted for DAI-V §4.5: tuples are indexed only at the
+  // attribute level there): one multisend batch carrying all identifiers.
+  std::vector<chord::AppMessage> batch;
+  for (size_t i = 0; i < schema->arity(); ++i) {
+    const std::string& attr = schema->attribute(i).name;
+    int replica = options_.attribute_replication <= 1
+                      ? 0
+                      : static_cast<int>(rng_.NextBelow(
+                            static_cast<uint64_t>(
+                                options_.attribute_replication)));
+    auto al = std::make_shared<TupleIndexPayload>(/*value_level=*/false);
+    al->tuple = tuple;
+    al->attr_index = i;
+    al->level1 = AttrKey(tuple->relation(), attr);
+    al->replica = replica;
+    chord::AppMessage al_msg;
+    al_msg.target = AttrIndexId(tuple->relation(), attr, replica);
+    al_msg.cls = sim::MsgClass::kTupleIndex;
+    al_msg.payload = std::move(al);
+    batch.push_back(std::move(al_msg));
+
+    if (strategy_->IndexesTuplesAtValueLevel()) {
+      auto vl = std::make_shared<TupleIndexPayload>(/*value_level=*/true);
+      vl->tuple = tuple;
+      vl->attr_index = i;
+      vl->level1 = AttrKey(tuple->relation(), attr);
+      vl->value_key = tuple->at(i).ToKeyString();
+      chord::AppMessage vl_msg;
+      vl_msg.target = ValueIndexId(tuple->relation(), attr, vl->value_key);
+      vl_msg.cls = sim::MsgClass::kTupleIndex;
+      vl_msg.payload = std::move(vl);
+      batch.push_back(std::move(vl_msg));
+    }
+  }
+  reliability::ArmAll(*this, *origin, batch);
+  origin->Multisend(std::move(batch), sim::MsgClass::kTupleIndex);
+}
+
+StatusOr<std::string> ContinuousQueryNetwork::SubmitQuery(
+    size_t node_index, std::string_view sql) {
+  if (node_index >= nodes_.size()) {
+    return Status::InvalidArgument("node index out of range");
+  }
+  chord::Node* origin = nodes_[node_index];
+  if (!origin->alive()) {
+    return Status::FailedPrecondition("submitting node is offline");
+  }
+  CJ_ASSIGN_OR_RETURN(query::ContinuousQuery parsed,
+                      query::ParseQuery(sql, catalog_));
+  if (parsed.type() == query::QueryType::kT2 &&
+      !strategy_->SupportsT2Queries()) {
+    return Status::Unsupported(
+        "queries of type T2 require DAI-V (paper §4.5); " +
+        std::string(strategy_->name()) + " handles only type T1");
+  }
+
+  Tick();
+  origin = EntryNode(node_index);
+  NodeState& origin_state = StateOf(*origin);
+  std::string key =
+      origin->key() + "#" +
+      std::to_string(origin_state.subscriber.next_query_serial++);
+  parsed.set_key(key);
+  parsed.set_subscriber_key(origin->key());
+  parsed.set_subscriber_ip(origin->ip());
+  parsed.set_insertion_time(simulator_.Now());
+
+  auto query = std::make_shared<const query::ContinuousQuery>(
+      std::move(parsed));
+
+  IndexQueryFrom(origin, query);
   simulator_.Run();
   submitted_[key] = query;
+  submission_log_.push_back(query);
   return key;
 }
 
@@ -94,46 +145,14 @@ Status ContinuousQueryNetwork::InsertTuple(size_t node_index,
   }
 
   Tick();
+  origin = EntryNode(node_index);
   auto tuple = std::make_shared<const rel::Tuple>(
       relation, std::move(values), simulator_.Now(), next_tuple_seq_++);
   CJ_RETURN_IF_ERROR(tuple->CheckAgainst(*schema));
 
-  // Paper §4.2 (adapted for DAI-V §4.5: tuples are indexed only at the
-  // attribute level there): one multisend batch carrying all identifiers.
-  std::vector<chord::AppMessage> batch;
-  for (size_t i = 0; i < schema->arity(); ++i) {
-    const std::string& attr = schema->attribute(i).name;
-    int replica = options_.attribute_replication <= 1
-                      ? 0
-                      : static_cast<int>(rng_.NextBelow(
-                            static_cast<uint64_t>(
-                                options_.attribute_replication)));
-    auto al = std::make_shared<TupleIndexPayload>(/*value_level=*/false);
-    al->tuple = tuple;
-    al->attr_index = i;
-    al->level1 = AttrKey(relation, attr);
-    al->replica = replica;
-    chord::AppMessage al_msg;
-    al_msg.target = AttrIndexId(relation, attr, replica);
-    al_msg.cls = sim::MsgClass::kTupleIndex;
-    al_msg.payload = std::move(al);
-    batch.push_back(std::move(al_msg));
-
-    if (strategy_->IndexesTuplesAtValueLevel()) {
-      auto vl = std::make_shared<TupleIndexPayload>(/*value_level=*/true);
-      vl->tuple = tuple;
-      vl->attr_index = i;
-      vl->level1 = AttrKey(relation, attr);
-      vl->value_key = tuple->at(i).ToKeyString();
-      chord::AppMessage vl_msg;
-      vl_msg.target = ValueIndexId(relation, attr, vl->value_key);
-      vl_msg.cls = sim::MsgClass::kTupleIndex;
-      vl_msg.payload = std::move(vl);
-      batch.push_back(std::move(vl_msg));
-    }
-  }
-  origin->Multisend(std::move(batch), sim::MsgClass::kTupleIndex);
+  PublishTupleFrom(origin, tuple);
   simulator_.Run();
+  publish_log_.emplace_back(origin, tuple);
   return Status::OK();
 }
 
@@ -161,6 +180,7 @@ StatusOr<std::string> ContinuousQueryNetwork::SubmitMultiwayQuery(
                       query::ParseMwQuery(sql, catalog_));
 
   Tick();
+  origin = EntryNode(node_index);
   NodeState& origin_state = StateOf(*origin);
   std::string key =
       origin->key() + "#" +
@@ -213,6 +233,7 @@ StatusOr<std::vector<Notification>> ContinuousQueryNetwork::OneTimeJoin(
                       query::ParseQuery(sql, catalog_));
 
   Tick();
+  origin = EntryNode(node_index);
   uint64_t otj_id = next_otj_id_++;
   parsed.set_key(origin->key() + "#otj" + std::to_string(otj_id));
   parsed.set_subscriber_key(origin->key());
@@ -254,6 +275,7 @@ Status ContinuousQueryNetwork::Unsubscribe(size_t node_index,
   }
 
   Tick();
+  origin = EntryNode(node_index);
   // Remove from every possible rewriter (both sides and all replicas cover
   // the SAI single-side case too — the extra recipients are no-ops).
   std::vector<chord::AppMessage> batch;
@@ -277,6 +299,15 @@ Status ContinuousQueryNetwork::Unsubscribe(size_t node_index,
   origin->Multisend(std::move(batch), sim::MsgClass::kControl);
   simulator_.Run();
   submitted_.erase(it);
+  // Drop the cancelled query from the durable replay log too, or a later
+  // RefreshIndexes would resurrect it.
+  for (auto log_it = submission_log_.begin();
+       log_it != submission_log_.end(); ++log_it) {
+    if ((*log_it)->key() == query_key) {
+      submission_log_.erase(log_it);
+      break;
+    }
+  }
   return Status::OK();
 }
 
@@ -305,6 +336,7 @@ Status ContinuousQueryNetwork::MigrateAttribute(size_t node_index,
     return Status::FailedPrecondition("node is offline");
   }
   Tick();
+  origin = EntryNode(node_index);
   auto payload = std::make_shared<MigrateCmdPayload>();
   payload->level1 = AttrKey(relation, attr);
   payload->replica = replica;

@@ -5,6 +5,7 @@
 
 #include "chord/node.h"
 #include "common/logging.h"
+#include "core/reliability.h"
 #include "core/state.h"
 
 namespace contjoin::core::subscriber {
@@ -63,8 +64,11 @@ void DeliverNotification(ProtocolContext& ctx, chord::Node& evaluator,
     ev_state.inbox.push_back(std::move(n));  // Local subscriber.
     return;
   }
-  if (target != nullptr && target->alive() && target->ip() == expect_ip) {
-    // Direct delivery by IP: one overlay hop (§4.6).
+  if (target != nullptr && target->alive() && target->ip() == expect_ip &&
+      !ctx.options().reliability.enabled) {
+    // Direct delivery by IP: one overlay hop (§4.6). With reliability on,
+    // this path is skipped: the armed message below delivers through the
+    // dispatch hook (still one hop) so the ack / dedup machinery sees it.
     chord::Node* t = target;
     auto shared = std::make_shared<Notification>(std::move(n));
     ctx.Transmit(&evaluator, t, sim::MsgClass::kNotification,
@@ -83,6 +87,17 @@ void DeliverNotification(ProtocolContext& ctx, chord::Node& evaluator,
   msg.target = HashKey(subscriber_key);
   msg.cls = sim::MsgClass::kNotification;
   msg.payload = std::move(payload);
+  if (ctx.options().reliability.enabled) {
+    reliability::Arm(ctx, evaluator, msg);
+    if (target != nullptr && target->alive() && target->ip() == expect_ip) {
+      // Known address: one direct hop into dispatch, retries fall back to
+      // routing toward Successor(Id(n)).
+      chord::Node* t = target;
+      ctx.Transmit(&evaluator, t, sim::MsgClass::kNotification,
+                   [ctx = &ctx, t, msg]() { ctx->Redeliver(*t, msg); });
+      return;
+    }
+  }
   ctx.Send(evaluator, std::move(msg));
 }
 

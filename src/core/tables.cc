@@ -7,7 +7,14 @@ namespace contjoin::core {
 void AttrLevelQueryTable::Insert(const std::string& level1,
                                  const std::string& signature,
                                  AlqtEntry entry) {
-  map_[level1][signature].push_back(std::move(entry));
+  Group& group = map_[level1][signature];
+  for (const AlqtEntry& existing : group) {
+    if (existing.query->key() == entry.query->key() &&
+        existing.index_side == entry.index_side) {
+      return;  // Redelivered or replayed indexing: already stored.
+    }
+  }
+  group.push_back(std::move(entry));
   ++size_;
 }
 
@@ -48,6 +55,24 @@ AttrLevelQueryTable::GroupMap AttrLevelQueryTable::TakeLevel1(
   return out;
 }
 
+void AttrLevelQueryTable::AbsorbLevel1(const std::string& level1,
+                                       GroupMap groups) {
+  for (auto& [signature, group] : groups) {
+    for (AlqtEntry& entry : group) {
+      Insert(level1, signature, std::move(entry));
+    }
+  }
+}
+
+std::vector<std::string> AttrLevelQueryTable::Level1Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(map_.size());
+  // contjoin-check: ordered-ok(keys are collected and sorted below)
+  for (const auto& [level1, groups] : map_) keys.push_back(level1);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 // --- ValueLevelQueryTable ----------------------------------------------------
 
 bool ValueLevelQueryTable::InsertOrRefresh(const std::string& level1,
@@ -85,6 +110,51 @@ const ValueLevelQueryTable::Bucket* ValueLevelQueryTable::Find(
   return l2 == l1->second.end() ? nullptr : &l2->second;
 }
 
+std::vector<std::pair<std::string, std::string>>
+ValueLevelQueryTable::BucketKeys() const {
+  std::vector<std::pair<std::string, std::string>> keys;
+  // contjoin-check: ordered-ok(keys are collected and sorted below)
+  for (const auto& [level1, by_value] : map_) {
+    // contjoin-check: ordered-ok(keys are collected and sorted below)
+    for (const auto& [value_key, bucket] : by_value) {
+      keys.emplace_back(level1, value_key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+ValueLevelQueryTable::Bucket ValueLevelQueryTable::TakeBucket(
+    const std::string& level1, const std::string& value_key) {
+  auto l1 = map_.find(level1);
+  if (l1 == map_.end()) return {};
+  auto l2 = l1->second.find(value_key);
+  if (l2 == l1->second.end()) return {};
+  Bucket out = std::move(l2->second);
+  size_ -= out.size();
+  l1->second.erase(l2);
+  if (l1->second.empty()) map_.erase(l1);
+  return out;
+}
+
+void ValueLevelQueryTable::AbsorbBucket(const std::string& level1,
+                                        const std::string& value_key,
+                                        Bucket bucket) {
+  Bucket& dst = map_[level1][value_key];
+  for (auto& [rewritten_key, stored] : bucket) {
+    auto it = dst.find(rewritten_key);
+    if (it == dst.end()) {
+      dst.emplace(rewritten_key, std::move(stored));
+      ++size_;
+    } else if (stored.latest_trigger_pub > it->second.latest_trigger_pub ||
+               (stored.latest_trigger_pub == it->second.latest_trigger_pub &&
+                stored.latest_trigger_seq > it->second.latest_trigger_seq)) {
+      it->second.latest_trigger_pub = stored.latest_trigger_pub;
+      it->second.latest_trigger_seq = stored.latest_trigger_seq;
+    }
+  }
+}
+
 size_t ValueLevelQueryTable::RemoveQuery(const std::string& query_key) {
   size_t removed = 0;
   for (auto l1 = map_.begin(); l1 != map_.end();) {
@@ -111,8 +181,50 @@ size_t ValueLevelQueryTable::RemoveQuery(const std::string& query_key) {
 void ValueLevelTupleTable::Insert(const std::string& level1,
                                   const std::string& value_key,
                                   StoredTuple stored) {
-  map_[level1][value_key].push_back(std::move(stored));
+  Bucket& bucket = map_[level1][value_key];
+  for (const StoredTuple& existing : bucket) {
+    if (existing.tuple->seq() == stored.tuple->seq() &&
+        existing.index_attr == stored.index_attr) {
+      return;  // Redelivered or replayed publication: already stored.
+    }
+  }
+  bucket.push_back(std::move(stored));
   ++size_;
+}
+
+std::vector<std::pair<std::string, std::string>>
+ValueLevelTupleTable::BucketKeys() const {
+  std::vector<std::pair<std::string, std::string>> keys;
+  // contjoin-check: ordered-ok(keys are collected and sorted below)
+  for (const auto& [level1, by_value] : map_) {
+    // contjoin-check: ordered-ok(keys are collected and sorted below)
+    for (const auto& [value_key, bucket] : by_value) {
+      keys.emplace_back(level1, value_key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+ValueLevelTupleTable::Bucket ValueLevelTupleTable::TakeBucket(
+    const std::string& level1, const std::string& value_key) {
+  auto l1 = map_.find(level1);
+  if (l1 == map_.end()) return {};
+  auto l2 = l1->second.find(value_key);
+  if (l2 == l1->second.end()) return {};
+  Bucket out = std::move(l2->second);
+  size_ -= out.size();
+  l1->second.erase(l2);
+  if (l1->second.empty()) map_.erase(l1);
+  return out;
+}
+
+void ValueLevelTupleTable::AbsorbBucket(const std::string& level1,
+                                        const std::string& value_key,
+                                        Bucket bucket) {
+  for (StoredTuple& stored : bucket) {
+    Insert(level1, value_key, std::move(stored));
+  }
 }
 
 const ValueLevelTupleTable::Bucket* ValueLevelTupleTable::Find(
@@ -149,8 +261,57 @@ size_t ValueLevelTupleTable::ExpireBefore(rel::Timestamp cutoff) {
 void DaivStore::Insert(const std::string& value_key,
                        const std::string& query_key, int side,
                        DaivStored stored) {
-  map_[value_key][SubKey(query_key, side)].push_back(std::move(stored));
+  Bucket& bucket = map_[value_key][SubKey(query_key, side)];
+  for (const DaivStored& existing : bucket) {
+    if (existing.seq == stored.seq) return;  // Redelivered projection.
+  }
+  bucket.push_back(std::move(stored));
   ++size_;
+}
+
+std::vector<std::pair<std::string, std::string>> DaivStore::BucketKeys()
+    const {
+  std::vector<std::pair<std::string, std::string>> keys;
+  // contjoin-check: ordered-ok(keys are collected and sorted below)
+  for (const auto& [value_key, by_sub] : map_) {
+    // contjoin-check: ordered-ok(keys are collected and sorted below)
+    for (const auto& [sub_key, bucket] : by_sub) {
+      keys.emplace_back(value_key, sub_key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+DaivStore::Bucket DaivStore::TakeBucket(const std::string& value_key,
+                                        const std::string& sub_key) {
+  auto l1 = map_.find(value_key);
+  if (l1 == map_.end()) return {};
+  auto l2 = l1->second.find(sub_key);
+  if (l2 == l1->second.end()) return {};
+  Bucket out = std::move(l2->second);
+  size_ -= out.size();
+  l1->second.erase(l2);
+  if (l1->second.empty()) map_.erase(l1);
+  return out;
+}
+
+void DaivStore::AbsorbBucket(const std::string& value_key,
+                             const std::string& sub_key, Bucket bucket) {
+  Bucket& dst = map_[value_key][sub_key];
+  for (DaivStored& stored : bucket) {
+    bool dup = false;
+    for (const DaivStored& existing : dst) {
+      if (existing.seq == stored.seq) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      dst.push_back(std::move(stored));
+      ++size_;
+    }
+  }
 }
 
 const DaivStore::Bucket* DaivStore::Find(const std::string& value_key,

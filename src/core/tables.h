@@ -41,6 +41,9 @@ class AttrLevelQueryTable {
   using Group = std::vector<AlqtEntry>;
   using GroupMap = std::map<std::string, Group>;
 
+  /// Inserts unless an entry with the same (query key, index side) already
+  /// sits in the group — re-indexing after a retry or a soft-state refresh
+  /// is therefore idempotent.
   void Insert(const std::string& level1, const std::string& signature,
               AlqtEntry entry);
 
@@ -53,6 +56,13 @@ class AttrLevelQueryTable {
   /// Extracts and returns an entire level-1 bucket (used when an
   /// attribute-level identifier is moved to another node, §4.7).
   GroupMap TakeLevel1(const std::string& level1);
+
+  /// Merges a handed-off level-1 bucket (key-range handoff during churn
+  /// repair); duplicates collapse via the Insert dedup rule.
+  void AbsorbLevel1(const std::string& level1, GroupMap groups);
+
+  /// Level-1 keys in sorted order (deterministic handoff sweeps).
+  std::vector<std::string> Level1Keys() const;
 
   /// Total stored queries (storage-load contribution).
   size_t size() const { return size_; }
@@ -95,6 +105,17 @@ class ValueLevelQueryTable {
 
   size_t RemoveQuery(const std::string& query_key);
 
+  /// All (level1, value_key) bucket coordinates in sorted order.
+  std::vector<std::pair<std::string, std::string>> BucketKeys() const;
+
+  /// Extracts one bucket for handoff; empty if absent.
+  Bucket TakeBucket(const std::string& level1, const std::string& value_key);
+
+  /// Merges a handed-off bucket; an existing rewritten key only has its
+  /// trigger time advanced, mirroring InsertOrRefresh.
+  void AbsorbBucket(const std::string& level1, const std::string& value_key,
+                    Bucket bucket);
+
   size_t size() const { return size_; }
 
  private:
@@ -117,6 +138,9 @@ class ValueLevelTupleTable {
  public:
   using Bucket = std::vector<StoredTuple>;
 
+  /// Inserts unless a tuple with the same (sequence number, index attribute)
+  /// already sits in the bucket, so re-publication after a retry or a
+  /// soft-state refresh is idempotent.
   void Insert(const std::string& level1, const std::string& value_key,
               StoredTuple stored);
 
@@ -124,6 +148,16 @@ class ValueLevelTupleTable {
   /// tuples; callers filter by time (or call ExpireBefore first).
   const Bucket* Find(const std::string& level1,
                      const std::string& value_key) const;
+
+  /// All (level1, value_key) bucket coordinates in sorted order.
+  std::vector<std::pair<std::string, std::string>> BucketKeys() const;
+
+  /// Extracts one bucket for handoff; empty if absent.
+  Bucket TakeBucket(const std::string& level1, const std::string& value_key);
+
+  /// Merges a handed-off bucket via the Insert dedup rule.
+  void AbsorbBucket(const std::string& level1, const std::string& value_key,
+                    Bucket bucket);
 
   /// Drops every tuple with pub_time < cutoff; returns the number dropped.
   size_t ExpireBefore(rel::Timestamp cutoff);
@@ -180,12 +214,26 @@ class DaivStore {
  public:
   using Bucket = std::vector<DaivStored>;
 
+  /// Inserts unless an entry with the same sequence number already sits in
+  /// the bucket (replay-idempotent, like the other tables).
   void Insert(const std::string& value_key, const std::string& query_key,
               int side, DaivStored stored);
 
   /// Entries stored for (`query_key`, `side`) under `value_key`.
   const Bucket* Find(const std::string& value_key,
                      const std::string& query_key, int side) const;
+
+  /// All (value_key, sub_key) bucket coordinates in sorted order; sub_key
+  /// is the internal "query#side" composite, fed back into TakeBucket /
+  /// AbsorbBucket verbatim.
+  std::vector<std::pair<std::string, std::string>> BucketKeys() const;
+
+  /// Extracts one bucket for handoff; empty if absent.
+  Bucket TakeBucket(const std::string& value_key, const std::string& sub_key);
+
+  /// Merges a handed-off bucket via the Insert dedup rule.
+  void AbsorbBucket(const std::string& value_key, const std::string& sub_key,
+                    Bucket bucket);
 
   size_t ExpireBefore(rel::Timestamp cutoff);
   size_t RemoveQuery(const std::string& query_key);

@@ -1,0 +1,28 @@
+#include "faults/churn.h"
+
+namespace contjoin::faults {
+
+bool ChurnScript::IsSorted() const {
+  for (size_t i = 1; i < events.size(); ++i) {
+    if (events[i].at < events[i - 1].at) return false;
+  }
+  return true;
+}
+
+ChurnScript ChurnScript::Alternating(sim::SimTime start, sim::SimTime period,
+                                     size_t crashes, size_t joins) {
+  ChurnScript script;
+  sim::SimTime at = start;
+  for (size_t i = 0; i < crashes + joins; ++i, at += period) {
+    ChurnEvent ev;
+    ev.at = at;
+    ev.kind = i < crashes ? ChurnEvent::Kind::kCrash : ChurnEvent::Kind::kJoin;
+    // A fixed multiplicative stride spreads victims around the ring without
+    // consulting an Rng (the script stays pure data).
+    ev.ordinal = 7 * i + 3;
+    script.events.push_back(ev);
+  }
+  return script;
+}
+
+}  // namespace contjoin::faults

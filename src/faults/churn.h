@@ -1,0 +1,46 @@
+// Scripted churn: crash/join events pinned to virtual times. The script is
+// plain data; the engine applies due events as simulated time advances past
+// them (at operation boundaries, i.e. quiescent points of the event queue)
+// and then runs its repair machinery. Keeping the schedule declarative makes
+// churn experiments reproducible and diffable.
+
+#ifndef CONTJOIN_FAULTS_CHURN_H_
+#define CONTJOIN_FAULTS_CHURN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace contjoin::faults {
+
+struct ChurnEvent {
+  enum class Kind { kCrash, kJoin };
+
+  /// Virtual time at or after which the event takes effect.
+  sim::SimTime at = 0;
+  Kind kind = Kind::kCrash;
+  /// For crashes: selects the victim among the currently alive nodes
+  /// (ordinal % alive_count in creation order). Ignored for joins.
+  size_t ordinal = 0;
+};
+
+struct ChurnScript {
+  std::vector<ChurnEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// True iff events are in non-decreasing time order (the only form the
+  /// engine accepts).
+  bool IsSorted() const;
+
+  /// Convenience builder: `crashes` crash events then `joins` join events,
+  /// spaced `period` apart starting at `start`. Crash ordinals are derived
+  /// from the event index, so the victims are spread over the ring.
+  static ChurnScript Alternating(sim::SimTime start, sim::SimTime period,
+                                 size_t crashes, size_t joins);
+};
+
+}  // namespace contjoin::faults
+
+#endif  // CONTJOIN_FAULTS_CHURN_H_

@@ -1,0 +1,34 @@
+#include "faults/fault_plan.h"
+
+namespace contjoin::faults {
+
+FaultPlan::FaultPlan(FaultOptions options)
+    : options_(options), rng_(options.seed) {}
+
+FaultDecision FaultPlan::Decide(sim::MsgClass c) {
+  FaultDecision d;
+  const FaultProfile& p = options_.profile(c);
+  if (!p.active()) return d;
+  // Always draw the same number of variates per consulted class, so one
+  // knob change does not reshuffle the fate of every later message.
+  bool drop = rng_.NextBernoulli(p.drop_prob);
+  bool dup = rng_.NextBernoulli(p.duplicate_prob);
+  bool slow = rng_.NextBernoulli(p.delay_prob);
+  if (drop) {
+    ++injected_drops_;
+    d.drop = true;
+    return d;
+  }
+  if (dup) {
+    ++injected_duplicates_;
+    d.duplicates = 1;
+  }
+  if (slow && p.max_extra_delay > 0) {
+    ++injected_delays_;
+    d.extra_delay = 1 + static_cast<sim::SimTime>(
+                            rng_.NextBelow(p.max_extra_delay));
+  }
+  return d;
+}
+
+}  // namespace contjoin::faults

@@ -1,0 +1,102 @@
+// Deterministic fault injection for the simulated overlay. A FaultPlan is
+// consulted by chord::Network::Transmit for every scheduled hop and decides
+// — from its own seeded Rng, in transmission order — whether the message is
+// dropped, duplicated, or delivered with extra latency. Probabilities are
+// configured per sim::MsgClass, so experiments can target e.g. only the
+// protocol traffic (query-index / tuple-index / join / notification) while
+// leaving ring maintenance untouched. Same seed + same plan + same workload
+// => bit-identical fault sequence.
+
+#ifndef CONTJOIN_FAULTS_FAULT_PLAN_H_
+#define CONTJOIN_FAULTS_FAULT_PLAN_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/net_stats.h"
+#include "sim/simulator.h"
+
+namespace contjoin::faults {
+
+/// Per-class fault probabilities. All zero (the default) means the class
+/// is delivered exactly as without a plan.
+struct FaultProfile {
+  /// Probability the transmission is silently lost.
+  double drop_prob = 0.0;
+  /// Probability one extra copy of the transmission is delivered.
+  double duplicate_prob = 0.0;
+  /// Probability the hop takes extra time, and how much at most (the extra
+  /// delay is uniform in [1, max_extra_delay]).
+  double delay_prob = 0.0;
+  sim::SimTime max_extra_delay = 0;
+
+  bool active() const {
+    return drop_prob > 0.0 || duplicate_prob > 0.0 || delay_prob > 0.0;
+  }
+};
+
+/// Full plan configuration: one profile per message class plus the seed of
+/// the plan's private Rng.
+struct FaultOptions {
+  uint64_t seed = 1;
+  std::array<FaultProfile, static_cast<size_t>(sim::MsgClass::kClassCount)>
+      per_class{};
+
+  FaultProfile& profile(sim::MsgClass c) {
+    return per_class[static_cast<size_t>(c)];
+  }
+  const FaultProfile& profile(sim::MsgClass c) const {
+    return per_class[static_cast<size_t>(c)];
+  }
+
+  /// Applies `p` to every class in `classes`.
+  template <typename Container>
+  void SetProfiles(const Container& classes, const FaultProfile& p) {
+    for (sim::MsgClass c : classes) profile(c) = p;
+  }
+
+  bool active() const {
+    for (const FaultProfile& p : per_class) {
+      if (p.active()) return true;
+    }
+    return false;
+  }
+};
+
+/// What happens to one transmission.
+struct FaultDecision {
+  bool drop = false;
+  /// Number of extra copies to deliver (0 or 1).
+  int duplicates = 0;
+  sim::SimTime extra_delay = 0;
+};
+
+/// Seeded decision source. Decisions are drawn in the order Transmit
+/// consults the plan, which the simulator makes deterministic.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultOptions options);
+
+  /// Decides the fate of one transmission of class `c`.
+  FaultDecision Decide(sim::MsgClass c);
+
+  const FaultOptions& options() const { return options_; }
+
+  // Injection counters (for reports; the per-class drop *accounting* lives
+  // in sim::NetStats, which also sees dead-target drops).
+  uint64_t injected_drops() const { return injected_drops_; }
+  uint64_t injected_duplicates() const { return injected_duplicates_; }
+  uint64_t injected_delays() const { return injected_delays_; }
+
+ private:
+  FaultOptions options_;
+  Rng rng_;
+  uint64_t injected_drops_ = 0;
+  uint64_t injected_duplicates_ = 0;
+  uint64_t injected_delays_ = 0;
+};
+
+}  // namespace contjoin::faults
+
+#endif  // CONTJOIN_FAULTS_FAULT_PLAN_H_

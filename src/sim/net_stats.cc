@@ -31,6 +31,7 @@ const char* MsgClassName(MsgClass c) {
 
 void NetStats::Reset() {
   std::memset(per_class_, 0, sizeof(per_class_));
+  std::memset(dropped_per_class_, 0, sizeof(dropped_per_class_));
   total_hops_ = 0;
   dropped_ = 0;
 }
@@ -39,6 +40,8 @@ NetStats NetStats::Since(const NetStats& earlier) const {
   NetStats out;
   for (size_t i = 0; i < static_cast<size_t>(MsgClass::kClassCount); ++i) {
     out.per_class_[i] = per_class_[i] - earlier.per_class_[i];
+    out.dropped_per_class_[i] =
+        dropped_per_class_[i] - earlier.dropped_per_class_[i];
   }
   out.total_hops_ = total_hops_ - earlier.total_hops_;
   out.dropped_ = dropped_ - earlier.dropped_;
@@ -51,9 +54,13 @@ std::string NetStats::Report() const {
   if (dropped_ > 0) out << " (dropped: " << dropped_ << ")";
   out << "\n";
   for (size_t i = 0; i < static_cast<size_t>(MsgClass::kClassCount); ++i) {
-    if (per_class_[i] == 0) continue;
+    if (per_class_[i] == 0 && dropped_per_class_[i] == 0) continue;
     out << "  " << MsgClassName(static_cast<MsgClass>(i)) << ": "
-        << per_class_[i] << "\n";
+        << per_class_[i];
+    if (dropped_per_class_[i] > 0) {
+      out << " (dropped: " << dropped_per_class_[i] << ")";
+    }
+    out << "\n";
   }
   return out.str();
 }

@@ -39,13 +39,19 @@ class NetStats {
     per_class_[static_cast<size_t>(c)] += n;
     total_hops_ += n;
   }
-  void AddDrop() { ++dropped_; }
+  void AddDrop(MsgClass c) {
+    ++dropped_per_class_[static_cast<size_t>(c)];
+    ++dropped_;
+  }
 
   uint64_t hops(MsgClass c) const {
     return per_class_[static_cast<size_t>(c)];
   }
   uint64_t total_hops() const { return total_hops_; }
   uint64_t dropped() const { return dropped_; }
+  uint64_t dropped(MsgClass c) const {
+    return dropped_per_class_[static_cast<size_t>(c)];
+  }
 
   void Reset();
 
@@ -57,6 +63,7 @@ class NetStats {
 
  private:
   uint64_t per_class_[static_cast<size_t>(MsgClass::kClassCount)] = {};
+  uint64_t dropped_per_class_[static_cast<size_t>(MsgClass::kClassCount)] = {};
   uint64_t total_hops_ = 0;
   uint64_t dropped_ = 0;
 };

@@ -28,6 +28,7 @@ struct Scenario {
   size_t num_queries;
   size_t num_tuples;
   size_t interleave_every;  // Submit one extra query every N tuples.
+  sim::SimTime hop_latency = 0;
 
   std::string Name() const {
     std::string out = AlgorithmName(algorithm);
@@ -41,6 +42,7 @@ struct Scenario {
     if (window > 0) out += "_w" + std::to_string(window);
     if (use_jfrt) out += "_jfrt";
     if (replication > 1) out += "_rep" + std::to_string(replication);
+    if (hop_latency > 0) out += "_lat" + std::to_string(hop_latency);
     for (char& c : out) {
       if (c == '-') c = '_';
     }
@@ -70,6 +72,7 @@ TEST_P(EquivalenceTest, MatchesReferenceEngine) {
   opts.window = sc.window;
   opts.use_jfrt = sc.use_jfrt;
   opts.attribute_replication = sc.replication;
+  opts.chord.hop_latency = sc.hop_latency;
   ContinuousQueryNetwork net(opts);
   CJ_CHECK(gen.RegisterSchemas(net.catalog()).ok());
 
@@ -206,6 +209,24 @@ std::vector<Scenario> AllScenarios() {
     sc.num_tuples = 120;
     sc.interleave_every = 9;
     out.push_back(sc);
+  }
+  // Nonzero per-hop latency: messages no longer cascade instantaneously,
+  // so deliveries interleave across virtual time. Content equivalence must
+  // hold regardless (each operation still drains before the next arrives).
+  for (Algorithm alg : {Algorithm::kSai, Algorithm::kDaiQ, Algorithm::kDaiT,
+                        Algorithm::kDaiV}) {
+    for (sim::SimTime latency : {sim::SimTime{1}, sim::SimTime{3}}) {
+      Scenario sc{};
+      sc.algorithm = alg;
+      sc.seed = 61;
+      sc.zipf_theta = 0.6;
+      sc.replication = 1;
+      sc.num_queries = 20;
+      sc.num_tuples = 120;
+      sc.interleave_every = 10;
+      sc.hop_latency = latency;
+      out.push_back(sc);
+    }
   }
   // DAI-V with T2 queries (its distinguishing capability), plus the
   // key-prefixed variant exercised separately below.

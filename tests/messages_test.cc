@@ -15,11 +15,11 @@
 namespace contjoin::core {
 namespace {
 
-static_assert(kCqMsgTypeCount == 14,
+static_assert(kCqMsgTypeCount == 15,
               "CqMsgType changed: update the payload coverage below, the "
               "dispatch registry, and this count");
 
-static_assert(static_cast<size_t>(CqMsgType::kOtjRehash) + 1 ==
+static_assert(static_cast<size_t>(CqMsgType::kDeliveryAck) + 1 ==
                   kCqMsgTypeCount,
               "kCqMsgTypeCount must be derived from the last enumerator");
 
@@ -51,6 +51,7 @@ TEST(MessagesTest, EveryEnumeratorHasExactlyOnePayloadTag) {
   tag(MwJoinPayload().type);
   tag(OtjScanPayload().type);
   tag(OtjRehashPayload().type);
+  tag(DeliveryAckPayload().type);
 
   EXPECT_TRUE(tagged.all()) << "untagged enumerators: " << tagged.to_string();
 }
@@ -70,6 +71,7 @@ TEST(MessagesTest, PayloadTagsMatchTheIntendedEnumerator) {
   EXPECT_EQ(MwJoinPayload().type, CqMsgType::kMwJoin);
   EXPECT_EQ(OtjScanPayload().type, CqMsgType::kOtjScan);
   EXPECT_EQ(OtjRehashPayload().type, CqMsgType::kOtjRehash);
+  EXPECT_EQ(DeliveryAckPayload().type, CqMsgType::kDeliveryAck);
 }
 
 }  // namespace

@@ -72,6 +72,10 @@ class MockContext : public ProtocolContext {
     inbox.push_back(std::move(n));
   }
   void AppendOtjResults(uint64_t, std::vector<Notification>) override {}
+  uint64_t NextReliableId() override { return ++next_reliable_id; }
+  void ScheduleAfter(sim::SimTime, std::function<void()> fn) override {
+    scheduled.push_back(std::move(fn));
+  }
 
   struct TransmitRecord {
     chord::Node* from;
@@ -84,7 +88,9 @@ class MockContext : public ProtocolContext {
   std::vector<TransmitRecord> transmits;
   std::vector<std::pair<chord::Node*, chord::AppMessage>> redelivered;
   std::vector<Notification> inbox;
+  std::vector<std::function<void()>> scheduled;
   uint64_t hops = 0;
+  uint64_t next_reliable_id = 0;
 
  private:
   Options options_;
@@ -237,6 +243,7 @@ std::vector<chord::AppMessage> OneMessagePerType() {
       std::make_shared<MwJoinPayload>(),
       std::make_shared<OtjScanPayload>(),
       std::make_shared<OtjRehashPayload>(),
+      std::make_shared<DeliveryAckPayload>(),
   };
   std::vector<chord::AppMessage> msgs;
   for (auto& p : payloads) {

@@ -116,10 +116,11 @@ TEST(NetStatsTest, SinceComputesDelta) {
 TEST(NetStatsTest, ResetClears) {
   NetStats stats;
   stats.AddHop(MsgClass::kControl);
-  stats.AddDrop();
+  stats.AddDrop(MsgClass::kControl);
   stats.Reset();
   EXPECT_EQ(stats.total_hops(), 0u);
   EXPECT_EQ(stats.dropped(), 0u);
+  EXPECT_EQ(stats.dropped(MsgClass::kControl), 0u);
 }
 
 TEST(NetStatsTest, ReportListsNonZeroClasses) {

@@ -29,11 +29,13 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"relational", {"common"}},
       {"query", {"common", "relational"}},
       {"sim", {"common"}},
-      {"chord", {"common", "sim"}},
-      {"core", {"common", "relational", "query", "sim", "chord"}},
-      {"workload", {"common", "relational", "query", "sim", "chord", "core"}},
+      {"faults", {"common", "sim"}},
+      {"chord", {"common", "sim", "faults"}},
+      {"core", {"common", "relational", "query", "sim", "faults", "chord"}},
+      {"workload",
+       {"common", "relational", "query", "sim", "faults", "chord", "core"}},
       {"reference",
-       {"common", "relational", "query", "sim", "chord", "core"}},
+       {"common", "relational", "query", "sim", "faults", "chord", "core"}},
   };
   return kDeps;
 }
@@ -42,7 +44,8 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
 /// ProtocolContext seam, so the engine facade header is off-limits.
 const std::set<std::string>& RoleModuleStems() {
   static const std::set<std::string> kStems = {
-      "rewriter", "evaluator", "subscriber", "mw_protocol", "otj_protocol"};
+      "rewriter", "evaluator", "subscriber", "mw_protocol", "otj_protocol",
+      "reliability"};
   return kStems;
 }
 

@@ -56,13 +56,14 @@ TEST(CheckerTest, MessagesRuleFires) {
   config.root = Fixture("messages_bad");
   std::vector<Diagnostic> diags;
   CheckMessages(config, &diags);
-  EXPECT_EQ(CountRule(diags, "messages"), 7u);
-  EXPECT_TRUE(AnyMessageContains(diags, "last enumerator is kGamma"));
+  EXPECT_EQ(CountRule(diags, "messages"), 8u);
+  EXPECT_TRUE(AnyMessageContains(diags, "last enumerator is kAck"));
   EXPECT_TRUE(AnyMessageContains(diags, "kAlpha is tagged by 2"));
   EXPECT_TRUE(AnyMessageContains(diags, "kBeta has no payload struct"));
   EXPECT_TRUE(AnyMessageContains(diags, "kGamma has no payload struct"));
   EXPECT_TRUE(AnyMessageContains(diags, "kAlpha registered 2 times"));
   EXPECT_TRUE(AnyMessageContains(diags, "kGamma has no handler"));
+  EXPECT_TRUE(AnyMessageContains(diags, "kAck has no handler"));
   EXPECT_TRUE(AnyMessageContains(diags, "unknown enumerator CqMsgType::kDelta"));
 }
 

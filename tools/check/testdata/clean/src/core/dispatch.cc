@@ -9,6 +9,7 @@ void Register(CqMsgType type, Handler handler);
 void RegisterAll() {
   Register(CqMsgType::kAlpha, nullptr);
   Register(CqMsgType::kBeta, nullptr);
+  Register(CqMsgType::kAck, nullptr);
 }
 
 }  // namespace fixture

@@ -10,10 +10,11 @@ namespace fixture {
 enum class CqMsgType : unsigned char {
   kAlpha,
   kBeta,
+  kAck,
 };
 
 inline constexpr size_t kCqMsgTypeCount =
-    static_cast<size_t>(CqMsgType::kBeta) + 1;
+    static_cast<size_t>(CqMsgType::kAck) + 1;
 
 struct CqPayload {
   explicit CqPayload(CqMsgType t) : type(t) {}
@@ -26,6 +27,10 @@ struct AlphaPayload : CqPayload {
 
 struct BetaPayload : CqPayload {
   BetaPayload() : CqPayload(CqMsgType::kBeta) {}
+};
+
+struct AckPayload : CqPayload {
+  AckPayload() : CqPayload(CqMsgType::kAck) {}
 };
 
 }  // namespace fixture

@@ -9,9 +9,10 @@ enum class CqMsgType : unsigned char {
   kAlpha,
   kBeta,
   kGamma,
+  kAck,
 };
 
-// Violation: derived from kBeta instead of the last enumerator kGamma.
+// Violation: derived from kBeta instead of the last enumerator kAck.
 inline constexpr size_t kCqMsgTypeCount =
     static_cast<size_t>(CqMsgType::kBeta) + 1;
 
@@ -27,6 +28,12 @@ struct AlphaPayload : CqPayload {
 // Violation: kAlpha tagged a second time; kBeta and kGamma never tagged.
 struct AlphaAgainPayload : CqPayload {
   AlphaAgainPayload() : CqPayload(CqMsgType::kAlpha) {}
+};
+
+// Properly tagged, but never registered in dispatch.cc: the ack type must
+// still be flagged as "has no handler".
+struct AckPayload : CqPayload {
+  AckPayload() : CqPayload(CqMsgType::kAck) {}
 };
 
 }  // namespace fixture
