@@ -1,15 +1,34 @@
 #include "bench_common.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 namespace contjoin::bench {
 
 double ScaleFactor() {
-  const char* env = std::getenv("CONTJOIN_SCALE");
-  if (env == nullptr) return 1.0;
-  double v = std::atof(env);
-  return v > 0 ? v : 1.0;
+  // Parsed once: a typo'd multiplier (e.g. CONTJOIN_SCALE=1O) silently
+  // truncating to 1 would invalidate a whole sweep, so reject anything
+  // strtod cannot consume entirely.
+  static const double factor = [] {
+    const char* env = std::getenv("CONTJOIN_SCALE");
+    if (env == nullptr || *env == '\0') return 1.0;
+    char* end = nullptr;
+    double v = std::strtod(env, &end);
+    if (end == env || *end != '\0') {
+      std::fprintf(stderr,
+                   "fatal: CONTJOIN_SCALE=\"%s\" is not a number "
+                   "(trailing junk at \"%s\")\n",
+                   env, end == nullptr ? env : end);
+      std::exit(2);
+    }
+    if (v <= 0) {
+      std::fprintf(stderr, "fatal: CONTJOIN_SCALE=\"%s\" must be > 0\n", env);
+      std::exit(2);
+    }
+    return v;
+  }();
+  return factor;
 }
 
 size_t Scaled(size_t base, size_t min) {
@@ -35,6 +54,14 @@ void PrintFigure(const std::string& id, const std::string& title,
   std::printf("# paper expectation: %s\n", expectation.c_str());
   std::printf("# scale factor: %.2f (set CONTJOIN_SCALE to change)\n",
               ScaleFactor());
+}
+
+void PrintEffective(size_t nodes, size_t queries, size_t tuples) {
+  auto fmt = [](size_t v) {
+    return v == 0 ? std::string("swept") : std::to_string(v);
+  };
+  std::printf("# effective: %s nodes, %s queries, %s tuples\n",
+              fmt(nodes).c_str(), fmt(queries).c_str(), fmt(tuples).c_str());
 }
 
 void PrintRow(const std::string& row) { std::printf("%s\n", row.c_str()); }

@@ -18,7 +18,8 @@
 
 namespace contjoin::bench {
 
-/// CONTJOIN_SCALE environment multiplier (default 1.0).
+/// CONTJOIN_SCALE environment multiplier (default 1.0). Exits with a fatal
+/// diagnostic when the variable is set but not a positive number.
 double ScaleFactor();
 
 /// base * ScaleFactor(), at least `min`.
@@ -32,6 +33,12 @@ workload::DriverConfig DefaultConfig();
 /// Prints the standard figure banner.
 void PrintFigure(const std::string& id, const std::string& title,
                  const std::string& expectation);
+
+/// Prints the effective (post-CONTJOIN_SCALE) workload sizes as a header
+/// line, so every figure records the operating point it actually ran at.
+/// Pass 0 for a dimension the figure sweeps (or does not use); it prints
+/// as "swept".
+void PrintEffective(size_t nodes, size_t queries, size_t tuples);
 
 /// Prints a separator-formatted row: columns joined by '\t'.
 void PrintRow(const std::string& row);

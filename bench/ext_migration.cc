@@ -105,6 +105,7 @@ int main() {
 
   const size_t kQueries = bench::Scaled(800);
   const size_t kTuples = bench::Scaled(1600);
+  bench::PrintEffective(bench::Scaled(64, 16), kQueries, kTuples);
   bench::PrintRow(
       "scheme\tattr_TF_max\tattr_TF_top1pct\thops_per_insert");
   struct Config {

@@ -108,6 +108,7 @@ int main() {
 
   const size_t kQueries = bench::Scaled(100);
   const size_t kTuples = bench::Scaled(1200);
+  bench::PrintEffective(bench::Scaled(512, 64), kQueries, kTuples);
   bench::PrintRow(
       "m\thops_per_insert\tjoin_hops_per_insert\tpartials_stored\t"
       "notifications\tTF_gini");

@@ -21,6 +21,7 @@ int main() {
 
   core::Options opts;
   opts.num_nodes = bench::Scaled(256, 32);
+  bench::PrintEffective(opts.num_nodes, 1, bench::Scaled(4000));
   opts.algorithm = core::Algorithm::kSai;
   core::ContinuousQueryNetwork net(opts);
   CJ_CHECK(net.catalog()

@@ -39,6 +39,8 @@ int main() {
   const size_t kWarmup = bench::Scaled(1000);
   const size_t kQueries = bench::Scaled(1500);
   const size_t kTuples = bench::Scaled(3000);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, kQueries,
+                        kTuples);
 
   bench::PrintRow(
       "bos_ratio\tSAI_random\tSAI_lower_rate\tDAI_Q\tDAI_T\tDAI_V");

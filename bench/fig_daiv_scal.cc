@@ -40,6 +40,7 @@ int main() {
   const size_t kN = bench::Scaled(512, 64);
   const size_t kQ = bench::Scaled(2000);
   const size_t kT = bench::Scaled(3000);
+  bench::PrintEffective(kN, kQ, kT);  // Base point; each axis sweeps.
   for (size_t n : {128u, 512u, 2048u}) {
     RunPoint("network", bench::Scaled(n, 64), kQ, kT);
   }

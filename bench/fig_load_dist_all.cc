@@ -27,6 +27,8 @@ int main() {
 
   const size_t kQueries = bench::Scaled(2000);
   const size_t kTuples = bench::Scaled(4000);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, kQueries,
+                        kTuples);
   bench::PrintRow(
       "algorithm\tmetric\ttotal\tmean\tp50\tp99\tmax\tgini");
   for (auto alg : {core::Algorithm::kSai, core::Algorithm::kDaiQ,

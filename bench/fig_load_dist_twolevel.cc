@@ -17,6 +17,8 @@ int main() {
 
   const size_t kQueries = bench::Scaled(2000);
   const size_t kTuples = bench::Scaled(4000);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, kQueries,
+                        kTuples);
   bench::PrintRow(
       "algorithm\tlevel\ttotal_TF\tTF_gini\tTF_max\tloaded_nodes");
   for (auto alg : {core::Algorithm::kSai, core::Algorithm::kDaiQ,

@@ -63,6 +63,7 @@ int main() {
       "Recursive vs. iterative design for the multisend function",
       "same O(k log N) bound; the recursive design is significantly "
       "cheaper in practice and the gap grows with k");
+  bench::PrintEffective(0, 0, 0);
 
   bench::PrintRow("N\tk\trecursive_hops\titerative_hops\tratio");
   const int kTrials = 25;

@@ -18,6 +18,8 @@ int main() {
 
   const size_t kQueries = bench::Scaled(800);
   const size_t kTuples = bench::Scaled(1600);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, kQueries,
+                        kTuples);
   bench::PrintRow(
       "replication\tattr_TF_max\tattr_TF_p99\tattr_TF_gini\t"
       "attr_TF_top1pct\tloaded_nodes");

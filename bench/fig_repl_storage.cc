@@ -17,6 +17,8 @@ int main() {
 
   const size_t kQueries = bench::Scaled(800);
   const size_t kTuples = bench::Scaled(1600);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, kQueries,
+                        kTuples);
   bench::PrintRow(
       "replication\ttotal_alqt_queries\tattr_TS_max\tattr_TS_p99\t"
       "attr_TS_gini\tattr_TS_top1pct");

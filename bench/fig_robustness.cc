@@ -207,6 +207,7 @@ int main() {
   const size_t kNodes = bench::Scaled(20);
   const size_t kQueries = bench::Scaled(20);
   const size_t kTuples = bench::Scaled(100);
+  bench::PrintEffective(kNodes, kQueries, kTuples);
   const uint64_t kSeed = 5;
 
   const std::vector<core::Algorithm> kAlgorithms = {

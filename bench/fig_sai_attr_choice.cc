@@ -22,6 +22,8 @@ int main() {
   const size_t kWarmup = bench::Scaled(1500);
   const size_t kQueries = bench::Scaled(1500);
   const size_t kTuples = bench::Scaled(4000);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, kQueries,
+                        kTuples);
 
   bench::PrintRow(
       "strategy\thops_per_insert\tjoin_hops_per_insert\tevaluator_gini\t"

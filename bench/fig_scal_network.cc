@@ -18,6 +18,7 @@ int main() {
 
   const size_t kQueries = bench::Scaled(2000);
   const size_t kTuples = bench::Scaled(4000);
+  bench::PrintEffective(0, kQueries, kTuples);
   bench::PrintRow("algorithm\tnodes\tTF_mean\tTF_p99\tTF_max\tloaded_nodes");
   for (auto alg : {core::Algorithm::kSai, core::Algorithm::kDaiT,
                    core::Algorithm::kDaiV}) {

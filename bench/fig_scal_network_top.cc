@@ -17,6 +17,7 @@ int main() {
 
   const size_t kQueries = bench::Scaled(2000);
   const size_t kTuples = bench::Scaled(4000);
+  bench::PrintEffective(0, kQueries, kTuples);
   bench::PrintRow(
       "nodes\ttop1_TF\ttop10_mean_TF\ttop50_mean_TF\toverall_mean_TF");
   for (size_t n : {128u, 256u, 512u, 1024u, 2048u}) {

@@ -15,6 +15,8 @@ int main() {
       "extra rewritten queries over many evaluators");
 
   const size_t kTuples = bench::Scaled(3000);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, 0,
+                        kTuples);
   bench::PrintRow("algorithm\tqueries\tTF_mean\tTF_max\tTF_gini\tTF_top5pct");
   for (auto alg : {core::Algorithm::kSai, core::Algorithm::kDaiQ,
                    core::Algorithm::kDaiT, core::Algorithm::kDaiV}) {

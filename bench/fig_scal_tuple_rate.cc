@@ -17,6 +17,8 @@ int main() {
       "gracefully instead of piling on a few nodes");
 
   const size_t kQueries = bench::Scaled(2000);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, kQueries,
+                        0);
   bench::PrintRow("algorithm\ttuples\tTF_mean\tTF_max\tTF_gini\tTF_top5pct");
   for (auto alg : {core::Algorithm::kSai, core::Algorithm::kDaiQ,
                    core::Algorithm::kDaiT, core::Algorithm::kDaiV}) {

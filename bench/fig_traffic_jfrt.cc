@@ -19,6 +19,8 @@ int main() {
   const size_t kQueries = bench::Scaled(1500);
   const size_t kWarmup = bench::Scaled(2000);
   const size_t kTuples = bench::Scaled(2000);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, kQueries,
+                        kTuples);
   bench::PrintRow(
       "algorithm\tjfrt\thops_per_insert\ttuple_index\tjoin\tnotification");
   for (auto alg : {core::Algorithm::kSai, core::Algorithm::kDaiQ,

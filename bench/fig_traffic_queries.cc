@@ -16,6 +16,8 @@ int main() {
       "grouping");
 
   const size_t kTuples = bench::Scaled(3000);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, 0,
+                        kTuples);
   bench::PrintRow("algorithm\tqueries\thops_per_insert\tjoin_hops_per_insert");
   for (auto alg : {core::Algorithm::kSai, core::Algorithm::kDaiQ,
                    core::Algorithm::kDaiT, core::Algorithm::kDaiV}) {

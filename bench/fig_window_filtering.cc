@@ -41,6 +41,8 @@ int main() {
       "rewritten queries to check); the two effects compound");
 
   const size_t kTuples = bench::Scaled(4000);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, 0,
+                        kTuples);
   bench::PrintRow("window\tqueries\ttotal_evaluator_filter_ops");
   for (rel::Timestamp window : {500ull, 1000ull, 2000ull, 0ull}) {
     for (size_t q : {1000u, 2000u, 4000u}) {

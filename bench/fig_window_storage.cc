@@ -16,6 +16,8 @@ int main() {
       "is not windowed (continuous queries persist)");
 
   const size_t kTuples = bench::Scaled(4000);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, 0,
+                        kTuples);
   bench::PrintRow(
       "window\tqueries\tvltt_tuples\tvlqt_rewritten\ttotal_evaluator_TS");
   for (rel::Timestamp window : {500ull, 1000ull, 2000ull, 0ull}) {

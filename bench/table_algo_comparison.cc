@@ -70,6 +70,8 @@ int main() {
 
   const size_t kQueries = bench::Scaled(2000);
   const size_t kTuples = bench::Scaled(4000);
+  bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, kQueries,
+                        kTuples);
 
   bench::PrintRow(
       "algorithm\tquery_hops\tinsert_hops\tjoin_hops\trewrites\t"

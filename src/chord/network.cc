@@ -11,10 +11,17 @@ Network::Network(sim::Simulator* simulator, NetworkOptions options)
     : simulator_(simulator), options_(options) {
   CJ_CHECK(simulator_ != nullptr);
   CJ_CHECK(options_.successor_list_size >= 1);
+  if (options_.coalesce) {
+    simulator_->set_post_action_hook([this] { CloseCoalescingBuffers(); });
+  }
+}
+
+Network::~Network() {
+  if (options_.coalesce) simulator_->set_post_action_hook(nullptr);
 }
 
 Node* Network::CreateNode(const std::string& key) {
-  auto node = std::make_unique<Node>(this, key, AssignIp());
+  auto node = std::make_unique<Node>(this, key, AssignIp(), nodes_.size());
   Node* raw = node.get();
   auto [it, inserted] = by_id_.emplace(raw->id(), raw);
   CJ_CHECK(inserted) << "identifier collision for key '" << key << "'";
@@ -148,9 +155,59 @@ int Network::StabilizeUntilConsistent(int max_rounds) {
   return max_rounds;
 }
 
+namespace {
+
+// One per-destination aggregation buffer, open between a handler's first
+// transmission to (net, to, cls, latency) and the end of that handler.
+// Thread-local because concurrently executing shards each aggregate their
+// own outbound traffic; the flush event was scheduled at open time and
+// runs in a later micro-epoch, after every append.
+struct OpenBuffer {
+  Network* net;
+  Node* to;
+  sim::MsgClass cls;
+  sim::SimTime latency;
+  std::shared_ptr<std::vector<std::function<void()>>> actions;
+};
+thread_local std::vector<OpenBuffer> open_buffers;
+
+}  // namespace
+
+void Network::AppendCoalesced(Node* to, sim::MsgClass cls,
+                              sim::SimTime latency,
+                              std::function<void()> action) {
+  for (OpenBuffer& buf : open_buffers) {
+    if (buf.net == this && buf.to == to && buf.cls == cls &&
+        buf.latency == latency) {
+      buf.actions->push_back(std::move(action));
+      coalesced_messages_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  auto actions =
+      std::make_shared<std::vector<std::function<void()>>>();
+  actions->push_back(std::move(action));
+  open_buffers.push_back(OpenBuffer{this, to, cls, latency, actions});
+  simulator_->ScheduleSharded(latency, to->serial(), [this, to, cls,
+                                                      actions]() {
+    if (!to->alive()) {
+      // Each logical message in the batch is lost and accounted.
+      for (size_t i = 0; i < actions->size(); ++i) stats_.AddDrop(cls);
+      return;
+    }
+    for (const std::function<void()>& batched : *actions) batched();
+  });
+}
+
+void Network::CloseCoalescingBuffers() {
+  open_buffers.erase(
+      std::remove_if(open_buffers.begin(), open_buffers.end(),
+                     [this](const OpenBuffer& b) { return b.net == this; }),
+      open_buffers.end());
+}
+
 void Network::Transmit(Node* from, Node* to, sim::MsgClass cls,
                        std::function<void()> action) {
-  (void)from;
   stats_.AddHop(cls);
   if (to == nullptr || !to->alive()) {
     stats_.AddDrop(cls);
@@ -158,7 +215,13 @@ void Network::Transmit(Node* from, Node* to, sim::MsgClass cls,
   }
   sim::SimTime latency = options_.hop_latency;
   if (fault_plan_ != nullptr) {
-    faults::FaultDecision fate = fault_plan_->Decide(cls);
+    // Keyed per sender: the destination-shard execution model guarantees
+    // only `from`'s shard advances its counter, so the decision stream a
+    // sender sees is identical at any worker count.
+    faults::FaultDecision fate =
+        from != nullptr ? fault_plan_->Decide(cls, from->serial() + 1,
+                                              from->NextFaultSeq())
+                        : fault_plan_->Decide(cls);
     if (fate.drop) {
       stats_.AddDrop(cls);
       return;
@@ -168,23 +231,43 @@ void Network::Transmit(Node* from, Node* to, sim::MsgClass cls,
       // The duplicate is real traffic: one more hop, delivered at the same
       // time as the original (delivery still re-checks liveness).
       stats_.AddHop(cls);
-      simulator_->Schedule(latency, [this, to, cls, action]() {
-        if (!to->alive()) {
-          stats_.AddDrop(cls);
-          return;
-        }
-        action();
-      });
+      simulator_->ScheduleSharded(latency, to->serial(),
+                                  [this, to, cls, action]() {
+                                    if (!to->alive()) {
+                                      stats_.AddDrop(cls);
+                                      return;
+                                    }
+                                    action();
+                                  });
+    }
+    if (fate.extra_delay > 0) {
+      // Delayed messages ride alone so the perturbed latency stays visible
+      // per message.
+      simulator_->ScheduleSharded(latency, to->serial(),
+                                  [this, to, cls,
+                                   action = std::move(action)]() {
+                                    if (!to->alive()) {
+                                      stats_.AddDrop(cls);
+                                      return;
+                                    }
+                                    action();
+                                  });
+      return;
     }
   }
-  simulator_->Schedule(latency,
-                       [this, to, cls, action = std::move(action)]() {
-                         if (!to->alive()) {
-                           stats_.AddDrop(cls);
-                           return;
-                         }
-                         action();
-                       });
+  if (options_.coalesce && simulator_->InExecution()) {
+    AppendCoalesced(to, cls, latency, std::move(action));
+    return;
+  }
+  simulator_->ScheduleSharded(latency, to->serial(),
+                              [this, to, cls,
+                               action = std::move(action)]() {
+                                if (!to->alive()) {
+                                  stats_.AddDrop(cls);
+                                  return;
+                                }
+                                action();
+                              });
 }
 
 }  // namespace contjoin::chord

@@ -5,6 +5,7 @@
 #ifndef CONTJOIN_CHORD_NETWORK_H_
 #define CONTJOIN_CHORD_NETWORK_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -33,12 +34,19 @@ struct NetworkOptions {
   /// Hop budget per routed message; exceeded messages are dropped and
   /// counted (only reachable in inconsistent transitional rings).
   int max_route_hops = 512;
+  /// Sender-side per-destination aggregation (Grappa-style): transmissions
+  /// a handler issues to the same destination, class and latency ride one
+  /// delivery event. Hop accounting and fault injection stay per logical
+  /// message; only the event count shrinks. Off by default so historical
+  /// runs stay bit-identical.
+  bool coalesce = false;
 };
 
 /// Owns all nodes, counts traffic, and provides ring-construction helpers.
 class Network {
  public:
   explicit Network(sim::Simulator* simulator, NetworkOptions options = {});
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -72,6 +80,15 @@ class Network {
   /// Ground truth: first alive node whose identifier >= id (clockwise),
   /// i.e. Successor(id). nullptr if no node is alive.
   Node* OracleSuccessor(const NodeId& id) const;
+
+  /// Exact-identifier lookup over every node ever created (dead included).
+  /// Read-only over a map that only grows at serial time, so event
+  /// handlers on any shard may call it (the reliability layer routes acks
+  /// to origins by identifier through here).
+  Node* FindById(const NodeId& id) const {
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : it->second;
+  }
 
   std::vector<Node*> AliveNodes() const;
   size_t alive_count() const { return alive_count_; }
@@ -123,8 +140,22 @@ class Network {
   /// Fresh address epoch for a node reconnecting from a new "IP".
   uint64_t AssignIp() { return next_ip_++; }
 
+  /// Logical messages that shared a delivery event with an earlier one
+  /// (only nonzero with options().coalesce).
+  uint64_t coalesced_messages() const {
+    return coalesced_messages_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WireIdeal(const std::vector<Node*>& sorted);
+
+  /// Appends `action` to the calling thread's open buffer for (to, cls,
+  /// latency), opening the buffer (and scheduling its single flush event)
+  /// on first use. Buffers seal when the current handler returns, via the
+  /// simulator's post-action hook.
+  void AppendCoalesced(Node* to, sim::MsgClass cls, sim::SimTime latency,
+                       std::function<void()> action);
+  void CloseCoalescingBuffers();
 
   sim::Simulator* simulator_;
   NetworkOptions options_;
@@ -135,6 +166,7 @@ class Network {
   size_t alive_count_ = 0;
   uint64_t next_ip_ = 1;
   uint64_t next_key_serial_ = 0;
+  std::atomic<uint64_t> coalesced_messages_{0};
 };
 
 }  // namespace contjoin::chord

@@ -7,8 +7,12 @@
 
 namespace contjoin::chord {
 
-Node::Node(Network* network, std::string key, uint64_t ip)
-    : network_(network), key_(std::move(key)), id_(HashKey(key_)), ip_(ip) {}
+Node::Node(Network* network, std::string key, uint64_t ip, uint64_t serial)
+    : network_(network),
+      key_(std::move(key)),
+      id_(HashKey(key_)),
+      ip_(ip),
+      serial_(serial) {}
 
 Node* Node::successor() {
   // Prune dead entries from the front; the list self-heals via stabilize.
@@ -16,6 +20,13 @@ Node* Node::successor() {
     successor_list_.erase(successor_list_.begin());
   }
   return successor_list_.empty() ? nullptr : successor_list_.front();
+}
+
+Node* Node::FirstAliveSuccessor() const {
+  for (Node* s : successor_list_) {
+    if (s->alive()) return s;
+  }
+  return nullptr;
 }
 
 bool Node::IsResponsibleFor(const NodeId& target) const {
@@ -188,7 +199,9 @@ void Node::FixAllFingers() {
 Node* Node::FindSuccessor(const NodeId& target, sim::MsgClass cls) {
   Node* cur = this;
   for (int steps = 0; steps <= network_->options().max_route_hops; ++steps) {
-    Node* succ = cur->successor();
+    // Probing a remote node must not mutate it (other shards may be
+    // executing it concurrently); pruning our own list is safe.
+    Node* succ = cur == this ? cur->successor() : cur->FirstAliveSuccessor();
     if (succ == nullptr) return nullptr;
     if (target.InOpenClosed(cur->id(), succ->id())) return succ;
     Node* next = cur->ClosestPrecedingFinger(target);

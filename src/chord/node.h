@@ -26,7 +26,7 @@ class Network;
 /// modelling subscribers that reconnect from a different address (§4.6).
 class Node {
  public:
-  Node(Network* network, std::string key, uint64_t ip);
+  Node(Network* network, std::string key, uint64_t ip, uint64_t serial = 0);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -36,6 +36,9 @@ class Node {
   const std::string& key() const { return key_; }
   const NodeId& id() const { return id_; }
   uint64_t ip() const { return ip_; }
+  /// Creation index within the Network; the event shard this node's
+  /// deliveries execute under, and the per-sender fault stream id.
+  uint64_t serial() const { return serial_; }
   bool alive() const { return alive_; }
   Network* network() const { return network_; }
 
@@ -47,6 +50,11 @@ class Node {
   /// First alive entry of the successor list (pruning dead ones), or nullptr
   /// if every known successor has failed.
   Node* successor();
+
+  /// Same answer as successor() but without pruning: safe to call on a
+  /// *remote* node from inside an event handler, where mutating another
+  /// shard's successor list would race under parallel execution.
+  Node* FirstAliveSuccessor() const;
 
   Node* predecessor() const { return predecessor_; }
   const std::vector<Node*>& successor_list() const { return successor_list_; }
@@ -163,6 +171,12 @@ class Node {
   void SetAliveDirect(bool alive) { alive_ = alive; }
   void SetIpDirect(uint64_t ip) { ip_ = ip; }
 
+  /// Monotone per-sender transmission counter: with the destination-shard
+  /// execution model only this node's shard advances it, so the sequence a
+  /// given sender draws is independent of thread interleaving. The network
+  /// keys fault decisions on (sender serial, this counter).
+  uint64_t NextFaultSeq() { return fault_seq_++; }
+
  private:
   friend class Network;
 
@@ -187,6 +201,8 @@ class Node {
   std::string key_;
   NodeId id_;
   uint64_t ip_;
+  uint64_t serial_;
+  uint64_t fault_seq_ = 0;
   bool alive_ = false;
 
   Application* app_ = nullptr;

@@ -41,8 +41,11 @@ struct AppMessage {
   /// Reliable-delivery envelope (chord routes it opaquely; the application
   /// layer acks/dedups on it). 0 = best-effort, no ack expected.
   uint64_t reliable_id = 0;
-  /// Where the delivery ack goes. Only set when reliable_id != 0.
-  Node* reliable_origin = nullptr;
+  /// Identifier of the node the delivery ack goes to, resolved through the
+  /// network's node table at ack time (a raw pointer here would dangle if
+  /// the origin crashed between send and delivery). Only meaningful when
+  /// reliable_id != 0; zero otherwise.
+  NodeId reliable_origin{};
 };
 
 /// Internal payload of a DhtPut in flight.

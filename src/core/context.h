@@ -70,16 +70,25 @@ class ProtocolContext {
 
   // --- Reliable delivery ------------------------------------------------------
 
-  /// Fresh engine-unique id for a reliably-sent message (never 0).
-  virtual uint64_t NextReliableId() = 0;
-  /// Runs `fn` after `delay` virtual time units (retry timers).
-  virtual void ScheduleAfter(sim::SimTime delay, std::function<void()> fn) = 0;
+  /// Fresh engine-unique id for a message reliably sent by `from` (never
+  /// 0). Ids are drawn from a per-node counter so concurrently executing
+  /// shards never contend, and the sequence each node draws is independent
+  /// of worker count.
+  virtual uint64_t NextReliableId(chord::Node& from) = 0;
+  /// Runs `fn` after `delay` virtual time units (retry timers). The timer
+  /// executes under `node`'s event shard, like a message delivered to it.
+  virtual void ScheduleAfter(chord::Node& node, sim::SimTime delay,
+                             std::function<void()> fn) = 0;
 
   // --- Subscribers & results -------------------------------------------------
 
   /// Node currently registered under application key `key` (subscriber
   /// lookup for direct notification delivery); nullptr if unknown.
   virtual chord::Node* NodeByKey(const std::string& key) = 0;
+  /// Node with exactly identifier `id` (alive or dead); nullptr if no such
+  /// node ever existed. Used to resolve reliable-delivery origins without
+  /// holding raw pointers in messages.
+  virtual chord::Node* NodeById(const chord::NodeId& id) = 0;
   /// Notification sink: appends `n` to `node`'s local inbox.
   virtual void DepositNotification(chord::Node& node, Notification n) = 0;
   /// One-time-join result sink: appends `rows` to the issuer-side result

@@ -90,6 +90,16 @@ class ContinuousQueryNetwork : public chord::Application,
   Status InsertTuple(size_t node_index, const std::string& relation,
                      std::vector<rel::Value> values);
 
+  /// Inserts a batch of tuples that all arrive at the same virtual time,
+  /// each published from its own origin node, then drains the combined
+  /// cascade in one run. Semantically equivalent to consecutive
+  /// InsertTuple calls at one timestamp, but the wide epoch it creates is
+  /// what lets the parallel simulator core spread delivery across workers
+  /// (the throughput benchmark's operating mode).
+  Status InsertTupleWave(
+      const std::vector<std::pair<size_t, std::string>>& origins_relations,
+      std::vector<std::vector<rel::Value>> rows);
+
   /// Cancels a continuous query (extension; requires
   /// options.track_evaluators for evaluator-side garbage collection).
   Status Unsubscribe(size_t node_index, const std::string& query_key);
@@ -219,13 +229,22 @@ class ContinuousQueryNetwork : public chord::Application,
   void Redeliver(chord::Node& node, const chord::AppMessage& msg) override {
     HandleMessage(node, msg);
   }
-  uint64_t NextReliableId() override { return ++next_reliable_id_; }
-  void ScheduleAfter(sim::SimTime delay, std::function<void()> fn) override {
-    simulator_.Schedule(delay, std::move(fn));
+  uint64_t NextReliableId(chord::Node& from) override {
+    // Ids embed the node serial so two nodes never collide, and live in
+    // NodeState (outside reliability::State) so a crash wiping the
+    // volatile tables cannot make a reconnecting node reissue old ids.
+    return ((from.serial() + 1) << 32) | ++StateOf(from).next_reliable_seq;
+  }
+  void ScheduleAfter(chord::Node& node, sim::SimTime delay,
+                     std::function<void()> fn) override {
+    simulator_.ScheduleSharded(delay, node.serial(), std::move(fn));
   }
   chord::Node* NodeByKey(const std::string& key) override {
     auto it = nodes_by_key_.find(key);
     return it == nodes_by_key_.end() ? nullptr : it->second;
+  }
+  chord::Node* NodeById(const chord::NodeId& id) override {
+    return network_.FindById(id);
   }
   void DepositNotification(chord::Node& node, Notification n) override {
     StateOf(node).subscriber.inbox.push_back(std::move(n));
@@ -285,7 +304,6 @@ class ContinuousQueryNetwork : public chord::Application,
   // --- Fault tolerance ---------------------------------------------------------
 
   std::unique_ptr<faults::FaultPlan> fault_plan_;
-  uint64_t next_reliable_id_ = 0;
   faults::ChurnScript churn_script_;
   size_t churn_next_ = 0;  // First unapplied script event.
   uint64_t churn_join_serial_ = 0;

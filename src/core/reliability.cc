@@ -21,10 +21,25 @@ void ScheduleRetry(ProtocolContext& ctx, chord::Node& node, uint64_t id,
   int shift = std::min(attempt - 1, 20);
   sim::SimTime timeout = ctx.options().reliability.base_timeout * scale
                          << shift;
-  ctx.ScheduleAfter(timeout, [ctx_ptr = &ctx, node_ptr = &node, id,
-                              attempt]() {
+  ctx.ScheduleAfter(node, timeout, [ctx_ptr = &ctx, node_ptr = &node, id,
+                                    attempt]() {
     OnTimeout(*ctx_ptr, *node_ptr, id, attempt);
   });
+}
+
+/// Upper bound on how long after first delivery any retransmission of the
+/// same id can still arrive: the sum of every backoff interval the origin
+/// may wait through, plus slack for routing latency. Past this, the dedup
+/// entry can never suppress anything again and is safe to retire.
+sim::SimTime SeenRetireHorizon(const ProtocolContext& ctx) {
+  uint64_t scale = std::max<uint64_t>(1, ctx.options().chord.hop_latency);
+  const sim::SimTime base = ctx.options().reliability.base_timeout * scale;
+  sim::SimTime horizon = base;  // Routing-latency slack.
+  const int last_attempt = ctx.options().reliability.max_retries + 1;
+  for (int a = 1; a <= last_attempt; ++a) {
+    horizon += base << std::min(a - 1, 20);
+  }
+  return horizon;
 }
 
 void OnTimeout(ProtocolContext& ctx, chord::Node& node, uint64_t id,
@@ -66,8 +81,8 @@ bool IsCritical(CqMsgType type) {
 }
 
 void Arm(ProtocolContext& ctx, chord::Node& from, chord::AppMessage& msg) {
-  msg.reliable_id = ctx.NextReliableId();
-  msg.reliable_origin = &from;
+  msg.reliable_id = ctx.NextReliableId(from);
+  msg.reliable_origin = from.id();
   NodeState& ns = ctx.StateOf(from);
   ns.reliability.pending.emplace(msg.reliable_id, PendingSend{msg, 0});
   ++ns.metrics.reliable_sent;
@@ -98,30 +113,46 @@ void ArmAll(ProtocolContext& ctx, chord::Node& from,
 bool ObserveDelivery(ProtocolContext& ctx, chord::Node& node,
                      const chord::AppMessage& msg) {
   NodeState& ns = ctx.StateOf(node);
-  chord::Node* origin = msg.reliable_origin;
-  if (origin == &node) {
+  if (msg.reliable_origin == node.id()) {
     // Delivered back at the origin (it owns the target key): confirm
     // in place, no ack traffic.
     ns.reliability.pending.erase(msg.reliable_id);
-  } else if (origin != nullptr && origin->alive()) {
-    auto ack = std::make_shared<DeliveryAckPayload>();
-    ack->msg_id = msg.reliable_id;
-    chord::AppMessage out;
-    out.target = origin->id();
-    out.cls = sim::MsgClass::kControl;
-    out.payload = std::move(ack);
-    ++ns.metrics.reliable_acks_sent;
-    // One direct hop back: the receiver learned the origin's address from
-    // the message. The ack itself is best-effort — a lost ack only causes
-    // a retry, which this dedup set absorbs.
-    ctx.Transmit(&node, origin, sim::MsgClass::kControl,
-                 [ctx_ptr = &ctx, origin, out]() {
-                   ctx_ptr->Redeliver(*origin, out);
-                 });
+  } else {
+    // Resolve the origin by identifier at ack time: under churn the node
+    // that armed the message may have crashed since, and a raw pointer
+    // captured at send time would now be dangling.
+    chord::Node* origin = ctx.NodeById(msg.reliable_origin);
+    if (origin != nullptr && origin->alive()) {
+      auto ack = std::make_shared<DeliveryAckPayload>();
+      ack->msg_id = msg.reliable_id;
+      chord::AppMessage out;
+      out.target = origin->id();
+      out.cls = sim::MsgClass::kControl;
+      out.payload = std::move(ack);
+      ++ns.metrics.reliable_acks_sent;
+      // One direct hop back: the receiver learned the origin's address
+      // from the message. The ack itself is best-effort — a lost ack only
+      // causes a retry, which this dedup set absorbs.
+      ctx.Transmit(&node, origin, sim::MsgClass::kControl,
+                   [ctx_ptr = &ctx, origin, out]() {
+                     ctx_ptr->Redeliver(*origin, out);
+                   });
+    }
   }
   if (!ns.reliability.seen.insert(msg.reliable_id).second) {
     ++ns.metrics.reliable_dups_suppressed;
     return true;
+  }
+  ns.reliability.seen_by_time.emplace_back(ctx.now(), msg.reliable_id);
+  // Retire dedup entries whose origin's retry window has certainly lapsed;
+  // this bounds the set by the id-arrival rate times the horizon instead
+  // of growing one entry per critical message forever.
+  const sim::SimTime horizon = SeenRetireHorizon(ctx);
+  while (!ns.reliability.seen_by_time.empty() &&
+         ns.reliability.seen_by_time.front().first + horizon <
+             static_cast<sim::SimTime>(ctx.now())) {
+    ns.reliability.seen.erase(ns.reliability.seen_by_time.front().second);
+    ns.reliability.seen_by_time.pop_front();
   }
   return false;
 }

@@ -11,8 +11,10 @@
 #define CONTJOIN_CORE_RELIABILITY_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "chord/types.h"
@@ -33,8 +35,12 @@ struct PendingSend {
 struct State {
   /// Sender side: un-acked reliable messages by id.
   std::map<uint64_t, PendingSend> pending;
-  /// Receiver side: ids already processed here (dedup set).
+  /// Receiver side: ids already processed here (dedup set). Bounded: ids
+  /// are retired once the origin's whole retry window has lapsed (no
+  /// retransmission can still be in flight), via the companion queue.
   std::set<uint64_t> seen;
+  /// (first-seen time, id) in arrival order, driving the retirement scan.
+  std::deque<std::pair<sim::SimTime, uint64_t>> seen_by_time;
 };
 
 /// True for the message types the tentpole protects: query indexing,

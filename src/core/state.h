@@ -29,6 +29,11 @@ struct NodeState {
   otj::State otj;
   reliability::State reliability;
   NodeMetrics metrics;
+  /// Monotone counter behind NextReliableId. Deliberately outside
+  /// reliability::State: a crash wipes the volatile protocol tables, but a
+  /// reconnecting node must never reissue an id a receiver may still
+  /// remember in its dedup set.
+  uint64_t next_reliable_seq = 0;
 };
 
 }  // namespace contjoin::core

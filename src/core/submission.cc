@@ -156,6 +156,46 @@ Status ContinuousQueryNetwork::InsertTuple(size_t node_index,
   return Status::OK();
 }
 
+Status ContinuousQueryNetwork::InsertTupleWave(
+    const std::vector<std::pair<size_t, std::string>>& origins_relations,
+    std::vector<std::vector<rel::Value>> rows) {
+  if (origins_relations.size() != rows.size()) {
+    return Status::InvalidArgument("wave origins and rows differ in length");
+  }
+  if (origins_relations.empty()) return Status::OK();
+  Tick();
+  // All tuples of the wave share one arrival timestamp; consecutive seqs
+  // keep their relative order deterministic. The serial-side publication
+  // (index-message construction, reliability arming) runs per tuple, but
+  // delivery events all land in the same epoch, which is what gives the
+  // parallel core a batch wide enough to spread across workers.
+  std::vector<
+      std::pair<chord::Node*, std::shared_ptr<const rel::Tuple>>>
+      published;
+  published.reserve(rows.size());
+  for (size_t i = 0; i < origins_relations.size(); ++i) {
+    const auto& [node_index, relation] = origins_relations[i];
+    if (node_index >= nodes_.size()) {
+      return Status::InvalidArgument("node index out of range");
+    }
+    const rel::RelationSchema* schema = catalog_.Find(relation);
+    if (schema == nullptr) {
+      return Status::NotFound("unknown relation '" + relation + "'");
+    }
+    chord::Node* origin = EntryNode(node_index);
+    auto tuple = std::make_shared<const rel::Tuple>(
+        relation, std::move(rows[i]), simulator_.Now(), next_tuple_seq_++);
+    CJ_RETURN_IF_ERROR(tuple->CheckAgainst(*schema));
+    PublishTupleFrom(origin, tuple);
+    published.emplace_back(origin, tuple);
+  }
+  simulator_.Run();
+  for (auto& entry : published) {
+    publish_log_.emplace_back(entry.first, std::move(entry.second));
+  }
+  return Status::OK();
+}
+
 // --- Multi-way joins (extension) ------------------------------------------------------
 
 StatusOr<std::string> ContinuousQueryNetwork::SubmitMultiwayQuery(

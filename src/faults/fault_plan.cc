@@ -1,32 +1,48 @@
 #include "faults/fault_plan.h"
 
 namespace contjoin::faults {
+namespace {
 
-FaultPlan::FaultPlan(FaultOptions options)
-    : options_(options), rng_(options.seed) {}
+// splitmix64 finalizer: a cheap bijective mixer whose output passes
+// standard equidistribution tests; the same construction seeds the
+// project's xoshiro generator.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
-FaultDecision FaultPlan::Decide(sim::MsgClass c) {
+// Uniform double in [0, 1) from the top 53 bits, matching Rng::NextDouble.
+double ToUnit(uint64_t x) {
+  return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultOptions options) : options_(options) {}
+
+FaultDecision FaultPlan::Decide(sim::MsgClass c, uint64_t stream,
+                                uint64_t seq) {
   FaultDecision d;
   const FaultProfile& p = options_.profile(c);
   if (!p.active()) return d;
-  // Always draw the same number of variates per consulted class, so one
-  // knob change does not reshuffle the fate of every later message.
-  bool drop = rng_.NextBernoulli(p.drop_prob);
-  bool dup = rng_.NextBernoulli(p.duplicate_prob);
-  bool slow = rng_.NextBernoulli(p.delay_prob);
-  if (drop) {
-    ++injected_drops_;
+  const uint64_t key =
+      Mix(options_.seed ^ Mix(stream) ^ Mix(Mix(seq)) ^
+          (static_cast<uint64_t>(c) << 56));
+  if (ToUnit(Mix(key + 1)) < p.drop_prob) {
+    injected_drops_.fetch_add(1, std::memory_order_relaxed);
     d.drop = true;
     return d;
   }
-  if (dup) {
-    ++injected_duplicates_;
+  if (ToUnit(Mix(key + 2)) < p.duplicate_prob) {
+    injected_duplicates_.fetch_add(1, std::memory_order_relaxed);
     d.duplicates = 1;
   }
-  if (slow && p.max_extra_delay > 0) {
-    ++injected_delays_;
-    d.extra_delay = 1 + static_cast<sim::SimTime>(
-                            rng_.NextBelow(p.max_extra_delay));
+  if (p.max_extra_delay > 0 && ToUnit(Mix(key + 3)) < p.delay_prob) {
+    injected_delays_.fetch_add(1, std::memory_order_relaxed);
+    d.extra_delay =
+        1 + static_cast<sim::SimTime>(Mix(key + 4) % p.max_extra_delay);
   }
   return d;
 }

@@ -1,19 +1,23 @@
 // Deterministic fault injection for the simulated overlay. A FaultPlan is
 // consulted by chord::Network::Transmit for every scheduled hop and decides
-// — from its own seeded Rng, in transmission order — whether the message is
-// dropped, duplicated, or delivered with extra latency. Probabilities are
-// configured per sim::MsgClass, so experiments can target e.g. only the
-// protocol traffic (query-index / tuple-index / join / notification) while
-// leaving ring maintenance untouched. Same seed + same plan + same workload
-// => bit-identical fault sequence.
+// whether the message is dropped, duplicated, or delivered with extra
+// latency. Decisions are pure hashes of (plan seed, stream, sequence,
+// class): the fate of transmission k of sender s is a function of the plan
+// alone, independent of the order in which concurrently executing event
+// shards consult it — the property the parallel simulator core needs for
+// thread-count-invariant runs. Probabilities are configured per
+// sim::MsgClass, so experiments can target e.g. only the protocol traffic
+// (query-index / tuple-index / join / notification) while leaving ring
+// maintenance untouched. Same seed + same plan + same workload =>
+// bit-identical fault sequence.
 
 #ifndef CONTJOIN_FAULTS_FAULT_PLAN_H_
 #define CONTJOIN_FAULTS_FAULT_PLAN_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
-#include "common/rng.h"
 #include "sim/net_stats.h"
 #include "sim/simulator.h"
 
@@ -36,8 +40,8 @@ struct FaultProfile {
   }
 };
 
-/// Full plan configuration: one profile per message class plus the seed of
-/// the plan's private Rng.
+/// Full plan configuration: one profile per message class plus the seed
+/// keying the plan's decision hash.
 struct FaultOptions {
   uint64_t seed = 1;
   std::array<FaultProfile, static_cast<size_t>(sim::MsgClass::kClassCount)>
@@ -72,29 +76,43 @@ struct FaultDecision {
   sim::SimTime extra_delay = 0;
 };
 
-/// Seeded decision source. Decisions are drawn in the order Transmit
-/// consults the plan, which the simulator makes deterministic.
+/// Seeded decision source. Every (stream, seq) pair maps to one fixed
+/// decision; the network uses the sender's serial as the stream and a
+/// per-sender transmission counter as the sequence, both of which advance
+/// identically at any worker count.
 class FaultPlan {
  public:
   explicit FaultPlan(FaultOptions options);
 
-  /// Decides the fate of one transmission of class `c`.
-  FaultDecision Decide(sim::MsgClass c);
+  /// Decides the fate of one transmission of class `c` on the plan's own
+  /// serial stream (stream 0). Only valid from single-threaded call sites
+  /// (tests, drivers); Transmit uses the keyed form below.
+  FaultDecision Decide(sim::MsgClass c) { return Decide(c, 0, serial_seq_++); }
+
+  /// Decides the fate of transmission `seq` of `stream` for class `c`.
+  /// Pure in (options, stream, seq, c) apart from the injection counters.
+  FaultDecision Decide(sim::MsgClass c, uint64_t stream, uint64_t seq);
 
   const FaultOptions& options() const { return options_; }
 
   // Injection counters (for reports; the per-class drop *accounting* lives
   // in sim::NetStats, which also sees dead-target drops).
-  uint64_t injected_drops() const { return injected_drops_; }
-  uint64_t injected_duplicates() const { return injected_duplicates_; }
-  uint64_t injected_delays() const { return injected_delays_; }
+  uint64_t injected_drops() const {
+    return injected_drops_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_duplicates() const {
+    return injected_duplicates_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_delays() const {
+    return injected_delays_.load(std::memory_order_relaxed);
+  }
 
  private:
   FaultOptions options_;
-  Rng rng_;
-  uint64_t injected_drops_ = 0;
-  uint64_t injected_duplicates_ = 0;
-  uint64_t injected_delays_ = 0;
+  uint64_t serial_seq_ = 0;
+  std::atomic<uint64_t> injected_drops_{0};
+  std::atomic<uint64_t> injected_duplicates_{0};
+  std::atomic<uint64_t> injected_delays_{0};
 };
 
 }  // namespace contjoin::faults

@@ -1,6 +1,5 @@
 #include "sim/net_stats.h"
 
-#include <cstring>
 #include <sstream>
 
 namespace contjoin::sim {
@@ -30,36 +29,46 @@ const char* MsgClassName(MsgClass c) {
 }
 
 void NetStats::Reset() {
-  std::memset(per_class_, 0, sizeof(per_class_));
-  std::memset(dropped_per_class_, 0, sizeof(dropped_per_class_));
-  total_hops_ = 0;
-  dropped_ = 0;
+  for (size_t i = 0; i < kNumClasses; ++i) {
+    per_class_[i].store(0, std::memory_order_relaxed);
+    dropped_per_class_[i].store(0, std::memory_order_relaxed);
+  }
+  total_hops_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 NetStats NetStats::Since(const NetStats& earlier) const {
   NetStats out;
-  for (size_t i = 0; i < static_cast<size_t>(MsgClass::kClassCount); ++i) {
-    out.per_class_[i] = per_class_[i] - earlier.per_class_[i];
-    out.dropped_per_class_[i] =
-        dropped_per_class_[i] - earlier.dropped_per_class_[i];
+  for (size_t i = 0; i < kNumClasses; ++i) {
+    out.per_class_[i].store(
+        per_class_[i].load(std::memory_order_relaxed) -
+            earlier.per_class_[i].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    out.dropped_per_class_[i].store(
+        dropped_per_class_[i].load(std::memory_order_relaxed) -
+            earlier.dropped_per_class_[i].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   }
-  out.total_hops_ = total_hops_ - earlier.total_hops_;
-  out.dropped_ = dropped_ - earlier.dropped_;
+  out.total_hops_.store(
+      total_hops_.load(std::memory_order_relaxed) -
+          earlier.total_hops_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  out.dropped_.store(dropped_.load(std::memory_order_relaxed) -
+                         earlier.dropped_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
   return out;
 }
 
 std::string NetStats::Report() const {
   std::ostringstream out;
-  out << "total overlay hops: " << total_hops_;
-  if (dropped_ > 0) out << " (dropped: " << dropped_ << ")";
+  out << "total overlay hops: " << total_hops();
+  if (dropped() > 0) out << " (dropped: " << dropped() << ")";
   out << "\n";
-  for (size_t i = 0; i < static_cast<size_t>(MsgClass::kClassCount); ++i) {
-    if (per_class_[i] == 0 && dropped_per_class_[i] == 0) continue;
-    out << "  " << MsgClassName(static_cast<MsgClass>(i)) << ": "
-        << per_class_[i];
-    if (dropped_per_class_[i] > 0) {
-      out << " (dropped: " << dropped_per_class_[i] << ")";
-    }
+  for (size_t i = 0; i < kNumClasses; ++i) {
+    const MsgClass c = static_cast<MsgClass>(i);
+    if (hops(c) == 0 && dropped(c) == 0) continue;
+    out << "  " << MsgClassName(c) << ": " << hops(c);
+    if (dropped(c) > 0) out << " (dropped: " << dropped(c) << ")";
     out << "\n";
   }
   return out.str();

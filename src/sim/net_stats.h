@@ -4,6 +4,7 @@
 #ifndef CONTJOIN_SIM_NET_STATS_H_
 #define CONTJOIN_SIM_NET_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -28,29 +29,48 @@ enum class MsgClass : int {
 const char* MsgClassName(MsgClass c);
 
 /// Flat counters; cheap to snapshot and diff, which is how the benchmarks
-/// measure the traffic of a workload phase.
+/// measure the traffic of a workload phase. Increments are relaxed atomics
+/// so concurrently executing event shards can account hops without locks:
+/// the totals are exact because relaxed add is still atomic, and snapshots
+/// are only taken at serial quiescent points between simulator epochs.
 class NetStats {
  public:
+  NetStats() = default;
+  NetStats(const NetStats& other) { CopyFrom(other); }
+  NetStats& operator=(const NetStats& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
   void AddHop(MsgClass c) {
-    ++per_class_[static_cast<size_t>(c)];
-    ++total_hops_;
+    per_class_[static_cast<size_t>(c)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+    total_hops_.fetch_add(1, std::memory_order_relaxed);
   }
   void AddHops(MsgClass c, uint64_t n) {
-    per_class_[static_cast<size_t>(c)] += n;
-    total_hops_ += n;
+    per_class_[static_cast<size_t>(c)].fetch_add(n,
+                                                 std::memory_order_relaxed);
+    total_hops_.fetch_add(n, std::memory_order_relaxed);
   }
   void AddDrop(MsgClass c) {
-    ++dropped_per_class_[static_cast<size_t>(c)];
-    ++dropped_;
+    dropped_per_class_[static_cast<size_t>(c)].fetch_add(
+        1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 
   uint64_t hops(MsgClass c) const {
-    return per_class_[static_cast<size_t>(c)];
+    return per_class_[static_cast<size_t>(c)].load(
+        std::memory_order_relaxed);
   }
-  uint64_t total_hops() const { return total_hops_; }
-  uint64_t dropped() const { return dropped_; }
+  uint64_t total_hops() const {
+    return total_hops_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   uint64_t dropped(MsgClass c) const {
-    return dropped_per_class_[static_cast<size_t>(c)];
+    return dropped_per_class_[static_cast<size_t>(c)].load(
+        std::memory_order_relaxed);
   }
 
   void Reset();
@@ -62,10 +82,28 @@ class NetStats {
   std::string Report() const;
 
  private:
-  uint64_t per_class_[static_cast<size_t>(MsgClass::kClassCount)] = {};
-  uint64_t dropped_per_class_[static_cast<size_t>(MsgClass::kClassCount)] = {};
-  uint64_t total_hops_ = 0;
-  uint64_t dropped_ = 0;
+  static constexpr size_t kNumClasses =
+      static_cast<size_t>(MsgClass::kClassCount);
+
+  void CopyFrom(const NetStats& other) {
+    for (size_t i = 0; i < kNumClasses; ++i) {
+      per_class_[i].store(
+          other.per_class_[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      dropped_per_class_[i].store(
+          other.dropped_per_class_[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    total_hops_.store(other.total_hops_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    dropped_.store(other.dropped_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> per_class_[kNumClasses] = {};
+  std::atomic<uint64_t> dropped_per_class_[kNumClasses] = {};
+  std::atomic<uint64_t> total_hops_{0};
+  std::atomic<uint64_t> dropped_{0};
 };
 
 }  // namespace contjoin::sim

@@ -179,7 +179,7 @@ TEST(NetStats, PerClassDropAccounting) {
 TEST(AppMessage, ReliableFieldsDefaultToUnarmed) {
   chord::AppMessage msg;
   EXPECT_EQ(msg.reliable_id, 0u);
-  EXPECT_EQ(msg.reliable_origin, nullptr);
+  EXPECT_EQ(msg.reliable_origin, chord::NodeId{});
 }
 
 // --- Transmit integration ---------------------------------------------------

@@ -68,12 +68,16 @@ class MockContext : public ProtocolContext {
     redelivered.push_back({&node, msg});
   }
   chord::Node* NodeByKey(const std::string&) override { return nullptr; }
+  chord::Node* NodeById(const chord::NodeId&) override { return nullptr; }
   void DepositNotification(chord::Node&, Notification n) override {
     inbox.push_back(std::move(n));
   }
   void AppendOtjResults(uint64_t, std::vector<Notification>) override {}
-  uint64_t NextReliableId() override { return ++next_reliable_id; }
-  void ScheduleAfter(sim::SimTime, std::function<void()> fn) override {
+  uint64_t NextReliableId(chord::Node&) override {
+    return ++next_reliable_id;
+  }
+  void ScheduleAfter(chord::Node&, sim::SimTime,
+                     std::function<void()> fn) override {
     scheduled.push_back(std::move(fn));
   }
 

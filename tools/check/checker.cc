@@ -603,6 +603,104 @@ void CheckLintConfig(const CheckConfig& config,
   }
 }
 
+// --- Rule 5: shard safety -----------------------------------------------------
+
+namespace {
+
+/// True when the two lines above `line_index` or the line itself carry a
+/// shard-ok waiver.
+bool HasShardOkWaiver(const std::vector<std::string>& lines,
+                      size_t line_index) {
+  const std::string needle = "contjoin-check: shard-ok(";
+  size_t first = line_index >= 2 ? line_index - 2 : 0;
+  for (size_t i = first; i <= line_index && i < lines.size(); ++i) {
+    if (lines[i].find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void CheckFileShardSafety(const SourceFile& f, std::vector<Diagnostic>* out) {
+  std::string stripped = StripComments(f.text);
+
+  // (a) Mutable static data. A `static` declarator is data when the first
+  // structural token after the declaration's type+name is '=', ';' or '{'
+  // — an opening paren first means a function. Template argument lists are
+  // skipped so `static std::function<void()> f;` still reads as data.
+  size_t pos = 0;
+  while ((pos = stripped.find("static", pos)) != std::string::npos) {
+    size_t start = pos;
+    bool word = (pos == 0 || !IsIdentChar(stripped[pos - 1])) &&
+                (pos + 6 >= stripped.size() ||
+                 !IsIdentChar(stripped[pos + 6]));
+    pos += 6;
+    if (!word) continue;
+    size_t j = pos;
+    while (j < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[j])) != 0) {
+      ++j;
+    }
+    // Immutable statics are shard-safe by construction.
+    if (stripped.compare(j, 9, "constexpr") == 0 ||
+        (stripped.compare(j, 5, "const") == 0 &&
+         (j + 5 >= stripped.size() || !IsIdentChar(stripped[j + 5])))) {
+      continue;
+    }
+    bool is_data = false;
+    while (j < stripped.size()) {
+      char c = stripped[j];
+      if (c == '<') {
+        size_t end = MatchBracket(stripped, j, '<', '>');
+        if (end == std::string::npos) break;
+        j = end;
+        continue;
+      }
+      if (c == '(') break;  // Function declaration or definition.
+      if (c == '=' || c == ';' || c == '{') {
+        is_data = true;
+        break;
+      }
+      ++j;
+    }
+    if (!is_data) continue;
+    size_t line_index = LineOfOffset(stripped, start) - 1;
+    if (HasShardOkWaiver(f.lines, line_index)) continue;
+    out->push_back(
+        {f.rel_path, line_index + 1, "shard-safety",
+         "mutable static data in a role module — handlers for different "
+         "node shards run concurrently under the parallel simulator core; "
+         "keep state in NodeState (or waive with "
+         "// contjoin-check: shard-ok(<reason>))"});
+  }
+
+  // (b) Shared engine RNG draws. The draw order of a process-wide RNG
+  // depends on thread interleaving, so a role handler consuming it breaks
+  // the bit-identical-at-any-worker-count contract.
+  pos = 0;
+  const std::string rng = "GetRng(";
+  while ((pos = stripped.find(rng, pos)) != std::string::npos) {
+    size_t start = pos;
+    pos += rng.size();
+    size_t line_index = LineOfOffset(stripped, start) - 1;
+    if (HasShardOkWaiver(f.lines, line_index)) continue;
+    out->push_back(
+        {f.rel_path, line_index + 1, "shard-safety",
+         "GetRng() draw in a role module — shared-RNG draw order depends "
+         "on thread interleaving; derive randomness from per-node state "
+         "(or waive with // contjoin-check: shard-ok(<reason>))"});
+  }
+}
+
+}  // namespace
+
+void CheckShardSafety(const CheckConfig& config,
+                      std::vector<Diagnostic>* out) {
+  for (const SourceFile& f : ListSources(config.root)) {
+    if (LayerOf(f.rel_path) != "core") continue;
+    if (RoleModuleStems().count(StemOf(f.rel_path)) == 0) continue;
+    CheckFileShardSafety(f, out);
+  }
+}
+
 // --- Compile-database coverage ------------------------------------------------
 
 void CheckCompileDb(const CheckConfig& config, std::vector<Diagnostic>* out) {
@@ -653,6 +751,7 @@ std::vector<Diagnostic> RunChecks(const CheckConfig& config) {
   if (config.check_messages) CheckMessages(config, &out);
   if (config.check_determinism) CheckDeterminism(config, &out);
   if (config.check_lint_config) CheckLintConfig(config, &out);
+  if (config.check_shard_safety) CheckShardSafety(config, &out);
   CheckCompileDb(config, &out);
   std::sort(out.begin(), out.end(),
             [](const Diagnostic& a, const Diagnostic& b) {

@@ -1,6 +1,6 @@
 // contjoin_check: project-specific static analysis enforcing the
 // architecture PR 1 introduced and the determinism guarantees the paper's
-// evaluation rests on. Four rule families:
+// evaluation rests on. Five rule families:
 //
 //  1. layering      — the include graph of src/ must respect the layer DAG
 //                     (common → relational/query/sim → chord → core →
@@ -22,6 +22,13 @@
 //                     (bugprone-use-after-move, bugprone-dangling-handle,
 //                     performance-*) must be enabled and listed in
 //                     WarningsAsErrors in .clang-tidy.
+//  5. shard-safety  — role-module handlers run concurrently across node
+//                     shards under the parallel simulator core, so role
+//                     modules must not declare mutable static data and
+//                     must not draw from the shared engine RNG (GetRng);
+//                     a `// contjoin-check: shard-ok(<reason>)` waiver on
+//                     the flagged line or one of the two lines above it
+//                     silences a finding.
 //
 // The tool is deliberately textual (no libclang): it runs anywhere the
 // source tree does, in milliseconds, and its rules are narrow enough that
@@ -41,7 +48,7 @@ struct Diagnostic {
   std::string file;  // Path relative to the checked root.
   size_t line = 0;   // 1-based; 0 for file- or config-level findings.
   std::string rule;  // "layering", "messages", "determinism", "lint-config",
-                     // "compile-db".
+                     // "shard-safety", "compile-db".
   std::string message;
 };
 
@@ -53,6 +60,7 @@ struct CheckConfig {
   bool check_messages = true;
   bool check_determinism = true;
   bool check_lint_config = true;
+  bool check_shard_safety = true;
 };
 
 /// Runs every enabled rule family; diagnostics come back sorted by file,
@@ -67,6 +75,8 @@ void CheckDeterminism(const CheckConfig& config,
                       std::vector<Diagnostic>* out);
 void CheckLintConfig(const CheckConfig& config,
                      std::vector<Diagnostic>* out);
+void CheckShardSafety(const CheckConfig& config,
+                      std::vector<Diagnostic>* out);
 void CheckCompileDb(const CheckConfig& config, std::vector<Diagnostic>* out);
 
 /// "file:line: [rule] message" (line omitted when 0).

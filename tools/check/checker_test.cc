@@ -94,6 +94,22 @@ TEST(CheckerTest, LintConfigRuleFires) {
       AnyMessageContains(diags, "'bugprone-use-after-move' must be listed"));
 }
 
+TEST(CheckerTest, ShardSafetyRuleFires) {
+  CheckConfig config;
+  config.root = Fixture("shard_bad");
+  std::vector<Diagnostic> diags;
+  CheckShardSafety(config, &diags);
+  // One mutable static and one RNG draw; the waived static, the waived
+  // draw, the immutable statics, the static function and the non-role
+  // helpers.cc static are all silent.
+  EXPECT_EQ(CountRule(diags, "shard-safety"), 2u);
+  EXPECT_TRUE(AnyMessageContains(diags, "mutable static data"));
+  EXPECT_TRUE(AnyMessageContains(diags, "GetRng() draw"));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.file, "src/core/rewriter.cc") << FormatDiagnostic(d);
+  }
+}
+
 TEST(CheckerTest, CompileDbCoverageFires) {
   // A database listing only rewriter.cc: dispatch.cc must be reported as
   // unbuilt.

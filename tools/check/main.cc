@@ -15,7 +15,7 @@ int Usage() {
          "[--rule NAME]...\n"
          "\n"
          "Rules (default: all): layering, messages, determinism, "
-         "lint-config.\n"
+         "lint-config, shard-safety.\n"
          "The compile-database coverage check runs whenever -p is given.\n";
   return 2;
 }
@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--rule" && i + 1 < argc) {
       if (!rules_selected) {
         config.check_layering = config.check_messages =
-            config.check_determinism = config.check_lint_config = false;
+            config.check_determinism = config.check_lint_config =
+                config.check_shard_safety = false;
         rules_selected = true;
       }
       std::string rule = argv[++i];
@@ -46,6 +47,8 @@ int main(int argc, char** argv) {
         config.check_determinism = true;
       } else if (rule == "lint-config") {
         config.check_lint_config = true;
+      } else if (rule == "shard-safety") {
+        config.check_shard_safety = true;
       } else {
         std::cerr << "unknown rule: " << rule << "\n";
         return Usage();

@@ -1,0 +1,10 @@
+// Fixture: NOT a role module (stem "helpers" is not in RoleModuleStems),
+// so its mutable static must not be flagged by shard-safety.
+
+namespace fixture {
+
+static int g_scratch = 0;
+
+int Bump() { return ++g_scratch; }
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: shard-safety violations inside a role module. Two findings are
+// expected — the mutable static counter and the shared-RNG draw — while
+// the waived static, the immutable statics, the static function and the
+// static_cast must all pass.
+
+namespace fixture {
+
+static int g_handled = 0;             // Finding: mutable static data.
+static const int kLimit = 8;          // Immutable: allowed.
+static constexpr int kWindow = 4;     // Immutable: allowed.
+
+// contjoin-check: shard-ok(fixture: guarded by the epoch barrier)
+static long g_waived_total = 0;       // Waived: allowed.
+
+static int Helper(int v) { return v + kLimit + kWindow; }
+
+int Handle(int v) {
+  g_handled += Helper(static_cast<int>(v));
+  g_waived_total += v;
+  int jitter = GetRng().Next() % 3;   // Finding: shared-RNG draw.
+  // contjoin-check: shard-ok(fixture: waiver two lines above the draw)
+
+  int waived = GetRng().Next() % 5;
+  return g_handled + jitter + waived;
+}
+
+}  // namespace fixture
