@@ -35,6 +35,7 @@ struct RunOutcome {
   uint64_t injected_duplicates = 0;
   uint64_t injected_delays = 0;
   uint64_t total_hops = 0;
+  uint64_t total_bytes = 0;  // Encoded wire size of every transmitted hop.
 
   double Completeness() const {
     return expected == 0 ? 1.0
@@ -76,6 +77,7 @@ RunOutcome RunOne(const RunConfig& rc, size_t num_nodes, size_t num_queries,
   opts.seed = seed;
   if (rc.drop_prob > 0) opts.faults = LossyTransport(rc.drop_prob, seed);
   opts.reliability.enabled = rc.reliability;
+  opts.count_wire_bytes = true;
 
   core::ContinuousQueryNetwork net(opts);
   CJ_CHECK(gen.RegisterSchemas(net.catalog()).ok());
@@ -148,6 +150,7 @@ RunOutcome RunOne(const RunConfig& rc, size_t num_nodes, size_t num_queries,
     out.injected_delays = net.fault_plan()->injected_delays();
   }
   out.total_hops = net.stats().total_hops();
+  out.total_bytes = net.stats().total_bytes();
   return out;
 }
 
@@ -174,7 +177,8 @@ std::string JsonRecord(const RunConfig& rc, const RunOutcome& o) {
   json += "\"injected_duplicates\": " +
           std::to_string(o.injected_duplicates) + ", ";
   json += "\"injected_delays\": " + std::to_string(o.injected_delays) + ", ";
-  json += "\"total_hops\": " + std::to_string(o.total_hops);
+  json += "\"total_hops\": " + std::to_string(o.total_hops) + ", ";
+  json += "\"total_bytes\": " + std::to_string(o.total_bytes);
   json += "}";
   return json;
 }
@@ -189,7 +193,7 @@ std::string Row(const RunConfig& rc, const RunOutcome& o) {
          "\t" + std::to_string(o.totals.reliable_retries) + "\t" +
          std::to_string(o.totals.reliable_acks_sent) + "\t" +
          std::to_string(o.injected_drops) + "\t" +
-         std::to_string(o.total_hops);
+         std::to_string(o.total_hops) + "\t" + std::to_string(o.total_bytes);
 }
 
 }  // namespace
@@ -232,7 +236,7 @@ int main() {
 
   bench::PrintRow(
       "algorithm\tdrop%\tchurn\treliability\tcompleteness%\tanswers\t"
-      "retries\tacks\tinjected_drops\ttotal_hops");
+      "retries\tacks\tinjected_drops\ttotal_hops\tbytes");
   std::vector<std::string> records;
   for (const RunConfig& rc : sweep) {
     RunOutcome o = RunOne(rc, kNodes, kQueries, kTuples, kSeed);

@@ -1,0 +1,252 @@
+// contjoin_client: drives a contjoin_noded ring (or, with --oracle, an
+// identical in-process engine) from a line-oriented script on stdin:
+//
+//   submit <node> <sql...>
+//   insert <node> <relation> <value> [value...]
+//   drain
+//
+// Operations are routed to the daemon owning the origin node
+// (serial % daemons). Before every operation the client waits for
+// ring-wide quiescence and advances every daemon's virtual clock to a
+// common epoch boundary, so tuple publication timestamps are globally
+// unique across daemons exactly as they are in a single-process run.
+// `drain` collects delivered notifications from every daemon and prints
+// their content keys sorted — the same lines the --oracle mode prints for
+// the same script, which is what the loopback smoke test diffs.
+//
+//   $ printf 'submit 0 SELECT ...\ninsert 1 R 1 2 3\ndrain\n' |
+//       ./contjoin_client --daemons 5 --nodes 20 --port-base 9800
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "ring_common.h"
+
+using namespace contjoin;
+
+namespace {
+
+struct ClientArgs {
+  int daemons = 5;
+  size_t nodes = 20;
+  int port_base = 9800;
+  core::Algorithm algorithm = core::Algorithm::kSai;
+  bool reliability = true;
+  uint64_t seed = 7;
+  bool oracle = false;
+};
+
+bool ParseArgs(int argc, char** argv, ClientArgs* out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--oracle") {
+      out->oracle = true;
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    std::string value = argv[++i];
+    if (flag == "--daemons") {
+      out->daemons = std::atoi(value.c_str());
+    } else if (flag == "--nodes") {
+      out->nodes = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (flag == "--port-base") {
+      out->port_base = std::atoi(value.c_str());
+    } else if (flag == "--algorithm") {
+      if (value == "sai") out->algorithm = core::Algorithm::kSai;
+      else if (value == "daiq") out->algorithm = core::Algorithm::kDaiQ;
+      else if (value == "dait") out->algorithm = core::Algorithm::kDaiT;
+      else if (value == "daiv") out->algorithm = core::Algorithm::kDaiV;
+      else return false;
+    } else if (flag == "--reliability") {
+      out->reliability = value == "on";
+    } else if (flag == "--seed") {
+      out->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      return false;
+    }
+  }
+  return out->daemons > 0;
+}
+
+/// Sends a command and returns the reply; exits on transport failure.
+std::string Rpc(int fd, const std::string& cmd) {
+  std::string reply;
+  if (!ringdemo::SendText(fd, ringdemo::kTagCmd, cmd) ||
+      !ringdemo::ReadReply(fd, &reply)) {
+    std::fprintf(stderr, "contjoin_client: daemon connection lost\n");
+    std::exit(1);
+  }
+  return reply;
+}
+
+/// Waits until every daemon reports idle in three consecutive sweeps.
+/// A daemon answers status only after ingesting everything readable on
+/// its sockets, so a frame flushed before one sweep is visible by the
+/// next; three quiet sweeps means nothing is in flight anywhere.
+void Sync(const std::vector<int>& fds) {
+  int quiet_rounds = 0;
+  for (int round = 0; round < 6000; ++round) {
+    bool all_idle = true;
+    for (int fd : fds) {
+      if (Rpc(fd, "status") != "idle") all_idle = false;
+    }
+    quiet_rounds = all_idle ? quiet_rounds + 1 : 0;
+    if (quiet_rounds >= 3) return;
+    ::usleep(5000);
+  }
+  std::fprintf(stderr, "contjoin_client: ring did not quiesce\n");
+  std::exit(1);
+}
+
+void PrintSorted(std::vector<std::string> keys) {
+  std::sort(keys.begin(), keys.end());
+  for (const std::string& key : keys) std::printf("%s\n", key.c_str());
+  std::printf("-- drained %zu notifications --\n", keys.size());
+}
+
+int RunOracle(const ClientArgs& args) {
+  core::Options options;
+  options.num_nodes = args.nodes;
+  options.algorithm = args.algorithm;
+  options.reliability.enabled = args.reliability;
+  options.seed = args.seed;
+  core::ContinuousQueryNetwork net(options);
+  if (!ringdemo::RegisterRingSchemas(net.catalog())) return 1;
+  net.simulator()->SetWorkers(1);
+
+  uint64_t epoch = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::vector<std::string> tokens = ringdemo::SplitTokens(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    if (tokens[0] == "drain") {
+      std::vector<std::string> keys;
+      for (size_t i = 0; i < net.num_nodes(); ++i) {
+        for (const core::Notification& n : net.TakeNotifications(i)) {
+          keys.push_back(ringdemo::PrintableKey(n));
+        }
+      }
+      PrintSorted(std::move(keys));
+      continue;
+    }
+    epoch += ringdemo::kEpochStep;
+    if (epoch > net.simulator()->Now()) net.simulator()->AdvanceTo(epoch);
+    if (tokens[0] == "submit" && tokens.size() >= 3) {
+      std::string sql;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        if (i > 2) sql += ' ';
+        sql += tokens[i];
+      }
+      auto key = net.SubmitQuery(
+          static_cast<size_t>(std::atoll(tokens[1].c_str())), sql);
+      if (!key.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     key.status().ToString().c_str());
+        return 1;
+      }
+    } else if (tokens[0] == "insert" && tokens.size() >= 4) {
+      std::vector<rel::Value> values;
+      for (size_t i = 3; i < tokens.size(); ++i) {
+        values.push_back(ringdemo::ParseValue(tokens[i]));
+      }
+      Status st = net.InsertTuple(
+          static_cast<size_t>(std::atoll(tokens[1].c_str())), tokens[2],
+          std::move(values));
+      if (!st.ok()) {
+        std::fprintf(stderr, "insert failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "bad script line: %s\n", line.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int RunRing(const ClientArgs& args) {
+  std::vector<int> fds;
+  for (int i = 0; i < args.daemons; ++i) {
+    int fd = -1;
+    for (int attempt = 0; attempt < 200 && fd < 0; ++attempt) {
+      fd = ringdemo::DialDaemon(
+          "127.0.0.1", static_cast<uint16_t>(args.port_base + i));
+      if (fd < 0) ::usleep(50000);
+    }
+    if (fd < 0) {
+      std::fprintf(stderr, "contjoin_client: cannot reach daemon %d\n", i);
+      return 1;
+    }
+    fds.push_back(fd);
+  }
+
+  uint64_t epoch = 0;
+  int status = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::vector<std::string> tokens = ringdemo::SplitTokens(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    if (tokens[0] == "drain") {
+      Sync(fds);
+      std::vector<std::string> keys;
+      for (int fd : fds) {
+        std::string reply = Rpc(fd, "drain");
+        size_t start = 0;
+        while (start < reply.size()) {
+          size_t end = reply.find('\n', start);
+          if (end == std::string::npos) end = reply.size();
+          if (end > start) keys.push_back(reply.substr(start, end - start));
+          start = end + 1;
+        }
+      }
+      PrintSorted(std::move(keys));
+      continue;
+    }
+    if (tokens.size() < 2) {
+      std::fprintf(stderr, "bad script line: %s\n", line.c_str());
+      status = 1;
+      break;
+    }
+    Sync(fds);
+    epoch += ringdemo::kEpochStep;
+    for (int fd : fds) Rpc(fd, "advance " + std::to_string(epoch));
+    size_t node = static_cast<size_t>(std::atoll(tokens[1].c_str()));
+    int owner = static_cast<int>(node % static_cast<size_t>(args.daemons));
+    std::string reply = Rpc(fds[static_cast<size_t>(owner)], line);
+    if (reply.rfind("ok", 0) != 0) {
+      std::fprintf(stderr, "daemon %d rejected '%s': %s\n", owner,
+                   line.c_str(), reply.c_str());
+      status = 1;
+      break;
+    }
+  }
+
+  for (int fd : fds) {
+    (void)ringdemo::SendText(fd, ringdemo::kTagCmd, "quit");
+    std::string reply;
+    (void)ringdemo::ReadReply(fd, &reply);
+    ::close(fd);
+  }
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: contjoin_client [--oracle] --daemons D --nodes N "
+                 "--port-base P [--algorithm sai|daiq|dait|daiv] "
+                 "[--reliability on|off] [--seed S] < script\n");
+    return 2;
+  }
+  return args.oracle ? RunOracle(args) : RunRing(args);
+}

@@ -1,0 +1,187 @@
+// Shared vocabulary of the contjoin_noded / contjoin_client pair: the
+// demo schema both sides register, the text command protocol spoken over
+// the daemon's control channel, and small blocking-socket helpers for the
+// client side (daemons use chord::TcpTransport; the client is a plain
+// sequential program and blocking I/O keeps it simple).
+//
+// Control protocol (message tag kTagCmd, replies kTagReply, text payloads):
+//   submit <node> <sql...>            -> "ok <query-key>" | "err <reason>"
+//   insert <node> <relation> <v...>   -> "ok" | "err <reason>"
+//   advance <virtual-time>            -> "ok"
+//   status                            -> "idle" | "busy"
+//   drain                             -> content keys, one per line
+//   quit                              -> "ok" (daemon exits)
+
+#ifndef CONTJOIN_EXAMPLES_RING_COMMON_H_
+#define CONTJOIN_EXAMPLES_RING_COMMON_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chord/tcp_transport.h"
+#include "core/notification.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace ringdemo {
+
+// Control-channel tags (kTagHop = 1 is reserved by TcpTransport).
+constexpr uint8_t kTagCmd = 2;
+constexpr uint8_t kTagReply = 3;
+
+/// Virtual-time spacing between client operations: generous enough that a
+/// fully backed-off reliable-retry cascade (base_timeout * 2^max_retries)
+/// finishes inside one epoch, so every daemon can advance to the next
+/// epoch boundary without its clock ever moving backwards.
+constexpr uint64_t kEpochStep = 1u << 20;
+
+/// The schema vocabulary of the demo ring. Every daemon and the oracle
+/// register the same relations so re-parsed wire queries resolve.
+inline bool RegisterRingSchemas(contjoin::rel::Catalog* catalog) {
+  using contjoin::rel::RelationSchema;
+  using contjoin::rel::ValueType;
+  return catalog
+             ->Register(RelationSchema("R", {{"A", ValueType::kInt},
+                                             {"B", ValueType::kInt},
+                                             {"C", ValueType::kInt}}))
+             .ok() &&
+         catalog
+             ->Register(RelationSchema("S", {{"D", ValueType::kInt},
+                                             {"E", ValueType::kInt},
+                                             {"F", ValueType::kInt}}))
+             .ok() &&
+         catalog
+             ->Register(RelationSchema("Doc",
+                                       {{"Id", ValueType::kInt},
+                                        {"Title", ValueType::kString}}))
+             .ok() &&
+         catalog
+             ->Register(RelationSchema("Auth",
+                                       {{"Name", ValueType::kString},
+                                        {"Id", ValueType::kInt}}))
+             .ok();
+}
+
+/// Integer-looking tokens become ints, everything else a string.
+inline contjoin::rel::Value ParseValue(const std::string& token) {
+  if (!token.empty()) {
+    size_t i = token[0] == '-' ? 1 : 0;
+    bool digits = i < token.size();
+    for (; i < token.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(token[i]))) {
+        digits = false;
+        break;
+      }
+    }
+    if (digits) {
+      return contjoin::rel::Value::Int(std::strtoll(token.c_str(), nullptr, 10));
+    }
+  }
+  return contjoin::rel::Value::Str(token);
+}
+
+/// ContentKey with its 0x1f separators made printable for line diffing.
+inline std::string PrintableKey(const contjoin::core::Notification& n) {
+  std::string key = n.ContentKey();
+  for (char& c : key) {
+    if (c == '\x1f') c = '|';
+  }
+  return key;
+}
+
+inline std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+// --- Blocking client-side framing ([u32 len][u8 tag][payload]) ---------------
+
+inline int DialDaemon(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+inline bool WriteAll(int fd, const uint8_t* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+inline bool ReadAll(int fd, uint8_t* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::recv(fd, data, size, 0);
+    if (n <= 0) return false;
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+inline bool SendText(int fd, uint8_t tag, const std::string& text) {
+  uint32_t len = static_cast<uint32_t>(text.size()) + 1;
+  uint8_t header[5] = {static_cast<uint8_t>(len),
+                       static_cast<uint8_t>(len >> 8),
+                       static_cast<uint8_t>(len >> 16),
+                       static_cast<uint8_t>(len >> 24), tag};
+  return WriteAll(fd, header, sizeof(header)) &&
+         WriteAll(fd, reinterpret_cast<const uint8_t*>(text.data()),
+                  text.size());
+}
+
+/// Reads the next message; skips tags other than kTagReply (a client
+/// socket only ever receives replies, but stay robust).
+inline bool ReadReply(int fd, std::string* out) {
+  while (true) {
+    uint8_t header[5];
+    if (!ReadAll(fd, header, sizeof(header))) return false;
+    uint32_t len = static_cast<uint32_t>(header[0]) |
+                   static_cast<uint32_t>(header[1]) << 8 |
+                   static_cast<uint32_t>(header[2]) << 16 |
+                   static_cast<uint32_t>(header[3]) << 24;
+    if (len < 1) return false;
+    std::vector<uint8_t> payload(len - 1);
+    if (!ReadAll(fd, payload.data(), payload.size())) return false;
+    if (header[4] != kTagReply) continue;
+    out->assign(payload.begin(), payload.end());
+    return true;
+  }
+}
+
+}  // namespace ringdemo
+
+#endif  // CONTJOIN_EXAMPLES_RING_COMMON_H_

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 
+#include "chord/transport.h"
 #include "common/logging.h"
 #include "faults/fault_plan.h"
 
 namespace contjoin::chord {
 
 Network::Network(sim::Simulator* simulator, NetworkOptions options)
-    : simulator_(simulator), options_(options) {
+    : simulator_(simulator),
+      options_(options),
+      sim_transport_(std::make_unique<SimTransport>(this)),
+      transport_(sim_transport_.get()) {
   CJ_CHECK(simulator_ != nullptr);
   CJ_CHECK(options_.successor_list_size >= 1);
   if (options_.coalesce) {
@@ -18,6 +22,17 @@ Network::Network(sim::Simulator* simulator, NetworkOptions options)
 
 Network::~Network() {
   if (options_.coalesce) simulator_->set_post_action_hook(nullptr);
+}
+
+void Network::set_transport(Transport* transport) {
+  transport_ = transport != nullptr ? transport : sim_transport_.get();
+}
+
+Transport* Network::sim_transport() const { return sim_transport_.get(); }
+
+void Network::TransmitHop(Node* from, const NodeId& to, HopFrame frame) {
+  if (frame_sizer_) stats_.AddBytes(frame.cls, frame_sizer_(frame));
+  transport_->SendHop(from, to, std::move(frame));
 }
 
 Node* Network::CreateNode(const std::string& key) {

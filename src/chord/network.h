@@ -24,6 +24,9 @@ class FaultPlan;
 
 namespace contjoin::chord {
 
+class SimTransport;
+class Transport;
+
 /// Transport and protocol knobs.
 struct NetworkOptions {
   /// Successor-list length r (paper §2.2: small values suffice).
@@ -117,9 +120,35 @@ class Network {
 
   /// One overlay hop from `from` to `to`: counts a hop of class `cls` and
   /// schedules `action` after the hop latency. Messages to dead nodes are
-  /// dropped and counted.
+  /// dropped and counted. This closure path remains for simulator-only
+  /// interactions (DHT fetch replies, migration state transfers, engine
+  /// result sinks); protocol hops travel as typed frames via TransmitHop.
   void Transmit(Node* from, Node* to, sim::MsgClass cls,
                 std::function<void()> action);
+
+  /// Ships one typed overlay hop to the node with identifier `to` through
+  /// the installed transport (the one true send path for protocol
+  /// messages). When a frame sizer is installed, the encoded size is
+  /// accounted per message class first.
+  void TransmitHop(Node* from, const NodeId& to, HopFrame frame);
+
+  /// The hop-shipping seam. Defaults to the in-simulator transport;
+  /// nullptr restores the default.
+  Transport* transport() const { return transport_; }
+  void set_transport(Transport* transport);
+
+  /// The built-in in-simulator transport (always available; socket
+  /// transports delegate locally-owned hops to it).
+  Transport* sim_transport() const;
+
+  /// Installs the bytes-on-wire meter: a callback returning the encoded
+  /// size of a frame (wired up by the engine, which owns the codec; the
+  /// chord layer cannot encode application payloads itself). Unset by
+  /// default — hop accounting then stays byte-free and free of encoding
+  /// cost.
+  void set_frame_sizer(std::function<size_t(const HopFrame&)> sizer) {
+    frame_sizer_ = std::move(sizer);
+  }
 
   /// Hop accounting for synchronous probe RPCs (iterative lookups), which
   /// execute inline rather than through the event queue.
@@ -159,6 +188,9 @@ class Network {
 
   sim::Simulator* simulator_;
   NetworkOptions options_;
+  std::unique_ptr<SimTransport> sim_transport_;
+  Transport* transport_;
+  std::function<size_t(const HopFrame&)> frame_sizer_;
   sim::NetStats stats_;
   faults::FaultPlan* fault_plan_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;

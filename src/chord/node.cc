@@ -266,11 +266,12 @@ void Node::RouteMessage(AppMessage msg, int ttl) {
     network_->CountDrop(msg.cls);
     return;
   }
-  sim::MsgClass cls = msg.cls;
-  network_->Transmit(this, next, cls,
-                     [next, msg = std::move(msg), ttl]() mutable {
-                       next->RouteMessage(std::move(msg), ttl - 1);
-                     });
+  HopFrame frame;
+  frame.kind = HopFrame::Kind::kRoute;
+  frame.cls = msg.cls;
+  frame.ttl = ttl - 1;
+  frame.msgs.push_back(std::move(msg));
+  network_->TransmitHop(this, next->id(), std::move(frame));
 }
 
 void Node::Multisend(std::vector<AppMessage> msgs, sim::MsgClass cls) {
@@ -315,11 +316,12 @@ void Node::HandleBatch(std::vector<AppMessage> batch, sim::MsgClass cls,
     network_->CountDrop(cls);
     return;
   }
-  network_->Transmit(this, next, cls,
-                     [next, remaining = std::move(remaining), cls,
-                      ttl]() mutable {
-                       next->HandleBatch(std::move(remaining), cls, ttl - 1);
-                     });
+  HopFrame frame;
+  frame.kind = HopFrame::Kind::kBatch;
+  frame.cls = cls;
+  frame.ttl = ttl - 1;
+  frame.msgs = std::move(remaining);
+  network_->TransmitHop(this, next->id(), std::move(frame));
 }
 
 void Node::MultisendIterative(std::vector<AppMessage> msgs) {
@@ -329,9 +331,35 @@ void Node::MultisendIterative(std::vector<AppMessage> msgs) {
       network_->CountDrop(msg.cls);
       continue;
     }
-    network_->Transmit(this, dest, msg.cls, [dest, msg = std::move(msg)]() {
-      dest->DeliverLocal(msg);
-    });
+    HopFrame frame;
+    frame.kind = HopFrame::Kind::kDeliver;
+    frame.cls = msg.cls;
+    frame.msgs.push_back(std::move(msg));
+    network_->TransmitHop(this, dest->id(), std::move(frame));
+  }
+}
+
+void Node::ApplyHop(HopFrame frame) {
+  switch (frame.kind) {
+    case HopFrame::Kind::kRoute:
+      RouteMessage(std::move(frame.msgs[0]), frame.ttl);
+      return;
+    case HopFrame::Kind::kDeliver:
+      DeliverLocal(frame.msgs[0]);
+      return;
+    case HopFrame::Kind::kBatch:
+      HandleBatch(std::move(frame.msgs), frame.cls, frame.ttl);
+      return;
+    case HopFrame::Kind::kBroadcast: {
+      AppMessage local;
+      local.target = id_;
+      local.cls = frame.cls;
+      local.payload = frame.broadcast_payload;
+      DeliverLocal(local);
+      BroadcastRange(frame.broadcast_payload, frame.cls,
+                     frame.broadcast_limit);
+      return;
+    }
   }
 }
 
@@ -407,15 +435,12 @@ void Node::BroadcastRange(const PayloadPtr& payload, sim::MsgClass cls,
     if (i + 1 < hops.size() && hops[i + 1]->id().InOpenOpen(id_, limit)) {
       sub_limit = hops[i + 1]->id();
     }
-    network_->Transmit(this, next, cls,
-                       [next, payload, cls, sub_limit]() {
-                         AppMessage local;
-                         local.target = next->id();
-                         local.cls = cls;
-                         local.payload = payload;
-                         next->DeliverLocal(local);
-                         next->BroadcastRange(payload, cls, sub_limit);
-                       });
+    HopFrame frame;
+    frame.kind = HopFrame::Kind::kBroadcast;
+    frame.cls = cls;
+    frame.broadcast_payload = payload;
+    frame.broadcast_limit = sub_limit;
+    network_->TransmitHop(this, next->id(), std::move(frame));
   }
 }
 

@@ -132,6 +132,11 @@ class Node {
   /// used after the sender already knows the responsible node, e.g. JFRT).
   void DeliverLocal(const AppMessage& msg);
 
+  /// Executes one received overlay hop: continue routing, deliver, take a
+  /// multisend batch step, or expand a broadcast branch. Transports call
+  /// this on the destination node after shipping the frame.
+  void ApplyHop(HopFrame frame);
+
   /// Broadcasts `payload` to every alive node (including this one), using
   /// the classic finger-partitioned DHT broadcast: each node covers a
   /// disjoint ring interval through its fingers, so every node receives

@@ -48,6 +48,27 @@ struct AppMessage {
   NodeId reliable_origin{};
 };
 
+/// One overlay hop in flight, in typed (wire-encodable) form. Every hop the
+/// routing layer ships — a recursive routing step, a multisend batch leg, a
+/// broadcast branch, or a direct delivery to a known node — is one of these
+/// four kinds; the receiver executes it via Node::ApplyHop. Keeping the hop
+/// a value type (instead of a captured closure) is what lets a transport
+/// serialize it and move it across a process boundary.
+struct HopFrame {
+  enum class Kind : unsigned char {
+    kRoute = 0,  // Continue routing msgs[0] with `ttl` hops left.
+    kDeliver,    // Deliver msgs[0] locally (destination already resolved).
+    kBatch,      // Recursive multisend step over `msgs` with `ttl` left.
+    kBroadcast,  // Deliver broadcast_payload, then cover (self, limit).
+  };
+  Kind kind = Kind::kDeliver;
+  sim::MsgClass cls = sim::MsgClass::kControl;
+  int ttl = 0;
+  std::vector<AppMessage> msgs;
+  PayloadPtr broadcast_payload;
+  NodeId broadcast_limit;
+};
+
 /// Internal payload of a DhtPut in flight.
 struct DhtStorePayload : Payload {
   NodeId key;

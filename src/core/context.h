@@ -59,9 +59,15 @@ class ProtocolContext {
                          std::vector<chord::AppMessage> msgs,
                          sim::MsgClass cls) = 0;
   /// Point-to-point (one-hop) delivery to a known address; `deliver` runs at
-  /// the destination when the hop completes.
+  /// the destination when the hop completes. Simulator-only closure path —
+  /// protocol messages use TransmitMessage so they can cross a wire.
   virtual void Transmit(chord::Node* from, chord::Node* to, sim::MsgClass cls,
                         std::function<void()> deliver) = 0;
+  /// Point-to-point (one-hop) delivery of a typed message to the node whose
+  /// identifier is exactly `to`. Resolution happens at the transport, so no
+  /// raw Node* crosses the hop; the destination dispatches `msg` by type.
+  virtual void TransmitMessage(chord::Node& from, const chord::NodeId& to,
+                               chord::AppMessage msg) = 0;
   /// Accounts one overlay hop of class `cls` (e.g. an implied response).
   virtual void CountHop(sim::MsgClass cls) = 0;
   /// Re-enters message dispatch at `node` — moved attribute-level

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/uint160.h"
+#include "core/codec.h"
 #include "core/subscriber.h"
 
 namespace contjoin::core {
@@ -18,6 +19,10 @@ ContinuousQueryNetwork::ContinuousQueryNetwork(Options options)
   if (options_.faults.active()) {
     fault_plan_ = std::make_unique<faults::FaultPlan>(options_.faults);
     network_.set_fault_plan(fault_plan_.get());
+  }
+  if (options_.count_wire_bytes) {
+    network_.set_frame_sizer(
+        [](const chord::HopFrame& frame) { return EncodedFrameSize(frame); });
   }
   nodes_ = network_.BuildIdealRing(options_.num_nodes);
   for (chord::Node* node : nodes_) {

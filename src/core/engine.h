@@ -225,6 +225,14 @@ class ContinuousQueryNetwork : public chord::Application,
                 std::function<void()> deliver) override {
     network_.Transmit(from, to, cls, std::move(deliver));
   }
+  void TransmitMessage(chord::Node& from, const chord::NodeId& to,
+                       chord::AppMessage msg) override {
+    chord::HopFrame frame;
+    frame.kind = chord::HopFrame::Kind::kDeliver;
+    frame.cls = msg.cls;
+    frame.msgs.push_back(std::move(msg));
+    network_.TransmitHop(&from, to, std::move(frame));
+  }
   void CountHop(sim::MsgClass cls) override { network_.CountHop(cls); }
   void Redeliver(chord::Node& node, const chord::AppMessage& msg) override {
     HandleMessage(node, msg);

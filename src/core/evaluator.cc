@@ -44,18 +44,20 @@ RowTemplate MergeRow(const RowTemplate& partial,
 /// Fills the rewriter's JFRT when it asked for an ack (one control hop).
 template <typename PayloadT>
 void MaybeAckJfrt(ProtocolContext& ctx, chord::Node& node, const PayloadT& p) {
-  if (!p.want_ack || !ctx.options().use_jfrt || p.rewriter == nullptr ||
-      p.rewriter == &node || !p.rewriter->alive()) {
+  if (!p.want_ack || !ctx.options().use_jfrt ||
+      p.rewriter == chord::NodeId() || p.rewriter == node.id()) {
     return;
   }
-  chord::Node* rw = p.rewriter;
-  chord::NodeId vindex = p.vindex;
-  chord::Node* evaluator_node = &node;
-  ctx.Transmit(&node, rw, sim::MsgClass::kControl,
-               [ctx = &ctx, rw, vindex, evaluator_node]() {
-                 ctx->StateOf(*rw).rewriter.jfrt.Insert(vindex,
-                                                        evaluator_node);
-               });
+  chord::Node* rw = ctx.NodeById(p.rewriter);
+  if (rw == nullptr || !rw->alive()) return;
+  auto ack = std::make_shared<JfrtAckPayload>();
+  ack->vindex = p.vindex;
+  ack->evaluator = node.id();
+  chord::AppMessage out;
+  out.target = p.rewriter;
+  out.cls = sim::MsgClass::kControl;
+  out.payload = std::move(ack);
+  ctx.TransmitMessage(node, p.rewriter, std::move(out));
 }
 
 }  // namespace

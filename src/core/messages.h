@@ -121,7 +121,7 @@ struct JoinPayload : CqPayload {
   std::string level1;     // "DisR+DisA".
   std::string value_key;  // valDA canonical string.
   std::vector<RewrittenEntry> entries;  // Grouped rewritten queries (§4.3.5).
-  chord::Node* rewriter = nullptr;      // For JFRT acks.
+  chord::NodeId rewriter;               // For JFRT acks (zero = none).
   chord::NodeId vindex;                 // Target identifier (ack bookkeeping).
   bool want_ack = false;
 };
@@ -139,7 +139,7 @@ struct DaivJoinPayload : CqPayload {
   DaivJoinPayload() : CqPayload(CqMsgType::kDaivJoin) {}
   std::string value_key;  // valJC canonical string (level-1 in the store).
   std::vector<DaivEntry> entries;
-  chord::Node* rewriter = nullptr;
+  chord::NodeId rewriter;  // Zero = none.
   chord::NodeId vindex;
   bool want_ack = false;
 };
@@ -148,7 +148,7 @@ struct NotificationPayload : CqPayload {
   NotificationPayload() : CqPayload(CqMsgType::kNotification) {}
   Notification notification;
   std::string subscriber_key;
-  chord::Node* evaluator = nullptr;  // So the subscriber can send IP updates.
+  chord::NodeId evaluator;  // So the subscriber can send IP updates (0=none).
 };
 
 struct UnsubscribePayload : CqPayload {
@@ -166,20 +166,20 @@ struct MigrateCmdPayload : CqPayload {
   MigrateCmdPayload() : CqPayload(CqMsgType::kMigrateCmd) {}
   std::string level1;
   int replica = 0;
-  chord::Node* base = nullptr;  // Filled in at the base node.
+  chord::NodeId base;  // Filled in at the base node (zero until then).
 };
 
 struct IpUpdatePayload : CqPayload {
   IpUpdatePayload() : CqPayload(CqMsgType::kIpUpdate) {}
   std::string subscriber_key;
-  chord::Node* node = nullptr;
+  chord::NodeId node;
   uint64_t ip = 0;
 };
 
 struct JfrtAckPayload : CqPayload {
   JfrtAckPayload() : CqPayload(CqMsgType::kJfrtAck) {}
   chord::NodeId vindex;
-  chord::Node* evaluator = nullptr;
+  chord::NodeId evaluator;
 };
 
 // --- Multi-way joins (future-work extension; recursive SAI) --------------------
@@ -229,7 +229,7 @@ struct OtjScanPayload : CqPayload {
   OtjScanPayload() : CqPayload(CqMsgType::kOtjScan) {}
   query::QueryPtr query;
   uint64_t otj_id = 0;
-  chord::Node* issuer = nullptr;
+  chord::NodeId issuer;
 };
 
 /// One side's projected tuple, rehashed by its join value.
@@ -244,7 +244,7 @@ struct OtjRehashPayload : CqPayload {
   OtjRehashPayload() : CqPayload(CqMsgType::kOtjRehash) {}
   query::QueryPtr query;
   uint64_t otj_id = 0;
-  chord::Node* issuer = nullptr;
+  chord::NodeId issuer;
   std::string value_key;  // Join value, canonical form.
   std::vector<OtjTuple> entries;
 };

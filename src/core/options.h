@@ -82,6 +82,12 @@ struct Options {
 
   uint64_t seed = 42;
 
+  /// Meter bytes-on-wire: every transmitted hop frame is run through the
+  /// wire codec and its encoded size accounted per message class in
+  /// sim::NetStats. Off by default — encoding costs real time and event
+  /// ordering is unaffected either way (the counter is the only output).
+  bool count_wire_bytes = false;
+
   chord::NetworkOptions chord;
 
   /// Fault injection applied to the overlay transport (none by default).

@@ -113,8 +113,11 @@ void HandleRehash(ProtocolContext& ctx, chord::Node& node,
     sides[static_cast<size_t>(entry.side)].push_back(entry);
   }
   if (rows->empty()) return;
-  // Stream the rows straight back to the issuer (PIER-style).
-  chord::Node* issuer = p.issuer;
+  // Stream the rows straight back to the issuer (PIER-style). The result
+  // transfer itself is an engine-sink interaction (the issuer-side buffer
+  // lives outside any node), so it stays on the closure path.
+  if (p.issuer == chord::NodeId()) return;
+  chord::Node* issuer = ctx.NodeById(p.issuer);
   if (issuer == nullptr) return;
   uint64_t otj_id = p.otj_id;
   if (issuer == &node) {

@@ -133,10 +133,7 @@ bool ObserveDelivery(ProtocolContext& ctx, chord::Node& node,
       // One direct hop back: the receiver learned the origin's address
       // from the message. The ack itself is best-effort — a lost ack only
       // causes a retry, which this dedup set absorbs.
-      ctx.Transmit(&node, origin, sim::MsgClass::kControl,
-                   [ctx_ptr = &ctx, origin, out]() {
-                     ctx_ptr->Redeliver(*origin, out);
-                   });
+      ctx.TransmitMessage(node, origin->id(), std::move(out));
     }
   }
   if (!ns.reliability.seen.insert(msg.reliable_id).second) {

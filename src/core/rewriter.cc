@@ -66,10 +66,7 @@ bool ForwardIfMoved(ProtocolContext& ctx, chord::Node& node, State& state,
     return false;
   }
   chord::AppMessage copy = msg;
-  ctx.Transmit(&node, holder, msg.cls,
-               [ctx = &ctx, holder, copy = std::move(copy)]() {
-                 ctx->Redeliver(*holder, copy);
-               });
+  ctx.TransmitMessage(node, holder->id(), std::move(copy));
   return true;
 }
 
@@ -159,7 +156,7 @@ void RewriteT1(ProtocolContext& ctx, chord::Node& node, NodeState& state,
     pending.payload = std::make_shared<JoinPayload>();
     pending.payload->level1 = AttrKey(remaining.relation, dis_attr);
     pending.payload->value_key = value_key;
-    pending.payload->rewriter = &node;
+    pending.payload->rewriter = node.id();
     pending.payload->vindex = pending.vindex;
   }
   RewrittenEntry rewritten;
@@ -207,7 +204,7 @@ void RewriteDaiv(ProtocolContext& ctx, chord::Node& node, NodeState& state,
                          : DaivIndexId(value_key);
     pending.payload = std::make_shared<DaivJoinPayload>();
     pending.payload->value_key = value_key;
-    pending.payload->rewriter = &node;
+    pending.payload->rewriter = node.id();
     pending.payload->vindex = pending.vindex;
   }
   DaivEntry daiv_entry;
@@ -402,14 +399,11 @@ void HandleMigrateCmd(ProtocolContext& ctx, chord::Node& node,
   if (moved != state.rewriter.moved_attrs.end() &&
       moved->second.holder != nullptr && moved->second.holder->alive()) {
     auto fwd = std::make_shared<MigrateCmdPayload>(p);
-    fwd->base = &node;
+    fwd->base = node.id();
     chord::Node* holder = moved->second.holder;
     chord::AppMessage copy = msg;
     copy.payload = std::move(fwd);
-    ctx.Transmit(&node, holder, sim::MsgClass::kControl,
-                 [ctx = &ctx, holder, copy = std::move(copy)]() {
-                   ctx->Redeliver(*holder, copy);
-                 });
+    ctx.TransmitMessage(node, holder->id(), std::move(copy));
     return;
   }
 
@@ -419,7 +413,11 @@ void HandleMigrateCmd(ProtocolContext& ctx, chord::Node& node,
       (held == state.rewriter.held_generation.end() ? 0 : held->second) + 1;
   chord::NodeId new_id = HashKey(mkey + "#m" + std::to_string(next_gen));
   chord::Node* target = node.FindSuccessor(new_id, sim::MsgClass::kControl);
-  chord::Node* base = p.base != nullptr ? p.base : &node;
+  chord::Node* base = &node;
+  if (p.base != chord::NodeId()) {
+    chord::Node* b = ctx.NodeById(p.base);
+    if (b != nullptr) base = b;
+  }
   if (target == nullptr) return;
   if (target == &node) {
     // The fresh identifier still lands here; only the generation advances.
@@ -464,7 +462,9 @@ void HandleMigrateCmd(ProtocolContext& ctx, chord::Node& node,
 void HandleJfrtAck(ProtocolContext& ctx, chord::Node& node,
                    const chord::AppMessage& msg) {
   const auto& p = *static_cast<const JfrtAckPayload*>(msg.payload.get());
-  ctx.StateOf(node).rewriter.jfrt.Insert(p.vindex, p.evaluator);
+  chord::Node* evaluator = ctx.NodeById(p.evaluator);
+  if (evaluator == nullptr || !evaluator->alive()) return;
+  ctx.StateOf(node).rewriter.jfrt.Insert(p.vindex, evaluator);
 }
 
 }  // namespace rewriter

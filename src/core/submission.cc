@@ -285,7 +285,7 @@ StatusOr<std::vector<Notification>> ContinuousQueryNetwork::OneTimeJoin(
   auto payload = std::make_shared<OtjScanPayload>();
   payload->query = query;
   payload->otj_id = otj_id;
-  payload->issuer = origin;
+  payload->issuer = origin->id();
   origin->Broadcast(std::move(payload), sim::MsgClass::kOneTime);
   simulator_.Run();
 

@@ -66,15 +66,19 @@ void DeliverNotification(ProtocolContext& ctx, chord::Node& evaluator,
   }
   if (target != nullptr && target->alive() && target->ip() == expect_ip &&
       !ctx.options().reliability.enabled) {
-    // Direct delivery by IP: one overlay hop (§4.6). With reliability on,
-    // this path is skipped: the armed message below delivers through the
-    // dispatch hook (still one hop) so the ack / dedup machinery sees it.
-    chord::Node* t = target;
-    auto shared = std::make_shared<Notification>(std::move(n));
-    ctx.Transmit(&evaluator, t, sim::MsgClass::kNotification,
-                 [ctx = &ctx, t, shared]() {
-                   ctx->DepositNotification(*t, *shared);
-                 });
+    // Direct delivery by IP: one overlay hop (§4.6). The evaluator field
+    // stays zero — the address is already known, so the subscriber must
+    // not answer with an IP update. With reliability on, this path is
+    // skipped: the armed message below delivers through the dispatch hook
+    // (still one hop) so the ack / dedup machinery sees it.
+    auto direct = std::make_shared<NotificationPayload>();
+    direct->notification = std::move(n);
+    direct->subscriber_key = subscriber_key;
+    chord::AppMessage out;
+    out.target = HashKey(subscriber_key);
+    out.cls = sim::MsgClass::kNotification;
+    out.payload = std::move(direct);
+    ctx.TransmitMessage(evaluator, target->id(), std::move(out));
     return;
   }
   // Off-line or moved: route to Successor(Id(n)) where it is delivered or
@@ -82,7 +86,7 @@ void DeliverNotification(ProtocolContext& ctx, chord::Node& evaluator,
   auto payload = std::make_shared<NotificationPayload>();
   payload->notification = std::move(n);
   payload->subscriber_key = subscriber_key;
-  payload->evaluator = &evaluator;
+  payload->evaluator = evaluator.id();
   chord::AppMessage msg;
   msg.target = HashKey(subscriber_key);
   msg.cls = sim::MsgClass::kNotification;
@@ -92,9 +96,7 @@ void DeliverNotification(ProtocolContext& ctx, chord::Node& evaluator,
     if (target != nullptr && target->alive() && target->ip() == expect_ip) {
       // Known address: one direct hop into dispatch, retries fall back to
       // routing toward Successor(Id(n)).
-      chord::Node* t = target;
-      ctx.Transmit(&evaluator, t, sim::MsgClass::kNotification,
-                   [ctx = &ctx, t, msg]() { ctx->Redeliver(*t, msg); });
+      ctx.TransmitMessage(evaluator, target->id(), std::move(msg));
       return;
     }
   }
@@ -123,19 +125,22 @@ void HandleNotification(ProtocolContext& ctx, chord::Node& node,
       *static_cast<const NotificationPayload*>(msg.payload.get());
   if (node.key() == p.subscriber_key) {
     ctx.DepositNotification(node, p.notification);
-    // Tell the evaluator our (possibly new) address (§4.6).
-    if (p.evaluator != nullptr && p.evaluator != &node &&
-        p.evaluator->alive()) {
-      chord::Node* evaluator = p.evaluator;
-      std::string subscriber_key = node.key();
-      chord::Node* self = &node;
-      uint64_t ip = node.ip();
-      ctx.Transmit(&node, evaluator, sim::MsgClass::kControl,
-                   [ctx = &ctx, evaluator, subscriber_key, self, ip]() {
-                     ctx->StateOf(*evaluator)
-                         .subscriber.subscriber_addr[subscriber_key] = {self,
-                                                                        ip};
-                   });
+    // Tell the evaluator our (possibly new) address (§4.6). A zero
+    // evaluator id means the notification came directly to a known
+    // address, so there is nothing to teach.
+    if (p.evaluator != chord::NodeId() && p.evaluator != node.id()) {
+      chord::Node* evaluator = ctx.NodeById(p.evaluator);
+      if (evaluator != nullptr && evaluator->alive()) {
+        auto up = std::make_shared<IpUpdatePayload>();
+        up->subscriber_key = node.key();
+        up->node = node.id();
+        up->ip = node.ip();
+        chord::AppMessage out;
+        out.target = p.evaluator;
+        out.cls = sim::MsgClass::kControl;
+        out.payload = std::move(up);
+        ctx.TransmitMessage(node, p.evaluator, std::move(out));
+      }
     }
   } else {
     // Subscriber off-line: store under its identifier; the Chord key
@@ -147,8 +152,10 @@ void HandleNotification(ProtocolContext& ctx, chord::Node& node,
 void HandleIpUpdate(ProtocolContext& ctx, chord::Node& node,
                     const chord::AppMessage& msg) {
   const auto& p = *static_cast<const IpUpdatePayload*>(msg.payload.get());
-  ctx.StateOf(node).subscriber.subscriber_addr[p.subscriber_key] = {p.node,
-                                                                    p.ip};
+  chord::Node* subscriber = ctx.NodeById(p.node);
+  if (subscriber == nullptr) return;
+  ctx.StateOf(node).subscriber.subscriber_addr[p.subscriber_key] = {
+      subscriber, p.ip};
 }
 
 }  // namespace contjoin::core::subscriber

@@ -334,7 +334,9 @@ StatusOr<MwQuery> ParseMwQuery(std::string_view sql,
                                const rel::Catalog& catalog) {
   CJ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   MwParser parser(std::move(tokens), catalog);
-  return parser.Parse();
+  CJ_ASSIGN_OR_RETURN(MwQuery out, parser.Parse());
+  out.set_raw_sql(std::string(sql));
+  return out;
 }
 
 }  // namespace contjoin::query

@@ -84,6 +84,10 @@ class MwQuery {
   rel::Timestamp insertion_time() const { return insertion_time_; }
   void set_insertion_time(rel::Timestamp t) { insertion_time_ = t; }
 
+  /// SQL text this query was parsed from (wire codec re-parses on receipt).
+  const std::string& raw_sql() const { return raw_sql_; }
+  void set_raw_sql(std::string sql) { raw_sql_ = std::move(sql); }
+
   std::string ToString() const;
 
  private:
@@ -95,6 +99,7 @@ class MwQuery {
   std::string subscriber_key_;
   uint64_t subscriber_ip_ = 0;
   rel::Timestamp insertion_time_ = 0;
+  std::string raw_sql_;
 };
 
 using MwQueryPtr = std::shared_ptr<const MwQuery>;

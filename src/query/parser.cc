@@ -353,7 +353,9 @@ StatusOr<ContinuousQuery> ParseQuery(std::string_view sql,
                                      const rel::Catalog& catalog) {
   CJ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens), catalog);
-  return parser.Parse();
+  CJ_ASSIGN_OR_RETURN(ContinuousQuery out, parser.Parse());
+  out.set_raw_sql(std::string(sql));
+  return out;
 }
 
 }  // namespace contjoin::query

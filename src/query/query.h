@@ -107,6 +107,12 @@ class ContinuousQuery {
   rel::Timestamp insertion_time() const { return insertion_time_; }
   void set_insertion_time(rel::Timestamp t) { insertion_time_ = t; }
 
+  /// The SQL text this query was parsed from. The wire codec ships queries
+  /// as raw SQL plus engine metadata and re-parses on receipt, so the
+  /// parser stays the single source of structural truth.
+  const std::string& raw_sql() const { return raw_sql_; }
+  void set_raw_sql(std::string sql) { raw_sql_ = std::move(sql); }
+
   // --- Helpers -----------------------------------------------------------------
 
   /// Side index of the relation named `relation`, or -1.
@@ -125,6 +131,7 @@ class ContinuousQuery {
   std::string subscriber_key_;
   uint64_t subscriber_ip_ = 0;
   rel::Timestamp insertion_time_ = 0;
+  std::string raw_sql_;
 };
 
 using QueryPtr = std::shared_ptr<const ContinuousQuery>;

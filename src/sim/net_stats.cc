@@ -32,9 +32,11 @@ void NetStats::Reset() {
   for (size_t i = 0; i < kNumClasses; ++i) {
     per_class_[i].store(0, std::memory_order_relaxed);
     dropped_per_class_[i].store(0, std::memory_order_relaxed);
+    bytes_per_class_[i].store(0, std::memory_order_relaxed);
   }
   total_hops_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
+  total_bytes_.store(0, std::memory_order_relaxed);
 }
 
 NetStats NetStats::Since(const NetStats& earlier) const {
@@ -48,6 +50,10 @@ NetStats NetStats::Since(const NetStats& earlier) const {
         dropped_per_class_[i].load(std::memory_order_relaxed) -
             earlier.dropped_per_class_[i].load(std::memory_order_relaxed),
         std::memory_order_relaxed);
+    out.bytes_per_class_[i].store(
+        bytes_per_class_[i].load(std::memory_order_relaxed) -
+            earlier.bytes_per_class_[i].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   }
   out.total_hops_.store(
       total_hops_.load(std::memory_order_relaxed) -
@@ -56,6 +62,10 @@ NetStats NetStats::Since(const NetStats& earlier) const {
   out.dropped_.store(dropped_.load(std::memory_order_relaxed) -
                          earlier.dropped_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+  out.total_bytes_.store(
+      total_bytes_.load(std::memory_order_relaxed) -
+          earlier.total_bytes_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   return out;
 }
 

@@ -57,6 +57,14 @@ class NetStats {
         1, std::memory_order_relaxed);
     dropped_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Bytes-on-wire for one encoded frame. Only accounted when the engine
+  /// installs a frame sizer (wire-format encoding has a real cost, so the
+  /// meter is opt-in); zero otherwise.
+  void AddBytes(MsgClass c, uint64_t n) {
+    bytes_per_class_[static_cast<size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+    total_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   uint64_t hops(MsgClass c) const {
     return per_class_[static_cast<size_t>(c)].load(
@@ -71,6 +79,13 @@ class NetStats {
   uint64_t dropped(MsgClass c) const {
     return dropped_per_class_[static_cast<size_t>(c)].load(
         std::memory_order_relaxed);
+  }
+  uint64_t bytes(MsgClass c) const {
+    return bytes_per_class_[static_cast<size_t>(c)].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
   }
 
   void Reset();
@@ -93,17 +108,24 @@ class NetStats {
       dropped_per_class_[i].store(
           other.dropped_per_class_[i].load(std::memory_order_relaxed),
           std::memory_order_relaxed);
+      bytes_per_class_[i].store(
+          other.bytes_per_class_[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
     }
     total_hops_.store(other.total_hops_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     dropped_.store(other.dropped_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
+    total_bytes_.store(other.total_bytes_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
   }
 
   std::atomic<uint64_t> per_class_[kNumClasses] = {};
   std::atomic<uint64_t> dropped_per_class_[kNumClasses] = {};
+  std::atomic<uint64_t> bytes_per_class_[kNumClasses] = {};
   std::atomic<uint64_t> total_hops_{0};
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> total_bytes_{0};
 };
 
 }  // namespace contjoin::sim

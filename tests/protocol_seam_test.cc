@@ -63,6 +63,10 @@ class MockContext : public ProtocolContext {
     transmits.push_back({from, to, cls});
     deliver();
   }
+  void TransmitMessage(chord::Node& from, const chord::NodeId& to,
+                       chord::AppMessage msg) override {
+    transmitted.push_back({&from, to, std::move(msg)});
+  }
   void CountHop(sim::MsgClass) override { ++hops; }
   void Redeliver(chord::Node& node, const chord::AppMessage& msg) override {
     redelivered.push_back({&node, msg});
@@ -86,10 +90,16 @@ class MockContext : public ProtocolContext {
     chord::Node* to;
     sim::MsgClass cls;
   };
+  struct TransmitMessageRecord {
+    chord::Node* from;
+    chord::NodeId to;
+    chord::AppMessage msg;
+  };
 
   rel::Timestamp now_time = 0;
   std::vector<chord::AppMessage> sent;
   std::vector<TransmitRecord> transmits;
+  std::vector<TransmitMessageRecord> transmitted;
   std::vector<std::pair<chord::Node*, chord::AppMessage>> redelivered;
   std::vector<Notification> inbox;
   std::vector<std::function<void()>> scheduled;
@@ -131,15 +141,14 @@ TEST(RewriterForwardIfMoved, ForwardsToHolderAndRedelivers) {
   chord::AppMessage msg = AlTupleMessage("R+A");
   EXPECT_TRUE(rewriter::ForwardIfMoved(ctx, base, state, mkey, msg));
 
-  // One point-to-point hop base -> holder of the message's class, and the
-  // message re-enters dispatch at the holder.
-  ASSERT_EQ(ctx.transmits.size(), 1u);
-  EXPECT_EQ(ctx.transmits[0].from, &base);
-  EXPECT_EQ(ctx.transmits[0].to, &holder);
-  EXPECT_EQ(ctx.transmits[0].cls, sim::MsgClass::kTupleIndex);
-  ASSERT_EQ(ctx.redelivered.size(), 1u);
-  EXPECT_EQ(ctx.redelivered[0].first, &holder);
-  EXPECT_EQ(ctx.redelivered[0].second.payload, msg.payload);
+  // One typed point-to-point message base -> holder, addressed by the
+  // holder's identifier (no raw pointer crosses the hop) and keeping the
+  // original class and payload so it re-enters dispatch unchanged.
+  ASSERT_EQ(ctx.transmitted.size(), 1u);
+  EXPECT_EQ(ctx.transmitted[0].from, &base);
+  EXPECT_EQ(ctx.transmitted[0].to, holder.id());
+  EXPECT_EQ(ctx.transmitted[0].msg.cls, sim::MsgClass::kTupleIndex);
+  EXPECT_EQ(ctx.transmitted[0].msg.payload, msg.payload);
 }
 
 TEST(RewriterForwardIfMoved, FallsBackToBaseWhenHolderIsDead) {
@@ -155,7 +164,7 @@ TEST(RewriterForwardIfMoved, FallsBackToBaseWhenHolderIsDead) {
   EXPECT_FALSE(rewriter::ForwardIfMoved(ctx, base, state, mkey, msg));
   // The stale pointer is dropped; the base node resumes the role.
   EXPECT_TRUE(state.moved_attrs.empty());
-  EXPECT_TRUE(ctx.transmits.empty());
+  EXPECT_TRUE(ctx.transmitted.empty());
 }
 
 TEST(RewriterForwardIfMoved, IgnoresUnmovedKeys) {
@@ -166,7 +175,7 @@ TEST(RewriterForwardIfMoved, IgnoresUnmovedKeys) {
   chord::AppMessage msg = AlTupleMessage("R+A");
   EXPECT_FALSE(
       rewriter::ForwardIfMoved(ctx, base, state, rewriter::MKey("R+A", 0), msg));
-  EXPECT_TRUE(ctx.transmits.empty());
+  EXPECT_TRUE(ctx.transmitted.empty());
   EXPECT_TRUE(ctx.redelivered.empty());
 }
 

@@ -68,6 +68,10 @@ class ReliabilityMockContext : public ProtocolContext {
     transmits.push_back({from, to, cls});
     deliver();
   }
+  void TransmitMessage(chord::Node& from, const chord::NodeId& to,
+                       chord::AppMessage msg) override {
+    transmitted.push_back({&from, to, std::move(msg)});
+  }
   void CountHop(sim::MsgClass) override {}
   void Redeliver(chord::Node& node, const chord::AppMessage& msg) override {
     redelivered.push_back({&node, msg});
@@ -95,10 +99,16 @@ class ReliabilityMockContext : public ProtocolContext {
     chord::Node* to;
     sim::MsgClass cls;
   };
+  struct TransmitMessageRecord {
+    chord::Node* from;
+    chord::NodeId to;
+    chord::AppMessage msg;
+  };
 
   rel::Timestamp now_time = 0;
   std::vector<chord::AppMessage> sent;
   std::vector<TransmitRecord> transmits;
+  std::vector<TransmitMessageRecord> transmitted;
   std::vector<std::pair<chord::Node*, chord::AppMessage>> redelivered;
   std::vector<std::function<void()>> scheduled;
   uint64_t next_reliable_id = 0;
@@ -143,18 +153,17 @@ TEST(ReliabilityOrigin, AckIsRoutedThroughTheNodeTable) {
   EXPECT_EQ(msg.reliable_origin, origin.id());
 
   EXPECT_FALSE(reliability::ObserveDelivery(ctx, receiver, msg));
-  ASSERT_EQ(ctx.transmits.size(), 1u);
-  EXPECT_EQ(ctx.transmits[0].from, &receiver);
-  EXPECT_EQ(ctx.transmits[0].to, &origin);
-  EXPECT_EQ(ctx.transmits[0].cls, sim::MsgClass::kControl);
-  ASSERT_EQ(ctx.redelivered.size(), 1u);
+  ASSERT_EQ(ctx.transmitted.size(), 1u);
+  EXPECT_EQ(ctx.transmitted[0].from, &receiver);
+  EXPECT_EQ(ctx.transmitted[0].to, origin.id());
+  EXPECT_EQ(ctx.transmitted[0].msg.cls, sim::MsgClass::kControl);
   const auto& ack = static_cast<const DeliveryAckPayload&>(
-      *ctx.redelivered[0].second.payload);
+      *ctx.transmitted[0].msg.payload);
   EXPECT_EQ(ack.msg_id, msg.reliable_id);
 
   // A retransmission of the same id is suppressed but still acked.
   EXPECT_TRUE(reliability::ObserveDelivery(ctx, receiver, msg));
-  EXPECT_EQ(ctx.transmits.size(), 2u);
+  EXPECT_EQ(ctx.transmitted.size(), 2u);
 }
 
 TEST(ReliabilityOrigin, CrashedOriginGetsNoAckAndNoDereference) {
@@ -172,7 +181,7 @@ TEST(ReliabilityOrigin, CrashedOriginGetsNoAckAndNoDereference) {
   origin.SetAliveDirect(false);
 
   EXPECT_FALSE(reliability::ObserveDelivery(ctx, receiver, msg));
-  EXPECT_TRUE(ctx.transmits.empty());  // No ack to a dead node.
+  EXPECT_TRUE(ctx.transmitted.empty());  // No ack to a dead node.
   // The message itself was still processed (dedup records it).
   EXPECT_TRUE(reliability::ObserveDelivery(ctx, receiver, msg));
 }
@@ -193,7 +202,7 @@ TEST(ReliabilityOrigin, DepartedOriginGetsNoAckAndNoDereference) {
   ctx.RemoveNode(&origin);
 
   EXPECT_FALSE(reliability::ObserveDelivery(ctx, receiver, msg));
-  EXPECT_TRUE(ctx.transmits.empty());
+  EXPECT_TRUE(ctx.transmitted.empty());
 }
 
 TEST(ReliabilityOrigin, SelfDeliveryConfirmsInPlaceWithoutAckTraffic) {
@@ -207,7 +216,7 @@ TEST(ReliabilityOrigin, SelfDeliveryConfirmsInPlaceWithoutAckTraffic) {
   EXPECT_EQ(ctx.StateOf(origin).reliability.pending.size(), 1u);
 
   EXPECT_FALSE(reliability::ObserveDelivery(ctx, origin, msg));
-  EXPECT_TRUE(ctx.transmits.empty());
+  EXPECT_TRUE(ctx.transmitted.empty());
   EXPECT_TRUE(ctx.StateOf(origin).reliability.pending.empty());
 }
 

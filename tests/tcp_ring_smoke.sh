@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Loopback smoke test of the socket transport: boots a 5-process
+# contjoin_noded ring, pushes a small SAI and DAI-V workload through
+# contjoin_client, and diffs the delivered notification content keys
+# against an identical in-process run (the oracle). Reliability is on, so
+# the ack/retry/dedup path crosses process boundaries too.
+#
+# Usage: tcp_ring_smoke.sh <contjoin_noded> <contjoin_client>
+set -u
+
+NODED=$1
+CLIENT=$2
+DAEMONS=5
+NODES=20
+SEED=7
+WORKDIR=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORKDIR"' EXIT
+
+cat > "$WORKDIR/script.txt" <<'EOF'
+submit 0 SELECT R.A, S.D FROM R, S WHERE R.B = S.E
+submit 7 SELECT Doc.Title, Auth.Name FROM Doc, Auth WHERE Doc.Id = Auth.Id
+insert 1 R 10 5 100
+insert 2 S 20 5 200
+insert 3 R 11 5 101
+insert 4 S 21 6 201
+insert 8 R 12 6 102
+insert 9 Doc 77 paper
+insert 13 Auth alice 77
+insert 11 S 22 6 202
+insert 6 R 13 9 103
+drain
+EOF
+
+run_ring() {
+  local algo=$1 port_base=$2 attempt
+  for attempt in 1 2 3; do
+    local pids=()
+    for i in $(seq 0 $((DAEMONS - 1))); do
+      "$NODED" --index "$i" --daemons "$DAEMONS" --nodes "$NODES" \
+        --port-base "$port_base" --algorithm "$algo" --reliability on \
+        --seed "$SEED" &
+      pids+=($!)
+    done
+    sleep 0.3
+    if "$CLIENT" --daemons "$DAEMONS" --nodes "$NODES" \
+        --port-base "$port_base" < "$WORKDIR/script.txt" \
+        > "$WORKDIR/tcp_$algo.txt" 2> "$WORKDIR/tcp_$algo.err"; then
+      wait "${pids[@]}" 2>/dev/null
+      return 0
+    fi
+    # A daemon may have lost the port race; clean up and retry elsewhere.
+    kill "${pids[@]}" 2>/dev/null
+    wait "${pids[@]}" 2>/dev/null
+    port_base=$((port_base + 100))
+  done
+  echo "FAIL($algo): client could not drive the ring" >&2
+  cat "$WORKDIR/tcp_$algo.err" >&2
+  return 1
+}
+
+status=0
+port=$((20000 + RANDOM % 20000))
+for algo in sai daiv; do
+  if ! run_ring "$algo" "$port"; then
+    status=1
+    continue
+  fi
+  "$CLIENT" --oracle --daemons "$DAEMONS" --nodes "$NODES" \
+    --algorithm "$algo" --reliability on --seed "$SEED" \
+    < "$WORKDIR/script.txt" > "$WORKDIR/oracle_$algo.txt" 2>&1
+  if ! diff -u "$WORKDIR/oracle_$algo.txt" "$WORKDIR/tcp_$algo.txt"; then
+    echo "FAIL($algo): TCP ring and oracle notification sets differ" >&2
+    status=1
+  else
+    echo "OK($algo): $(grep -c '|' "$WORKDIR/tcp_$algo.txt") notifications match the oracle"
+  fi
+  port=$((port + 10))
+done
+exit $status

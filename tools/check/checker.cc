@@ -353,9 +353,67 @@ void CheckMessages(const CheckConfig& config, std::vector<Diagnostic>* out) {
   }
 }
 
+// --- Rule 3: wire-codec exhaustiveness ----------------------------------------
+
+void CheckCodecs(const CheckConfig& config, std::vector<Diagnostic>* out) {
+  fs::path messages = fs::path(config.root) / "src" / "core" / "messages.h";
+  fs::path codec = fs::path(config.root) / "src" / "core" / "codec.cc";
+  if (!fs::exists(messages) || !fs::exists(codec)) return;
+  const std::string messages_rel = "src/core/messages.h";
+  const std::string codec_rel = "src/core/codec.cc";
+  std::string mtext = StripComments(ReadFileText(messages));
+  std::string ctext = StripComments(ReadFileText(codec));
+
+  size_t enum_pos = mtext.find("enum class CqMsgType");
+  if (enum_pos == std::string::npos) {
+    out->push_back({messages_rel, 0, "codecs",
+                    "enum class CqMsgType not found"});
+    return;
+  }
+  std::vector<std::string> enums = ParseEnumerators(mtext, enum_pos);
+  if (enums.empty()) {
+    out->push_back({messages_rel, LineOfOffset(mtext, enum_pos), "codecs",
+                    "CqMsgType has no enumerators"});
+    return;
+  }
+  std::set<std::string> enum_set(enums.begin(), enums.end());
+
+  // Every enumerator gets exactly one Encode/Decode pair in the default
+  // codec table; a payload type without one is silently undeliverable over
+  // the socket transport.
+  std::regex reg_re(R"(RegisterCodec\s*\(\s*CqMsgType::(k\w+))");
+  std::map<std::string, std::vector<size_t>> reg_lines;
+  for (auto it = std::sregex_iterator(ctext.begin(), ctext.end(), reg_re);
+       it != std::sregex_iterator(); ++it) {
+    std::string name = (*it)[1].str();
+    size_t line = LineOfOffset(ctext, static_cast<size_t>(it->position(0)));
+    reg_lines[name].push_back(line);
+    if (enum_set.count(name) == 0) {
+      out->push_back({codec_rel, line, "codecs",
+                      "codec registered for unknown enumerator "
+                      "CqMsgType::" + name});
+    }
+  }
+  for (const std::string& e : enums) {
+    auto it = reg_lines.find(e);
+    if (it == reg_lines.end()) {
+      out->push_back({codec_rel, 0, "codecs",
+                      "CqMsgType::" + e +
+                          " has no registered wire codec (no "
+                          "RegisterCodec(CqMsgType::" + e +
+                          ", ...) in the default codec table)"});
+    } else if (it->second.size() > 1) {
+      out->push_back({codec_rel, it->second[1], "codecs",
+                      "CqMsgType::" + e + " registered " +
+                          std::to_string(it->second.size()) +
+                          " times in the default codec table"});
+    }
+  }
+}
+
 namespace {
 
-// --- Rule 3: determinism ------------------------------------------------------
+// --- Rule 4: determinism ------------------------------------------------------
 
 struct BannedToken {
   const char* token;
@@ -549,7 +607,7 @@ void CheckDeterminism(const CheckConfig& config,
   }
 }
 
-// --- Rule 4: lint promotion ---------------------------------------------------
+// --- Rule 5: lint promotion ---------------------------------------------------
 
 void CheckLintConfig(const CheckConfig& config,
                      std::vector<Diagnostic>* out) {
@@ -603,7 +661,7 @@ void CheckLintConfig(const CheckConfig& config,
   }
 }
 
-// --- Rule 5: shard safety -----------------------------------------------------
+// --- Rule 6: shard safety -----------------------------------------------------
 
 namespace {
 
@@ -749,6 +807,7 @@ std::vector<Diagnostic> RunChecks(const CheckConfig& config) {
   std::vector<Diagnostic> out;
   if (config.check_layering) CheckLayering(config, &out);
   if (config.check_messages) CheckMessages(config, &out);
+  if (config.check_codecs) CheckCodecs(config, &out);
   if (config.check_determinism) CheckDeterminism(config, &out);
   if (config.check_lint_config) CheckLintConfig(config, &out);
   if (config.check_shard_safety) CheckShardSafety(config, &out);

@@ -1,6 +1,6 @@
 // contjoin_check: project-specific static analysis enforcing the
 // architecture PR 1 introduced and the determinism guarantees the paper's
-// evaluation rests on. Five rule families:
+// evaluation rests on. Six rule families:
 //
 //  1. layering      — the include graph of src/ must respect the layer DAG
 //                     (common → relational/query/sim → chord → core →
@@ -13,16 +13,21 @@
 //                     exactly one registered handler in core/dispatch.cc,
 //                     and kCqMsgTypeCount is derived from the last
 //                     enumerator.
-//  3. determinism   — src/ must not call std::rand/srand or read wall
+//  3. codecs        — every CqMsgType enumerator has exactly one
+//                     Encode/Decode pair registered in the default wire
+//                     codec table (core/codec.cc); a payload type without
+//                     a codec would be silently undeliverable over the
+//                     socket transport.
+//  4. determinism   — src/ must not call std::rand/srand or read wall
 //                     clocks (system_clock::now, time()); range-for
 //                     iteration over an unordered container requires a
 //                     `// contjoin-check: ordered-ok(<reason>)` waiver on
 //                     the loop line or one of the two lines above it.
-//  4. lint-config   — the promoted clang-tidy checks
+//  5. lint-config   — the promoted clang-tidy checks
 //                     (bugprone-use-after-move, bugprone-dangling-handle,
 //                     performance-*) must be enabled and listed in
 //                     WarningsAsErrors in .clang-tidy.
-//  5. shard-safety  — role-module handlers run concurrently across node
+//  6. shard-safety  — role-module handlers run concurrently across node
 //                     shards under the parallel simulator core, so role
 //                     modules must not declare mutable static data and
 //                     must not draw from the shared engine RNG (GetRng);
@@ -47,8 +52,8 @@ namespace contjoin::check {
 struct Diagnostic {
   std::string file;  // Path relative to the checked root.
   size_t line = 0;   // 1-based; 0 for file- or config-level findings.
-  std::string rule;  // "layering", "messages", "determinism", "lint-config",
-                     // "shard-safety", "compile-db".
+  std::string rule;  // "layering", "messages", "codecs", "determinism",
+                     // "lint-config", "shard-safety", "compile-db".
   std::string message;
 };
 
@@ -58,6 +63,7 @@ struct CheckConfig {
                            // skips the compile-database coverage check.
   bool check_layering = true;
   bool check_messages = true;
+  bool check_codecs = true;
   bool check_determinism = true;
   bool check_lint_config = true;
   bool check_shard_safety = true;
@@ -71,6 +77,7 @@ std::vector<Diagnostic> RunChecks(const CheckConfig& config);
 // one fires in isolation).
 void CheckLayering(const CheckConfig& config, std::vector<Diagnostic>* out);
 void CheckMessages(const CheckConfig& config, std::vector<Diagnostic>* out);
+void CheckCodecs(const CheckConfig& config, std::vector<Diagnostic>* out);
 void CheckDeterminism(const CheckConfig& config,
                       std::vector<Diagnostic>* out);
 void CheckLintConfig(const CheckConfig& config,

@@ -67,6 +67,21 @@ TEST(CheckerTest, MessagesRuleFires) {
   EXPECT_TRUE(AnyMessageContains(diags, "unknown enumerator CqMsgType::kDelta"));
 }
 
+TEST(CheckerTest, CodecsRuleFires) {
+  CheckConfig config;
+  config.root = Fixture("codecs_bad");
+  std::vector<Diagnostic> diags;
+  CheckCodecs(config, &diags);
+  EXPECT_EQ(CountRule(diags, "codecs"), 3u);
+  EXPECT_TRUE(AnyMessageContains(diags, "kAlpha registered 2 times"));
+  EXPECT_TRUE(AnyMessageContains(diags, "kBeta has no registered wire codec"));
+  EXPECT_TRUE(
+      AnyMessageContains(diags, "unknown enumerator CqMsgType::kGamma"));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.file, "src/core/codec.cc") << FormatDiagnostic(d);
+  }
+}
+
 TEST(CheckerTest, DeterminismRuleFires) {
   CheckConfig config;
   config.root = Fixture("determinism_bad");
@@ -111,14 +126,15 @@ TEST(CheckerTest, ShardSafetyRuleFires) {
 }
 
 TEST(CheckerTest, CompileDbCoverageFires) {
-  // A database listing only rewriter.cc: dispatch.cc must be reported as
-  // unbuilt.
+  // A database missing dispatch.cc: it must be reported as unbuilt.
   std::string db_path =
       ::testing::TempDir() + "/contjoin_check_partial_db.json";
   {
     std::ofstream db(db_path);
     db << "[{\"directory\": \"/tmp\", \"command\": \"c++ -c\", "
-          "\"file\": \"src/core/rewriter.cc\"}]\n";
+          "\"file\": \"src/core/rewriter.cc\"},\n"
+          " {\"directory\": \"/tmp\", \"command\": \"c++ -c\", "
+          "\"file\": \"src/core/codec.cc\"}]\n";
   }
   CheckConfig config;
   config.root = Fixture("clean");

@@ -14,7 +14,7 @@ int Usage() {
       << "usage: contjoin_check --root DIR [-p compile_commands.json] "
          "[--rule NAME]...\n"
          "\n"
-         "Rules (default: all): layering, messages, determinism, "
+         "Rules (default: all): layering, messages, codecs, determinism, "
          "lint-config, shard-safety.\n"
          "The compile-database coverage check runs whenever -p is given.\n";
   return 2;
@@ -34,8 +34,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--rule" && i + 1 < argc) {
       if (!rules_selected) {
         config.check_layering = config.check_messages =
-            config.check_determinism = config.check_lint_config =
-                config.check_shard_safety = false;
+            config.check_codecs = config.check_determinism =
+                config.check_lint_config = config.check_shard_safety = false;
         rules_selected = true;
       }
       std::string rule = argv[++i];
@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
         config.check_layering = true;
       } else if (rule == "messages") {
         config.check_messages = true;
+      } else if (rule == "codecs") {
+        config.check_codecs = true;
       } else if (rule == "determinism") {
         config.check_determinism = true;
       } else if (rule == "lint-config") {

@@ -1,0 +1,18 @@
+// The wire-codec registry for the fixture tree: every CqMsgType enumerator
+// gets exactly one Encode/Decode registration.
+#include "core/messages.h"
+
+namespace fixture {
+
+using EncodeFn = void (*)();
+using DecodeFn = void (*)();
+
+void RegisterCodec(CqMsgType type, EncodeFn encode, DecodeFn decode);
+
+void RegisterAllCodecs() {
+  RegisterCodec(CqMsgType::kAlpha, nullptr, nullptr);
+  RegisterCodec(CqMsgType::kBeta, nullptr, nullptr);
+  RegisterCodec(CqMsgType::kAck, nullptr, nullptr);
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Deliberately broken codec registry: kAlpha is registered twice, kBeta is
+// never registered, and kGamma is not a CqMsgType enumerator at all.
+#include "core/messages.h"
+
+namespace fixture {
+
+using EncodeFn = void (*)();
+using DecodeFn = void (*)();
+
+void RegisterCodec(CqMsgType type, EncodeFn encode, DecodeFn decode);
+
+void RegisterAllCodecs() {
+  RegisterCodec(CqMsgType::kAlpha, nullptr, nullptr);
+  RegisterCodec(CqMsgType::kAlpha, nullptr, nullptr);
+  RegisterCodec(CqMsgType::kGamma, nullptr, nullptr);
+  RegisterCodec(CqMsgType::kAck, nullptr, nullptr);
+}
+
+}  // namespace fixture

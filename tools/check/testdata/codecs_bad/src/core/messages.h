@@ -1,0 +1,19 @@
+#ifndef FIXTURE_CODECS_BAD_CORE_MESSAGES_H_
+#define FIXTURE_CODECS_BAD_CORE_MESSAGES_H_
+
+#include <cstddef>
+
+namespace fixture {
+
+enum class CqMsgType : unsigned char {
+  kAlpha,
+  kBeta,
+  kAck,
+};
+
+inline constexpr size_t kCqMsgTypeCount =
+    static_cast<size_t>(CqMsgType::kAck) + 1;
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CODECS_BAD_CORE_MESSAGES_H_
