@@ -329,6 +329,29 @@ std::shared_ptr<const CqPayload> DecodeNotification(CqMsgType,
   return r.ok() ? p : nullptr;
 }
 
+bool EncodeNotificationDigest(const CqPayload& payload, wire::Writer& w) {
+  const auto& p = static_cast<const NotificationDigestPayload&>(payload);
+  w.Str(p.subscriber_key);
+  w.Id(p.evaluator);
+  w.U32(static_cast<uint32_t>(p.notifications.size()));
+  for (const Notification& n : p.notifications) WriteNotification(w, n);
+  return true;
+}
+
+std::shared_ptr<const CqPayload> DecodeNotificationDigest(
+    CqMsgType, wire::Reader& r, const rel::Catalog&) {
+  auto p = std::make_shared<NotificationDigestPayload>();
+  p->subscriber_key = r.Str();
+  p->evaluator = r.Id();
+  const uint32_t n = r.U32();
+  if (!PlausibleCount(r, n)) return nullptr;
+  p->notifications.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!ReadNotification(r, &p->notifications[i])) return nullptr;
+  }
+  return r.ok() ? p : nullptr;
+}
+
 bool EncodeUnsubscribe(const CqPayload& payload, wire::Writer& w) {
   const auto& p = static_cast<const UnsubscribePayload&>(payload);
   w.Str(p.query_key);
@@ -571,6 +594,9 @@ PayloadCodec BuildDefaultCodec() {
                             DecodeOtjScan);
   ok &= table.RegisterCodec(CqMsgType::kOtjRehash, EncodeOtjRehash,
                             DecodeOtjRehash);
+  ok &= table.RegisterCodec(CqMsgType::kNotificationDigest,
+                            EncodeNotificationDigest,
+                            DecodeNotificationDigest);
   ok &= table.RegisterCodec(CqMsgType::kDeliveryAck, EncodeDeliveryAck,
                             DecodeDeliveryAck);
   CJ_CHECK(ok) << "duplicate codec registration";

@@ -70,6 +70,11 @@ class ProtocolContext {
                                chord::AppMessage msg) = 0;
   /// Accounts one overlay hop of class `cls` (e.g. an implied response).
   virtual void CountHop(sim::MsgClass cls) = 0;
+  /// Accounts one backpressure decision (serving extension): `shed` = the
+  /// delivery was dropped at the high-water mark, otherwise it was
+  /// deferred to a later epoch. Default no-op so seam mocks that predate
+  /// the serving layer keep working unchanged.
+  virtual void RecordBackpressure(bool shed) { (void)shed; }
   /// Re-enters message dispatch at `node` — moved attribute-level
   /// identifiers forward whole messages to their holder (§4.7).
   virtual void Redeliver(chord::Node& node, const chord::AppMessage& msg) = 0;

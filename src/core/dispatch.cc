@@ -50,6 +50,8 @@ const MessageDispatcher& MessageDispatcher::Default() {
     CJ_CHECK(t.Register(CqMsgType::kOtjRehash, otj::HandleRehash));
     CJ_CHECK(t.Register(CqMsgType::kDeliveryAck,
                         reliability::HandleDeliveryAck));
+    CJ_CHECK(t.Register(CqMsgType::kNotificationDigest,
+                        subscriber::HandleNotificationDigest));
     return t;
   }();
   return table;

@@ -159,6 +159,11 @@ void ContinuousQueryNetwork::CrashNodeInternal(chord::Node* node) {
   state.otj = otj::State();
   state.reliability = reliability::State();
   state.subscriber.subscriber_addr.clear();
+  // Serving-path overlay state dies too: buffered digests and in-flight
+  // slots are process memory, not client state.
+  state.subscriber.digest_buffer.clear();
+  state.subscriber.digest_flush_scheduled = false;
+  state.subscriber.inflight = 0;
   node->store().ExtractAll();  // Ring-stored items die with the node.
 }
 

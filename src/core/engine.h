@@ -100,6 +100,25 @@ class ContinuousQueryNetwork : public chord::Application,
       const std::vector<std::pair<size_t, std::string>>& origins_relations,
       std::vector<std::vector<rel::Value>> rows);
 
+  // --- Open-loop serving (src/serving drives these) ----------------------------
+
+  /// Schedules a tuple publication at absolute virtual time `when` (>= Now)
+  /// without draining the cascade: the tuple is stamped with its birth time
+  /// `when` and a fresh sequence number immediately, and the publication
+  /// fires when the simulator clock reaches `when`. Unlike InsertTuple the
+  /// call returns before any protocol work happens — this is what lets an
+  /// open-loop driver keep arrivals coming whether or not the system keeps
+  /// up. The origin node is resolved at fire time (churn-safe).
+  Status SchedulePublish(sim::SimTime when, size_t node_index,
+                         const std::string& relation,
+                         std::vector<rel::Value> values);
+
+  /// Runs all events with timestamp <= `until`, advances the clock to
+  /// exactly `until`, then applies scripted churn that became due. The
+  /// open-loop driver alternates SchedulePublish batches with
+  /// RunOpenLoopUntil segment boundaries. Returns events run.
+  uint64_t RunOpenLoopUntil(sim::SimTime until);
+
   /// Cancels a continuous query (extension; requires
   /// options.track_evaluators for evaluator-side garbage collection).
   Status Unsubscribe(size_t node_index, const std::string& query_key);
@@ -234,6 +253,13 @@ class ContinuousQueryNetwork : public chord::Application,
     network_.TransmitHop(&from, to, std::move(frame));
   }
   void CountHop(sim::MsgClass cls) override { network_.CountHop(cls); }
+  void RecordBackpressure(bool shed) override {
+    if (shed) {
+      network_.stats().AddShed();
+    } else {
+      network_.stats().AddDeferred();
+    }
+  }
   void Redeliver(chord::Node& node, const chord::AppMessage& msg) override {
     HandleMessage(node, msg);
   }
@@ -255,6 +281,9 @@ class ContinuousQueryNetwork : public chord::Application,
     return network_.FindById(id);
   }
   void DepositNotification(chord::Node& node, Notification n) override {
+    // Delivery stamp for the serving layer's latency accounting; inbox
+    // consumers that predate it ignore the field.
+    n.delivered_at = simulator_.Now();
     StateOf(node).subscriber.inbox.push_back(std::move(n));
   }
   void AppendOtjResults(uint64_t otj_id,

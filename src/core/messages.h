@@ -74,11 +74,12 @@ enum class CqMsgType : unsigned char {
   kOtjScan,    // One-time join: broadcast scan request (PIER baseline).
   kOtjRehash,  // One-time join: tuples rehashed by join value.
   kDeliveryAck,  // Reliable-delivery ack for a message id (back to origin).
+  kNotificationDigest,  // Coalesced per-(destination, epoch) notifications.
 };
 
 /// Number of message types (size of dispatch / per-type counter tables).
 inline constexpr size_t kCqMsgTypeCount =
-    static_cast<size_t>(CqMsgType::kDeliveryAck) + 1;
+    static_cast<size_t>(CqMsgType::kNotificationDigest) + 1;
 
 /// Base payload carrying the dispatch tag.
 struct CqPayload : chord::Payload {
@@ -255,6 +256,17 @@ struct OtjRehashPayload : CqPayload {
 struct DeliveryAckPayload : CqPayload {
   DeliveryAckPayload() : CqPayload(CqMsgType::kDeliveryAck) {}
   uint64_t msg_id = 0;
+};
+
+/// Fan-out batching (serving extension): all notifications an evaluator
+/// produced for one subscriber within one virtual-time epoch, coalesced
+/// into a single digest message. Content-lossless: the receiver unpacks
+/// the digest into the exact notification set the unbatched path delivers.
+struct NotificationDigestPayload : CqPayload {
+  NotificationDigestPayload() : CqPayload(CqMsgType::kNotificationDigest) {}
+  std::vector<Notification> notifications;
+  std::string subscriber_key;
+  chord::NodeId evaluator;  // So the subscriber can send IP updates (0=none).
 };
 
 

@@ -22,6 +22,11 @@ struct Notification {
   rel::Timestamp earlier_pub = 0;     // Publication time of the older tuple.
   rel::Timestamp later_pub = 0;       // Publication time of the newer tuple.
   rel::Timestamp created_at = 0;
+  /// Virtual time the notification reached the subscriber's inbox. Stamped
+  /// on deposit only — never serialized, never part of ContentKey — so the
+  /// serving layer can measure time-in-flight (delivered_at - later_pub)
+  /// without perturbing wire traffic or equivalence digests.
+  rel::Timestamp delivered_at = 0;
 
   /// Canonical content identity: query key plus the row's key strings.
   /// Equivalence tests compare notification *sets* by this key (the paper's

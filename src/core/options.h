@@ -46,6 +46,28 @@ struct ReliabilityOptions {
   bool repair_on_churn = true;
 };
 
+/// Serving-path knobs (open-loop extension): subscriber fan-out batching
+/// and per-node delivery backpressure. All off by default — the engine is
+/// bit-identical to one without this subsystem when disabled.
+struct ServingOptions {
+  /// Coalesce an evaluator's notifications per (subscriber, epoch) into a
+  /// single kNotificationDigest message instead of one kNotification each.
+  bool fanout_batching = false;
+
+  /// Cap in-flight notification deliveries per evaluator node. Past the
+  /// high-water mark new deliveries are shed (dropped, counted) or
+  /// deferred (retried after defer_delay), per `shed`.
+  bool backpressure = false;
+  uint64_t high_water = 64;
+  bool shed = false;  // false = defer (retry later), true = drop.
+  uint64_t defer_delay = 4;
+
+  /// Virtual time one delivery slot stays occupied; with hop_latency h the
+  /// node services ~high_water deliveries per max(1,h)*service_time ticks,
+  /// which is what makes "max sustainable rate" a real capacity question.
+  uint64_t service_time = 1;
+};
+
 struct Options {
   /// Ring size for the built-in ideal ring; ignored when the caller builds
   /// the ring itself.
@@ -94,6 +116,8 @@ struct Options {
   faults::FaultOptions faults;
 
   ReliabilityOptions reliability;
+
+  ServingOptions serving;
 };
 
 }  // namespace contjoin::core

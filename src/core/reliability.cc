@@ -74,6 +74,7 @@ bool IsCritical(CqMsgType type) {
     case CqMsgType::kJoin:
     case CqMsgType::kDaivJoin:
     case CqMsgType::kNotification:
+    case CqMsgType::kNotificationDigest:
       return true;
     default:
       return false;

@@ -196,6 +196,53 @@ Status ContinuousQueryNetwork::InsertTupleWave(
   return Status::OK();
 }
 
+// --- Open-loop serving (extension) ----------------------------------------------------
+
+Status ContinuousQueryNetwork::SchedulePublish(sim::SimTime when,
+                                               size_t node_index,
+                                               const std::string& relation,
+                                               std::vector<rel::Value> values) {
+  if (node_index >= nodes_.size()) {
+    return Status::InvalidArgument("node index out of range");
+  }
+  if (when < simulator_.Now()) {
+    return Status::InvalidArgument("publication time is in the past");
+  }
+  const rel::RelationSchema* schema = catalog_.Find(relation);
+  if (schema == nullptr) {
+    return Status::NotFound("unknown relation '" + relation + "'");
+  }
+  // Birth time and sequence are assigned now, at arrival-process time, so
+  // the tuple's virtual-time birth is the scheduled arrival instant even
+  // if the system is saturated when the event fires.
+  auto tuple = std::make_shared<const rel::Tuple>(
+      relation, std::move(values), when, next_tuple_seq_++);
+  CJ_RETURN_IF_ERROR(tuple->CheckAgainst(*schema));
+  // kNoShard: publication draws from the engine rng (SAI side choice,
+  // replica choice), so the publishing epoch must stay serial for the
+  // worker-count determinism contract. The cascade it spawns still
+  // parallelizes in subsequent epochs.
+  simulator_.ScheduleAt(when, [this, node_index, tuple]() {
+    chord::Node* origin = EntryNode(node_index);
+    if (origin == nullptr) return;
+    PublishTupleFrom(origin, tuple);
+    publish_log_.emplace_back(origin, tuple);
+  });
+  return Status::OK();
+}
+
+uint64_t ContinuousQueryNetwork::RunOpenLoopUntil(sim::SimTime until) {
+  const uint64_t before = simulator_.total_events_run();
+  simulator_.RunUntil(until);
+  // Churn applies at segment boundaries (quiescent points), mirroring the
+  // closed-loop operation-boundary semantics. The repair sweep drains the
+  // whole queue, so the serving driver only schedules arrivals up to the
+  // next boundary — anything still pending here belongs to this segment's
+  // cascade and may legitimately complete during repair.
+  ProcessChurnDue();
+  return simulator_.total_events_run() - before;
+}
+
 // --- Multi-way joins (extension) ------------------------------------------------------
 
 StatusOr<std::string> ContinuousQueryNetwork::SubmitMultiwayQuery(

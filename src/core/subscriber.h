@@ -7,8 +7,10 @@
 #define CONTJOIN_CORE_SUBSCRIBER_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "chord/types.h"
@@ -30,6 +32,21 @@ struct State {
 
   std::vector<Notification> inbox;
   uint64_t next_query_serial = 0;
+
+  // --- Serving extension (volatile evaluator-side state; a crash wipes it
+  // like the index tables — buffered digests die with the process) --------
+
+  /// Fan-out batching: notifications produced within the current epoch,
+  /// buffered per subscriber key (with the subscriber ip seen at emit
+  /// time) until the end-of-epoch flush. Ordered map: the flush iterates
+  /// it, and iteration order is part of the determinism contract.
+  std::map<std::string, std::pair<uint64_t, std::vector<Notification>>>
+      digest_buffer;
+  bool digest_flush_scheduled = false;
+
+  /// Backpressure: notification deliveries currently occupying one of this
+  /// node's in-flight slots.
+  uint64_t inflight = 0;
 };
 
 /// Builds a notification from a completed row and delivers it (§4.6).
@@ -55,6 +72,8 @@ void AbsorbStoredItems(ProtocolContext& ctx, chord::Node& node,
 // Message handlers (wired up by the dispatch registry).
 void HandleNotification(ProtocolContext& ctx, chord::Node& node,
                         const chord::AppMessage& msg);
+void HandleNotificationDigest(ProtocolContext& ctx, chord::Node& node,
+                              const chord::AppMessage& msg);
 void HandleIpUpdate(ProtocolContext& ctx, chord::Node& node,
                     const chord::AppMessage& msg);
 

@@ -1,0 +1,54 @@
+// Seeded open-loop arrival processes. An arrival sequence is a pure
+// function of (spec, seed): the serving driver pre-generates every arrival
+// instant before any simulation runs, so the workload an engine faces is
+// identical at any worker count — the open-loop analogue of the
+// closed-loop determinism contract.
+
+#ifndef CONTJOIN_SERVING_ARRIVAL_H_
+#define CONTJOIN_SERVING_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace contjoin::serving {
+
+enum class ArrivalKind : unsigned char {
+  kPoisson,      // Memoryless arrivals at a constant mean rate.
+  kBurstyOnOff,  // Poisson bursts during exponentially-long on periods,
+                 // silence during off periods (interrupted Poisson).
+  kDiurnalRamp,  // Rate ramps linearly low -> peak -> low over each period
+                 // (thinning of a peak-rate Poisson stream).
+};
+
+const char* ArrivalKindName(ArrivalKind k);
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+
+  /// Mean arrivals per virtual tick: the steady rate (Poisson), the
+  /// in-burst rate (bursty), or the peak rate (diurnal).
+  double rate = 1.0;
+
+  /// Bursty on/off: mean length of on and off periods, in ticks.
+  double mean_on = 32.0;
+  double mean_off = 32.0;
+
+  /// Diurnal ramp: rate at the trough as a fraction of `rate`, and the
+  /// length of one low->peak->low cycle in ticks.
+  double trough_fraction = 0.1;
+  uint64_t period = 256;
+};
+
+/// Generates every arrival instant in [start, start + duration), sorted
+/// ascending. Instants are integer ticks; several arrivals may share one
+/// tick (that is what an open-loop burst is). Pure: same (spec, seed,
+/// start, duration) always yields the same sequence.
+std::vector<sim::SimTime> GenerateArrivals(const ArrivalSpec& spec,
+                                           uint64_t seed, sim::SimTime start,
+                                           sim::SimTime duration);
+
+}  // namespace contjoin::serving
+
+#endif  // CONTJOIN_SERVING_ARRIVAL_H_

@@ -1,0 +1,17 @@
+#include "serving/latency.h"
+
+#include <cstdio>
+
+namespace contjoin::serving {
+
+std::string LatencyRecorder::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%zu mean=%.2f p50=%.2f p99=%.2f p999=%.2f max=%.2f",
+                count(), count() ? mean() : 0.0, count() ? p50() : 0.0,
+                count() ? p99() : 0.0, count() ? p999() : 0.0,
+                count() ? max() : 0.0);
+  return buf;
+}
+
+}  // namespace contjoin::serving

@@ -1,0 +1,39 @@
+// Virtual-time latency accounting: collects per-notification
+// time-in-flight samples (delivered_at - later_pub) and reports the
+// percentile summary the serving SLO sweep is built on.
+
+#ifndef CONTJOIN_SERVING_LATENCY_H_
+#define CONTJOIN_SERVING_LATENCY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace contjoin::serving {
+
+class LatencyRecorder {
+ public:
+  void Record(double latency) { dist_.Add(latency); }
+
+  size_t count() const { return dist_.count(); }
+  double mean() const { return dist_.mean(); }
+  double max() const { return dist_.max(); }
+  /// Linear-interpolated order statistics (common/histogram semantics).
+  double p50() const { return dist_.Percentile(50.0); }
+  double p99() const { return dist_.Percentile(99.0); }
+  double p999() const { return dist_.Percentile(99.9); }
+  double Percentile(double p) const { return dist_.Percentile(p); }
+
+  const LoadDistribution& distribution() const { return dist_; }
+
+  /// One line: count/mean/p50/p99/p999/max, for bench output.
+  std::string Summary() const;
+
+ private:
+  LoadDistribution dist_;
+};
+
+}  // namespace contjoin::serving
+
+#endif  // CONTJOIN_SERVING_LATENCY_H_

@@ -37,6 +37,8 @@ void NetStats::Reset() {
   total_hops_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
   total_bytes_.store(0, std::memory_order_relaxed);
+  shed_.store(0, std::memory_order_relaxed);
+  deferred_.store(0, std::memory_order_relaxed);
 }
 
 NetStats NetStats::Since(const NetStats& earlier) const {
@@ -66,6 +68,13 @@ NetStats NetStats::Since(const NetStats& earlier) const {
       total_bytes_.load(std::memory_order_relaxed) -
           earlier.total_bytes_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
+  out.shed_.store(shed_.load(std::memory_order_relaxed) -
+                      earlier.shed_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  out.deferred_.store(
+      deferred_.load(std::memory_order_relaxed) -
+          earlier.deferred_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   return out;
 }
 
@@ -81,6 +90,10 @@ std::string NetStats::Report() const {
     if (dropped(c) > 0) out << " (dropped: " << dropped(c) << ")";
     out << "\n";
   }
+  // Backpressure lines only appear when the serving extension is active,
+  // keeping legacy reports (and their golden digests) byte-identical.
+  if (shed() > 0) out << "  backpressure shed: " << shed() << "\n";
+  if (deferred() > 0) out << "  backpressure deferred: " << deferred() << "\n";
   return out.str();
 }
 

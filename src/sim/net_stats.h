@@ -65,6 +65,10 @@ class NetStats {
         n, std::memory_order_relaxed);
     total_bytes_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Backpressure accounting (serving extension): a delivery refused
+  /// outright at the high-water mark, or pushed to a later epoch.
+  void AddShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void AddDeferred() { deferred_.fetch_add(1, std::memory_order_relaxed); }
 
   uint64_t hops(MsgClass c) const {
     return per_class_[static_cast<size_t>(c)].load(
@@ -86,6 +90,10 @@ class NetStats {
   }
   uint64_t total_bytes() const {
     return total_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  uint64_t deferred() const {
+    return deferred_.load(std::memory_order_relaxed);
   }
 
   void Reset();
@@ -118,6 +126,10 @@ class NetStats {
                    std::memory_order_relaxed);
     total_bytes_.store(other.total_bytes_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+    shed_.store(other.shed_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    deferred_.store(other.deferred_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
   }
 
   std::atomic<uint64_t> per_class_[kNumClasses] = {};
@@ -126,6 +138,8 @@ class NetStats {
   std::atomic<uint64_t> total_hops_{0};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deferred_{0};
 };
 
 }  // namespace contjoin::sim

@@ -33,6 +33,41 @@ TEST(LoadDistributionTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(d.Percentile(12.5), 15.0);
 }
 
+// High-percentile regression cases for the serving SLO sweep: p99/p999 on
+// small samples must linearly interpolate between order statistics, never
+// snap to the nearest rank. A nearest-rank implementation would return the
+// maximum for every case below — exactly the failure mode that makes a
+// latency SLO look violated by one outlier.
+TEST(LoadDistributionTest, TailPercentilesInterpolateNotNearestRank) {
+  LoadDistribution d({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  // rank = (p/100) * (n-1); n=10 so p99 -> 8.91, p999 -> 8.991.
+  EXPECT_NEAR(d.Percentile(99), 99.1, 1e-9);
+  EXPECT_NEAR(d.Percentile(99.9), 99.91, 1e-9);
+  EXPECT_LT(d.Percentile(99.9), d.max());  // Nearest-rank would equal max.
+  EXPECT_LT(d.Percentile(99), d.Percentile(99.9));
+}
+
+TEST(LoadDistributionTest, TailPercentilesWithOutlier) {
+  // 99 unit samples and one 1000x outlier: with n=100 the tail ranks land
+  // between the last unit sample (index 98) and the outlier (index 99), so
+  // p99 barely feels the outlier while p999 is 90% of the way up to it.
+  std::vector<double> v(99, 1.0);
+  v.push_back(1000.0);
+  LoadDistribution d(v);
+  EXPECT_DOUBLE_EQ(d.Percentile(50), 1.0);
+  // rank = 0.99 * 99 = 98.01 -> 1 + 0.01 * (1000 - 1).
+  EXPECT_NEAR(d.Percentile(99), 10.99, 1e-9);
+  // rank = 0.999 * 99 = 98.901 -> 1 + 0.901 * 999.
+  EXPECT_NEAR(d.Percentile(99.9), 901.099, 1e-9);
+  EXPECT_DOUBLE_EQ(d.Percentile(100), 1000.0);
+}
+
+TEST(LoadDistributionTest, TwoSampleTailInterpolation) {
+  LoadDistribution d({0, 1});
+  EXPECT_DOUBLE_EQ(d.Percentile(99), 0.99);
+  EXPECT_DOUBLE_EQ(d.Percentile(99.9), 0.999);
+}
+
 TEST(LoadDistributionTest, GiniOfEqualLoadsIsZero) {
   LoadDistribution d({5, 5, 5, 5, 5});
   EXPECT_NEAR(d.Gini(), 0.0, 1e-12);

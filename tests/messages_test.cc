@@ -29,11 +29,11 @@
 namespace contjoin::core {
 namespace {
 
-static_assert(kCqMsgTypeCount == 15,
+static_assert(kCqMsgTypeCount == 16,
               "CqMsgType changed: update the payload coverage below, the "
               "dispatch registry, and this count");
 
-static_assert(static_cast<size_t>(CqMsgType::kDeliveryAck) + 1 ==
+static_assert(static_cast<size_t>(CqMsgType::kNotificationDigest) + 1 ==
                   kCqMsgTypeCount,
               "kCqMsgTypeCount must be derived from the last enumerator");
 
@@ -66,6 +66,7 @@ TEST(MessagesTest, EveryEnumeratorHasExactlyOnePayloadTag) {
   tag(OtjScanPayload().type);
   tag(OtjRehashPayload().type);
   tag(DeliveryAckPayload().type);
+  tag(NotificationDigestPayload().type);
 
   EXPECT_TRUE(tagged.all()) << "untagged enumerators: " << tagged.to_string();
 }
@@ -86,6 +87,8 @@ TEST(MessagesTest, PayloadTagsMatchTheIntendedEnumerator) {
   EXPECT_EQ(OtjScanPayload().type, CqMsgType::kOtjScan);
   EXPECT_EQ(OtjRehashPayload().type, CqMsgType::kOtjRehash);
   EXPECT_EQ(DeliveryAckPayload().type, CqMsgType::kDeliveryAck);
+  EXPECT_EQ(NotificationDigestPayload().type,
+            CqMsgType::kNotificationDigest);
 }
 
 // --- Wire-codec round trips ---------------------------------------------------
@@ -408,6 +411,23 @@ TEST_F(CodecRoundTripTest, AllPayloadTypesSurviveSeededRoundTrips) {
     {
       DeliveryAckPayload p;
       p.msg_id = rng.Next();
+      ExpectRoundTrip(p);
+    }
+    {
+      NotificationDigestPayload p;
+      p.subscriber_key = RandomString(rng);
+      p.evaluator = RandomId(rng);
+      for (size_t i = 0, n = 1 + rng.NextBelow(3); i < n; ++i) {
+        Notification note;
+        note.query_key = RandomString(rng);
+        for (size_t j = 0, m = rng.NextBelow(4); j < m; ++j) {
+          note.row.push_back(RandomValue(rng));
+        }
+        note.earlier_pub = rng.Next();
+        note.later_pub = rng.Next();
+        note.created_at = rng.Next();
+        p.notifications.push_back(std::move(note));
+      }
       ExpectRoundTrip(p);
     }
   }

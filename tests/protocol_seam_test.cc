@@ -257,6 +257,7 @@ std::vector<chord::AppMessage> OneMessagePerType() {
       std::make_shared<OtjScanPayload>(),
       std::make_shared<OtjRehashPayload>(),
       std::make_shared<DeliveryAckPayload>(),
+      std::make_shared<NotificationDigestPayload>(),
   };
   std::vector<chord::AppMessage> msgs;
   for (auto& p : payloads) {

@@ -1,0 +1,253 @@
+// Serving harness tests: seeded determinism and interarrival moments of
+// the three arrival processes, the latency recorder's interpolated
+// percentiles against a hand-computed fixture, and the open-loop driver
+// end to end (smoke, repeatability, backpressure shed/defer accounting).
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serving/arrival.h"
+#include "serving/driver.h"
+#include "serving/latency.h"
+#include "sim/net_stats.h"
+
+namespace contjoin::serving {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Arrival processes.
+
+ArrivalSpec SpecFor(ArrivalKind kind) {
+  ArrivalSpec spec;
+  spec.kind = kind;
+  spec.rate = 1.0;
+  spec.mean_on = 50.0;
+  spec.mean_off = 200.0;
+  spec.trough_fraction = 0.1;
+  spec.period = 1000;
+  return spec;
+}
+
+TEST(ArrivalTest, SameSeedSameSchedule) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kBurstyOnOff,
+                           ArrivalKind::kDiurnalRamp}) {
+    SCOPED_TRACE(ArrivalKindName(kind));
+    const ArrivalSpec spec = SpecFor(kind);
+    std::vector<sim::SimTime> a = GenerateArrivals(spec, 7, 100, 50000);
+    std::vector<sim::SimTime> b = GenerateArrivals(spec, 7, 100, 50000);
+    EXPECT_EQ(a, b);
+    ASSERT_FALSE(a.empty());
+    // Different seed: genuinely different process, not a shifted copy.
+    std::vector<sim::SimTime> c = GenerateArrivals(spec, 8, 100, 50000);
+    EXPECT_NE(a, c);
+  }
+}
+
+TEST(ArrivalTest, SortedAndInsideWindow) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kBurstyOnOff,
+                           ArrivalKind::kDiurnalRamp}) {
+    SCOPED_TRACE(ArrivalKindName(kind));
+    const sim::SimTime start = 1000;
+    const sim::SimTime duration = 20000;
+    std::vector<sim::SimTime> at =
+        GenerateArrivals(SpecFor(kind), 3, start, duration);
+    ASSERT_FALSE(at.empty());
+    EXPECT_TRUE(std::is_sorted(at.begin(), at.end()));
+    EXPECT_GE(at.front(), start);
+    EXPECT_LT(at.back(), start + duration);
+  }
+}
+
+TEST(ArrivalTest, PoissonMomentsMatchRate) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kPoisson;
+  spec.rate = 0.5;
+  const sim::SimTime duration = 200000;
+  std::vector<sim::SimTime> at = GenerateArrivals(spec, 42, 0, duration);
+  // Count ~ rate * duration = 100000; 5% tolerance is ~16 sigma.
+  const double expected = spec.rate * static_cast<double>(duration);
+  EXPECT_NEAR(static_cast<double>(at.size()), expected, 0.05 * expected);
+  // Mean interarrival ~ 1/rate = 2 (tick flooring shifts it < 1 tick).
+  double gap_sum = 0.0;
+  for (size_t i = 1; i < at.size(); ++i) {
+    gap_sum += static_cast<double>(at[i] - at[i - 1]);
+  }
+  const double mean_gap = gap_sum / static_cast<double>(at.size() - 1);
+  EXPECT_NEAR(mean_gap, 1.0 / spec.rate, 0.15);
+}
+
+TEST(ArrivalTest, BurstyAlternatesBurstsAndSilences) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kBurstyOnOff;
+  spec.rate = 2.0;
+  spec.mean_on = 50.0;
+  spec.mean_off = 200.0;
+  const sim::SimTime duration = 200000;
+  std::vector<sim::SimTime> at = GenerateArrivals(spec, 42, 0, duration);
+  // Effective rate = rate * on-fraction = 2 * 50/250 = 0.4/tick.
+  const double expected =
+      spec.rate * static_cast<double>(duration) * spec.mean_on /
+      (spec.mean_on + spec.mean_off);
+  EXPECT_NEAR(static_cast<double>(at.size()), expected, 0.20 * expected);
+  // Silences: a Poisson process at rate 2 over 200k ticks would essentially
+  // never show a 50-tick gap (p ~ e^-100 per gap); the off phases produce
+  // many of them.
+  size_t long_gaps = 0;
+  for (size_t i = 1; i < at.size(); ++i) {
+    if (at[i] - at[i - 1] >= 50) ++long_gaps;
+  }
+  EXPECT_GE(long_gaps, 100u);
+}
+
+TEST(ArrivalTest, DiurnalPeakBeatsTrough) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kDiurnalRamp;
+  spec.rate = 1.0;
+  spec.trough_fraction = 0.1;
+  spec.period = 1000;
+  const sim::SimTime duration = 200000;  // 200 cycles.
+  std::vector<sim::SimTime> at = GenerateArrivals(spec, 42, 0, duration);
+  // Triangular wave: mean factor = trough + (1 - trough)/2 = 0.55.
+  const double expected = 0.55 * static_cast<double>(duration);
+  EXPECT_NEAR(static_cast<double>(at.size()), expected, 0.05 * expected);
+  // Fold all cycles into 10 phase buckets; the wave peaks mid-period
+  // (factor 1.0) and troughs at the period edges (factor 0.1).
+  uint64_t bucket[10] = {};
+  for (sim::SimTime t : at) ++bucket[(t % spec.period) * 10 / spec.period];
+  const uint64_t peak = std::max(bucket[4], bucket[5]);
+  const uint64_t trough = std::max<uint64_t>(1, std::min(bucket[0], bucket[9]));
+  EXPECT_GT(peak, 3 * trough);
+}
+
+// ---------------------------------------------------------------------------
+// Latency recorder percentiles (hand-computed linear interpolation).
+
+TEST(LatencyRecorderTest, InterpolatedPercentilesMatchHandComputation) {
+  LatencyRecorder rec;
+  for (int v = 10; v <= 100; v += 10) rec.Record(static_cast<double>(v));
+  EXPECT_EQ(rec.count(), 10u);
+  EXPECT_DOUBLE_EQ(rec.mean(), 55.0);
+  EXPECT_DOUBLE_EQ(rec.max(), 100.0);
+  // rank = (p/100) * (n-1): p50 -> 4.5 -> midway between 50 and 60.
+  EXPECT_DOUBLE_EQ(rec.p50(), 55.0);
+  // p99 -> rank 8.91 -> 90 + 0.91 * 10; nearest-rank would say 100.
+  EXPECT_NEAR(rec.p99(), 99.1, 1e-9);
+  // p999 -> rank 8.991 -> 90 + 0.991 * 10.
+  EXPECT_NEAR(rec.p999(), 99.91, 1e-9);
+  EXPECT_DOUBLE_EQ(rec.Percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(100.0), 100.0);
+  const std::string summary = rec.Summary();
+  EXPECT_NE(summary.find("count=10"), std::string::npos);
+  EXPECT_NE(summary.find("p999="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop driver.
+
+ServingConfig SmallConfig() {
+  ServingConfig config;
+  config.engine.num_nodes = 24;
+  config.engine.seed = 42;
+  config.workload.seed = 9;
+  config.workload.domain = 60;  // Dense enough to join constantly.
+  config.workload.zipf_theta = 0.8;
+  config.arrivals.kind = ArrivalKind::kPoisson;
+  config.arrivals.rate = 0.5;
+  config.num_queries = 8;
+  config.fanout = 2;
+  config.subscriber_nodes = 4;
+  config.duration = 256;
+  config.warmup = 32;
+  config.sample_every = 32;
+  return config;
+}
+
+TEST(ServingDriverTest, SmokeProducesMeasuredLatencies) {
+  ServingDriver driver(SmallConfig());
+  ServingReport report = driver.Run();
+  EXPECT_GT(report.arrivals_scheduled, 50u);
+  EXPECT_GT(report.notifications, 0u);
+  EXPECT_GT(report.measured, 0u);
+  EXPECT_EQ(report.measured, report.latency.count());
+  EXPECT_EQ(report.delivered.size(), report.notifications);
+  EXPECT_GT(report.events_run, report.arrivals_scheduled);
+  ASSERT_FALSE(report.samples.empty());
+  for (size_t i = 1; i < report.samples.size(); ++i) {
+    EXPECT_GT(report.samples[i].at, report.samples[i - 1].at);
+  }
+  // Virtual-time latencies are finite and ordered: p50 <= p99 <= p999 <= max.
+  EXPECT_LE(report.latency.p50(), report.latency.p99());
+  EXPECT_LE(report.latency.p99(), report.latency.p999());
+  EXPECT_LE(report.latency.p999(), report.latency.max());
+  EXPECT_GT(report.traffic.total_hops(), 0u);
+}
+
+TEST(ServingDriverTest, IdenticalConfigIsByteForByteRepeatable) {
+  ServingReport a = ServingDriver(SmallConfig()).Run();
+  ServingReport b = ServingDriver(SmallConfig()).Run();
+  EXPECT_EQ(a.arrivals_scheduled, b.arrivals_scheduled);
+  EXPECT_EQ(a.notifications, b.notifications);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.events_run, b.events_run);
+  EXPECT_EQ(a.latency.Summary(), b.latency.Summary());
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].pending_events, b.samples[i].pending_events);
+    EXPECT_EQ(a.samples[i].inflight_total, b.samples[i].inflight_total);
+    EXPECT_EQ(a.samples[i].buffered_total, b.samples[i].buffered_total);
+  }
+}
+
+TEST(ServingDriverTest, ArrivalSeedChangesSchedule) {
+  ServingConfig config = SmallConfig();
+  config.arrival_seed = 1234;
+  ServingReport a = ServingDriver(SmallConfig()).Run();
+  ServingReport b = ServingDriver(config).Run();
+  EXPECT_NE(a.delivered, b.delivered);
+}
+
+// With the high-water mark at zero and shed mode on, every delivery is
+// dropped at admission: nothing reaches an inbox and the shed counter
+// carries the whole fan-out.
+TEST(ServingDriverTest, ShedModeDropsAndCounts) {
+  ServingConfig config = SmallConfig();
+  config.engine.serving.backpressure = true;
+  config.engine.serving.high_water = 0;
+  config.engine.serving.shed = true;
+  ServingReport report = ServingDriver(config).Run();
+  EXPECT_EQ(report.notifications, 0u);
+  EXPECT_GT(report.traffic.shed(), 0u);
+  EXPECT_EQ(report.traffic.deferred(), 0u);
+}
+
+// Defer mode delays past-high-water deliveries instead of dropping them:
+// the delivered content is exactly the unthrottled run's (later, not less).
+TEST(ServingDriverTest, DeferModeIsContentLossless) {
+  ServingReport base = ServingDriver(SmallConfig()).Run();
+  ServingConfig config = SmallConfig();
+  config.engine.serving.backpressure = true;
+  config.engine.serving.high_water = 1;
+  config.engine.serving.shed = false;
+  config.engine.serving.defer_delay = 3;
+  ServingReport throttled = ServingDriver(config).Run();
+  EXPECT_GT(throttled.traffic.deferred(), 0u);
+  EXPECT_EQ(throttled.traffic.shed(), 0u);
+  EXPECT_EQ(throttled.notifications, base.notifications);
+  // Compare content without the delivery timestamp (the final |field).
+  auto content = [](const ServingReport& r) {
+    std::vector<std::string> keys;
+    keys.reserve(r.delivered.size());
+    for (const std::string& line : r.delivered) {
+      keys.push_back(line.substr(0, line.rfind('|')));
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(content(throttled), content(base));
+}
+
+}  // namespace
+}  // namespace contjoin::serving

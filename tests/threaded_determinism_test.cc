@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "core/engine.h"
+#include "serving/driver.h"
 #include "workload/driver.h"
 
 namespace contjoin {
@@ -127,6 +128,74 @@ TEST(ThreadedDeterminism, CoalescingIsDeterministicAcrossWorkerCounts) {
   ScenarioResult serial = RunScenario(1, /*coalesce=*/true);
   ScenarioResult threaded = RunScenario(8, /*coalesce=*/true);
   EXPECT_EQ(serial.digest, threaded.digest);
+}
+
+// The open-loop serving path stacks every new mechanism at once — seeded
+// arrivals, digest batching, backpressure deferral, reliable delivery
+// under drops — and must still be byte-for-byte identical at every worker
+// count, including the delivery timestamps and queue-depth samples.
+std::string RunOpenLoopScenario(int workers, uint64_t* parallel_batches) {
+  serving::ServingConfig config;
+  config.engine.num_nodes = 32;
+  config.engine.seed = 42;
+  config.engine.reliability.enabled = true;
+  config.engine.faults.profile(sim::MsgClass::kNotification).drop_prob = 0.05;
+  config.engine.serving.fanout_batching = true;
+  config.engine.serving.backpressure = true;
+  config.engine.serving.high_water = 2;
+  config.engine.serving.shed = false;  // Defer: retries stress the queue.
+  config.engine.serving.defer_delay = 3;
+  config.workload.seed = 9;
+  config.workload.domain = 60;
+  config.workload.zipf_theta = 0.8;
+  config.arrivals.kind = serving::ArrivalKind::kBurstyOnOff;
+  config.arrivals.rate = 1.0;
+  config.arrivals.mean_on = 16;
+  config.arrivals.mean_off = 16;
+  config.num_queries = 8;
+  config.fanout = 3;
+  config.subscriber_nodes = 4;
+  config.duration = 192;
+  config.warmup = 16;
+  config.sample_every = 32;
+
+  serving::ServingDriver driver(config);
+  driver.net().simulator()->SetWorkers(workers);
+  serving::ServingReport report = driver.Run();
+  *parallel_batches = driver.net().simulator()->parallel_batches_run();
+
+  std::string digest;
+  for (const std::string& line : report.delivered) digest += line + "\n";
+  for (const serving::QueueSample& s : report.samples) {
+    digest += "sample|" + std::to_string(s.at) + "|" +
+              std::to_string(s.inflight_total) + "|" +
+              std::to_string(s.buffered_total) + "\n";
+  }
+  digest += report.latency.Summary() + "\n";
+  digest += report.traffic.Report();
+  digest += "|arrivals=" + std::to_string(report.arrivals_scheduled) +
+            "|events=" + std::to_string(report.events_run) +
+            "|sent=" + std::to_string(report.reliable_sent) +
+            "|retries=" + std::to_string(report.reliable_retries) +
+            "|shed=" + std::to_string(report.traffic.shed()) +
+            "|deferred=" + std::to_string(report.traffic.deferred());
+  return digest;
+}
+
+TEST(ThreadedDeterminism, OpenLoopServingAgreesAcrossWorkerCounts) {
+  uint64_t batches1 = 0;
+  const std::string serial = RunOpenLoopScenario(1, &batches1);
+  EXPECT_EQ(batches1, 0u);
+  // The scenario must actually hit the high-water mark (nonzero deferrals;
+  // the deferred counter is the digest's final field, so "=0" means idle).
+  EXPECT_NE(serial.find("|deferred="), std::string::npos);
+  EXPECT_EQ(serial.find("|deferred=0"), std::string::npos);
+  for (int workers : {2, 4, 8}) {
+    SCOPED_TRACE(workers);
+    uint64_t batches = 0;
+    EXPECT_EQ(serial, RunOpenLoopScenario(workers, &batches));
+    EXPECT_GT(batches, 0u);
+  }
 }
 
 }  // namespace

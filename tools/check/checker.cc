@@ -36,6 +36,9 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
        {"common", "relational", "query", "sim", "faults", "chord", "core"}},
       {"reference",
        {"common", "relational", "query", "sim", "faults", "chord", "core"}},
+      {"serving",
+       {"common", "relational", "query", "sim", "faults", "chord", "core",
+        "workload"}},
   };
   return kDeps;
 }

@@ -72,9 +72,11 @@ TEST(CheckerTest, CodecsRuleFires) {
   config.root = Fixture("codecs_bad");
   std::vector<Diagnostic> diags;
   CheckCodecs(config, &diags);
-  EXPECT_EQ(CountRule(diags, "codecs"), 3u);
+  EXPECT_EQ(CountRule(diags, "codecs"), 4u);
   EXPECT_TRUE(AnyMessageContains(diags, "kAlpha registered 2 times"));
   EXPECT_TRUE(AnyMessageContains(diags, "kBeta has no registered wire codec"));
+  EXPECT_TRUE(
+      AnyMessageContains(diags, "kDigest has no registered wire codec"));
   EXPECT_TRUE(
       AnyMessageContains(diags, "unknown enumerator CqMsgType::kGamma"));
   for (const Diagnostic& d : diags) {

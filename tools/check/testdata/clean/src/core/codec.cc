@@ -13,6 +13,7 @@ void RegisterAllCodecs() {
   RegisterCodec(CqMsgType::kAlpha, nullptr, nullptr);
   RegisterCodec(CqMsgType::kBeta, nullptr, nullptr);
   RegisterCodec(CqMsgType::kAck, nullptr, nullptr);
+  RegisterCodec(CqMsgType::kDigest, nullptr, nullptr);
 }
 
 }  // namespace fixture

@@ -10,6 +10,7 @@ void RegisterAll() {
   Register(CqMsgType::kAlpha, nullptr);
   Register(CqMsgType::kBeta, nullptr);
   Register(CqMsgType::kAck, nullptr);
+  Register(CqMsgType::kDigest, nullptr);
 }
 
 }  // namespace fixture

@@ -11,10 +11,11 @@ enum class CqMsgType : unsigned char {
   kAlpha,
   kBeta,
   kAck,
+  kDigest,
 };
 
 inline constexpr size_t kCqMsgTypeCount =
-    static_cast<size_t>(CqMsgType::kAck) + 1;
+    static_cast<size_t>(CqMsgType::kDigest) + 1;
 
 struct CqPayload {
   explicit CqPayload(CqMsgType t) : type(t) {}
@@ -31,6 +32,10 @@ struct BetaPayload : CqPayload {
 
 struct AckPayload : CqPayload {
   AckPayload() : CqPayload(CqMsgType::kAck) {}
+};
+
+struct DigestPayload : CqPayload {
+  DigestPayload() : CqPayload(CqMsgType::kDigest) {}
 };
 
 }  // namespace fixture

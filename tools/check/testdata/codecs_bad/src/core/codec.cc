@@ -1,5 +1,6 @@
-// Deliberately broken codec registry: kAlpha is registered twice, kBeta is
-// never registered, and kGamma is not a CqMsgType enumerator at all.
+// Deliberately broken codec registry: kAlpha is registered twice, kBeta
+// and kDigest are never registered, and kGamma is not a CqMsgType
+// enumerator at all.
 #include "core/messages.h"
 
 namespace fixture {

@@ -9,10 +9,11 @@ enum class CqMsgType : unsigned char {
   kAlpha,
   kBeta,
   kAck,
+  kDigest,
 };
 
 inline constexpr size_t kCqMsgTypeCount =
-    static_cast<size_t>(CqMsgType::kAck) + 1;
+    static_cast<size_t>(CqMsgType::kDigest) + 1;
 
 }  // namespace fixture
 
