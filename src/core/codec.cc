@@ -725,6 +725,7 @@ bool DecodeAppMessage(wire::Reader& r, const rel::Catalog& catalog,
   return false;
 }
 
+// contjoin-check: hot
 std::vector<uint8_t> EncodeHopFrame(const chord::HopFrame& frame) {
   wire::Writer w;
   w.U8(kFrameVersion);
@@ -745,6 +746,7 @@ std::vector<uint8_t> EncodeHopFrame(const chord::HopFrame& frame) {
   return w.Take();
 }
 
+// contjoin-check: hot
 bool DecodeHopFrame(const uint8_t* data, size_t size,
                     const rel::Catalog& catalog, chord::HopFrame* out) {
   wire::Reader r(data, size);

@@ -11,6 +11,7 @@
 
 namespace contjoin::core {
 
+// contjoin-check: hot
 bool MessageDispatcher::Dispatch(ProtocolContext& ctx, chord::Node& node,
                                  const chord::AppMessage& msg) const {
   const auto* base = static_cast<const CqPayload*>(msg.payload.get());

@@ -20,6 +20,7 @@ Simulator::Simulator() {
 
 Simulator::~Simulator() { StopPool(); }
 
+// contjoin-check: hot
 void Simulator::ScheduleShardedAt(SimTime when, uint64_t shard,
                                   Action action) {
   CJ_CHECK(when >= now_) << "cannot schedule in the past: " << when << " < "
@@ -47,6 +48,7 @@ size_t Simulator::RunUntil(SimTime until) {
   return ran;
 }
 
+// contjoin-check: hot
 size_t Simulator::RunBatch() {
   const SimTime t = queue_.top().when;
   now_ = t;
@@ -70,6 +72,7 @@ size_t Simulator::RunBatch() {
   return n;
 }
 
+// contjoin-check: hot
 void Simulator::RunEvent(size_t index, std::vector<PendingChild>* children) {
   ExecContext& ctx = exec_context_;
   ctx.sim = this;
@@ -139,7 +142,7 @@ void Simulator::ExecuteParallel() {
   }
 }
 
-void Simulator::ProcessGroups() {
+void Simulator::ProcessGroups() {  // contjoin-check: hot — lock-free group pull
   const size_t num_groups = group_bounds_.size() - 1;
   for (;;) {
     size_t g = next_group_.fetch_add(1, std::memory_order_relaxed);

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <regex>
 #include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 namespace contjoin::check {
@@ -15,6 +16,13 @@ namespace contjoin::check {
 namespace fs = std::filesystem;
 
 namespace {
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+size_t SkipSpaces(const std::string& text, size_t pos) {
+  while (pos < text.size() && IsSpace(text[pos])) ++pos;
+  return pos;
+}
 
 // --- Layer DAG ----------------------------------------------------------------
 //
@@ -44,7 +52,8 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
 }
 
 /// Protocol role modules: these reach shared engine state only through the
-/// ProtocolContext seam, so the engine facade header is off-limits.
+/// ProtocolContext seam, so the engine facade header is off-limits, and
+/// their handlers run concurrently across node shards (rule 6).
 const std::set<std::string>& RoleModuleStems() {
   static const std::set<std::string> kStems = {
       "rewriter", "evaluator", "subscriber", "mw_protocol", "otj_protocol",
@@ -52,128 +61,63 @@ const std::set<std::string>& RoleModuleStems() {
   return kStems;
 }
 
-// --- File plumbing ------------------------------------------------------------
-
-struct SourceFile {
-  std::string rel_path;  // Relative to the root, '/'-separated.
-  std::string text;
-  std::vector<std::string> lines;
-};
-
-std::string ReadFileText(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current += c;
-    }
+/// File stem -> protocol role for the send side of the flow graph. The
+/// submission entry path sends messages too (it runs serially on the
+/// driver, so it is a send role without being a shard-checked role
+/// module).
+std::string SendRoleOf(const std::string& stem) {
+  if (stem == "rewriter" || stem == "evaluator" || stem == "subscriber" ||
+      stem == "reliability" || stem == "submission") {
+    return stem;
   }
-  if (!current.empty()) lines.push_back(current);
-  return lines;
+  if (stem == "mw_protocol") return "mw";
+  if (stem == "otj_protocol") return "otj";
+  return "";
 }
 
-/// Every .h/.cc under <root>/src, sorted by path so diagnostics are stable
-/// across filesystems and directory-entry orderings.
-std::vector<SourceFile> ListSources(const std::string& root) {
-  std::vector<SourceFile> out;
-  fs::path src = fs::path(root) / "src";
-  if (!fs::exists(src)) return out;
-  std::vector<fs::path> paths;
-  for (const auto& entry : fs::recursive_directory_iterator(src)) {
-    if (!entry.is_regular_file()) continue;
-    fs::path p = entry.path();
-    if (p.extension() == ".h" || p.extension() == ".cc") paths.push_back(p);
+/// Call names that hand a message to the network.
+const std::set<std::string>& SendCallNames() {
+  static const std::set<std::string> kNames = {
+      "Send",     "Multisend", "TransmitMessage", "Broadcast",
+      "Redeliver", "SendReliable", "Transmit", "TransmitHop"};
+  return kNames;
+}
+
+/// Call names that arm the reliability wrapper.
+const std::set<std::string>& WrapCallNames() {
+  static const std::set<std::string> kNames = {"Arm", "ArmAll",
+                                               "SendReliable"};
+  return kNames;
+}
+
+bool HasWrapCall(const FunctionDef& fn) {
+  for (const CallSite& call : fn.calls) {
+    if (WrapCallNames().count(call.name) > 0) return true;
   }
-  std::sort(paths.begin(), paths.end());
-  for (const fs::path& p : paths) {
-    SourceFile f;
-    f.rel_path = fs::relative(p, fs::path(root)).generic_string();
-    f.text = ReadFileText(p);
-    f.lines = SplitLines(f.text);
-    out.push_back(std::move(f));
+  return false;
+}
+
+bool HasSendCall(const FunctionDef& fn) {
+  for (const CallSite& call : fn.calls) {
+    if (SendCallNames().count(call.name) > 0) return true;
   }
-  return out;
-}
-
-/// First path component after src/ ("src/core/engine.h" -> "core").
-std::string LayerOf(const std::string& rel_path) {
-  const std::string prefix = "src/";
-  if (rel_path.rfind(prefix, 0) != 0) return "";
-  size_t start = prefix.size();
-  size_t slash = rel_path.find('/', start);
-  if (slash == std::string::npos) return "";
-  return rel_path.substr(start, slash - start);
-}
-
-/// Filename without directory or extension ("src/core/rewriter.cc" ->
-/// "rewriter").
-std::string StemOf(const std::string& rel_path) {
-  return fs::path(rel_path).stem().string();
-}
-
-/// 1-based line number of a character offset.
-size_t LineOfOffset(const std::string& text, size_t offset) {
-  size_t line = 1;
-  for (size_t i = 0; i < offset && i < text.size(); ++i) {
-    if (text[i] == '\n') ++line;
-  }
-  return line;
-}
-
-/// Replaces // and /* */ comment bodies with spaces (newlines preserved),
-/// so token scans skip prose while offsets and line numbers stay valid.
-std::string StripComments(const std::string& text) {
-  std::string out = text;
-  size_t i = 0;
-  while (i + 1 < out.size()) {
-    if (out[i] == '/' && out[i + 1] == '/') {
-      while (i < out.size() && out[i] != '\n') out[i++] = ' ';
-    } else if (out[i] == '/' && out[i + 1] == '*') {
-      out[i] = out[i + 1] = ' ';
-      i += 2;
-      while (i + 1 < out.size() && !(out[i] == '*' && out[i + 1] == '/')) {
-        if (out[i] != '\n') out[i] = ' ';
-        ++i;
-      }
-      if (i + 1 < out.size()) {
-        out[i] = out[i + 1] = ' ';
-        i += 2;
-      }
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Offset one past the matching closer for the opener at `open`, or npos.
-size_t MatchBracket(const std::string& text, size_t open, char open_ch,
-                    char close_ch) {
-  int depth = 0;
-  for (size_t i = open; i < text.size(); ++i) {
-    if (text[i] == open_ch) ++depth;
-    if (text[i] == close_ch && --depth == 0) return i + 1;
-  }
-  return std::string::npos;
+  return false;
 }
 
 // --- Rule 1: layering ---------------------------------------------------------
 
-const std::regex kIncludeRe(R"(^\s*#\s*include\s*\"([^\"]+)\")");
+/// Include target of lines like `#include "x/y.h"`; empty otherwise.
+std::string IncludeTargetOf(const std::string& line) {
+  size_t i = SkipSpaces(line, 0);
+  if (i >= line.size() || line[i] != '#') return "";
+  i = SkipSpaces(line, i + 1);
+  if (line.compare(i, 7, "include") != 0) return "";
+  i = SkipSpaces(line, i + 7);
+  if (i >= line.size() || line[i] != '"') return "";
+  size_t end = line.find('"', i + 1);
+  if (end == std::string::npos) return "";
+  return line.substr(i + 1, end - i - 1);
+}
 
 void CheckFileLayering(const SourceFile& f, std::vector<Diagnostic>* out) {
   std::string layer = LayerOf(f.rel_path);
@@ -188,9 +132,8 @@ void CheckFileLayering(const SourceFile& f, std::vector<Diagnostic>* out) {
   bool role_module =
       layer == "core" && RoleModuleStems().count(StemOf(f.rel_path)) > 0;
   for (size_t i = 0; i < f.lines.size(); ++i) {
-    std::smatch m;
-    if (!std::regex_search(f.lines[i], m, kIncludeRe)) continue;
-    std::string target = m[1].str();
+    std::string target = IncludeTargetOf(f.lines[i]);
+    if (target.empty()) continue;
     if (role_module && target == "core/engine.h") {
       out->push_back(
           {f.rel_path, i + 1, "layering",
@@ -213,7 +156,12 @@ void CheckFileLayering(const SourceFile& f, std::vector<Diagnostic>* out) {
   }
 }
 
-// --- Rule 2: message / dispatch exhaustiveness --------------------------------
+void CheckLayeringWithIndex(const SymbolIndex& index,
+                            std::vector<Diagnostic>* out) {
+  for (const SourceFile& f : index.files) CheckFileLayering(f, out);
+}
+
+// --- Rule 2/3 shared parsing --------------------------------------------------
 
 std::vector<std::string> ParseEnumerators(const std::string& stripped,
                                           size_t enum_pos) {
@@ -222,11 +170,16 @@ std::vector<std::string> ParseEnumerators(const std::string& stripped,
   if (open == std::string::npos) return enums;
   size_t close = MatchBracket(stripped, open, '{', '}');
   if (close == std::string::npos) return enums;
-  std::string body = stripped.substr(open + 1, close - open - 2);
-  std::regex ident(R"((k\w+))");
-  for (auto it = std::sregex_iterator(body.begin(), body.end(), ident);
-       it != std::sregex_iterator(); ++it) {
-    enums.push_back((*it)[1].str());
+  size_t i = open + 1;
+  while (i < close) {
+    if (stripped[i] == 'k' && !IsIdentChar(stripped[i - 1])) {
+      size_t j = i;
+      while (j < close && IsIdentChar(stripped[j])) ++j;
+      if (j > i + 1) enums.push_back(stripped.substr(i, j - i));
+      i = j;
+    } else {
+      ++i;
+    }
   }
   return enums;
 }
@@ -236,31 +189,102 @@ std::vector<std::string> ParseEnumerators(const std::string& stripped,
 std::vector<std::pair<std::string, size_t>> ParseConstructorTags(
     const std::string& stripped) {
   std::vector<std::pair<std::string, size_t>> tags;
-  const std::string needle = "CqPayload(";
-  std::regex token(R"(CqMsgType::(k\w+))");
   size_t pos = 0;
-  while ((pos = stripped.find(needle, pos)) != std::string::npos) {
-    size_t open = pos + needle.size() - 1;
+  while ((pos = FindWordToken(stripped, pos, "CqPayload")) !=
+         std::string::npos) {
+    size_t open = SkipSpaces(stripped, pos + 9);
+    pos += 9;
+    if (open >= stripped.size() || stripped[open] != '(') continue;
     size_t end = MatchBracket(stripped, open, '(', ')');
     if (end == std::string::npos) break;
-    std::string args = stripped.substr(open, end - open);
-    for (auto it = std::sregex_iterator(args.begin(), args.end(), token);
-         it != std::sregex_iterator(); ++it) {
-      tags.emplace_back((*it)[1].str(),
-                        LineOfOffset(stripped, open + it->position(0)));
+    size_t i = open;
+    while ((i = stripped.find("CqMsgType::", i)) != std::string::npos &&
+           i < end) {
+      size_t start = i + 11;
+      size_t j = start;
+      while (j < stripped.size() && IsIdentChar(stripped[j])) ++j;
+      if (j > start) {
+        tags.emplace_back(stripped.substr(start, j - start),
+                          LineOfOffset(stripped, i));
+      }
+      i = j;
     }
     pos = end;
   }
   return tags;
 }
 
-}  // namespace
+struct TypedCall {
+  std::string enumerator;
+  size_t line = 0;
+  std::string args_tail;  // Text after the enumerator, inside the parens.
+};
 
-void CheckLayering(const CheckConfig& config, std::vector<Diagnostic>* out) {
-  for (const SourceFile& f : ListSources(config.root)) {
-    CheckFileLayering(f, out);
+/// Occurrences of `fn_name(CqMsgType::kX, <tail>)`.
+std::vector<TypedCall> FindTypedCalls(const std::string& code,
+                                      const std::string& fn_name) {
+  std::vector<TypedCall> out;
+  size_t pos = 0;
+  while ((pos = FindWordToken(code, pos, fn_name)) != std::string::npos) {
+    size_t start = pos;
+    size_t open = SkipSpaces(code, pos + fn_name.size());
+    pos += fn_name.size();
+    if (open >= code.size() || code[open] != '(') continue;
+    size_t close = MatchBracket(code, open, '(', ')');
+    if (close == std::string::npos) continue;
+    size_t i = SkipSpaces(code, open + 1);
+    if (code.compare(i, 11, "CqMsgType::") != 0) continue;
+    size_t name_start = i + 11;
+    size_t j = name_start;
+    while (j < code.size() && IsIdentChar(code[j])) ++j;
+    if (j == name_start) continue;
+    TypedCall call;
+    call.enumerator = code.substr(name_start, j - name_start);
+    call.line = LineOfOffset(code, start);
+    call.args_tail = code.substr(j, close - 1 - j);
+    out.push_back(std::move(call));
+    pos = close;
   }
+  return out;
 }
+
+/// Verifies `kCqMsgTypeCount = static_cast<size_t>(CqMsgType::<X>) + 1`
+/// and returns X; empty when the definition is absent or malformed
+/// (`offset` then points at the token when it was at least found).
+std::string ParseCountDerivation(const std::string& stripped,
+                                 size_t* offset) {
+  *offset = std::string::npos;
+  size_t pos = FindWordToken(stripped, 0, "kCqMsgTypeCount");
+  if (pos == std::string::npos) return "";
+  *offset = pos;
+  size_t j = SkipSpaces(stripped, pos + 15);
+  if (j >= stripped.size() || stripped[j] != '=') return "";
+  j = SkipSpaces(stripped, j + 1);
+  if (stripped.compare(j, 11, "static_cast") != 0) return "";
+  j = SkipSpaces(stripped, j + 11);
+  if (j >= stripped.size() || stripped[j] != '<') return "";
+  j = SkipSpaces(stripped, j + 1);
+  if (stripped.compare(j, 6, "size_t") != 0) return "";
+  j = SkipSpaces(stripped, j + 6);
+  if (j >= stripped.size() || stripped[j] != '>') return "";
+  j = SkipSpaces(stripped, j + 1);
+  if (j >= stripped.size() || stripped[j] != '(') return "";
+  j = SkipSpaces(stripped, j + 1);
+  if (stripped.compare(j, 11, "CqMsgType::") != 0) return "";
+  j += 11;
+  size_t name_start = j;
+  while (j < stripped.size() && IsIdentChar(stripped[j])) ++j;
+  std::string name = stripped.substr(name_start, j - name_start);
+  j = SkipSpaces(stripped, j);
+  if (j >= stripped.size() || stripped[j] != ')') return "";
+  j = SkipSpaces(stripped, j + 1);
+  if (j >= stripped.size() || stripped[j] != '+') return "";
+  j = SkipSpaces(stripped, j + 1);
+  if (j >= stripped.size() || stripped[j] != '1') return "";
+  return name;
+}
+
+}  // namespace
 
 void CheckMessages(const CheckConfig& config, std::vector<Diagnostic>* out) {
   fs::path messages = fs::path(config.root) / "src" / "core" / "messages.h";
@@ -268,8 +292,8 @@ void CheckMessages(const CheckConfig& config, std::vector<Diagnostic>* out) {
   if (!fs::exists(messages) || !fs::exists(dispatch)) return;
   const std::string messages_rel = "src/core/messages.h";
   const std::string dispatch_rel = "src/core/dispatch.cc";
-  std::string mtext = StripComments(ReadFileText(messages));
-  std::string dtext = StripComments(ReadFileText(dispatch));
+  std::string mtext = StripComments(ReadFileText(messages.string()));
+  std::string dtext = StripComments(ReadFileText(dispatch.string()));
 
   size_t enum_pos = mtext.find("enum class CqMsgType");
   if (enum_pos == std::string::npos) {
@@ -286,19 +310,17 @@ void CheckMessages(const CheckConfig& config, std::vector<Diagnostic>* out) {
   std::set<std::string> enum_set(enums.begin(), enums.end());
 
   // kCqMsgTypeCount must be derived from the last enumerator.
-  std::regex count_re(
-      R"(kCqMsgTypeCount\s*=\s*static_cast<\s*size_t\s*>\(\s*CqMsgType::(k\w+)\s*\)\s*\+\s*1)");
-  std::smatch cm;
-  if (!std::regex_search(mtext, cm, count_re)) {
+  size_t count_offset = 0;
+  std::string count_base = ParseCountDerivation(mtext, &count_offset);
+  if (count_base.empty()) {
     out->push_back({messages_rel, 0, "messages",
                     "kCqMsgTypeCount must be defined as "
                     "static_cast<size_t>(CqMsgType::<last>) + 1"});
-  } else if (cm[1].str() != enums.back()) {
-    out->push_back({messages_rel,
-                    LineOfOffset(mtext, static_cast<size_t>(cm.position(0))),
+  } else if (count_base != enums.back()) {
+    out->push_back({messages_rel, LineOfOffset(mtext, count_offset),
                     "messages",
                     "kCqMsgTypeCount is derived from CqMsgType::" +
-                        cm[1].str() + " but the last enumerator is " +
+                        count_base + " but the last enumerator is " +
                         enums.back()});
   }
 
@@ -328,17 +350,13 @@ void CheckMessages(const CheckConfig& config, std::vector<Diagnostic>* out) {
   }
 
   // Every enumerator registered exactly once in the dispatch table.
-  std::regex reg_re(R"(Register\s*\(\s*CqMsgType::(k\w+))");
   std::map<std::string, std::vector<size_t>> reg_lines;
-  for (auto it = std::sregex_iterator(dtext.begin(), dtext.end(), reg_re);
-       it != std::sregex_iterator(); ++it) {
-    std::string name = (*it)[1].str();
-    size_t line = LineOfOffset(dtext, static_cast<size_t>(it->position(0)));
-    reg_lines[name].push_back(line);
-    if (enum_set.count(name) == 0) {
-      out->push_back({dispatch_rel, line, "messages",
+  for (const TypedCall& reg : FindTypedCalls(dtext, "Register")) {
+    reg_lines[reg.enumerator].push_back(reg.line);
+    if (enum_set.count(reg.enumerator) == 0) {
+      out->push_back({dispatch_rel, reg.line, "messages",
                       "handler registered for unknown enumerator "
-                      "CqMsgType::" + name});
+                      "CqMsgType::" + reg.enumerator});
     }
   }
   for (const std::string& e : enums) {
@@ -364,8 +382,8 @@ void CheckCodecs(const CheckConfig& config, std::vector<Diagnostic>* out) {
   if (!fs::exists(messages) || !fs::exists(codec)) return;
   const std::string messages_rel = "src/core/messages.h";
   const std::string codec_rel = "src/core/codec.cc";
-  std::string mtext = StripComments(ReadFileText(messages));
-  std::string ctext = StripComments(ReadFileText(codec));
+  std::string mtext = StripComments(ReadFileText(messages.string()));
+  std::string ctext = StripComments(ReadFileText(codec.string()));
 
   size_t enum_pos = mtext.find("enum class CqMsgType");
   if (enum_pos == std::string::npos) {
@@ -384,17 +402,13 @@ void CheckCodecs(const CheckConfig& config, std::vector<Diagnostic>* out) {
   // Every enumerator gets exactly one Encode/Decode pair in the default
   // codec table; a payload type without one is silently undeliverable over
   // the socket transport.
-  std::regex reg_re(R"(RegisterCodec\s*\(\s*CqMsgType::(k\w+))");
   std::map<std::string, std::vector<size_t>> reg_lines;
-  for (auto it = std::sregex_iterator(ctext.begin(), ctext.end(), reg_re);
-       it != std::sregex_iterator(); ++it) {
-    std::string name = (*it)[1].str();
-    size_t line = LineOfOffset(ctext, static_cast<size_t>(it->position(0)));
-    reg_lines[name].push_back(line);
-    if (enum_set.count(name) == 0) {
-      out->push_back({codec_rel, line, "codecs",
+  for (const TypedCall& reg : FindTypedCalls(ctext, "RegisterCodec")) {
+    reg_lines[reg.enumerator].push_back(reg.line);
+    if (enum_set.count(reg.enumerator) == 0) {
+      out->push_back({codec_rel, reg.line, "codecs",
                       "codec registered for unknown enumerator "
-                      "CqMsgType::" + name});
+                      "CqMsgType::" + reg.enumerator});
     }
   }
   for (const std::string& e : enums) {
@@ -434,162 +448,85 @@ constexpr BannedToken kBanned[] = {
      "clock (ProtocolContext::Now)"},
 };
 
-/// True when the two lines above `line_index` or the line itself carry an
-/// ordered-ok waiver.
-bool HasOrderedOkWaiver(const std::vector<std::string>& lines,
-                        size_t line_index) {
-  const std::string needle = "contjoin-check: ordered-ok(";
-  size_t first = line_index >= 2 ? line_index - 2 : 0;
-  for (size_t i = first; i <= line_index && i < lines.size(); ++i) {
-    if (lines[i].find(needle) != std::string::npos) return true;
-  }
-  return false;
-}
+/// A range-for over some container expression, with its body span.
+struct RangeForLoop {
+  size_t head = 0;        // Offset of the 'for' keyword.
+  std::string container;  // Text after the ':' separator.
+  size_t body_begin = 0;  // '{' (or first statement char).
+  size_t body_end = 0;    // One past the body.
+};
 
-/// Names declared anywhere in src/ with an unordered container type
-/// (directly, or via an alias of one). Collected tree-wide so a member
-/// declared in a header is recognized when iterated in a .cc file.
-std::set<std::string> CollectUnorderedNames(
-    const std::vector<SourceFile>& files) {
-  std::set<std::string> aliases;
-  // Pass A: using-aliases of unordered containers.
-  std::regex alias_re(
-      R"(using\s+(\w+)\s*=\s*(?:std::\s*)?unordered_(?:map|set)\s*<)");
-  std::vector<std::string> stripped_texts;
-  stripped_texts.reserve(files.size());
-  for (const SourceFile& f : files) {
-    stripped_texts.push_back(StripComments(f.text));
-    const std::string& text = stripped_texts.back();
-    for (auto it = std::sregex_iterator(text.begin(), text.end(), alias_re);
-         it != std::sregex_iterator(); ++it) {
-      aliases.insert((*it)[1].str());
-    }
-  }
-
-  // After a type, accept `*`/`&` then an identifier that is a variable
-  // (terminated by ; = { , or a closing paren — not an opening paren,
-  // which would make it a function name).
-  auto capture_var = [](const std::string& text, size_t pos,
-                        std::set<std::string>* names) {
-    while (pos < text.size() &&
-           (std::isspace(static_cast<unsigned char>(text[pos])) != 0 ||
-            text[pos] == '*' || text[pos] == '&')) {
-      ++pos;
-    }
-    size_t start = pos;
-    while (pos < text.size() && IsIdentChar(text[pos])) ++pos;
-    if (pos == start) return;
-    std::string name = text.substr(start, pos - start);
-    while (pos < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
-      ++pos;
-    }
-    if (pos < text.size() && (text[pos] == ';' || text[pos] == '=' ||
-                              text[pos] == '{' || text[pos] == ',' ||
-                              text[pos] == ')')) {
-      names->insert(name);
-    }
-  };
-
-  std::set<std::string> names;
-  for (const std::string& text : stripped_texts) {
-    // Pass B1: direct unordered_map<...> / unordered_set<...> declarations.
-    std::regex direct_re(R"(unordered_(?:map|set)\s*<)");
-    for (auto it = std::sregex_iterator(text.begin(), text.end(), direct_re);
-         it != std::sregex_iterator(); ++it) {
-      size_t open = static_cast<size_t>(it->position(0)) + it->length(0) - 1;
-      size_t end = MatchBracket(text, open, '<', '>');
-      if (end == std::string::npos) continue;
-      capture_var(text, end, &names);
-    }
-    // Pass B2: declarations via a collected alias (possibly qualified).
-    for (const std::string& alias : aliases) {
-      size_t pos = 0;
-      while ((pos = text.find(alias, pos)) != std::string::npos) {
-        size_t end = pos + alias.size();
-        bool word_start = pos == 0 || !IsIdentChar(text[pos - 1]);
-        bool word_end = end >= text.size() || !IsIdentChar(text[end]);
-        if (word_start && word_end) capture_var(text, end, &names);
-        pos = end;
-      }
-    }
-  }
-  return names;
-}
-
-/// Final identifier of a range-for container expression: "*groups" ->
-/// "groups", "state.mw.alqt" -> "alqt", "items_" -> "items_".
-std::string TrailingIdentifier(const std::string& expr) {
-  size_t end = expr.size();
-  while (end > 0 &&
-         std::isspace(static_cast<unsigned char>(expr[end - 1])) != 0) {
-    --end;
-  }
-  if (end > 0 && (expr[end - 1] == ')' || expr[end - 1] == ']')) return "";
-  size_t start = end;
-  while (start > 0 && IsIdentChar(expr[start - 1])) --start;
-  return expr.substr(start, end - start);
-}
-
-void CheckFileDeterminism(const SourceFile& f,
-                          const std::set<std::string>& unordered_names,
-                          std::vector<Diagnostic>* out) {
-  std::string stripped = StripComments(f.text);
-  std::vector<std::string> stripped_lines = SplitLines(stripped);
-
-  // Banned nondeterminism sources.
-  for (size_t i = 0; i < stripped_lines.size(); ++i) {
-    const std::string& line = stripped_lines[i];
-    for (const BannedToken& banned : kBanned) {
-      size_t pos = 0;
-      std::string token = banned.token;
-      while ((pos = line.find(token, pos)) != std::string::npos) {
-        // Skip identifier tails (pub_time() is not time()) and member
-        // calls (sim.time() reads the virtual clock, which is fine).
-        bool word_start = pos == 0 || (!IsIdentChar(line[pos - 1]) &&
-                                       line[pos - 1] != '.');
-        if (word_start) {
-          out->push_back({f.rel_path, i + 1, "determinism",
-                          "banned call '" + token + "': " + banned.why});
-        }
-        pos += token.size();
-      }
-    }
-  }
-
-  // Range-for over unordered containers needs an ordered-ok waiver.
+std::vector<RangeForLoop> FindRangeFors(const std::string& code) {
+  std::vector<RangeForLoop> loops;
   size_t pos = 0;
-  while ((pos = stripped.find("for", pos)) != std::string::npos) {
-    bool word = (pos == 0 || !IsIdentChar(stripped[pos - 1])) &&
-                (pos + 3 >= stripped.size() || !IsIdentChar(stripped[pos + 3]));
-    size_t after = pos + 3;
-    pos = after;
-    if (!word) continue;
-    while (after < stripped.size() &&
-           std::isspace(static_cast<unsigned char>(stripped[after])) != 0) {
-      ++after;
-    }
-    if (after >= stripped.size() || stripped[after] != '(') continue;
-    size_t close = MatchBracket(stripped, after, '(', ')');
+  while ((pos = FindWordToken(code, pos, "for")) != std::string::npos) {
+    size_t head = pos;
+    size_t after = SkipSpaces(code, pos + 3);
+    pos += 3;
+    if (after >= code.size() || code[after] != '(') continue;
+    size_t close = MatchBracket(code, after, '(', ')');
     if (close == std::string::npos) continue;
-    std::string head = stripped.substr(after + 1, close - after - 2);
+    std::string head_expr = code.substr(after + 1, close - after - 2);
     // The range-for separator: a ':' that is not part of '::'.
     size_t colon = std::string::npos;
-    for (size_t i = 0; i + 1 <= head.size(); ++i) {
-      if (head[i] != ':') continue;
-      if ((i + 1 < head.size() && head[i + 1] == ':') ||
-          (i > 0 && head[i - 1] == ':')) {
+    for (size_t i = 0; i < head_expr.size(); ++i) {
+      if (head_expr[i] != ':') continue;
+      if ((i + 1 < head_expr.size() && head_expr[i + 1] == ':') ||
+          (i > 0 && head_expr[i - 1] == ':')) {
         continue;
       }
       colon = i;
       break;
     }
     if (colon == std::string::npos) continue;
-    std::string container = head.substr(colon + 1);
-    std::string name = TrailingIdentifier(container);
+    RangeForLoop loop;
+    loop.head = head;
+    loop.container = head_expr.substr(colon + 1);
+    size_t body = SkipSpaces(code, close);
+    if (body < code.size() && code[body] == '{') {
+      size_t end = MatchBracket(code, body, '{', '}');
+      if (end == std::string::npos) continue;
+      loop.body_begin = body;
+      loop.body_end = end;
+    } else {
+      size_t end = code.find(';', body);
+      if (end == std::string::npos) continue;
+      loop.body_begin = body;
+      loop.body_end = end + 1;
+    }
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+void CheckFileDeterminism(const SourceFile& f,
+                          const std::set<std::string>& unordered_names,
+                          std::vector<Diagnostic>* out) {
+  const std::string& code = f.code;
+
+  // Banned nondeterminism sources. Member calls stay exempt (sim.time()
+  // reads the virtual clock, which is fine) via FindWordToken's
+  // allow_member=false mode.
+  for (const BannedToken& banned : kBanned) {
+    const std::string token = banned.token;
+    size_t pos = 0;
+    while ((pos = FindWordToken(code, pos, token, /*allow_member=*/false)) !=
+           std::string::npos) {
+      out->push_back({f.rel_path, LineOfOffset(code, pos), "determinism",
+                      "banned call '" + token + "': " + banned.why});
+      pos += token.size();
+    }
+  }
+
+  // Range-for over unordered containers needs an ordered-ok waiver.
+  for (const RangeForLoop& loop : FindRangeFors(code)) {
+    std::string name = TrailingIdentifier(loop.container);
     if (name.empty() || unordered_names.count(name) == 0) continue;
-    size_t line_index = LineOfOffset(stripped, after) - 1;
-    if (HasOrderedOkWaiver(f.lines, line_index)) continue;
+    size_t line_index = LineOfOffset(code, loop.head) - 1;
+    if (HasWaiverNeedle(f.lines, line_index,
+                        "contjoin-check: ordered-ok(")) {
+      continue;
+    }
     out->push_back(
         {f.rel_path, line_index + 1, "determinism",
          "iteration over unordered container '" + name +
@@ -599,15 +536,19 @@ void CheckFileDeterminism(const SourceFile& f,
   }
 }
 
+void CheckDeterminismWithIndex(const SymbolIndex& index,
+                               std::vector<Diagnostic>* out) {
+  for (const SourceFile& f : index.files) {
+    CheckFileDeterminism(f, index.unordered_names, out);
+  }
+}
+
 }  // namespace
 
 void CheckDeterminism(const CheckConfig& config,
                       std::vector<Diagnostic>* out) {
-  std::vector<SourceFile> files = ListSources(config.root);
-  std::set<std::string> unordered_names = CollectUnorderedNames(files);
-  for (const SourceFile& f : files) {
-    CheckFileDeterminism(f, unordered_names, out);
-  }
+  SymbolIndex index = BuildSymbolIndex(config.root);
+  CheckDeterminismWithIndex(index, out);
 }
 
 // --- Rule 5: lint promotion ---------------------------------------------------
@@ -622,7 +563,7 @@ void CheckLintConfig(const CheckConfig& config,
                     ".clang-tidy missing; the lint gate has no profile"});
     return;
   }
-  std::string text = ReadFileText(tidy);
+  std::string text = ReadFileText(tidy.string());
   std::vector<std::string> lines = SplitLines(text);
 
   // Collect the (possibly folded multi-line) values of the two keys.
@@ -664,42 +605,26 @@ void CheckLintConfig(const CheckConfig& config,
   }
 }
 
-// --- Rule 6: shard safety -----------------------------------------------------
+// --- Rule 6: shard escape -----------------------------------------------------
 
 namespace {
 
-/// True when the two lines above `line_index` or the line itself carry a
-/// shard-ok waiver.
-bool HasShardOkWaiver(const std::vector<std::string>& lines,
-                      size_t line_index) {
-  const std::string needle = "contjoin-check: shard-ok(";
-  size_t first = line_index >= 2 ? line_index - 2 : 0;
-  for (size_t i = first; i <= line_index && i < lines.size(); ++i) {
-    if (lines[i].find(needle) != std::string::npos) return true;
-  }
-  return false;
-}
+const char kShardWaiver[] = "contjoin-check: shard-ok(";
 
-void CheckFileShardSafety(const SourceFile& f, std::vector<Diagnostic>* out) {
-  std::string stripped = StripComments(f.text);
+void CheckFileShardStatics(const SourceFile& f,
+                           std::vector<Diagnostic>* out) {
+  const std::string& stripped = f.code;
 
   // (a) Mutable static data. A `static` declarator is data when the first
   // structural token after the declaration's type+name is '=', ';' or '{'
   // — an opening paren first means a function. Template argument lists are
   // skipped so `static std::function<void()> f;` still reads as data.
   size_t pos = 0;
-  while ((pos = stripped.find("static", pos)) != std::string::npos) {
+  while ((pos = FindWordToken(stripped, pos, "static")) !=
+         std::string::npos) {
     size_t start = pos;
-    bool word = (pos == 0 || !IsIdentChar(stripped[pos - 1])) &&
-                (pos + 6 >= stripped.size() ||
-                 !IsIdentChar(stripped[pos + 6]));
     pos += 6;
-    if (!word) continue;
-    size_t j = pos;
-    while (j < stripped.size() &&
-           std::isspace(static_cast<unsigned char>(stripped[j])) != 0) {
-      ++j;
-    }
+    size_t j = SkipSpaces(stripped, pos);
     // Immutable statics are shard-safe by construction.
     if (stripped.compare(j, 9, "constexpr") == 0 ||
         (stripped.compare(j, 5, "const") == 0 &&
@@ -724,9 +649,9 @@ void CheckFileShardSafety(const SourceFile& f, std::vector<Diagnostic>* out) {
     }
     if (!is_data) continue;
     size_t line_index = LineOfOffset(stripped, start) - 1;
-    if (HasShardOkWaiver(f.lines, line_index)) continue;
+    if (HasWaiverNeedle(f.lines, line_index, kShardWaiver)) continue;
     out->push_back(
-        {f.rel_path, line_index + 1, "shard-safety",
+        {f.rel_path, line_index + 1, "shard-escape",
          "mutable static data in a role module — handlers for different "
          "node shards run concurrently under the parallel simulator core; "
          "keep state in NodeState (or waive with "
@@ -742,29 +667,657 @@ void CheckFileShardSafety(const SourceFile& f, std::vector<Diagnostic>* out) {
     size_t start = pos;
     pos += rng.size();
     size_t line_index = LineOfOffset(stripped, start) - 1;
-    if (HasShardOkWaiver(f.lines, line_index)) continue;
+    if (HasWaiverNeedle(f.lines, line_index, kShardWaiver)) continue;
     out->push_back(
-        {f.rel_path, line_index + 1, "shard-safety",
+        {f.rel_path, line_index + 1, "shard-escape",
          "GetRng() draw in a role module — shared-RNG draw order depends "
          "on thread interleaving; derive randomness from per-node state "
          "(or waive with // contjoin-check: shard-ok(<reason>))"});
   }
 }
 
-}  // namespace
+/// Spans (paren-open .. matching close) of ctx.Transmit / ctx.ScheduleAfter
+/// call arguments inside `fn` — closures passed there execute on the
+/// destination node's shard, so StateOf(<that node>) inside them is not
+/// an escape.
+std::vector<std::pair<size_t, size_t>> DeferredClosureSpans(
+    const SourceFile& f, const FunctionDef& fn) {
+  std::vector<std::pair<size_t, size_t>> spans;
+  for (const CallSite& call : fn.calls) {
+    if (call.name != "Transmit" && call.name != "ScheduleAfter") continue;
+    size_t end = MatchBracket(f.code, call.paren, '(', ')');
+    if (end != std::string::npos) spans.emplace_back(call.paren, end);
+  }
+  return spans;
+}
 
-void CheckShardSafety(const CheckConfig& config,
-                      std::vector<Diagnostic>* out) {
-  for (const SourceFile& f : ListSources(config.root)) {
+void CheckFileShardEscape(const SourceFile& f, const SymbolIndex& index,
+                          size_t file_index, std::vector<Diagnostic>* out) {
+  CheckFileShardStatics(f, out);
+
+  // (c) Cross-shard writes: a role-module function may pass only its own
+  // node parameter to StateOf — other nodes' state belongs to other
+  // shards. Closures handed to ctx.Transmit / ctx.ScheduleAfter are
+  // exempt: they run on the destination node's shard.
+  for (size_t fn_index : index.functions_by_file[file_index]) {
+    const FunctionDef& fn = index.functions[fn_index];
+    std::vector<std::pair<size_t, size_t>> deferred =
+        DeferredClosureSpans(f, fn);
+    for (const CallSite& call : fn.calls) {
+      if (call.name != "StateOf") continue;
+      bool exempt = false;
+      for (const auto& span : deferred) {
+        if (call.paren > span.first && call.paren < span.second) {
+          exempt = true;
+          break;
+        }
+      }
+      if (exempt) continue;
+      size_t close = MatchBracket(f.code, call.paren, '(', ')');
+      if (close == std::string::npos) continue;
+      std::string arg =
+          f.code.substr(call.paren + 1, close - call.paren - 2);
+      std::string name = TrailingIdentifier(arg);
+      if (!name.empty() && name == fn.owner_param) continue;
+      size_t line_index = LineOfOffset(f.code, call.paren) - 1;
+      if (HasWaiverNeedle(f.lines, line_index, kShardWaiver)) continue;
+      out->push_back(
+          {f.rel_path, line_index + 1, "shard-escape",
+           "StateOf(" + arg + ") in '" + fn.name +
+               "' escapes the owning shard (own node parameter: " +
+               (fn.owner_param.empty() ? std::string("<none>")
+                                       : fn.owner_param) +
+               "); mutate other nodes only inside ctx.Transmit / "
+               "ctx.ScheduleAfter closures (or waive with "
+               "// contjoin-check: shard-ok(<reason>))"});
+    }
+  }
+
+  // (d) Unordered iteration feeding a send loop — directly, or through
+  // one helper call — leaks hash-table order into message emission order
+  // even when each element is independently correct.
+  for (const RangeForLoop& loop : FindRangeFors(f.code)) {
+    std::string container = TrailingIdentifier(loop.container);
+    if (container.empty() || index.unordered_names.count(container) == 0) {
+      continue;
+    }
+    std::string via;
+    for (size_t fn_index : index.functions_by_file[file_index]) {
+      const FunctionDef& fn = index.functions[fn_index];
+      for (const CallSite& call : fn.calls) {
+        if (call.paren <= loop.body_begin || call.paren >= loop.body_end) {
+          continue;
+        }
+        if (SendCallNames().count(call.name) > 0) {
+          via = call.name;
+          break;
+        }
+        auto targets = index.functions_by_name.find(call.name);
+        if (targets == index.functions_by_name.end()) continue;
+        for (size_t target : targets->second) {
+          if (HasSendCall(index.functions[target])) {
+            via = call.name + " -> send";
+            break;
+          }
+        }
+        if (!via.empty()) break;
+      }
+      if (!via.empty()) break;
+    }
+    if (via.empty()) continue;
+    size_t line_index = LineOfOffset(f.code, loop.head) - 1;
+    if (HasWaiverNeedle(f.lines, line_index, kShardWaiver)) continue;
+    out->push_back(
+        {f.rel_path, line_index + 1, "shard-escape",
+         "iteration over unordered container '" + container +
+             "' feeds a send path (" + via +
+             ") — hash-table order would reach the wire; sort or use an "
+             "ordered container (or waive with "
+             "// contjoin-check: shard-ok(<reason>))"});
+  }
+}
+
+void CheckShardEscapeWithIndex(const SymbolIndex& index,
+                               std::vector<Diagnostic>* out) {
+  for (size_t i = 0; i < index.files.size(); ++i) {
+    const SourceFile& f = index.files[i];
     if (LayerOf(f.rel_path) != "core") continue;
     if (RoleModuleStems().count(StemOf(f.rel_path)) == 0) continue;
-    CheckFileShardSafety(f, out);
+    CheckFileShardEscape(f, index, i, out);
   }
+}
+
+}  // namespace
+
+void CheckShardEscape(const CheckConfig& config,
+                      std::vector<Diagnostic>* out) {
+  SymbolIndex index = BuildSymbolIndex(config.root);
+  CheckShardEscapeWithIndex(index, out);
+}
+
+// --- Rule 7: protocol flow ----------------------------------------------------
+
+namespace {
+
+struct ProtocolSpec {
+  bool found = false;
+  std::string rel_path;
+  std::set<std::string> msgs;
+  std::map<std::string, size_t> msg_line;
+  std::map<std::string, std::string> handler;
+  std::set<std::string> critical;
+  std::set<std::string> wire;
+  std::map<std::pair<std::string, std::string>, size_t> sends;  // -> line
+  std::vector<Diagnostic> parse_errors;
+};
+
+std::string SpecPathOf(const CheckConfig& config) {
+  if (!config.protocol_spec.empty()) return config.protocol_spec;
+  return (fs::path(config.root) / "tools" / "check" / "protocol.spec")
+      .string();
+}
+
+std::string SpecRelPath(const CheckConfig& config, const std::string& path) {
+  std::string root_prefix =
+      fs::path(config.root).lexically_normal().generic_string();
+  std::string norm = fs::path(path).lexically_normal().generic_string();
+  if (!root_prefix.empty() && norm.rfind(root_prefix + "/", 0) == 0) {
+    return norm.substr(root_prefix.size() + 1);
+  }
+  return norm;
+}
+
+ProtocolSpec LoadProtocolSpec(const CheckConfig& config) {
+  ProtocolSpec spec;
+  std::string path = SpecPathOf(config);
+  spec.rel_path = SpecRelPath(config, path);
+  if (!fs::exists(path)) return spec;
+  spec.found = true;
+  std::vector<std::string> lines = SplitLines(ReadFileText(path));
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::vector<std::string> words;
+    size_t pos = 0;
+    while (pos < line.size()) {
+      pos = SkipSpaces(line, pos);
+      size_t start = pos;
+      while (pos < line.size() && !IsSpace(line[pos])) ++pos;
+      if (pos > start) words.push_back(line.substr(start, pos - start));
+    }
+    if (words.empty()) continue;
+    const std::string& directive = words[0];
+    auto bad = [&](const std::string& why) {
+      spec.parse_errors.push_back(
+          {spec.rel_path, i + 1, "protocol-flow", "spec parse error: " + why});
+    };
+    if (directive == "msg" && words.size() == 2) {
+      spec.msgs.insert(words[1]);
+      spec.msg_line[words[1]] = i + 1;
+    } else if (directive == "handler" && words.size() == 3) {
+      spec.handler[words[1]] = words[2];
+    } else if (directive == "critical" && words.size() == 2) {
+      spec.critical.insert(words[1]);
+    } else if (directive == "wire" && words.size() == 2) {
+      spec.wire.insert(words[1]);
+    } else if (directive == "send" && words.size() == 3) {
+      spec.sends[{words[1], words[2]}] = i + 1;
+    } else {
+      bad("expected `msg|critical|wire <kType>`, `handler <kType> <role>` "
+          "or `send <kType> <role>`, got '" + line + "'");
+    }
+  }
+  return spec;
+}
+
+void CheckProtocolFlowWithIndex(const CheckConfig& config,
+                                const SymbolIndex& index,
+                                std::vector<Diagnostic>* out) {
+  ProtocolGraph graph = ExtractProtocolGraph(index);
+  ProtocolSpec spec = LoadProtocolSpec(config);
+  if (graph.enums.empty() && !spec.found) return;  // Nothing to check.
+  if (!spec.found) {
+    out->push_back(
+        {spec.rel_path, 0, "protocol-flow",
+         "protocol.spec not found — declare the role x message flow "
+         "graph (msg/handler/critical/wire/send lines) so protocol "
+         "drift fails the lint gate"});
+    return;
+  }
+  for (const Diagnostic& d : spec.parse_errors) out->push_back(d);
+
+  std::set<std::string> enum_set(graph.enums.begin(), graph.enums.end());
+
+  // Every enumerator declared; every declaration a real enumerator.
+  for (const std::string& e : graph.enums) {
+    if (spec.msgs.count(e) == 0) {
+      out->push_back({spec.rel_path, 0, "protocol-flow",
+                      "CqMsgType::" + e +
+                          " is not declared in protocol.spec (add `msg " +
+                          e + "` plus its handler/wire/send facts)"});
+    }
+  }
+  for (const auto& [m, line] : spec.msg_line) {
+    if (enum_set.count(m) == 0) {
+      out->push_back({spec.rel_path, line, "protocol-flow",
+                      "protocol.spec declares unknown enumerator " + m});
+    }
+  }
+
+  for (const std::string& e : graph.enums) {
+    // Handlers: dispatch table vs declared handling role.
+    std::string extracted = graph.handler_of.count(e) > 0
+                                ? graph.handler_of.at(e)
+                                : std::string();
+    auto declared = spec.handler.find(e);
+    if (!extracted.empty() && declared == spec.handler.end()) {
+      out->push_back({spec.rel_path, 0, "protocol-flow",
+                      "CqMsgType::" + e + " is handled by role '" +
+                          extracted +
+                          "' but protocol.spec declares no handler (add "
+                          "`handler " + e + " " + extracted + "`)"});
+    } else if (extracted.empty() && declared != spec.handler.end()) {
+      out->push_back({"src/core/dispatch.cc", 0, "protocol-flow",
+                      "protocol.spec declares handler '" +
+                          declared->second + "' for CqMsgType::" + e +
+                          " but the default dispatch table does not "
+                          "register one"});
+    } else if (declared != spec.handler.end() &&
+               extracted != declared->second) {
+      out->push_back({"src/core/dispatch.cc", 0, "protocol-flow",
+                      "CqMsgType::" + e + " is handled by role '" +
+                          extracted + "' but protocol.spec declares '" +
+                          declared->second + "'"});
+    }
+
+    // Criticality: reliability::IsCritical vs declared bit.
+    bool ext_critical = graph.critical.count(e) > 0;
+    bool spec_critical = spec.critical.count(e) > 0;
+    if (ext_critical && !spec_critical) {
+      out->push_back({spec.rel_path, 0, "protocol-flow",
+                      "reliability::IsCritical marks CqMsgType::" + e +
+                          " critical but protocol.spec does not (add "
+                          "`critical " + e + "`)"});
+    } else if (!ext_critical && spec_critical) {
+      out->push_back({"src/core/reliability.cc", 0, "protocol-flow",
+                      "protocol.spec marks CqMsgType::" + e +
+                          " critical but reliability::IsCritical does "
+                          "not return true for it"});
+    }
+
+    // Wire reachability: codec table vs declared bit.
+    bool ext_wire = graph.has_codec.count(e) > 0;
+    bool spec_wire = spec.wire.count(e) > 0;
+    if (ext_wire && !spec_wire) {
+      out->push_back({spec.rel_path, 0, "protocol-flow",
+                      "CqMsgType::" + e +
+                          " has a registered wire codec but protocol.spec "
+                          "marks it simulator-only (add `wire " + e + "`)"});
+    } else if (!ext_wire && spec_wire) {
+      out->push_back({"src/core/codec.cc", 0, "protocol-flow",
+                      "protocol.spec marks CqMsgType::" + e +
+                          " transport-reachable but no wire codec is "
+                          "registered for it"});
+    }
+  }
+
+  // Send edges: extracted vs declared, plus the per-edge contracts.
+  for (const auto& [e, roles] : graph.senders) {
+    for (const auto& [role, armed] : roles) {
+      std::pair<std::string, size_t> site{"", 0};
+      auto site_types = graph.send_sites.find(e);
+      if (site_types != graph.send_sites.end() &&
+          site_types->second.count(role) > 0) {
+        site = site_types->second.at(role);
+      }
+      if (spec.sends.count({e, role}) == 0) {
+        out->push_back({site.first, site.second, "protocol-flow",
+                        "role '" + role + "' sends CqMsgType::" + e +
+                            " but protocol.spec declares no `send " + e +
+                            " " + role + "` edge (protocol drift)"});
+      }
+      bool handled = graph.handler_of.count(e) > 0 &&
+                     !graph.handler_of.at(e).empty();
+      if (!handled) {
+        out->push_back({site.first, site.second, "protocol-flow",
+                        "CqMsgType::" + e + " is sent by role '" + role +
+                            "' but never handled: the default dispatch "
+                            "table registers no handler for it"});
+      }
+      if (spec.critical.count(e) > 0 && !armed) {
+        out->push_back(
+            {site.first, site.second, "protocol-flow",
+             "critical message CqMsgType::" + e + " is sent raw by role '" +
+                 role +
+                 "' — route it through reliability::Arm/ArmAll/"
+                 "SendReliable so delivery is retried"});
+      }
+      if (spec.wire.count(e) == 0) {
+        out->push_back(
+            {site.first, site.second, "protocol-flow",
+             "simulator-only CqMsgType::" + e + " (no `wire " + e +
+                 "` in protocol.spec) reaches the transport seam via a "
+                 "role-module send path — it would be dropped on the "
+                 "socket transport"});
+      }
+    }
+  }
+  for (const auto& [edge, line] : spec.sends) {
+    const auto& [e, role] = edge;
+    bool extracted = graph.senders.count(e) > 0 &&
+                     graph.senders.at(e).count(role) > 0;
+    if (!extracted) {
+      out->push_back({spec.rel_path, line, "protocol-flow",
+                      "protocol.spec declares `send " + e + " " + role +
+                          "` but no such send site exists in the tree "
+                          "(stale spec)"});
+    }
+  }
+}
+
+}  // namespace
+
+ProtocolGraph ExtractProtocolGraph(const SymbolIndex& index) {
+  ProtocolGraph graph;
+  graph.enums = index.msg_enums;
+
+  // Handling roles from the default dispatch table: the namespace
+  // qualifier of the registered handler.
+  for (size_t fi = 0; fi < index.files.size(); ++fi) {
+    if (index.files[fi].rel_path != "src/core/dispatch.cc") continue;
+    for (const TypedCall& reg :
+         FindTypedCalls(index.files[fi].code, "Register")) {
+      size_t sep = reg.args_tail.rfind("::");
+      std::string role;
+      if (sep != std::string::npos) {
+        size_t end = sep;
+        while (end > 0 && IsSpace(reg.args_tail[end - 1])) --end;
+        size_t start = end;
+        while (start > 0 && IsIdentChar(reg.args_tail[start - 1])) --start;
+        role = reg.args_tail.substr(start, end - start);
+      }
+      if (graph.handler_of.count(reg.enumerator) == 0) {
+        graph.handler_of[reg.enumerator] = role;
+      }
+    }
+  }
+
+  // Critical set: the case labels of reliability::IsCritical.
+  auto critical_fns = index.functions_by_name.find("IsCritical");
+  if (critical_fns != index.functions_by_name.end()) {
+    for (size_t fn_index : critical_fns->second) {
+      const FunctionDef& fn = index.functions[fn_index];
+      const SourceFile& f = index.files[fn.file];
+      if (StemOf(f.rel_path) != "reliability") continue;
+      size_t pos = fn.body_begin;
+      while ((pos = FindWordToken(f.code, pos, "case")) !=
+                 std::string::npos &&
+             pos < fn.body_end) {
+        size_t j = SkipSpaces(f.code, pos + 4);
+        pos += 4;
+        if (f.code.compare(j, 11, "CqMsgType::") != 0) continue;
+        j += 11;
+        size_t start = j;
+        while (j < f.code.size() && IsIdentChar(f.code[j])) ++j;
+        if (j > start) graph.critical.insert(f.code.substr(start, j - start));
+      }
+    }
+  }
+
+  // Codec coverage.
+  for (size_t fi = 0; fi < index.files.size(); ++fi) {
+    if (index.files[fi].rel_path != "src/core/codec.cc") continue;
+    for (const TypedCall& reg :
+         FindTypedCalls(index.files[fi].code, "RegisterCodec")) {
+      graph.has_codec.insert(reg.enumerator);
+    }
+  }
+
+  // Reverse call map for the armed computation.
+  std::map<std::string, std::vector<size_t>> callers_by_name;
+  for (size_t i = 0; i < index.functions.size(); ++i) {
+    std::set<std::string> seen;
+    for (const CallSite& call : index.functions[i].calls) {
+      if (seen.insert(call.name).second) {
+        callers_by_name[call.name].push_back(i);
+      }
+    }
+  }
+  auto armed_near = [&index, &callers_by_name](size_t fn_index) {
+    std::set<size_t> nbhd;
+    auto add_callees = [&index, &nbhd](size_t gi) {
+      for (const CallSite& call : index.functions[gi].calls) {
+        auto targets = index.functions_by_name.find(call.name);
+        if (targets == index.functions_by_name.end()) continue;
+        for (size_t t : targets->second) nbhd.insert(t);
+      }
+    };
+    nbhd.insert(fn_index);
+    add_callees(fn_index);
+    auto callers = callers_by_name.find(index.functions[fn_index].name);
+    if (callers != callers_by_name.end()) {
+      for (size_t gi : callers->second) {
+        nbhd.insert(gi);
+        add_callees(gi);
+      }
+    }
+    for (size_t gi : nbhd) {
+      if (HasWrapCall(index.functions[gi])) return true;
+    }
+    return false;
+  };
+
+  // Send edges: payload creations inside role-module (and submission)
+  // functions, mapped through the payload-struct tag table.
+  for (size_t fi = 0; fi < index.files.size(); ++fi) {
+    const SourceFile& f = index.files[fi];
+    if (LayerOf(f.rel_path) != "core") continue;
+    std::string role = SendRoleOf(StemOf(f.rel_path));
+    if (role.empty()) continue;
+    for (size_t fn_index : index.functions_by_file[fi]) {
+      const FunctionDef& fn = index.functions[fn_index];
+      for (const PayloadCreation& creation : fn.creations) {
+        auto tags = index.payload_tags.find(creation.type_name);
+        if (tags == index.payload_tags.end()) continue;
+        std::vector<std::string> selected;
+        if (tags->second.size() > 1) {
+          // A constructor tagging several types (TupleIndexPayload's
+          // value_level ternary: true branch first) is disambiguated by a
+          // boolean literal argument; ambiguous calls count as all tags.
+          bool has_true =
+              FindWordToken(creation.args, 0, "true") != std::string::npos;
+          bool has_false =
+              FindWordToken(creation.args, 0, "false") != std::string::npos;
+          if (has_true && !has_false) {
+            selected.push_back(tags->second[0]);
+          } else if (has_false && !has_true) {
+            selected.push_back(tags->second[1]);
+          } else {
+            selected = tags->second;
+          }
+        } else {
+          selected = tags->second;
+        }
+        bool armed = armed_near(fn_index);
+        for (const std::string& e : selected) {
+          auto& entry = graph.senders[e][role];
+          entry = entry || armed;
+          if (graph.send_sites[e].count(role) == 0) {
+            graph.send_sites[e][role] = {
+                f.rel_path, LineOfOffset(f.code, creation.offset)};
+          }
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+std::string RenderProtocolGraph(const ProtocolGraph& graph) {
+  std::string out;
+  for (const std::string& e : graph.enums) {
+    out += e;
+    auto handler = graph.handler_of.find(e);
+    out += " handler=";
+    out += (handler != graph.handler_of.end() && !handler->second.empty())
+               ? handler->second
+               : "-";
+    if (graph.critical.count(e) > 0) out += " critical";
+    if (graph.has_codec.count(e) > 0) out += " wire";
+    out += " senders=";
+    auto senders = graph.senders.find(e);
+    if (senders == graph.senders.end() || senders->second.empty()) {
+      out += "-";
+    } else {
+      bool first = true;
+      for (const auto& [role, armed] : senders->second) {
+        if (!first) out += ",";
+        first = false;
+        out += role;
+        if (armed) out += "[armed]";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void CheckProtocolFlow(const CheckConfig& config,
+                       std::vector<Diagnostic>* out) {
+  SymbolIndex index = BuildSymbolIndex(config.root);
+  CheckProtocolFlowWithIndex(config, index, out);
+}
+
+// --- Rule 8: hot-path hygiene -------------------------------------------------
+
+namespace {
+
+const char kHotWaiver[] = "contjoin-check: hot-ok(";
+
+/// True when the line carries the hot marker itself (and not merely a
+/// hot-ok waiver, whose needle shares the prefix).
+bool IsHotMarkerLine(const std::string& line) {
+  const std::string needle = "contjoin-check: hot";
+  size_t pos = 0;
+  while ((pos = line.find(needle, pos)) != std::string::npos) {
+    size_t after = pos + needle.size();
+    if (after >= line.size() || line[after] != '-') return true;
+    pos = after;
+  }
+  return false;
+}
+
+bool IsHotFunction(const SourceFile& f, const FunctionDef& fn) {
+  size_t def_index = fn.line - 1;  // 0-based line of the name.
+  size_t first = def_index >= 2 ? def_index - 2 : 0;
+  for (size_t i = first; i <= def_index && i < f.lines.size(); ++i) {
+    if (IsHotMarkerLine(f.lines[i])) return true;
+  }
+  return false;
+}
+
+struct HotBan {
+  const char* token;
+  bool word = true;       // Word-boundary match (false: plain substring).
+  bool needs_call = false;  // Must be followed by '(' or '{'.
+  const char* why;
+};
+
+constexpr HotBan kHotBans[] = {
+    {"new", true, false, "allocates on the per-message path"},
+    {"make_unique", true, false, "allocates on the per-message path"},
+    {"make_shared", true, false, "allocates on the per-message path"},
+    {"std::string", false, true,
+     "constructs a std::string temporary on the per-message path"},
+    {"to_string", true, true,
+     "constructs a std::string temporary on the per-message path"},
+    {"ostringstream", true, false,
+     "constructs a stream (allocation + locale) on the per-message path"},
+    {"stringstream", true, false,
+     "constructs a stream (allocation + locale) on the per-message path"},
+    {"regex", false, false,
+     "std::regex construction/matching is orders of magnitude too slow "
+     "for a hot path (and the checker bans itself from it)"},
+    {"lock_guard", true, false, "takes a lock on the per-message path"},
+    {"unique_lock", true, false, "takes a lock on the per-message path"},
+    {"scoped_lock", true, false, "takes a lock on the per-message path"},
+    {"shared_lock", true, false, "takes a lock on the per-message path"},
+    {"mutex", true, false, "takes a lock on the per-message path"},
+    {".lock(", false, false, "takes a lock on the per-message path"},
+};
+
+void CheckHotPathWithIndex(const SymbolIndex& index,
+                           std::vector<Diagnostic>* out) {
+  for (const FunctionDef& fn : index.functions) {
+    const SourceFile& f = index.files[fn.file];
+    if (!IsHotFunction(f, fn)) continue;
+    for (const HotBan& ban : kHotBans) {
+      const std::string token = ban.token;
+      size_t pos = fn.body_begin;
+      while (pos < fn.body_end) {
+        pos = ban.word ? FindWordToken(f.code, pos, token)
+                       : f.code.find(token, pos);
+        if (pos == std::string::npos || pos >= fn.body_end) break;
+        size_t match = pos;
+        pos += token.size();
+        if (ban.needs_call) {
+          size_t j = SkipSpaces(f.code, match + token.size());
+          if (j >= f.code.size() || (f.code[j] != '(' && f.code[j] != '{')) {
+            continue;
+          }
+        }
+        size_t line_index = LineOfOffset(f.code, match) - 1;
+        if (HasWaiverNeedle(f.lines, line_index, kHotWaiver)) continue;
+        out->push_back(
+            {f.rel_path, line_index + 1, "hotpath",
+             "'" + token + "' in hot function '" + fn.name + "': " +
+                 ban.why + " (waive with "
+                 "// contjoin-check: hot-ok(<reason>))"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void CheckHotPath(const CheckConfig& config, std::vector<Diagnostic>* out) {
+  SymbolIndex index = BuildSymbolIndex(config.root);
+  CheckHotPathWithIndex(index, out);
 }
 
 // --- Compile-database coverage ------------------------------------------------
 
-void CheckCompileDb(const CheckConfig& config, std::vector<Diagnostic>* out) {
+namespace {
+
+/// Values of every `"file": "<path>"` entry in a compile database,
+/// unescaped.
+std::set<std::string> CompileDbFiles(const std::string& db) {
+  std::set<std::string> built;
+  const std::string key = "\"file\"";
+  size_t pos = 0;
+  while ((pos = db.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    size_t j = SkipSpaces(db, pos);
+    if (j >= db.size() || db[j] != ':') continue;
+    j = SkipSpaces(db, j + 1);
+    if (j >= db.size() || db[j] != '"') continue;
+    std::string value;
+    ++j;
+    while (j < db.size() && db[j] != '"') {
+      if (db[j] == '\\' && j + 1 < db.size()) ++j;
+      value += db[j];
+      ++j;
+    }
+    built.insert(fs::path(value).lexically_normal().generic_string());
+    pos = j;
+  }
+  return built;
+}
+
+void CheckCompileDbWithIndex(const CheckConfig& config,
+                             const SymbolIndex& index,
+                             std::vector<Diagnostic>* out) {
   if (config.compile_db.empty()) return;
   if (!fs::exists(config.compile_db)) {
     out->push_back({config.compile_db, 0, "compile-db",
@@ -772,14 +1325,8 @@ void CheckCompileDb(const CheckConfig& config, std::vector<Diagnostic>* out) {
                     "CMAKE_EXPORT_COMPILE_COMMANDS=ON)"});
     return;
   }
-  std::string db = ReadFileText(config.compile_db);
-  std::set<std::string> built;
-  std::regex file_re(R"re("file"\s*:\s*"([^"]+)")re");
-  for (auto it = std::sregex_iterator(db.begin(), db.end(), file_re);
-       it != std::sregex_iterator(); ++it) {
-    built.insert(fs::path((*it)[1].str()).lexically_normal().generic_string());
-  }
-  for (const SourceFile& f : ListSources(config.root)) {
+  std::set<std::string> built = CompileDbFiles(ReadFileText(config.compile_db));
+  for (const SourceFile& f : index.files) {
     if (fs::path(f.rel_path).extension() != ".cc") continue;
     fs::path abs = fs::absolute(fs::path(config.root) / f.rel_path)
                        .lexically_normal();
@@ -804,17 +1351,61 @@ void CheckCompileDb(const CheckConfig& config, std::vector<Diagnostic>* out) {
   }
 }
 
+}  // namespace
+
+void CheckCompileDb(const CheckConfig& config, std::vector<Diagnostic>* out) {
+  SymbolIndex index = BuildSymbolIndex(config.root);
+  CheckCompileDbWithIndex(config, index, out);
+}
+
+void CheckLayering(const CheckConfig& config, std::vector<Diagnostic>* out) {
+  SymbolIndex index = BuildSymbolIndex(config.root);
+  CheckLayeringWithIndex(index, out);
+}
+
 // --- Driver -------------------------------------------------------------------
 
-std::vector<Diagnostic> RunChecks(const CheckConfig& config) {
+std::vector<Diagnostic> RunChecks(const CheckConfig& config,
+                                  std::vector<RuleTiming>* timings) {
   std::vector<Diagnostic> out;
-  if (config.check_layering) CheckLayering(config, &out);
-  if (config.check_messages) CheckMessages(config, &out);
-  if (config.check_codecs) CheckCodecs(config, &out);
-  if (config.check_determinism) CheckDeterminism(config, &out);
-  if (config.check_lint_config) CheckLintConfig(config, &out);
-  if (config.check_shard_safety) CheckShardSafety(config, &out);
-  CheckCompileDb(config, &out);
+  auto timed = [timings](const char* rule, auto&& body) {
+    auto t0 = std::chrono::steady_clock::now();
+    body();
+    if (timings != nullptr) {
+      auto t1 = std::chrono::steady_clock::now();
+      timings->push_back(
+          {rule,
+           std::chrono::duration<double, std::milli>(t1 - t0).count()});
+    }
+  };
+  SymbolIndex index;
+  timed("index", [&] { index = BuildSymbolIndex(config.root); });
+  if (config.check_layering) {
+    timed("layering", [&] { CheckLayeringWithIndex(index, &out); });
+  }
+  if (config.check_messages) {
+    timed("messages", [&] { CheckMessages(config, &out); });
+  }
+  if (config.check_codecs) {
+    timed("codecs", [&] { CheckCodecs(config, &out); });
+  }
+  if (config.check_determinism) {
+    timed("determinism", [&] { CheckDeterminismWithIndex(index, &out); });
+  }
+  if (config.check_lint_config) {
+    timed("lint-config", [&] { CheckLintConfig(config, &out); });
+  }
+  if (config.check_shard_escape) {
+    timed("shard-escape", [&] { CheckShardEscapeWithIndex(index, &out); });
+  }
+  if (config.check_protocol_flow) {
+    timed("protocol-flow",
+          [&] { CheckProtocolFlowWithIndex(config, index, &out); });
+  }
+  if (config.check_hotpath) {
+    timed("hotpath", [&] { CheckHotPathWithIndex(index, &out); });
+  }
+  timed("compile-db", [&] { CheckCompileDbWithIndex(config, index, &out); });
   std::sort(out.begin(), out.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               return std::tie(a.file, a.line, a.rule, a.message) <
@@ -827,6 +1418,57 @@ std::string FormatDiagnostic(const Diagnostic& d) {
   std::string out = d.file;
   if (d.line > 0) out += ":" + std::to_string(d.line);
   out += ": [" + d.rule + "] " + d.message;
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatDiagnosticsJson(const std::vector<Diagnostic>& diags) {
+  std::string out = "[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n  {\"file\": \"" + JsonEscape(diags[i].file) +
+           "\", \"line\": " + std::to_string(diags[i].line) +
+           ", \"rule\": \"" + JsonEscape(diags[i].rule) +
+           "\", \"message\": \"" + JsonEscape(diags[i].message) + "\"}";
+  }
+  out += diags.empty() ? "]\n" : "\n]\n";
   return out;
 }
 

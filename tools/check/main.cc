@@ -1,7 +1,9 @@
 // CLI driver for contjoin_check. Exit status 0 when the tree is clean,
-// 1 when any diagnostic fires, 2 on usage errors.
+// 1 when any diagnostic fires, 2 on usage errors (including a --root
+// that does not exist — a missing tree must not read as "clean").
 
-#include <cstring>
+#include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -12,12 +14,28 @@ namespace {
 int Usage() {
   std::cerr
       << "usage: contjoin_check --root DIR [-p compile_commands.json] "
-         "[--rule NAME]...\n"
+         "[--spec FILE] [--rule NAME]... [--format=json] [--timings] "
+         "[--dump-graph]\n"
          "\n"
          "Rules (default: all): layering, messages, codecs, determinism, "
-         "lint-config, shard-safety.\n"
-         "The compile-database coverage check runs whenever -p is given.\n";
+         "lint-config, shard-escape, protocol-flow, hotpath.\n"
+         "(shard-safety is accepted as an alias for shard-escape.)\n"
+         "The compile-database coverage check runs whenever -p is given.\n"
+         "\n"
+         "  --spec FILE    protocol spec path (default: "
+         "<root>/tools/check/protocol.spec)\n"
+         "  --format=json  emit diagnostics as a JSON array (CI artifact)\n"
+         "  --timings      print per-rule-family wall time to stderr\n"
+         "  --dump-graph   print the extracted role x message protocol "
+         "graph and exit\n";
   return 2;
+}
+
+void DisableAllRules(contjoin::check::CheckConfig* config) {
+  config->check_layering = config->check_messages = config->check_codecs =
+      config->check_determinism = config->check_lint_config =
+          config->check_shard_escape = config->check_protocol_flow =
+              config->check_hotpath = false;
 }
 
 }  // namespace
@@ -25,17 +43,26 @@ int Usage() {
 int main(int argc, char** argv) {
   contjoin::check::CheckConfig config;
   bool rules_selected = false;
+  bool json = false;
+  bool timings = false;
+  bool dump_graph = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       config.root = argv[++i];
     } else if (arg == "-p" && i + 1 < argc) {
       config.compile_db = argv[++i];
+    } else if (arg == "--spec" && i + 1 < argc) {
+      config.protocol_spec = argv[++i];
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--timings") {
+      timings = true;
+    } else if (arg == "--dump-graph") {
+      dump_graph = true;
     } else if (arg == "--rule" && i + 1 < argc) {
       if (!rules_selected) {
-        config.check_layering = config.check_messages =
-            config.check_codecs = config.check_determinism =
-                config.check_lint_config = config.check_shard_safety = false;
+        DisableAllRules(&config);
         rules_selected = true;
       }
       std::string rule = argv[++i];
@@ -49,8 +76,12 @@ int main(int argc, char** argv) {
         config.check_determinism = true;
       } else if (rule == "lint-config") {
         config.check_lint_config = true;
-      } else if (rule == "shard-safety") {
-        config.check_shard_safety = true;
+      } else if (rule == "shard-escape" || rule == "shard-safety") {
+        config.check_shard_escape = true;
+      } else if (rule == "protocol-flow") {
+        config.check_protocol_flow = true;
+      } else if (rule == "hotpath") {
+        config.check_hotpath = true;
       } else {
         std::cerr << "unknown rule: " << rule << "\n";
         return Usage();
@@ -61,9 +92,35 @@ int main(int argc, char** argv) {
     }
   }
   if (config.root.empty()) return Usage();
+  if (!std::filesystem::exists(config.root)) {
+    std::cerr << "contjoin_check: --root " << config.root
+              << " does not exist\n";
+    return 2;
+  }
 
-  std::vector<contjoin::check::Diagnostic> diags =
-      contjoin::check::RunChecks(config);
+  if (dump_graph) {
+    contjoin::check::SymbolIndex index =
+        contjoin::check::BuildSymbolIndex(config.root);
+    std::cout << contjoin::check::RenderProtocolGraph(
+        contjoin::check::ExtractProtocolGraph(index));
+    return 0;
+  }
+
+  std::vector<contjoin::check::RuleTiming> rule_timings;
+  std::vector<contjoin::check::Diagnostic> diags = contjoin::check::RunChecks(
+      config, timings ? &rule_timings : nullptr);
+
+  if (timings) {
+    for (const auto& t : rule_timings) {
+      std::fprintf(stderr, "contjoin_check: %-13s %8.2f ms\n",
+                   t.rule.c_str(), t.millis);
+    }
+  }
+
+  if (json) {
+    std::cout << contjoin::check::FormatDiagnosticsJson(diags);
+    return diags.empty() ? 0 : 1;
+  }
   for (const auto& d : diags) {
     std::cout << contjoin::check::FormatDiagnostic(d) << "\n";
   }

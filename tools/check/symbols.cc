@@ -1,0 +1,676 @@
+#include "symbols.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace contjoin::check {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+size_t SkipSpaces(const std::string& text, size_t pos) {
+  while (pos < text.size() && IsSpace(text[pos])) ++pos;
+  return pos;
+}
+
+/// Offset of the first non-space character at or before `pos` going
+/// backwards; npos when only whitespace precedes.
+size_t RSkipSpaces(const std::string& text, size_t pos) {
+  while (pos != static_cast<size_t>(-1) && IsSpace(text[pos])) --pos;
+  return pos;
+}
+
+const std::set<std::string>& NonCallKeywords() {
+  static const std::set<std::string> kWords = {
+      "if",       "for",     "while",         "switch",  "catch",
+      "return",   "sizeof",  "alignof",       "decltype", "constexpr",
+      "static_assert",       "noexcept",      "throw",   "operator",
+      "new",      "delete",  "case",          "typeid",  "alignas",
+      "co_await", "co_return", "co_yield",    "defined", "assert",
+      "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+  };
+  return kWords;
+}
+
+}  // namespace
+
+// --- Text utilities -----------------------------------------------------------
+
+std::string ReadFileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+std::string StripComments(const std::string& text) {
+  std::string out = text;
+  size_t i = 0;
+  while (i + 1 < out.size()) {
+    if (out[i] == '/' && out[i + 1] == '/') {
+      while (i < out.size() && out[i] != '\n') out[i++] = ' ';
+    } else if (out[i] == '/' && out[i + 1] == '*') {
+      out[i] = out[i + 1] = ' ';
+      i += 2;
+      while (i + 1 < out.size() && !(out[i] == '*' && out[i + 1] == '/')) {
+        if (out[i] != '\n') out[i] = ' ';
+        ++i;
+      }
+      if (i + 1 < out.size()) {
+        out[i] = out[i + 1] = ' ';
+        i += 2;
+      }
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string BlankCommentsAndStrings(const std::string& text) {
+  std::string out = text;
+  const size_t n = out.size();
+  auto blank = [&out, n](size_t from, size_t to) {
+    for (size_t k = from; k < to && k < n; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  size_t i = 0;
+  while (i < n) {
+    char c = out[i];
+    if (c == '/' && i + 1 < n && out[i + 1] == '/') {
+      size_t j = i;
+      while (j < n && out[j] != '\n') ++j;
+      blank(i, j);
+      i = j;
+    } else if (c == '/' && i + 1 < n && out[i + 1] == '*') {
+      size_t j = i + 2;
+      while (j + 1 < n && !(out[j] == '*' && out[j + 1] == '/')) ++j;
+      size_t end = j + 1 < n ? j + 2 : n;
+      blank(i, end);
+      i = end;
+    } else if (c == '"') {
+      if (i > 0 && out[i - 1] == 'R') {
+        // Raw string R"delim( ... )delim": blank everything between the
+        // outer quotes (kept, so the token still reads as one literal).
+        size_t d0 = i + 1;
+        size_t j = d0;
+        while (j < n && out[j] != '(') ++j;
+        std::string closer = ")" + out.substr(d0, j - d0) + "\"";
+        size_t endpos = out.find(closer, j);
+        size_t end = endpos == std::string::npos ? n : endpos + closer.size();
+        blank(i + 1, end > i + 1 ? end - 1 : end);
+        i = end;
+      } else {
+        size_t j = i + 1;
+        while (j < n && out[j] != '"') {
+          if (out[j] == '\\') ++j;
+          ++j;
+        }
+        size_t end = j < n ? j + 1 : n;
+        blank(i + 1, end > i + 1 ? end - 1 : end);
+        i = end;
+      }
+    } else if (c == '\'') {
+      // A quote right after an alphanumeric is a digit separator
+      // (1'000'000) or a literal suffix, not a character literal.
+      if (i > 0 && std::isalnum(static_cast<unsigned char>(out[i - 1]))) {
+        ++i;
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && out[j] != '\'') {
+        if (out[j] == '\\') ++j;
+        ++j;
+      }
+      size_t end = j < n ? j + 1 : n;
+      blank(i + 1, end > i + 1 ? end - 1 : end);
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string LayerOf(const std::string& rel_path) {
+  const std::string prefix = "src/";
+  if (rel_path.rfind(prefix, 0) != 0) return "";
+  size_t start = prefix.size();
+  size_t slash = rel_path.find('/', start);
+  if (slash == std::string::npos) return "";
+  return rel_path.substr(start, slash - start);
+}
+
+std::string StemOf(const std::string& rel_path) {
+  return fs::path(rel_path).stem().string();
+}
+
+// contjoin-check: hot
+size_t LineOfOffset(const std::string& text, size_t offset) {
+  size_t line = 1;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+// contjoin-check: hot
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// contjoin-check: hot
+size_t MatchBracket(const std::string& text, size_t open, char open_ch,
+                    char close_ch) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == open_ch) ++depth;
+    if (text[i] == close_ch && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+// contjoin-check: hot
+size_t FindWordToken(const std::string& text, size_t pos,
+                     const std::string& token, bool allow_member) {
+  if (token.empty()) return std::string::npos;
+  const bool tail_ident = IsIdentChar(token[token.size() - 1]);
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    bool word_start = pos == 0 || (!IsIdentChar(text[pos - 1]) &&
+                                   (allow_member || text[pos - 1] != '.'));
+    size_t end = pos + token.size();
+    bool word_end = !tail_ident || end >= text.size() ||
+                    !IsIdentChar(text[end]);
+    if (word_start && word_end) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+std::string TrailingIdentifier(const std::string& expr) {
+  size_t end = expr.size();
+  while (end > 0 && IsSpace(expr[end - 1])) --end;
+  if (end > 0 && (expr[end - 1] == ')' || expr[end - 1] == ']')) return "";
+  size_t start = end;
+  while (start > 0 && IsIdentChar(expr[start - 1])) --start;
+  return expr.substr(start, end - start);
+}
+
+bool HasWaiverNeedle(const std::vector<std::string>& lines, size_t line_index,
+                     const std::string& needle) {
+  size_t first = line_index >= 2 ? line_index - 2 : 0;
+  for (size_t i = first; i <= line_index && i < lines.size(); ++i) {
+    if (lines[i].find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// --- File loading -------------------------------------------------------------
+
+std::vector<SourceFile> ListSources(const std::string& root) {
+  std::vector<SourceFile> out;
+  std::vector<fs::path> paths;
+  for (const char* sub : {"src", "tools"}) {
+    fs::path dir = fs::path(root) / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      fs::path p = entry.path();
+      if (p.extension() != ".h" && p.extension() != ".cc") continue;
+      // Fixture trees carry deliberate violations; never lint them as
+      // part of the enclosing tree. The exclusion is root-relative so a
+      // fixture tree can itself be checked as a root.
+      std::string rel = fs::relative(p, fs::path(root)).generic_string();
+      if (("/" + rel).find("/testdata/") != std::string::npos) continue;
+      paths.push_back(p);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    SourceFile f;
+    f.rel_path = fs::relative(p, fs::path(root)).generic_string();
+    f.text = ReadFileText(p.string());
+    f.lines = SplitLines(f.text);
+    f.code = BlankCommentsAndStrings(f.text);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+// --- Function / call extraction -----------------------------------------------
+
+namespace {
+
+/// Reads the identifier ending at `end` (exclusive, after skipping
+/// trailing whitespace backwards); sets `start` to its first character.
+/// Returns empty when `end` is not preceded by an identifier.
+std::string IdentEndingAt(const std::string& code, size_t end, size_t* start) {
+  size_t last = RSkipSpaces(code, end == 0 ? static_cast<size_t>(-1) : end - 1);
+  if (last == static_cast<size_t>(-1) || !IsIdentChar(code[last])) return "";
+  size_t first = last;
+  while (first > 0 && IsIdentChar(code[first - 1])) --first;
+  *start = first;
+  return code.substr(first, last - first + 1);
+}
+
+/// Like IdentEndingAt, but first backs over one template argument list
+/// (`Foo<A, B>` called as `Foo<A, B>(x)`), so template call sites still
+/// resolve to their base name.
+std::string CallNameBefore(const std::string& code, size_t paren,
+                           size_t* start) {
+  size_t last = RSkipSpaces(code, paren == 0 ? static_cast<size_t>(-1)
+                                             : paren - 1);
+  if (last == static_cast<size_t>(-1)) return "";
+  if (code[last] == '>') {
+    // Back over <...>, counting nesting. A lone `a > b` comparison never
+    // balances, in which case this is not a call name at all.
+    int depth = 0;
+    size_t i = last;
+    while (true) {
+      if (code[i] == '>') ++depth;
+      if (code[i] == '<' && --depth == 0) break;
+      if (i == 0) return "";
+      --i;
+    }
+    return IdentEndingAt(code, i, start);
+  }
+  return IdentEndingAt(code, last + 1, start);
+}
+
+/// Parses the tail of a potential function definition after the closing
+/// parameter paren. On success returns true and sets body_begin/body_end.
+bool ParseDefinitionTail(const std::string& code, size_t after_params,
+                         size_t* body_begin, size_t* body_end) {
+  size_t j = after_params;
+  while (true) {
+    j = SkipSpaces(code, j);
+    if (j >= code.size()) return false;
+    char c = code[j];
+    if (c == '{') {
+      size_t end = MatchBracket(code, j, '{', '}');
+      if (end == std::string::npos) return false;
+      *body_begin = j;
+      *body_end = end;
+      return true;
+    }
+    if (c == ';' || c == '=' || c == ',' || c == ')') return false;
+    if (c == ':') {
+      if (j + 1 < code.size() && code[j + 1] == ':') return false;
+      // Constructor initializer list: `: name(..) , name{..} ... {`.
+      ++j;
+      while (true) {
+        j = SkipSpaces(code, j);
+        // Initializer name, possibly qualified/templated.
+        size_t name_start = j;
+        while (j < code.size() &&
+               (IsIdentChar(code[j]) || code[j] == ':')) {
+          ++j;
+        }
+        if (j == name_start) return false;
+        j = SkipSpaces(code, j);
+        if (j < code.size() && code[j] == '<') {
+          size_t end = MatchBracket(code, j, '<', '>');
+          if (end == std::string::npos) return false;
+          j = SkipSpaces(code, end);
+        }
+        if (j >= code.size() || (code[j] != '(' && code[j] != '{')) {
+          return false;
+        }
+        size_t end = MatchBracket(code, j, code[j], code[j] == '(' ? ')' : '}');
+        if (end == std::string::npos) return false;
+        j = SkipSpaces(code, end);
+        while (j < code.size() && code[j] == '.') ++j;  // Pack expansion.
+        j = SkipSpaces(code, j);
+        if (j < code.size() && code[j] == ',') {
+          ++j;
+          continue;
+        }
+        if (j < code.size() && code[j] == '{') {
+          size_t body_close = MatchBracket(code, j, '{', '}');
+          if (body_close == std::string::npos) return false;
+          *body_begin = j;
+          *body_end = body_close;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '-' && j + 1 < code.size() && code[j + 1] == '>') {
+      // Trailing return type: skip to the body or terminator.
+      j += 2;
+      while (j < code.size() && code[j] != '{' && code[j] != ';') {
+        if (code[j] == '<') {
+          size_t end = MatchBracket(code, j, '<', '>');
+          if (end == std::string::npos) return false;
+          j = end;
+        } else {
+          ++j;
+        }
+      }
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t word_start = j;
+      while (j < code.size() && IsIdentChar(code[j])) ++j;
+      std::string word = code.substr(word_start, j - word_start);
+      if (word == "const" || word == "override" || word == "final" ||
+          word == "mutable" || word == "try") {
+        continue;
+      }
+      if (word == "noexcept") {
+        size_t k = SkipSpaces(code, j);
+        if (k < code.size() && code[k] == '(') {
+          size_t end = MatchBracket(code, k, '(', ')');
+          if (end == std::string::npos) return false;
+          j = end;
+        }
+        continue;
+      }
+      return false;  // Any other token: a declaration or expression.
+    }
+    return false;
+  }
+}
+
+/// First parameter declared as [const] [chord::]Node& / Node* inside the
+/// parameter list text.
+std::string OwnerParamOf(const std::string& params) {
+  size_t pos = 0;
+  while ((pos = FindWordToken(params, pos, "Node")) != std::string::npos) {
+    size_t j = SkipSpaces(params, pos + 4);
+    if (j < params.size() && (params[j] == '&' || params[j] == '*')) {
+      j = SkipSpaces(params, j + 1);
+      size_t start = j;
+      while (j < params.size() && IsIdentChar(params[j])) ++j;
+      if (j > start) return params.substr(start, j - start);
+    }
+    pos += 4;
+  }
+  return "";
+}
+
+void ExtractBodySymbols(const std::string& code, FunctionDef* fn) {
+  // Call sites: every identifier immediately preceding a '(' inside the
+  // body, template argument lists skipped, control keywords excluded.
+  for (size_t i = fn->body_begin; i < fn->body_end; ++i) {
+    if (code[i] != '(') continue;
+    size_t start = 0;
+    std::string name = CallNameBefore(code, i, &start);
+    if (name.empty() || NonCallKeywords().count(name) > 0) continue;
+    fn->calls.push_back(CallSite{name, i});
+  }
+  // Payload creations: make_shared<T>(...) / make_unique<T>(...).
+  for (const char* maker : {"make_shared", "make_unique"}) {
+    const size_t maker_len = std::string(maker).size();
+    size_t pos = fn->body_begin;
+    while ((pos = FindWordToken(code, pos, maker)) != std::string::npos &&
+           pos < fn->body_end) {
+      const size_t maker_pos = pos;
+      size_t open = SkipSpaces(code, pos + maker_len);
+      pos = maker_pos + maker_len;
+      if (open >= fn->body_end || code[open] != '<') continue;
+      size_t close = MatchBracket(code, open, '<', '>');
+      if (close == std::string::npos) continue;
+      // First template argument, last `::` component.
+      std::string arg = code.substr(open + 1, close - open - 2);
+      size_t comma = arg.find(',');
+      if (comma != std::string::npos) arg = arg.substr(0, comma);
+      size_t sep = arg.rfind("::");
+      if (sep != std::string::npos) arg = arg.substr(sep + 2);
+      // Trim whitespace.
+      size_t b = 0;
+      while (b < arg.size() && IsSpace(arg[b])) ++b;
+      size_t e = arg.size();
+      while (e > b && IsSpace(arg[e - 1])) --e;
+      PayloadCreation creation;
+      creation.type_name = arg.substr(b, e - b);
+      creation.offset = maker_pos;
+      size_t call_open = SkipSpaces(code, close);
+      if (call_open < fn->body_end && code[call_open] == '(') {
+        size_t call_close = MatchBracket(code, call_open, '(', ')');
+        if (call_close != std::string::npos) {
+          creation.args =
+              code.substr(call_open + 1, call_close - call_open - 2);
+        }
+      }
+      fn->creations.push_back(std::move(creation));
+      pos = close;
+    }
+  }
+  std::sort(fn->creations.begin(), fn->creations.end(),
+            [](const PayloadCreation& a, const PayloadCreation& b) {
+              return a.offset < b.offset;
+            });
+}
+
+void ExtractFunctions(size_t file_index, const SourceFile& f,
+                      SymbolIndex* index) {
+  const std::string& code = f.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i] != '(') continue;
+    size_t name_start = 0;
+    std::string name = IdentEndingAt(code, i, &name_start);
+    if (name.empty() || NonCallKeywords().count(name) > 0) continue;
+    if (name == "if" || name == "while") continue;
+    size_t params_end = MatchBracket(code, i, '(', ')');
+    if (params_end == std::string::npos) continue;
+    size_t body_begin = 0, body_end = 0;
+    if (!ParseDefinitionTail(code, params_end, &body_begin, &body_end)) {
+      continue;
+    }
+    FunctionDef fn;
+    fn.file = file_index;
+    fn.name = name;
+    fn.name_offset = name_start;
+    fn.line = LineOfOffset(code, name_start);
+    fn.params_begin = i;
+    fn.params_end = params_end;
+    fn.body_begin = body_begin;
+    fn.body_end = body_end;
+    fn.owner_param = OwnerParamOf(code.substr(i + 1, params_end - i - 2));
+    ExtractBodySymbols(code, &fn);
+    index->functions.push_back(std::move(fn));
+    // Do NOT jump past the body: inline methods of a class parsed as a
+    // macro-style "function" (e.g. TEST(...) bodies) and nested local
+    // definitions must still be indexed; lambdas have no preceding
+    // identifier and naturally attribute to their enclosing function.
+  }
+}
+
+// --- Tree-wide declarations ---------------------------------------------------
+
+/// After a type, accept `*`/`&` then an identifier that is a variable
+/// (terminated by ; = { , or a closing paren — not an opening paren,
+/// which would make it a function name).
+void CaptureVarName(const std::string& text, size_t pos,
+                    std::set<std::string>* names) {
+  while (pos < text.size() &&
+         (IsSpace(text[pos]) || text[pos] == '*' || text[pos] == '&')) {
+    ++pos;
+  }
+  size_t start = pos;
+  while (pos < text.size() && IsIdentChar(text[pos])) ++pos;
+  if (pos == start) return;
+  std::string name = text.substr(start, pos - start);
+  pos = SkipSpaces(text, pos);
+  if (pos < text.size() && (text[pos] == ';' || text[pos] == '=' ||
+                            text[pos] == '{' || text[pos] == ',' ||
+                            text[pos] == ')')) {
+    names->insert(name);
+  }
+}
+
+void CollectUnorderedNames(const std::vector<SourceFile>& files,
+                           std::set<std::string>* names) {
+  std::set<std::string> aliases;
+  // Pass A: using-aliases of unordered containers.
+  for (const SourceFile& f : files) {
+    size_t pos = 0;
+    while ((pos = FindWordToken(f.code, pos, "using")) != std::string::npos) {
+      size_t j = SkipSpaces(f.code, pos + 5);
+      pos += 5;
+      size_t alias_start = j;
+      while (j < f.code.size() && IsIdentChar(f.code[j])) ++j;
+      if (j == alias_start) continue;
+      std::string alias = f.code.substr(alias_start, j - alias_start);
+      j = SkipSpaces(f.code, j);
+      if (j >= f.code.size() || f.code[j] != '=') continue;
+      j = SkipSpaces(f.code, j + 1);
+      if (f.code.compare(j, 5, "std::") == 0) j = SkipSpaces(f.code, j + 5);
+      if (f.code.compare(j, 13, "unordered_map") == 0 ||
+          f.code.compare(j, 13, "unordered_set") == 0) {
+        size_t open = f.code.find('<', j);
+        if (open != std::string::npos) aliases.insert(alias);
+      }
+    }
+  }
+  for (const SourceFile& f : files) {
+    const std::string& text = f.code;
+    // Pass B1: direct unordered_map<...> / unordered_set<...> declarations.
+    for (const char* kind : {"unordered_map", "unordered_set"}) {
+      size_t pos = 0;
+      while ((pos = FindWordToken(text, pos, kind)) != std::string::npos) {
+        size_t j = SkipSpaces(text, pos + std::string(kind).size());
+        pos = j;
+        if (j >= text.size() || text[j] != '<') continue;
+        size_t end = MatchBracket(text, j, '<', '>');
+        if (end == std::string::npos) continue;
+        CaptureVarName(text, end, names);
+        pos = end;
+      }
+    }
+    // Pass B2: declarations via a collected alias (possibly qualified).
+    for (const std::string& alias : aliases) {
+      size_t pos = 0;
+      while ((pos = text.find(alias, pos)) != std::string::npos) {
+        size_t end = pos + alias.size();
+        bool word_start = pos == 0 || !IsIdentChar(text[pos - 1]);
+        bool word_end = end >= text.size() || !IsIdentChar(text[end]);
+        if (word_start && word_end) CaptureVarName(text, end, names);
+        pos = end;
+      }
+    }
+  }
+}
+
+/// CqMsgType enumerators (identifiers starting with 'k' inside the enum
+/// body), in declaration order.
+std::vector<std::string> ParseMsgEnums(const std::string& code) {
+  std::vector<std::string> enums;
+  size_t enum_pos = code.find("enum class CqMsgType");
+  if (enum_pos == std::string::npos) return enums;
+  size_t open = code.find('{', enum_pos);
+  if (open == std::string::npos) return enums;
+  size_t close = MatchBracket(code, open, '{', '}');
+  if (close == std::string::npos) return enums;
+  size_t i = open + 1;
+  while (i < close) {
+    if (code[i] == 'k' && (i == 0 || !IsIdentChar(code[i - 1]))) {
+      size_t j = i;
+      while (j < close && IsIdentChar(code[j])) ++j;
+      if (j > i + 1) enums.push_back(code.substr(i, j - i));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return enums;
+}
+
+/// Payload struct -> ordered CqMsgType tags: every `CqMsgType::kX` inside
+/// a `CqPayload(...)` constructor argument list is attributed to the most
+/// recently declared struct.
+void ParsePayloadTags(const std::string& code,
+                      std::map<std::string, std::vector<std::string>>* tags) {
+  std::string current_struct;
+  size_t struct_pos = 0;
+  std::vector<std::pair<size_t, std::string>> structs;
+  while ((struct_pos = FindWordToken(code, struct_pos, "struct")) !=
+         std::string::npos) {
+    size_t j = SkipSpaces(code, struct_pos + 6);
+    size_t start = j;
+    while (j < code.size() && IsIdentChar(code[j])) ++j;
+    if (j > start) structs.emplace_back(struct_pos, code.substr(start, j - start));
+    struct_pos = j;
+  }
+  size_t pos = 0;
+  while ((pos = FindWordToken(code, pos, "CqPayload")) != std::string::npos) {
+    size_t open = SkipSpaces(code, pos + 9);
+    size_t token_pos = pos;
+    pos = open;
+    if (open >= code.size() || code[open] != '(') continue;
+    size_t close = MatchBracket(code, open, '(', ')');
+    if (close == std::string::npos) continue;
+    // Owning struct: last struct declared before this constructor.
+    for (auto it = structs.rbegin(); it != structs.rend(); ++it) {
+      if (it->first < token_pos) {
+        current_struct = it->second;
+        break;
+      }
+    }
+    if (current_struct.empty() || current_struct == "CqPayload") {
+      pos = close;
+      continue;
+    }
+    size_t i = open;
+    while ((i = code.find("CqMsgType::", i)) != std::string::npos &&
+           i < close) {
+      size_t j = i + 11;
+      size_t start = j;
+      while (j < code.size() && IsIdentChar(code[j])) ++j;
+      if (j > start) {
+        (*tags)[current_struct].push_back(code.substr(start, j - start));
+      }
+      i = j;
+    }
+    pos = close;
+  }
+}
+
+}  // namespace
+
+SymbolIndex BuildSymbolIndex(const std::string& root) {
+  SymbolIndex index;
+  index.files = ListSources(root);
+  index.functions_by_file.resize(index.files.size());
+  for (size_t fi = 0; fi < index.files.size(); ++fi) {
+    ExtractFunctions(fi, index.files[fi], &index);
+  }
+  for (size_t i = 0; i < index.functions.size(); ++i) {
+    index.functions_by_name[index.functions[i].name].push_back(i);
+    index.functions_by_file[index.functions[i].file].push_back(i);
+  }
+  CollectUnorderedNames(index.files, &index.unordered_names);
+  for (const SourceFile& f : index.files) {
+    if (f.rel_path == "src/core/messages.h") {
+      index.msg_enums = ParseMsgEnums(f.code);
+      ParsePayloadTags(f.code, &index.payload_tags);
+    }
+  }
+  return index;
+}
+
+}  // namespace contjoin::check

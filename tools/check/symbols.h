@@ -1,0 +1,141 @@
+// Pass 1 of contjoin_check: a lightweight, purely textual symbol index
+// over the checked tree. One scan loads every source file, blanks
+// comments and string literals (offsets preserved), and extracts
+//
+//   - function/method definitions with body spans, the first chord::Node
+//     parameter (the "owning" node a role handler may mutate), call
+//     sites, and payload creations (make_shared<FooPayload>(...)),
+//   - the CqMsgType enumerator list and the payload-struct -> enumerator
+//     tag map from core/messages.h,
+//   - every name declared anywhere with an unordered container type.
+//
+// Every rule family in pass 2 (checker.cc) shares this index instead of
+// re-scanning lines, which is what lets the protocol-flow, shard-escape
+// and hot-path rules reason across function boundaries while the whole
+// tool stays regex-free and runs in milliseconds.
+//
+// The parser is deliberately heuristic (no libclang): it recognizes the
+// project's house style, not arbitrary C++. Constructs it cannot parse
+// (exotic constructor-initializer lists, operator overloads) are simply
+// not indexed — the rules built on top only ever need the plain
+// functions the protocol layer is written with.
+
+#ifndef CONTJOIN_TOOLS_CHECK_SYMBOLS_H_
+#define CONTJOIN_TOOLS_CHECK_SYMBOLS_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace contjoin::check {
+
+struct SourceFile {
+  std::string rel_path;  // Relative to the root, '/'-separated.
+  std::string text;      // Raw bytes.
+  std::vector<std::string> lines;  // Raw lines (waiver comments live here).
+  std::string code;  // Comments AND string/char literals blanked; same
+                     // length and line structure as `text`.
+};
+
+struct CallSite {
+  std::string name;  // Last component: "reliability::Arm" -> "Arm".
+  size_t paren = 0;  // Offset of the '(' in SourceFile::code.
+};
+
+struct PayloadCreation {
+  std::string type_name;  // Last component of the template argument.
+  std::string args;       // Constructor argument text (blanked literals).
+  size_t offset = 0;      // Offset of the make_shared/make_unique token.
+};
+
+struct FunctionDef {
+  size_t file = 0;      // Index into SymbolIndex::files.
+  std::string name;     // Last component ("Dispatch", "RewriteT1").
+  size_t name_offset = 0;
+  size_t line = 0;      // 1-based line of the name.
+  size_t params_begin = 0;  // Offset of '('.
+  size_t params_end = 0;    // One past ')'.
+  size_t body_begin = 0;    // Offset of '{'.
+  size_t body_end = 0;      // One past '}'.
+  std::string owner_param;  // Name of the first chord::Node&/Node* param;
+                            // empty when the function owns no node.
+  std::vector<CallSite> calls;
+  std::vector<PayloadCreation> creations;
+};
+
+struct SymbolIndex {
+  std::vector<SourceFile> files;
+  std::vector<FunctionDef> functions;  // Sorted by (file, name_offset).
+  // Name -> indices into `functions` (cross-file; overloads share a slot).
+  std::map<std::string, std::vector<size_t>> functions_by_name;
+  // Function indices per file, in definition order.
+  std::vector<std::vector<size_t>> functions_by_file;
+  // Names declared anywhere with an unordered container type.
+  std::set<std::string> unordered_names;
+  // Payload struct -> CqMsgType enumerator tags, in source order
+  // (TupleIndexPayload carries two: the ternary's true branch first).
+  std::map<std::string, std::vector<std::string>> payload_tags;
+  // CqMsgType enumerators from src/core/messages.h, declaration order.
+  std::vector<std::string> msg_enums;
+};
+
+/// Loads every .h/.cc under <root>/src and <root>/tools (fixture trees
+/// under a testdata/ directory are skipped) and builds the index.
+SymbolIndex BuildSymbolIndex(const std::string& root);
+
+/// The file set alone (sorted by path), without symbol extraction.
+std::vector<SourceFile> ListSources(const std::string& root);
+
+// --- Shared text utilities ----------------------------------------------------
+
+std::string ReadFileText(const std::string& path);
+std::vector<std::string> SplitLines(const std::string& text);
+
+/// Replaces // and /* */ comment bodies with spaces (newlines preserved).
+std::string StripComments(const std::string& text);
+
+/// StripComments plus blanking of string and character literals (raw
+/// strings included); offsets and line numbers stay valid.
+std::string BlankCommentsAndStrings(const std::string& text);
+
+/// First path component after src/ ("src/core/engine.h" -> "core"); empty
+/// for anything outside src/.
+std::string LayerOf(const std::string& rel_path);
+
+/// Filename without directory or extension ("src/core/rewriter.cc" ->
+/// "rewriter").
+std::string StemOf(const std::string& rel_path);
+
+/// 1-based line number of a character offset.
+size_t LineOfOffset(const std::string& text, size_t offset);
+
+bool IsIdentChar(char c);
+
+/// Offset one past the matching closer for the opener at `open`, or npos.
+size_t MatchBracket(const std::string& text, size_t open, char open_ch,
+                    char close_ch);
+
+/// Next word-boundary occurrence of `token` at or after `pos`; the
+/// character before the match must not be an identifier character, and
+/// the character after must not extend the identifier when the token
+/// ends in an identifier character. With allow_member=false a preceding
+/// '.' also rejects the match, so member calls like sim.time() stay
+/// exempt when scanning for banned free functions. Returns npos when
+/// absent.
+size_t FindWordToken(const std::string& text, size_t pos,
+                     const std::string& token, bool allow_member = true);
+
+/// Final identifier of an expression: "*groups" -> "groups",
+/// "state.mw.alqt" -> "alqt"; empty when the expression ends in ')'/']'.
+std::string TrailingIdentifier(const std::string& expr);
+
+/// True when `lines[line_index]` or one of the two lines above it
+/// contains `needle` (the standard waiver placement).
+bool HasWaiverNeedle(const std::vector<std::string>& lines, size_t line_index,
+                     const std::string& needle);
+
+}  // namespace contjoin::check
+
+#endif  // CONTJOIN_TOOLS_CHECK_SYMBOLS_H_

@@ -1,10 +1,20 @@
 // A role module that plays by the rules: same-layer includes plus lower
-// layers only, no core/engine.h.
+// layers only, no core/engine.h, and a send edge that matches the
+// checked-in protocol.spec.
+#include <memory>
+
 #include "common/util.h"
 #include "core/messages.h"
 
 namespace fixture {
 
+void Send(int target, std::shared_ptr<CqPayload> payload);
+
 int Rewrite(int x) { return Identity(x) + 1; }
+
+void ForwardAlpha(int target) {
+  auto payload = std::make_shared<AlphaPayload>();
+  Send(target, payload);
+}
 
 }  // namespace fixture

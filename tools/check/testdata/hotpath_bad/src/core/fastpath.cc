@@ -1,0 +1,38 @@
+// Hot-path fixture: DecodeFast is marked hot and violates every ban
+// class; EncodeFast waives its allocation; SlowPath is unmarked, so the
+// same constructs are fine there.
+#include <memory>
+#include <mutex>
+#include <regex>
+#include <string>
+
+namespace fixture {
+
+int Use(std::string s);
+
+// contjoin-check: hot
+int DecodeFast(const char* data, int size) {
+  int* raw = new int(size);
+  delete raw;
+  auto scratch = std::make_shared<int>(size);
+  std::regex pattern("a+");
+  std::mutex mu;
+  std::lock_guard<std::mutex> lk(mu);
+  return Use(std::string(data)) + size + *scratch;
+}
+
+// contjoin-check: hot
+int EncodeFast(int value) {
+  // contjoin-check: hot-ok(cold error path, runs once per malformed frame)
+  auto detail = std::make_unique<int>(value);
+  return *detail;
+}
+
+// Unmarked: the hot-path bans do not apply off the hot path.
+int SlowPath(int value) {
+  auto buffer = std::make_unique<int>(value);
+  std::string label("slow");
+  return value + static_cast<int>(label.size());
+}
+
+}  // namespace fixture

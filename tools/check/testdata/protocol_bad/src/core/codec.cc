@@ -1,0 +1,18 @@
+// Codec table for the protocol_bad tree: kDigest has no codec, so it is
+// simulator-only — yet the rewriter sends it.
+#include "core/messages.h"
+
+namespace fixture {
+
+using EncodeFn = void (*)();
+using DecodeFn = void (*)();
+
+void RegisterCodec(CqMsgType type, EncodeFn encode, DecodeFn decode);
+
+void RegisterAllCodecs() {
+  RegisterCodec(CqMsgType::kAlpha, nullptr, nullptr);
+  RegisterCodec(CqMsgType::kBeta, nullptr, nullptr);
+  RegisterCodec(CqMsgType::kAck, nullptr, nullptr);
+}
+
+}  // namespace fixture

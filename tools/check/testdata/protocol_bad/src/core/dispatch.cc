@@ -1,13 +1,18 @@
+// Dispatch table for the protocol_bad tree: kAck is deliberately left
+// without a handler even though the rewriter sends it.
 #include "core/messages.h"
 
 namespace fixture {
 
 namespace rewriter {
 void HandleAlpha();
+}
+namespace evaluator {
 void HandleBeta();
-void HandleAck();
+}
+namespace subscriber {
 void HandleDigest();
-}  // namespace rewriter
+}
 
 using Handler = void (*)();
 
@@ -15,9 +20,8 @@ void Register(CqMsgType type, Handler handler);
 
 void RegisterAll() {
   Register(CqMsgType::kAlpha, rewriter::HandleAlpha);
-  Register(CqMsgType::kBeta, rewriter::HandleBeta);
-  Register(CqMsgType::kAck, rewriter::HandleAck);
-  Register(CqMsgType::kDigest, rewriter::HandleDigest);
+  Register(CqMsgType::kBeta, evaluator::HandleBeta);
+  Register(CqMsgType::kDigest, subscriber::HandleDigest);
 }
 
 }  // namespace fixture

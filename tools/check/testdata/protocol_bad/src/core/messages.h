@@ -1,0 +1,41 @@
+#ifndef FIXTURE_PROTOCOL_BAD_CORE_MESSAGES_H_
+#define FIXTURE_PROTOCOL_BAD_CORE_MESSAGES_H_
+
+#include <cstddef>
+
+namespace fixture {
+
+enum class CqMsgType : unsigned char {
+  kAlpha,
+  kBeta,
+  kAck,
+  kDigest,
+};
+
+inline constexpr size_t kCqMsgTypeCount =
+    static_cast<size_t>(CqMsgType::kDigest) + 1;
+
+struct CqPayload {
+  explicit CqPayload(CqMsgType t) : type(t) {}
+  CqMsgType type;
+};
+
+struct AlphaPayload : CqPayload {
+  AlphaPayload() : CqPayload(CqMsgType::kAlpha) {}
+};
+
+struct BetaPayload : CqPayload {
+  BetaPayload() : CqPayload(CqMsgType::kBeta) {}
+};
+
+struct AckPayload : CqPayload {
+  AckPayload() : CqPayload(CqMsgType::kAck) {}
+};
+
+struct DigestPayload : CqPayload {
+  DigestPayload() : CqPayload(CqMsgType::kDigest) {}
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_PROTOCOL_BAD_CORE_MESSAGES_H_

@@ -1,0 +1,17 @@
+// Reliability layer for the protocol_bad tree: kAlpha and kBeta are
+// critical, so every send edge for them must be armed.
+#include "core/messages.h"
+
+namespace fixture {
+
+bool IsCritical(CqMsgType t) {
+  switch (t) {
+    case CqMsgType::kAlpha:
+    case CqMsgType::kBeta:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace fixture

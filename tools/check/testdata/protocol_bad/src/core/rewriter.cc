@@ -1,0 +1,35 @@
+// Send sites for the protocol_bad tree. Three deliberate violations:
+// kBeta is critical but sent without arming the reliability wrapper,
+// kAck is sent but no handler is registered for it, and kDigest has no
+// codec (simulator-only) yet reaches the transport seam here.
+#include <memory>
+
+#include "core/messages.h"
+
+namespace fixture {
+
+void Send(int target, std::shared_ptr<CqPayload> payload);
+void Arm(std::shared_ptr<CqPayload> payload);
+
+void SendAlpha(int target) {
+  auto payload = std::make_shared<AlphaPayload>();
+  Arm(payload);
+  Send(target, payload);
+}
+
+void SendBeta(int target) {
+  auto payload = std::make_shared<BetaPayload>();
+  Send(target, payload);
+}
+
+void SendAck(int target) {
+  auto payload = std::make_shared<AckPayload>();
+  Send(target, payload);
+}
+
+void SendDigest(int target) {
+  auto payload = std::make_shared<DigestPayload>();
+  Send(target, payload);
+}
+
+}  // namespace fixture
