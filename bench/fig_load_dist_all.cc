@@ -11,7 +11,8 @@ namespace {
 std::string DistRow(const LoadDistribution& d) {
   return bench::Fmt(d.total()) + "\t" + bench::Fmt(d.mean()) + "\t" +
          bench::Fmt(d.Percentile(50)) + "\t" + bench::Fmt(d.Percentile(99)) +
-         "\t" + bench::Fmt(d.max()) + "\t" + bench::Fmt(d.Gini());
+         "\t" + bench::Fmt(d.max()) + "\t" + bench::Fmt(d.Gini()) + "\t" +
+         bench::Fmt(d.TopShare(0.01));
 }
 
 }  // namespace
@@ -30,7 +31,7 @@ int main() {
   bench::PrintEffective(bench::DefaultConfig().engine.num_nodes, kQueries,
                         kTuples);
   bench::PrintRow(
-      "algorithm\tmetric\ttotal\tmean\tp50\tp99\tmax\tgini");
+      "algorithm\tmetric\ttotal\tmean\tp50\tp99\tmax\tgini\ttop1");
   for (auto alg : {core::Algorithm::kSai, core::Algorithm::kDaiQ,
                    core::Algorithm::kDaiT, core::Algorithm::kDaiV}) {
     workload::DriverConfig cfg = bench::DefaultConfig();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "faults/churn.h"
 #include "serving/driver.h"
 
 using namespace contjoin;
@@ -25,11 +26,21 @@ namespace {
 // handful of routing hops; a rung fails when deferral queues stack past it.
 constexpr double kSloP99 = 32.0;
 
+// Degraded-mode budget for the scripted-churn cells. Every crash forces a
+// full publish-log replay, so arrivals near a repair legitimately wait
+// hundreds of ticks; against the flat SLO every churn rung would report a
+// vacuous zero. The relaxed budget instead finds the rate knee where
+// queueing stacks on top of the repair cost.
+constexpr double kSloP99Churn = 512.0;
+
+double SloFor(bool churn) { return churn ? kSloP99Churn : kSloP99; }
+
 struct CellConfig {
   core::Algorithm algo;
   size_t nodes;
   size_t fanout;
   double rate;
+  bool churn = false;  // Scripted churn storm during the open-loop phase.
 };
 
 struct CellOutcome {
@@ -61,6 +72,11 @@ CellOutcome RunCell(const CellConfig& cc) {
   config.warmup = 64;
   config.sample_every = 32;
 
+  // Three crashes and two joins spread across the measured phase, applied
+  // at quiescent sample boundaries, so the ladder measures steady-state
+  // serving through repeated ring repair.
+  config.churn = cc.churn;
+
   serving::ServingDriver driver(config);
   CellOutcome out;
   out.report = driver.Run();
@@ -76,8 +92,10 @@ std::string JsonRecord(const CellConfig& cc, const CellOutcome& o) {
   json += std::string("\"algo\": \"") + core::AlgorithmName(cc.algo) + "\", ";
   json += "\"nodes\": " + std::to_string(cc.nodes) + ", ";
   json += "\"fanout\": " + std::to_string(cc.fanout) + ", ";
+  json += std::string("\"churn\": ") + (cc.churn ? "true" : "false") + ", ";
   json += "\"rate\": " + bench::Fmt(cc.rate) + ", ";
   json += "\"measured\": " + std::to_string(r.measured) + ", ";
+  json += "\"redelivered\": " + std::to_string(r.redelivered) + ", ";
   json += "\"p50\": " + bench::Fmt(r.latency.p50()) + ", ";
   json += "\"p99\": " + bench::Fmt(r.latency.p99()) + ", ";
   json += "\"p999\": " + bench::Fmt(r.latency.p999()) + ", ";
@@ -85,8 +103,9 @@ std::string JsonRecord(const CellConfig& cc, const CellOutcome& o) {
   json += "\"deferred\": " + std::to_string(r.traffic.deferred()) + ", ";
   json += "\"retry_amplification\": " + bench::Fmt(r.RetryAmplification()) +
           ", ";
+  json += "\"slo\": " + bench::Fmt(SloFor(cc.churn)) + ", ";
   json += std::string("\"slo_met\": ") +
-          (r.latency.p99() <= kSloP99 ? "true" : "false");
+          (r.latency.p99() <= SloFor(cc.churn) ? "true" : "false");
   json += "}";
   return json;
 }
@@ -104,60 +123,77 @@ int main() {
 
   const std::vector<size_t> kRings = {static_cast<size_t>(bench::Scaled(24)),
                                       static_cast<size_t>(bench::Scaled(48))};
-  const std::vector<size_t> kFanouts = {1, 4};
+  std::vector<size_t> kFanouts = {1, 4};
+  // The paper's operating point has thousands of subscribers per result;
+  // a >10^3 fan-out column only makes sense (and only fits in the time
+  // budget) at raised scale, so it is gated on CONTJOIN_SCALE >= 4.
+  if (bench::ScaleFactor() >= 4.0) kFanouts.push_back(1024);
   const std::vector<double> kRates = {0.0625, 0.125, 0.25, 0.5, 1.0, 2.0};
   const std::vector<core::Algorithm> kAlgos = {
       core::Algorithm::kSai, core::Algorithm::kDaiQ, core::Algorithm::kDaiT,
       core::Algorithm::kDaiV};
 
-  std::printf("# p99 SLO: %.1f virtual ticks\n", kSloP99);
+  std::printf(
+      "# p99 SLO: %.1f virtual ticks (churn cells: %.1f, degraded mode — "
+      "repair replay is part of the measured path)\n",
+      kSloP99, kSloP99Churn);
   bench::PrintEffective(0, bench::Scaled(16), 0);
   bench::PrintRow(
-      "algo\tnodes\tfanout\trate\tmeasured\tp50\tp99\tp999\t"
+      "algo\tnodes\tfanout\tchurn\trate\tmeasured\tp50\tp99\tp999\t"
       "max_queue\tdeferred\tretry_amp\tslo");
 
   std::vector<std::string> records;
   std::vector<std::string> summary;
+  auto run_ladder = [&](core::Algorithm algo, size_t nodes, size_t fanout,
+                        bool churn) {
+    double max_rate = 0.0;
+    for (double rate : kRates) {
+      CellConfig cc{algo, nodes, fanout, rate, churn};
+      CellOutcome o = RunCell(cc);
+      const bool ok = o.report.latency.p99() <= SloFor(churn);
+      if (ok) max_rate = rate;
+      bench::PrintRow(std::string(core::AlgorithmName(algo)) + "\t" +
+                      std::to_string(nodes) + "\t" + std::to_string(fanout) +
+                      "\t" + (churn ? "storm" : "none") + "\t" +
+                      bench::Fmt(rate) + "\t" +
+                      std::to_string(o.report.measured) + "\t" +
+                      bench::Fmt(o.report.latency.p50()) + "\t" +
+                      bench::Fmt(o.report.latency.p99()) + "\t" +
+                      bench::Fmt(o.report.latency.p999()) + "\t" +
+                      std::to_string(o.max_queue) + "\t" +
+                      std::to_string(o.report.traffic.deferred()) + "\t" +
+                      bench::Fmt(o.report.RetryAmplification()) + "\t" +
+                      (ok ? "ok" : "VIOLATED"));
+      records.push_back(JsonRecord(cc, o));
+      // The ladder is monotone in queueing pressure: once a rung
+      // fails, higher rungs only fail harder.
+      if (!ok) break;
+    }
+    summary.push_back(
+        std::string("    {\"algo\": \"") + core::AlgorithmName(algo) +
+        "\", \"nodes\": " + std::to_string(nodes) +
+        ", \"fanout\": " + std::to_string(fanout) +
+        std::string(", \"churn\": ") + (churn ? "true" : "false") +
+        ", \"max_sustainable_rate\": " + bench::Fmt(max_rate) + "}");
+    std::printf("# %s N=%zu fanout=%zu churn=%s: max sustainable rate %s\n",
+                core::AlgorithmName(algo), nodes, fanout,
+                churn ? "storm" : "none", bench::Fmt(max_rate).c_str());
+  };
   for (core::Algorithm algo : kAlgos) {
     for (size_t nodes : kRings) {
       for (size_t fanout : kFanouts) {
-        double max_rate = 0.0;
-        for (double rate : kRates) {
-          CellConfig cc{algo, nodes, fanout, rate};
-          CellOutcome o = RunCell(cc);
-          const bool ok = o.report.latency.p99() <= kSloP99;
-          if (ok) max_rate = rate;
-          bench::PrintRow(std::string(core::AlgorithmName(algo)) + "\t" +
-                          std::to_string(nodes) + "\t" +
-                          std::to_string(fanout) + "\t" + bench::Fmt(rate) +
-                          "\t" + std::to_string(o.report.measured) + "\t" +
-                          bench::Fmt(o.report.latency.p50()) + "\t" +
-                          bench::Fmt(o.report.latency.p99()) + "\t" +
-                          bench::Fmt(o.report.latency.p999()) + "\t" +
-                          std::to_string(o.max_queue) + "\t" +
-                          std::to_string(o.report.traffic.deferred()) + "\t" +
-                          bench::Fmt(o.report.RetryAmplification()) + "\t" +
-                          (ok ? "ok" : "VIOLATED"));
-          records.push_back(JsonRecord(cc, o));
-          // The ladder is monotone in queueing pressure: once a rung
-          // fails, higher rungs only fail harder.
-          if (!ok) break;
-        }
-        summary.push_back(
-            std::string("    {\"algo\": \"") + core::AlgorithmName(algo) +
-            "\", \"nodes\": " + std::to_string(nodes) +
-            ", \"fanout\": " + std::to_string(fanout) +
-            ", \"max_sustainable_rate\": " + bench::Fmt(max_rate) + "}");
-        std::printf("# %s N=%zu fanout=%zu: max sustainable rate %s\n",
-                    core::AlgorithmName(algo), nodes, fanout,
-                    bench::Fmt(max_rate).c_str());
+        run_ladder(algo, nodes, fanout, /*churn=*/false);
       }
     }
+    // Scripted-churn column: the same ladder on the small ring at default
+    // fan-out, with a crash/join storm running through the measured phase.
+    run_ladder(algo, kRings[0], kFanouts[0], /*churn=*/true);
   }
 
   std::ofstream json("BENCH_serving.json");
   json << "{\n  \"figure\": \"serving\",\n  \"slo_p99\": "
-       << bench::Fmt(kSloP99) << ",\n  \"runs\": [\n";
+       << bench::Fmt(kSloP99) << ",\n  \"slo_p99_churn\": "
+       << bench::Fmt(kSloP99Churn) << ",\n  \"runs\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     json << records[i] << (i + 1 < records.size() ? ",\n" : "\n");
   }

@@ -1,0 +1,124 @@
+#include "adapt/planner.h"
+
+#include <utility>
+
+namespace contjoin::adapt {
+
+namespace {
+
+/// Separator between level1 and value in FamilyKey: a unit separator
+/// cannot appear in "R+A" keys and keeps families prefix-free.
+constexpr char kFamilySep = '\x1f';
+
+constexpr char kShardMark[] = "#s";
+
+bool ApplyDirective(std::map<std::string, Directive>* map,
+                    const std::string& key, int level, uint64_t version,
+                    uint64_t epoch) {
+  Directive& d = (*map)[key];
+  // Higher version wins. On an equal-version tie (two nodes transiently
+  // believing they controlled the same key issued conflicting
+  // directives) the larger level wins — a symmetric rule, so every
+  // directory converges to the same directive regardless of arrival
+  // order.
+  if (version < d.version ||
+      (version == d.version && (version == 0 || level <= d.level))) {
+    return false;
+  }
+  d.level = level;
+  d.version = version;
+  d.changed_epoch = epoch;
+  return true;
+}
+
+const Directive* FindDirective(const std::map<std::string, Directive>& map,
+                               const std::string& key) {
+  auto it = map.find(key);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+size_t MergeDirectives(std::map<std::string, Directive>* into,
+                       const std::map<std::string, Directive>& from) {
+  size_t applied = 0;
+  for (const auto& [key, d] : from) {
+    Directive& mine = (*into)[key];
+    // Same tie-break as ApplyDirective: version first, level second.
+    if (d.version > mine.version ||
+        (d.version == mine.version && d.version > 0 && d.level > mine.level)) {
+      mine = d;
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+}  // namespace
+
+std::string ShardValueKey(const std::string& value, int shard, int split) {
+  if (split <= 1) return value;
+  return value + kShardMark + std::to_string(shard);
+}
+
+bool ParseShardSuffix(const std::string& value_key, std::string* base,
+                      int* shard) {
+  size_t mark = value_key.rfind(kShardMark);
+  if (mark == std::string::npos || mark + 2 >= value_key.size()) return false;
+  int parsed = 0;
+  for (size_t i = mark + 2; i < value_key.size(); ++i) {
+    char c = value_key[i];
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > 1 << 20) return false;  // Not a plausible shard index.
+  }
+  *base = value_key.substr(0, mark);
+  *shard = parsed;
+  return true;
+}
+
+int ShardOfSeq(uint64_t seq, int split) {
+  if (split <= 1) return 0;
+  return static_cast<int>(seq % static_cast<uint64_t>(split));
+}
+
+std::string FamilyKey(const std::string& level1, const std::string& value) {
+  return level1 + kFamilySep + value;
+}
+
+int Directory::SplitOf(const std::string& level1,
+                       const std::string& value) const {
+  const Directive* d = FindDirective(value_, FamilyKey(level1, value));
+  return d == nullptr ? 1 : d->level;
+}
+
+int Directory::ReplicasOf(const std::string& level1, int base) const {
+  if (base < 1) base = 1;
+  const Directive* d = FindDirective(attr_, level1);
+  return d == nullptr || d->level < base ? base : d->level;
+}
+
+bool Directory::ApplySplit(const std::string& level1, const std::string& value,
+                           int split, uint64_t version, uint64_t epoch) {
+  return ApplyDirective(&value_, FamilyKey(level1, value), split, version,
+                        epoch);
+}
+
+bool Directory::ApplyReplicas(const std::string& level1, int replicas,
+                              uint64_t version, uint64_t epoch) {
+  return ApplyDirective(&attr_, level1, replicas, version, epoch);
+}
+
+const Directive* Directory::FindSplit(const std::string& level1,
+                                      const std::string& value) const {
+  return FindDirective(value_, FamilyKey(level1, value));
+}
+
+const Directive* Directory::FindReplicas(const std::string& level1) const {
+  return FindDirective(attr_, level1);
+}
+
+size_t Directory::MergeFrom(const Directory& other) {
+  return MergeDirectives(&attr_, other.attr_) +
+         MergeDirectives(&value_, other.value_);
+}
+
+}  // namespace contjoin::adapt

@@ -1,0 +1,108 @@
+// The adaptation plan each node holds: a versioned directory of active
+// directives (per attribute-level key: effective replica count; per
+// value-level key: split factor), plus the virtual sub-key naming scheme
+// hot values are hash-fanned across. Every node keeps its own copy,
+// updated by broadcast/directed kAdaptReplicate / kAdaptSplit messages;
+// per-key versions make application idempotent and order-insensitive
+// (higher version wins), and the engine max-merges directories across
+// alive nodes during churn repair.
+
+#ifndef CONTJOIN_ADAPT_PLANNER_H_
+#define CONTJOIN_ADAPT_PLANNER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "adapt/tracker.h"
+
+namespace contjoin::adapt {
+
+// --- Sub-key naming -----------------------------------------------------------
+
+/// Virtual sub-key `shard` of a split value: "v" -> "v#s<shard>". With
+/// `split <= 1` (or shard 0 of an unsplit key) the value is returned
+/// unchanged — an unsplit key has no suffix, so the scheme is invisible
+/// until the first escalation.
+std::string ShardValueKey(const std::string& value, int shard, int split);
+
+/// Splits a "...#s<j>" virtual sub-key into its base value and shard
+/// index; returns false (and leaves outputs untouched) for a plain value.
+bool ParseShardSuffix(const std::string& value_key, std::string* base,
+                      int* shard);
+
+/// Shard a publication hashes to: deterministic in the tuple's sequence
+/// number, so the same tuple lands on the same sub-key at any worker
+/// count and in the oracle replay.
+int ShardOfSeq(uint64_t seq, int split);
+
+/// Directory key of a value family. DAI-V families pass an empty level1
+/// (its evaluators are keyed by value alone, §4.5).
+std::string FamilyKey(const std::string& level1, const std::string& value);
+
+// --- Directive directory ------------------------------------------------------
+
+/// One versioned directive. `changed_epoch` is the local application
+/// epoch, consulted only by the key's controller for dwell enforcement.
+struct Directive {
+  int level = 1;  // Replica count (attr keys) or split factor (values).
+  uint64_t version = 0;
+  uint64_t changed_epoch = 0;
+};
+
+class Directory {
+ public:
+  /// Split factor of value family (`level1`, `value`); 1 when no
+  /// directive is active.
+  int SplitOf(const std::string& level1, const std::string& value) const;
+
+  /// Effective replica count of attribute-level key `level1`: the static
+  /// floor `base` or the active directive, whichever is larger.
+  int ReplicasOf(const std::string& level1, int base) const;
+
+  /// Applies a directive if `version` is newer than the stored one;
+  /// returns true when the directory changed. `epoch` stamps
+  /// changed_epoch for dwell bookkeeping.
+  bool ApplySplit(const std::string& level1, const std::string& value,
+                  int split, uint64_t version, uint64_t epoch);
+  bool ApplyReplicas(const std::string& level1, int replicas,
+                     uint64_t version, uint64_t epoch);
+
+  /// Stored directive for dwell/version reads (nullptr when absent).
+  const Directive* FindSplit(const std::string& level1,
+                             const std::string& value) const;
+  const Directive* FindReplicas(const std::string& level1) const;
+
+  /// Merges every directive of `other` that is newer than the local copy
+  /// (churn-repair directory sync); returns the number applied.
+  size_t MergeFrom(const Directory& other);
+
+  bool empty() const { return attr_.empty() && value_.empty(); }
+
+ private:
+  // Ordered maps: MergeFrom iterates them during the (serial) repair
+  // sweep, and determinism-by-construction is this subsystem's contract.
+  std::map<std::string, Directive> attr_;   // level1 -> replicas
+  std::map<std::string, Directive> value_;  // FamilyKey -> split
+};
+
+// --- Per-node adaptation state ------------------------------------------------
+
+/// Everything a node holds for the adaptive load manager. Volatile like
+/// the other protocol tables: a crash wipes it, and the directory is
+/// re-seeded from the survivors' copies during churn repair.
+struct AdaptState {
+  Directory directory;
+  /// Arrival counters, keyed by level1 (attribute level, tracked at
+  /// replica 0) and by FamilyKey (value level, tracked at shard 0).
+  LoadTracker attr_load;
+  LoadTracker value_load;
+  /// FamilyKey -> last directive version whose local state transition
+  /// (bucket copy / re-placement) this node already performed, so the
+  /// broadcast and the directed copy of one directive act once.
+  std::map<std::string, uint64_t> acted_split;
+};
+
+}  // namespace contjoin::adapt
+
+#endif  // CONTJOIN_ADAPT_PLANNER_H_

@@ -1,0 +1,25 @@
+#include "adapt/policy.h"
+
+namespace contjoin::adapt {
+
+int ProposeSplit(const Params& params, uint64_t rate, int current) {
+  if (current < 1) current = 1;
+  if (rate > params.hot_threshold && current * 2 <= params.max_split) {
+    return current * 2;
+  }
+  if (rate < params.cool_threshold && current > 1) return current / 2;
+  return current;
+}
+
+int ProposeReplicas(const Params& params, uint64_t rate, int current,
+                    int base) {
+  if (base < 1) base = 1;
+  if (current < base) current = base;
+  if (rate > params.hot_threshold && current < params.max_replicas) {
+    return current + 1;
+  }
+  if (rate < params.cool_threshold && current > base) return current - 1;
+  return current;
+}
+
+}  // namespace contjoin::adapt

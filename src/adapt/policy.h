@@ -1,0 +1,66 @@
+// Adaptive load-management policy (ROADMAP item 3): thresholds and the
+// hysteresis rules deciding when a hot attribute-level key gains a
+// replica, when a hot value-level key splits into virtual sub-keys, and
+// when cooled keys merge back. The subsystem follows "Scaling and
+// Load-Balancing Equi-Joins" (Metwally): replicate the broadcast-style
+// side, partition the point-style side, and keep every transition a
+// deterministic function of (virtual time, observed counts).
+
+#ifndef CONTJOIN_ADAPT_POLICY_H_
+#define CONTJOIN_ADAPT_POLICY_H_
+
+#include <cstdint>
+
+namespace contjoin::adapt {
+
+/// Control-loop knobs. All off by default — with `enabled == false` the
+/// engine is bit-identical to one without this subsystem.
+struct Params {
+  /// Master switch for runtime hot-key detection and adaptation.
+  bool enabled = false;
+
+  /// Virtual-time units per load epoch. Decayed counters halve once per
+  /// epoch, so a key's tracked rate approximates its arrivals over the
+  /// last ~two epochs.
+  uint64_t epoch_len = 64;
+
+  /// A key whose decayed per-epoch arrival count exceeds this is hot:
+  /// attribute-level keys gain a replica, value-level keys double their
+  /// split factor.
+  uint64_t hot_threshold = 192;
+
+  /// Hysteresis floor: a replicated/split key whose decayed count falls
+  /// below this cools one step. Keep <= hot_threshold / 2, otherwise a
+  /// key oscillates (cooling one step roughly doubles the survivor's
+  /// share, which must still sit below hot_threshold).
+  uint64_t cool_threshold = 48;
+
+  /// Minimum epochs between directive changes for one key (cooldown
+  /// dwell): transitions ship state, so they must not be re-decided
+  /// within the window the previous transition is still settling.
+  uint64_t dwell_epochs = 2;
+
+  /// Upper bound on value-level sub-keys per hot value (power of two).
+  int max_split = 8;
+
+  /// Upper bound on attribute-level replicas (counting the configured
+  /// static `attribute_replication` as the floor).
+  int max_replicas = 4;
+};
+
+/// Next split factor for a value-level key with decayed rate `rate` at
+/// split factor `current`: doubles when hot, halves when cooled, else
+/// stays. Steps are powers of two so every escalation's shard set is a
+/// superset of its predecessor's.
+int ProposeSplit(const Params& params, uint64_t rate, int current);
+
+/// Next replica count for an attribute-level key with decayed rate
+/// `rate` (observed at replica 0, i.e. already a per-replica share) at
+/// `current` replicas; never drops below `base`, the static
+/// attribute_replication floor.
+int ProposeReplicas(const Params& params, uint64_t rate, int current,
+                    int base);
+
+}  // namespace contjoin::adapt
+
+#endif  // CONTJOIN_ADAPT_POLICY_H_

@@ -1,0 +1,34 @@
+#include "adapt/tracker.h"
+
+namespace contjoin::adapt {
+
+uint64_t LoadTracker::Decayed(uint64_t count, uint64_t from_epoch,
+                              uint64_t to_epoch) {
+  if (to_epoch <= from_epoch) return count;
+  uint64_t gap = to_epoch - from_epoch;
+  if (gap >= 64) return 0;
+  return count >> gap;
+}
+
+uint64_t LoadTracker::Record(const std::string& key, uint64_t epoch,
+                             uint64_t weight) {
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    if (cells_.size() >= kMaxTrackedKeys) return 0;
+    it = cells_.emplace(key, Cell{}).first;
+    it->second.epoch = epoch;
+  }
+  Cell& cell = it->second;
+  cell.count = Decayed(cell.count, cell.epoch, epoch);
+  cell.epoch = epoch;
+  cell.count += weight;
+  return cell.count;
+}
+
+uint64_t LoadTracker::RateOf(const std::string& key, uint64_t epoch) const {
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return 0;
+  return Decayed(it->second.count, it->second.epoch, epoch);
+}
+
+}  // namespace contjoin::adapt

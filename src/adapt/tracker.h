@@ -1,0 +1,52 @@
+// Per-key load tracking over a sliding window of virtual-time epochs.
+// Counters decay lazily: on first touch in a later epoch the stored
+// count halves once per elapsed epoch, so a key's tracked value
+// approximates its arrivals over the last ~two epochs without any
+// timer-driven sweep (the simulator has no timers outside messages, and
+// determinism across worker counts forbids wall clocks).
+
+#ifndef CONTJOIN_ADAPT_TRACKER_H_
+#define CONTJOIN_ADAPT_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace contjoin::adapt {
+
+class LoadTracker {
+ public:
+  /// Adds `weight` arrivals for `key` during `epoch` and returns the
+  /// decayed count after the update. Tracking is bounded: once
+  /// kMaxTrackedKeys distinct keys are held, unseen keys are ignored
+  /// (returning 0) — a cold key that never got a slot can never be
+  /// declared hot, which is the safe failure direction.
+  uint64_t Record(const std::string& key, uint64_t epoch, uint64_t weight);
+
+  /// Decayed count of `key` as of `epoch` (0 if untracked). Const: the
+  /// decay is computed on the fly without mutating the cell.
+  uint64_t RateOf(const std::string& key, uint64_t epoch) const;
+
+  size_t size() const { return cells_.size(); }
+
+  /// Tracking capacity; matches the order of magnitude of
+  /// AttrArrivalStats::kMaxTrackedValues in the rewriter.
+  static constexpr size_t kMaxTrackedKeys = 4096;
+
+ private:
+  struct Cell {
+    uint64_t count = 0;
+    uint64_t epoch = 0;  // Epoch `count` was last decayed to.
+  };
+
+  static uint64_t Decayed(uint64_t count, uint64_t from_epoch,
+                          uint64_t to_epoch);
+
+  // Ordered map: iteration order never reaches the wire today, but every
+  // container in the decision path stays deterministic by construction.
+  std::map<std::string, Cell> cells_;
+};
+
+}  // namespace contjoin::adapt
+
+#endif  // CONTJOIN_ADAPT_TRACKER_H_

@@ -241,6 +241,8 @@ bool EncodeJoin(const CqPayload& payload, wire::Writer& w) {
   w.Id(p.rewriter);
   w.Id(p.vindex);
   w.Bool(p.want_ack);
+  w.U32(static_cast<uint32_t>(p.known_split));
+  w.U64(p.split_version);
   return true;
 }
 
@@ -267,6 +269,8 @@ std::shared_ptr<const CqPayload> DecodeJoin(CqMsgType, wire::Reader& r,
   p->rewriter = r.Id();
   p->vindex = r.Id();
   p->want_ack = r.Bool();
+  p->known_split = static_cast<int>(r.U32());
+  p->split_version = r.U64();
   return r.ok() ? p : nullptr;
 }
 
@@ -285,6 +289,8 @@ bool EncodeDaivJoin(const CqPayload& payload, wire::Writer& w) {
   w.Id(p.rewriter);
   w.Id(p.vindex);
   w.Bool(p.want_ack);
+  w.U32(static_cast<uint32_t>(p.known_split));
+  w.U64(p.split_version);
   return true;
 }
 
@@ -308,6 +314,8 @@ std::shared_ptr<const CqPayload> DecodeDaivJoin(CqMsgType, wire::Reader& r,
   p->rewriter = r.Id();
   p->vindex = r.Id();
   p->want_ack = r.Bool();
+  p->known_split = static_cast<int>(r.U32());
+  p->split_version = r.U64();
   return r.ok() ? p : nullptr;
 }
 
@@ -565,6 +573,43 @@ std::shared_ptr<const CqPayload> DecodeDeliveryAck(CqMsgType,
   return r.ok() ? p : nullptr;
 }
 
+bool EncodeAdaptReplicate(const CqPayload& payload, wire::Writer& w) {
+  const auto& p = static_cast<const AdaptReplicatePayload&>(payload);
+  w.Str(p.level1);
+  w.U32(static_cast<uint32_t>(p.replicas));
+  w.U64(p.version);
+  return true;
+}
+
+std::shared_ptr<const CqPayload> DecodeAdaptReplicate(CqMsgType,
+                                                      wire::Reader& r,
+                                                      const rel::Catalog&) {
+  auto p = std::make_shared<AdaptReplicatePayload>();
+  p->level1 = r.Str();
+  p->replicas = static_cast<int>(r.U32());
+  p->version = r.U64();
+  return r.ok() ? p : nullptr;
+}
+
+bool EncodeAdaptSplit(const CqPayload& payload, wire::Writer& w) {
+  const auto& p = static_cast<const AdaptSplitPayload&>(payload);
+  w.Str(p.level1);
+  w.Str(p.value);
+  w.U32(static_cast<uint32_t>(p.split));
+  w.U64(p.version);
+  return true;
+}
+
+std::shared_ptr<const CqPayload> DecodeAdaptSplit(CqMsgType, wire::Reader& r,
+                                                  const rel::Catalog&) {
+  auto p = std::make_shared<AdaptSplitPayload>();
+  p->level1 = r.Str();
+  p->value = r.Str();
+  p->split = static_cast<int>(r.U32());
+  p->version = r.U64();
+  return r.ok() ? p : nullptr;
+}
+
 PayloadCodec BuildDefaultCodec() {
   PayloadCodec table;
   bool ok = true;
@@ -599,6 +644,10 @@ PayloadCodec BuildDefaultCodec() {
                             DecodeNotificationDigest);
   ok &= table.RegisterCodec(CqMsgType::kDeliveryAck, EncodeDeliveryAck,
                             DecodeDeliveryAck);
+  ok &= table.RegisterCodec(CqMsgType::kAdaptReplicate, EncodeAdaptReplicate,
+                            DecodeAdaptReplicate);
+  ok &= table.RegisterCodec(CqMsgType::kAdaptSplit, EncodeAdaptSplit,
+                            DecodeAdaptSplit);
   CJ_CHECK(ok) << "duplicate codec registration";
   for (size_t i = 0; i < kCqMsgTypeCount; ++i) {
     CJ_CHECK(table.HasCodec(static_cast<CqMsgType>(i)))

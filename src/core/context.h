@@ -31,6 +31,14 @@ namespace contjoin::core {
 struct NodeState;
 class AlgorithmStrategy;
 
+/// Event classes of the adaptive load manager, accounted through
+/// ProtocolContext::RecordAdapt into sim::NetStats.
+enum class AdaptStat {
+  kDirective,  // A new replicate/split directive was issued.
+  kRedirect,   // Traffic at a dead key was re-dispatched to live owners.
+  kReship,     // A stored bucket (or a top-up copy) was re-placed.
+};
+
 class ProtocolContext {
  public:
   virtual ~ProtocolContext() = default;
@@ -75,6 +83,9 @@ class ProtocolContext {
   /// deferred to a later epoch. Default no-op so seam mocks that predate
   /// the serving layer keep working unchanged.
   virtual void RecordBackpressure(bool shed) { (void)shed; }
+  /// Accounts one adaptive-load-manager event (see AdaptStat). Default
+  /// no-op so seam mocks that predate the subsystem keep working.
+  virtual void RecordAdapt(AdaptStat stat) { (void)stat; }
   /// Re-enters message dispatch at `node` — moved attribute-level
   /// identifiers forward whole messages to their holder (§4.7).
   virtual void Redeliver(chord::Node& node, const chord::AppMessage& msg) = 0;
@@ -90,6 +101,18 @@ class ProtocolContext {
   /// executes under `node`'s event shard, like a message delivered to it.
   virtual void ScheduleAfter(chord::Node& node, sim::SimTime delay,
                              std::function<void()> fn) = 0;
+  /// ScheduleAfter with a cancellation handle: once `*cancel` is set the
+  /// timer is discarded without firing and without holding the virtual
+  /// clock open to its deadline. Retry backoff timers use this so an acked
+  /// message's speculative far-future retries stop stretching queue drains.
+  /// Default: plain ScheduleAfter (seam mocks predate cancellation; a timer
+  /// that fires as a no-op is behaviourally equivalent, just slower).
+  virtual void ScheduleAfterCancellable(chord::Node& node, sim::SimTime delay,
+                                        sim::CancelToken cancel,
+                                        std::function<void()> fn) {
+    (void)cancel;
+    ScheduleAfter(node, delay, std::move(fn));
+  }
 
   // --- Subscribers & results -------------------------------------------------
 

@@ -1,6 +1,7 @@
 #include "core/dispatch.h"
 
 #include "common/logging.h"
+#include "core/adapt_protocol.h"
 #include "core/evaluator.h"
 #include "core/mw_protocol.h"
 #include "core/otj_protocol.h"
@@ -53,6 +54,8 @@ const MessageDispatcher& MessageDispatcher::Default() {
                         reliability::HandleDeliveryAck));
     CJ_CHECK(t.Register(CqMsgType::kNotificationDigest,
                         subscriber::HandleNotificationDigest));
+    CJ_CHECK(t.Register(CqMsgType::kAdaptReplicate, adapt::HandleReplicate));
+    CJ_CHECK(t.Register(CqMsgType::kAdaptSplit, adapt::HandleSplit));
     return t;
   }();
   return table;

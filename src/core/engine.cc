@@ -129,6 +129,15 @@ void ContinuousQueryNetwork::ProcessChurnDue() {
   }
   if (!changed) return;
   network_.RewireIdeal();
+  // Retransmit-on-route-change: every survivor re-sends its un-acked
+  // messages against the healed ring before the drain, so recovery is
+  // bounded by hop latency, not by wherever each message happened to be
+  // in its exponential backoff when its target died.
+  if (options_.reliability.enabled) {
+    for (chord::Node* n : nodes_) {
+      if (n->alive()) reliability::RetransmitPending(*this, *n);
+    }
+  }
   simulator_.Run();
   if (options_.reliability.enabled && options_.reliability.repair_on_churn) {
     ReconcilePlacement();
@@ -158,6 +167,7 @@ void ContinuousQueryNetwork::CrashNodeInternal(chord::Node* node) {
   state.mw = mw::State();
   state.otj = otj::State();
   state.reliability = reliability::State();
+  state.adapt = ::contjoin::adapt::AdaptState();
   state.subscriber.subscriber_addr.clear();
   // Serving-path overlay state dies too: buffered digests and in-flight
   // slots are process memory, not client state.
@@ -208,6 +218,18 @@ size_t ContinuousQueryNetwork::ReconcilePlacement() {
     network_.CountHop(sim::MsgClass::kControl);
     moved += objects;
   };
+  // Adaptive directory sync: union every surviving directory and write it
+  // back, so all owners (including freshly joined nodes) agree on each
+  // family's live shard set before buckets are re-homed below.
+  if (options_.adapt.enabled) {
+    ::contjoin::adapt::Directory merged;
+    for (chord::Node* node : nodes_) {
+      if (node->alive()) merged.MergeFrom(StateOf(*node).adapt.directory);
+    }
+    for (chord::Node* node : nodes_) {
+      if (node->alive()) StateOf(*node).adapt.directory.MergeFrom(merged);
+    }
+  }
   for (chord::Node* node : nodes_) {
     if (!node->alive()) continue;
     NodeState& state = StateOf(*node);
@@ -236,8 +258,41 @@ size_t ContinuousQueryNetwork::ReconcilePlacement() {
     }
 
     // VLQT / VLTT buckets: home = Successor(Hash(level1 + "+" + value)).
+    // Split families (adaptive manager) are keyed by the base value but
+    // live at their virtual sub-key homes: rewritten queries at every
+    // shard home, tuples at their sequence shard's home. A node that is
+    // still one of the live homes keeps its bucket — crash-lost copies
+    // are recovered by index replay, as in the base protocol.
     for (const auto& [level1, value_key] :
          state.evaluator.vlqt.BucketKeys()) {
+      const int split = options_.adapt.enabled
+                            ? state.adapt.directory.SplitOf(level1, value_key)
+                            : 1;
+      if (split > 1) {
+        bool is_home = false;
+        std::vector<chord::Node*> homes;
+        for (int j = 0; j < split; ++j) {
+          chord::Node* home = network_.OracleSuccessor(ValueIndexIdOfKey(
+              level1,
+              ::contjoin::adapt::ShardValueKey(value_key, j, split)));
+          if (home == nullptr) continue;
+          if (home == node) {
+            is_home = true;
+          } else if (std::find(homes.begin(), homes.end(), home) ==
+                     homes.end()) {
+            homes.push_back(home);
+          }
+        }
+        if (is_home) continue;
+        auto bucket = state.evaluator.vlqt.TakeBucket(level1, value_key);
+        size_t objects = bucket.size();
+        for (chord::Node* home : homes) {
+          StateOf(*home).evaluator.vlqt.AbsorbBucket(level1, value_key,
+                                                     bucket);
+          transfer(objects);
+        }
+        continue;
+      }
       chord::Node* home =
           network_.OracleSuccessor(ValueIndexIdOfKey(level1, value_key));
       if (home == nullptr || home == node) continue;
@@ -249,6 +304,38 @@ size_t ContinuousQueryNetwork::ReconcilePlacement() {
     }
     for (const auto& [level1, value_key] :
          state.evaluator.vltt.BucketKeys()) {
+      const int split = options_.adapt.enabled
+                            ? state.adapt.directory.SplitOf(level1, value_key)
+                            : 1;
+      if (split > 1) {
+        auto bucket = state.evaluator.vltt.TakeBucket(level1, value_key);
+        ValueLevelTupleTable::Bucket keep;
+        for (int j = 0; j < split; ++j) {
+          chord::Node* home = network_.OracleSuccessor(ValueIndexIdOfKey(
+              level1,
+              ::contjoin::adapt::ShardValueKey(value_key, j, split)));
+          ValueLevelTupleTable::Bucket group;
+          for (const StoredTuple& st : bucket) {
+            if (::contjoin::adapt::ShardOfSeq(st.tuple->seq(), split) == j) {
+              group.push_back(st);
+            }
+          }
+          if (group.empty()) continue;
+          if (home == nullptr || home == node) {
+            for (StoredTuple& st : group) keep.push_back(std::move(st));
+            continue;
+          }
+          size_t objects = group.size();
+          StateOf(*home).evaluator.vltt.AbsorbBucket(level1, value_key,
+                                                     std::move(group));
+          transfer(objects);
+        }
+        if (!keep.empty()) {
+          state.evaluator.vltt.AbsorbBucket(level1, value_key,
+                                            std::move(keep));
+        }
+        continue;
+      }
       chord::Node* home =
           network_.OracleSuccessor(ValueIndexIdOfKey(level1, value_key));
       if (home == nullptr || home == node) continue;
@@ -264,6 +351,65 @@ size_t ContinuousQueryNetwork::ReconcilePlacement() {
     for (const auto& [value_key, sub_key] :
          state.evaluator.daiv.BucketKeys()) {
       CJ_CHECK(sub_key.size() > 2) << "malformed DAI-V sub key " << sub_key;
+      const int split =
+          options_.adapt.enabled && !options_.daiv_prefix_query_key
+              ? state.adapt.directory.SplitOf("", value_key)
+              : 1;
+      if (split > 1) {
+        // Side 1 ("#R", the replicated side) lives at every shard home;
+        // side 0 ("#L") is partitioned by the stored trigger sequence.
+        const bool replicated = sub_key.back() == 'R';
+        if (replicated) {
+          bool is_home = false;
+          std::vector<chord::Node*> homes;
+          for (int j = 0; j < split; ++j) {
+            chord::Node* home = network_.OracleSuccessor(DaivIndexId(
+                ::contjoin::adapt::ShardValueKey(value_key, j, split)));
+            if (home == nullptr) continue;
+            if (home == node) {
+              is_home = true;
+            } else if (std::find(homes.begin(), homes.end(), home) ==
+                       homes.end()) {
+              homes.push_back(home);
+            }
+          }
+          if (is_home) continue;
+          auto bucket = state.evaluator.daiv.TakeBucket(value_key, sub_key);
+          size_t objects = bucket.size();
+          for (chord::Node* home : homes) {
+            StateOf(*home).evaluator.daiv.AbsorbBucket(value_key, sub_key,
+                                                       bucket);
+            transfer(objects);
+          }
+        } else {
+          auto bucket = state.evaluator.daiv.TakeBucket(value_key, sub_key);
+          DaivStore::Bucket keep;
+          for (int j = 0; j < split; ++j) {
+            chord::Node* home = network_.OracleSuccessor(DaivIndexId(
+                ::contjoin::adapt::ShardValueKey(value_key, j, split)));
+            DaivStore::Bucket group;
+            for (const DaivStored& st : bucket) {
+              if (::contjoin::adapt::ShardOfSeq(st.seq, split) == j) {
+                group.push_back(st);
+              }
+            }
+            if (group.empty()) continue;
+            if (home == nullptr || home == node) {
+              for (DaivStored& st : group) keep.push_back(std::move(st));
+              continue;
+            }
+            size_t objects = group.size();
+            StateOf(*home).evaluator.daiv.AbsorbBucket(value_key, sub_key,
+                                                       std::move(group));
+            transfer(objects);
+          }
+          if (!keep.empty()) {
+            state.evaluator.daiv.AbsorbBucket(value_key, sub_key,
+                                              std::move(keep));
+          }
+        }
+        continue;
+      }
       chord::NodeId home_id =
           options_.daiv_prefix_query_key
               ? DaivPrefixedIndexId(sub_key.substr(0, sub_key.size() - 2),

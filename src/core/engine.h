@@ -260,6 +260,19 @@ class ContinuousQueryNetwork : public chord::Application,
       network_.stats().AddDeferred();
     }
   }
+  void RecordAdapt(AdaptStat stat) override {
+    switch (stat) {
+      case AdaptStat::kDirective:
+        network_.stats().AddAdaptDirective();
+        break;
+      case AdaptStat::kRedirect:
+        network_.stats().AddAdaptRedirect();
+        break;
+      case AdaptStat::kReship:
+        network_.stats().AddAdaptReship();
+        break;
+    }
+  }
   void Redeliver(chord::Node& node, const chord::AppMessage& msg) override {
     HandleMessage(node, msg);
   }
@@ -272,6 +285,12 @@ class ContinuousQueryNetwork : public chord::Application,
   void ScheduleAfter(chord::Node& node, sim::SimTime delay,
                      std::function<void()> fn) override {
     simulator_.ScheduleSharded(delay, node.serial(), std::move(fn));
+  }
+  void ScheduleAfterCancellable(chord::Node& node, sim::SimTime delay,
+                                sim::CancelToken cancel,
+                                std::function<void()> fn) override {
+    simulator_.ScheduleCancellable(delay, node.serial(), std::move(cancel),
+                                   std::move(fn));
   }
   chord::Node* NodeByKey(const std::string& key) override {
     auto it = nodes_by_key_.find(key);

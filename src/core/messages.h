@@ -75,11 +75,13 @@ enum class CqMsgType : unsigned char {
   kOtjRehash,  // One-time join: tuples rehashed by join value.
   kDeliveryAck,  // Reliable-delivery ack for a message id (back to origin).
   kNotificationDigest,  // Coalesced per-(destination, epoch) notifications.
+  kAdaptReplicate,  // Adapt directive: attr key's effective replica count.
+  kAdaptSplit,      // Adapt directive: value key's virtual split factor.
 };
 
 /// Number of message types (size of dispatch / per-type counter tables).
 inline constexpr size_t kCqMsgTypeCount =
-    static_cast<size_t>(CqMsgType::kNotificationDigest) + 1;
+    static_cast<size_t>(CqMsgType::kAdaptSplit) + 1;
 
 /// Base payload carrying the dispatch tag.
 struct CqPayload : chord::Payload {
@@ -120,11 +122,21 @@ struct RewrittenEntry {
 struct JoinPayload : CqPayload {
   JoinPayload() : CqPayload(CqMsgType::kJoin) {}
   std::string level1;     // "DisR+DisA".
-  std::string value_key;  // valDA canonical string.
+  std::string value_key;  // valDA canonical string (or a virtual sub-key).
   std::vector<RewrittenEntry> entries;  // Grouped rewritten queries (§4.3.5).
   chord::NodeId rewriter;               // For JFRT acks (zero = none).
   chord::NodeId vindex;                 // Target identifier (ack bookkeeping).
   bool want_ack = false;
+  /// Split factor the sender fanned this batch across (adaptive load
+  /// manager); a receiver with a newer directive tops up the shards the
+  /// sender missed. 1 = the unsplit base scheme, 0 = a re-placement
+  /// replay that must be processed where it lands.
+  int known_split = 1;
+  /// Version of the split directive `known_split` reflects (0 = none):
+  /// the batch doubles as a directive carrier, so version comparison
+  /// decides deterministically whether the sender or the receiver holds
+  /// the fresher view of the family.
+  uint64_t split_version = 0;
 };
 
 /// DAI-V rewritten query + projected trigger tuple (§4.5).
@@ -143,6 +155,11 @@ struct DaivJoinPayload : CqPayload {
   chord::NodeId rewriter;  // Zero = none.
   chord::NodeId vindex;
   bool want_ack = false;
+  /// Split factor the sender fanned against (see JoinPayload).
+  int known_split = 1;
+  /// Version of the split directive `known_split` reflects (see
+  /// JoinPayload).
+  uint64_t split_version = 0;
 };
 
 struct NotificationPayload : CqPayload {
@@ -267,6 +284,35 @@ struct NotificationDigestPayload : CqPayload {
   std::vector<Notification> notifications;
   std::string subscriber_key;
   chord::NodeId evaluator;  // So the subscriber can send IP updates (0=none).
+};
+
+// --- Adaptive load manager (runtime hot-key directives) -------------------------
+//
+// Each directive is broadcast best-effort to refresh every node's routing
+// directory, and — where a stale holder would strand state — additionally
+// routed reliably to the bucket owners that must act on it. Per-key
+// versions make application idempotent under retries and reorderings.
+
+/// Directive: attribute-level key `level1` now runs `replicas` rewriter
+/// replicas. Escalations ship the replica-0 query bucket to the new
+/// replicas via ordinary (armed) kQueryIndex messages.
+struct AdaptReplicatePayload : CqPayload {
+  AdaptReplicatePayload() : CqPayload(CqMsgType::kAdaptReplicate) {}
+  std::string level1;  // "R+A".
+  int replicas = 1;
+  uint64_t version = 0;
+};
+
+/// Directive: value family (`level1`, `value`) now splits across `split`
+/// virtual sub-keys "value#s<j>". Routed copies reach every affected
+/// sub-key owner so partitioned state is re-placed even if the broadcast
+/// frame is lost.
+struct AdaptSplitPayload : CqPayload {
+  AdaptSplitPayload() : CqPayload(CqMsgType::kAdaptSplit) {}
+  std::string level1;  // "DisR+DisA"; empty for DAI-V families.
+  std::string value;   // Base value (no shard suffix).
+  int split = 1;
+  uint64_t version = 0;
 };
 
 

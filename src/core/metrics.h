@@ -47,6 +47,11 @@ struct NodeMetrics {
   uint64_t reliable_dups_suppressed = 0;  // Duplicate deliveries absorbed.
   uint64_t reliable_abandoned = 0;  // Gave up after max_retries.
 
+  // --- Adaptive load manager (extension) -----------------------------------------
+  uint64_t adapt_directives = 0;  // Replicate/split directives issued here.
+  uint64_t adapt_redirects = 0;   // Dead-key arrivals re-dispatched.
+  uint64_t adapt_reships = 0;     // Bucket re-placements / top-up copies sent.
+
   // --- Dispatch-level receipts -------------------------------------------------
   /// Messages dispatched here, by CqMsgType index.
   std::array<uint64_t, kCqMsgTypeCount> received_by_type{};
@@ -72,6 +77,9 @@ struct NodeMetrics {
     reliable_acks_sent += m.reliable_acks_sent;
     reliable_dups_suppressed += m.reliable_dups_suppressed;
     reliable_abandoned += m.reliable_abandoned;
+    adapt_directives += m.adapt_directives;
+    adapt_redirects += m.adapt_redirects;
+    adapt_reships += m.adapt_reships;
     for (size_t i = 0; i < received_by_type.size(); ++i) {
       received_by_type[i] += m.received_by_type[i];
     }

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstddef>
 
+#include "adapt/policy.h"
 #include "chord/network.h"
 #include "faults/fault_plan.h"
 #include "relational/tuple.h"
@@ -118,6 +119,11 @@ struct Options {
   ReliabilityOptions reliability;
 
   ServingOptions serving;
+
+  /// Adaptive load manager (runtime hot-key detection, auto-replication,
+  /// value splitting, hysteresis cooldown). Off by default — the engine
+  /// is bit-identical to one without this subsystem when disabled.
+  contjoin::adapt::Params adapt;
 };
 
 }  // namespace contjoin::core

@@ -14,17 +14,18 @@ void OnTimeout(ProtocolContext& ctx, chord::Node& node, uint64_t id,
                int attempt);
 
 void ScheduleRetry(ProtocolContext& ctx, chord::Node& node, uint64_t id,
-                   int attempt) {
+                   int attempt, sim::CancelToken cancel) {
   uint64_t scale = std::max<uint64_t>(1, ctx.options().chord.hop_latency);
   // Exponential backoff, shift-capped so pathological max_retries settings
   // cannot overflow the virtual clock.
   int shift = std::min(attempt - 1, 20);
   sim::SimTime timeout = ctx.options().reliability.base_timeout * scale
                          << shift;
-  ctx.ScheduleAfter(node, timeout, [ctx_ptr = &ctx, node_ptr = &node, id,
-                                    attempt]() {
-    OnTimeout(*ctx_ptr, *node_ptr, id, attempt);
-  });
+  ctx.ScheduleAfterCancellable(
+      node, timeout, std::move(cancel),
+      [ctx_ptr = &ctx, node_ptr = &node, id, attempt]() {
+        OnTimeout(*ctx_ptr, *node_ptr, id, attempt);
+      });
 }
 
 /// Upper bound on how long after first delivery any retransmission of the
@@ -60,8 +61,15 @@ void OnTimeout(ProtocolContext& ctx, chord::Node& node, uint64_t id,
   }
   ++it->second.attempts;
   ++ns.metrics.reliable_retries;
+  const int next_attempt = it->second.attempts + 1;
+  sim::CancelToken cancel = it->second.cancel;
+  // Send may deliver synchronously when this node now owns the target key
+  // (e.g. after ring repair); the self-delivery path erases the pending
+  // entry in place, so nothing of `it` survives the call.
   ctx.Send(node, it->second.msg);
-  ScheduleRetry(ctx, node, id, it->second.attempts + 1);
+  if (ns.reliability.pending.count(id) != 0) {
+    ScheduleRetry(ctx, node, id, next_attempt, std::move(cancel));
+  }
 }
 
 }  // namespace
@@ -75,6 +83,7 @@ bool IsCritical(CqMsgType type) {
     case CqMsgType::kDaivJoin:
     case CqMsgType::kNotification:
     case CqMsgType::kNotificationDigest:
+    case CqMsgType::kAdaptSplit:
       return true;
     default:
       return false;
@@ -85,9 +94,11 @@ void Arm(ProtocolContext& ctx, chord::Node& from, chord::AppMessage& msg) {
   msg.reliable_id = ctx.NextReliableId(from);
   msg.reliable_origin = from.id();
   NodeState& ns = ctx.StateOf(from);
-  ns.reliability.pending.emplace(msg.reliable_id, PendingSend{msg, 0});
+  sim::CancelToken cancel = sim::MakeCancelToken();
+  ns.reliability.pending.emplace(msg.reliable_id,
+                                 PendingSend{msg, 0, cancel});
   ++ns.metrics.reliable_sent;
-  ScheduleRetry(ctx, from, msg.reliable_id, 1);
+  ScheduleRetry(ctx, from, msg.reliable_id, 1, std::move(cancel));
 }
 
 void SendReliable(ProtocolContext& ctx, chord::Node& from,
@@ -159,6 +170,36 @@ void HandleDeliveryAck(ProtocolContext& ctx, chord::Node& node,
                        const chord::AppMessage& msg) {
   const auto& p = static_cast<const DeliveryAckPayload&>(*msg.payload);
   ctx.StateOf(node).reliability.pending.erase(p.msg_id);
+}
+
+void RetransmitPending(ProtocolContext& ctx, chord::Node& node) {
+  if (!ctx.options().reliability.enabled) return;
+  NodeState& ns = ctx.StateOf(node);
+  // Snapshot the ids first: after repair this node may own a target key
+  // itself, making Send deliver synchronously and erase the pending entry
+  // mid-loop — live iterators and references would dangle.
+  std::vector<uint64_t> ids;
+  ids.reserve(ns.reliability.pending.size());
+  for (const auto& [id, pending] : ns.reliability.pending) ids.push_back(id);
+  for (uint64_t id : ids) {
+    auto it = ns.reliability.pending.find(id);
+    if (it == ns.reliability.pending.end()) continue;
+    // Kill the old backoff timer and rearm from a fresh token; the
+    // retransmission still counts against max_retries so a permanently
+    // undeliverable message is abandoned on the usual schedule.
+    if (it->second.cancel != nullptr) {
+      it->second.cancel->store(true, std::memory_order_release);
+    }
+    it->second.cancel = sim::MakeCancelToken();
+    ++it->second.attempts;
+    ++ns.metrics.reliable_retries;
+    const int next_attempt = it->second.attempts + 1;
+    sim::CancelToken cancel = it->second.cancel;
+    ctx.Send(node, it->second.msg);
+    if (ns.reliability.pending.count(id) != 0) {
+      ScheduleRetry(ctx, node, id, next_attempt, std::move(cancel));
+    }
+  }
 }
 
 }  // namespace reliability

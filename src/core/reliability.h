@@ -24,10 +24,26 @@
 namespace contjoin::core {
 namespace reliability {
 
-/// A message awaiting its delivery ack at the origin.
+/// A message awaiting its delivery ack at the origin. Destruction — ack,
+/// abandonment, origin death, or the crash wipe of the whole table —
+/// cancels the outstanding retry timer, so a confirmed message's
+/// speculative backoff deadline never holds the virtual clock open during
+/// a queue drain. Move-only: a copy would share the token and cancel the
+/// live timer when the copy died.
 struct PendingSend {
+  PendingSend(chord::AppMessage m, int a, sim::CancelToken c)
+      : msg(std::move(m)), attempts(a), cancel(std::move(c)) {}
+  PendingSend(PendingSend&&) = default;
+  PendingSend& operator=(PendingSend&&) = default;
+  PendingSend(const PendingSend&) = delete;
+  PendingSend& operator=(const PendingSend&) = delete;
+  ~PendingSend() {
+    if (cancel != nullptr) cancel->store(true, std::memory_order_release);
+  }
+
   chord::AppMessage msg;
   int attempts = 0;  // Retries performed so far.
+  sim::CancelToken cancel;
 };
 
 /// Per-node reliability state (volatile: a crash wipes it, like the other
@@ -75,6 +91,15 @@ bool ObserveDelivery(ProtocolContext& ctx, chord::Node& node,
 /// kDeliveryAck handler: clears the acked id from the pending table.
 void HandleDeliveryAck(ProtocolContext& ctx, chord::Node& node,
                        const chord::AppMessage& msg);
+
+/// Retransmits every un-acked pending message of `node` right now and
+/// rearms their backoff timers. Called after ring repair: a message whose
+/// target crashed would otherwise sit out the remainder of its exponential
+/// backoff even though the route has already healed — retransmitting on
+/// route change bounds post-repair delivery by hop latency instead of by
+/// the retry horizon. Duplicates (the original did arrive, its ack was
+/// lost) are absorbed by the receiver-side dedup set.
+void RetransmitPending(ProtocolContext& ctx, chord::Node& node);
 
 }  // namespace reliability
 }  // namespace contjoin::core

@@ -7,6 +7,7 @@
 
 #include "chord/node.h"
 #include "common/logging.h"
+#include "core/adapt_protocol.h"
 #include "core/algorithm.h"
 #include "core/evaluator.h"
 #include "core/messages.h"
@@ -79,6 +80,7 @@ void HandleQueryIndex(ProtocolContext& ctx, chord::Node& node,
   ++state.metrics.queries_received;
   state.rewriter.alqt.Insert(mkey, p.query->signature(),
                              AlqtEntry{p.query, p.index_side});
+  adapt::OnQueryIndexed(ctx, node, p);
 }
 
 namespace {
@@ -148,17 +150,8 @@ void RewriteT1(ProtocolContext& ctx, chord::Node& node, NodeState& state,
 
   const std::string& dis_attr =
       remaining.schema->attribute(remaining.linear->ref.attr_index).name;
-  std::string vkey_full = ValueKeyOf(remaining.relation, dis_attr, value_key);
+  const std::string level1 = AttrKey(remaining.relation, dis_attr);
 
-  PendingJoin& pending = (*out)[vkey_full];
-  if (pending.payload == nullptr) {
-    pending.vindex = HashKey(vkey_full);
-    pending.payload = std::make_shared<JoinPayload>();
-    pending.payload->level1 = AttrKey(remaining.relation, dis_attr);
-    pending.payload->value_key = value_key;
-    pending.payload->rewriter = node.id();
-    pending.payload->vindex = pending.vindex;
-  }
   RewrittenEntry rewritten;
   rewritten.query = entry.query;
   rewritten.remaining_side = o;
@@ -167,11 +160,33 @@ void RewriteT1(ProtocolContext& ctx, chord::Node& node, NodeState& state,
   rewritten.row = std::move(row);
   rewritten.trigger_pub = tuple.pub_time();
   rewritten.trigger_seq = tuple.seq();
-  pending.payload->entries.push_back(std::move(rewritten));
-  ++state.metrics.rewrites_sent;
-  if (ctx.options().track_evaluators) {
-    state.rewriter.query_evaluators[q.key()].insert(pending.vindex);
+
+  // Adaptive split fan: a hot value's rewritten queries go to every
+  // virtual sub-key, so each shard can match the publications hashed
+  // onto it alone. Unsplit values keep the single plain key.
+  uint64_t split_version = 0;
+  const int split =
+      adapt::SplitFor(ctx, state, level1, value_key, &split_version);
+  for (int shard = 0; shard < std::max(1, split); ++shard) {
+    const std::string sub_key = adapt::SubValueKey(value_key, shard, split);
+    std::string vkey_full = ValueKeyOf(remaining.relation, dis_attr, sub_key);
+    PendingJoin& pending = (*out)[vkey_full];
+    if (pending.payload == nullptr) {
+      pending.vindex = HashKey(vkey_full);
+      pending.payload = std::make_shared<JoinPayload>();
+      pending.payload->level1 = level1;
+      pending.payload->value_key = sub_key;
+      pending.payload->rewriter = node.id();
+      pending.payload->vindex = pending.vindex;
+      pending.payload->known_split = std::max(1, split);
+      pending.payload->split_version = split_version;
+    }
+    pending.payload->entries.push_back(rewritten);
+    if (ctx.options().track_evaluators) {
+      state.rewriter.query_evaluators[q.key()].insert(pending.vindex);
+    }
   }
+  ++state.metrics.rewrites_sent;
 }
 
 /// DAI-V rewrite (§4.5): the trigger tuple's projection travels with the
@@ -192,32 +207,53 @@ void RewriteDaiv(ProtocolContext& ctx, chord::Node& node, NodeState& state,
     if (item.ref.side == s) row[i] = tuple.at(item.ref.attr_index);
   }
 
-  // Group key: DAI-V groups purely by value; the key-prefixed variant
-  // (§4.5) separates queries and loses grouping — that is its cost.
-  std::string group_key = ctx.options().daiv_prefix_query_key
-                              ? q.key() + "+" + value_key
-                              : value_key;
-  PendingDaivJoin& pending = (*out)[group_key];
-  if (pending.payload == nullptr) {
-    pending.vindex = ctx.options().daiv_prefix_query_key
-                         ? DaivPrefixedIndexId(q.key(), value_key)
-                         : DaivIndexId(value_key);
-    pending.payload = std::make_shared<DaivJoinPayload>();
-    pending.payload->value_key = value_key;
-    pending.payload->rewriter = node.id();
-    pending.payload->vindex = pending.vindex;
-  }
   DaivEntry daiv_entry;
   daiv_entry.query = entry.query;
   daiv_entry.trigger_side = s;
   daiv_entry.row = std::move(row);
   daiv_entry.trigger_pub = tuple.pub_time();
   daiv_entry.trigger_seq = tuple.seq();
-  pending.payload->entries.push_back(std::move(daiv_entry));
-  ++state.metrics.rewrites_sent;
-  if (ctx.options().track_evaluators) {
-    state.rewriter.query_evaluators[q.key()].insert(pending.vindex);
+
+  // Adaptive split fan, side-aware: trigger-side-1 entries replicate to
+  // every shard while trigger-side-0 entries hash to their sequence
+  // shard, so every pair still meets at exactly one shard. The
+  // key-prefixed variant (§4.5) is already partitioned per query and
+  // stays unsplit.
+  const bool prefixed = ctx.options().daiv_prefix_query_key;
+  uint64_t split_version = 0;
+  const int split =
+      prefixed ? 1 : adapt::SplitFor(ctx, state, "", value_key, &split_version);
+  std::vector<int> shards;
+  if (split <= 1) {
+    shards.push_back(0);
+  } else if (s == 0) {
+    shards.push_back(adapt::ShardOf(tuple.seq(), split));
+  } else {
+    for (int j = 0; j < split; ++j) shards.push_back(j);
   }
+  for (int shard : shards) {
+    const std::string sub_key = adapt::SubValueKey(value_key, shard, split);
+    // Group key: DAI-V groups purely by value (here: per sub-key); the
+    // key-prefixed variant separates queries and loses grouping — that
+    // is its cost.
+    std::string group_key = prefixed ? q.key() + "+" + value_key : sub_key;
+    PendingDaivJoin& pending = (*out)[group_key];
+    if (pending.payload == nullptr) {
+      pending.vindex = prefixed ? DaivPrefixedIndexId(q.key(), value_key)
+                                : DaivIndexId(sub_key);
+      pending.payload = std::make_shared<DaivJoinPayload>();
+      pending.payload->value_key = prefixed ? value_key : sub_key;
+      pending.payload->rewriter = node.id();
+      pending.payload->vindex = pending.vindex;
+      pending.payload->known_split = std::max(1, split);
+      pending.payload->split_version = split_version;
+    }
+    pending.payload->entries.push_back(daiv_entry);
+    if (ctx.options().track_evaluators) {
+      state.rewriter.query_evaluators[q.key()].insert(pending.vindex);
+    }
+  }
+  ++state.metrics.rewrites_sent;
 }
 
 /// Routes a join payload directly to a cached evaluator, falling back to
@@ -317,6 +353,7 @@ void HandleTupleAl(ProtocolContext& ctx, chord::Node& node,
   NodeState& state = ctx.StateOf(node);
   std::string mkey = MKey(p.level1, p.replica);
   if (ForwardIfMoved(ctx, node, state.rewriter, mkey, msg)) return;
+  if (adapt::OnAttrTuple(ctx, node, p)) return;
   ++state.metrics.tuples_received_attr;
   ++state.metrics.filter_ops_attr;
   const rel::Tuple& tuple = *p.tuple;

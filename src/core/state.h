@@ -6,7 +6,9 @@
 #define CONTJOIN_CORE_STATE_H_
 
 #include <cstddef>
+#include <cstdint>
 
+#include "adapt/planner.h"
 #include "core/evaluator.h"
 #include "core/metrics.h"
 #include "core/mw_protocol.h"
@@ -28,6 +30,10 @@ struct NodeState {
   mw::State mw;
   otj::State otj;
   reliability::State reliability;
+  /// Adaptive load manager: directive directory, per-key load trackers
+  /// and transition bookkeeping. Volatile — a crash wipes it, and churn
+  /// repair re-seeds the directory from the survivors' union.
+  contjoin::adapt::AdaptState adapt;
   NodeMetrics metrics;
   /// Monotone counter behind NextReliableId. Deliberately outside
   /// reliability::State: a crash wipes the volatile protocol tables, but a

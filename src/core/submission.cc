@@ -5,7 +5,10 @@
 
 #include "core/engine.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "core/adapt_protocol.h"
 #include "core/reliability.h"
 
 namespace contjoin::core {
@@ -25,12 +28,15 @@ void ContinuousQueryNetwork::IndexQueryFrom(chord::Node* origin,
   std::vector<chord::AppMessage> batch;
   for (int s : sides) {
     const query::QuerySide& side = query->side(s);
-    for (int replica = 0; replica < options_.attribute_replication;
-         ++replica) {
+    const std::string level1 = AttrKey(side.relation, side.index_attr_name());
+    // Adaptive replication widens the fan to every replica the origin's
+    // directory knows about; replica 0 tops up any the directory lags on.
+    const int replicas = adapt::ReplicasFor(*this, StateOf(*origin), level1);
+    for (int replica = 0; replica < replicas; ++replica) {
       auto payload = std::make_shared<QueryIndexPayload>();
       payload->query = query;
       payload->index_side = s;
-      payload->level1 = AttrKey(side.relation, side.index_attr_name());
+      payload->level1 = level1;
       payload->replica = replica;
       chord::AppMessage msg;
       msg.target =
@@ -57,15 +63,17 @@ void ContinuousQueryNetwork::PublishTupleFrom(
   std::vector<chord::AppMessage> batch;
   for (size_t i = 0; i < schema->arity(); ++i) {
     const std::string& attr = schema->attribute(i).name;
-    int replica = options_.attribute_replication <= 1
+    const std::string level1 = AttrKey(tuple->relation(), attr);
+    const int replicas =
+        adapt::ReplicasFor(*this, StateOf(*origin), level1);
+    int replica = replicas <= 1
                       ? 0
                       : static_cast<int>(rng_.NextBelow(
-                            static_cast<uint64_t>(
-                                options_.attribute_replication)));
+                            static_cast<uint64_t>(replicas)));
     auto al = std::make_shared<TupleIndexPayload>(/*value_level=*/false);
     al->tuple = tuple;
     al->attr_index = i;
-    al->level1 = AttrKey(tuple->relation(), attr);
+    al->level1 = level1;
     al->replica = replica;
     chord::AppMessage al_msg;
     al_msg.target = AttrIndexId(tuple->relation(), attr, replica);
@@ -77,8 +85,16 @@ void ContinuousQueryNetwork::PublishTupleFrom(
       auto vl = std::make_shared<TupleIndexPayload>(/*value_level=*/true);
       vl->tuple = tuple;
       vl->attr_index = i;
-      vl->level1 = AttrKey(tuple->relation(), attr);
-      vl->value_key = tuple->at(i).ToKeyString();
+      vl->level1 = level1;
+      const std::string base_value = tuple->at(i).ToKeyString();
+      // Adaptive split: the publication hashes to one virtual sub-key by
+      // sequence number; the directory at the target repairs stale
+      // placements (the origin's copy may lag).
+      uint64_t split_version = 0;
+      const int split = adapt::SplitFor(*this, StateOf(*origin), level1,
+                                        base_value, &split_version);
+      vl->value_key = adapt::SubValueKey(
+          base_value, adapt::ShardOf(tuple->seq(), split), split);
       chord::AppMessage vl_msg;
       vl_msg.target = ValueIndexId(tuple->relation(), attr, vl->value_key);
       vl_msg.cls = sim::MsgClass::kTupleIndex;
@@ -205,24 +221,26 @@ Status ContinuousQueryNetwork::SchedulePublish(sim::SimTime when,
   if (node_index >= nodes_.size()) {
     return Status::InvalidArgument("node index out of range");
   }
-  if (when < simulator_.Now()) {
-    return Status::InvalidArgument("publication time is in the past");
-  }
   const rel::RelationSchema* schema = catalog_.Find(relation);
   if (schema == nullptr) {
     return Status::NotFound("unknown relation '" + relation + "'");
   }
   // Birth time and sequence are assigned now, at arrival-process time, so
   // the tuple's virtual-time birth is the scheduled arrival instant even
-  // if the system is saturated when the event fires.
+  // if the system is saturated when the event fires. An arrival already
+  // overdue (churn repair at a segment boundary drains the event queue
+  // and can advance the clock past the next segment's instants) fires as
+  // soon as possible but keeps its intended birth stamp — open-loop
+  // arrivals do not wait for the system.
   auto tuple = std::make_shared<const rel::Tuple>(
       relation, std::move(values), when, next_tuple_seq_++);
   CJ_RETURN_IF_ERROR(tuple->CheckAgainst(*schema));
+  const sim::SimTime fire = std::max(when, simulator_.Now());
   // kNoShard: publication draws from the engine rng (SAI side choice,
   // replica choice), so the publishing epoch must stay serial for the
   // worker-count determinism contract. The cascade it spawns still
   // parallelizes in subsequent epochs.
-  simulator_.ScheduleAt(when, [this, node_index, tuple]() {
+  simulator_.ScheduleAt(fire, [this, node_index, tuple]() {
     chord::Node* origin = EntryNode(node_index);
     if (origin == nullptr) return;
     PublishTupleFrom(origin, tuple);
@@ -258,6 +276,10 @@ StatusOr<std::string> ContinuousQueryNetwork::SubmitMultiwayQuery(
   if (options_.attribute_replication != 1) {
     return Status::Unsupported(
         "multi-way queries do not support attribute-level replication");
+  }
+  if (options_.adapt.enabled) {
+    return Status::Unsupported(
+        "multi-way queries do not support the adaptive load manager");
   }
   chord::Node* origin = nodes_[node_index];
   if (!origin->alive()) {
@@ -364,11 +386,17 @@ Status ContinuousQueryNetwork::Unsubscribe(size_t node_index,
   Tick();
   origin = EntryNode(node_index);
   // Remove from every possible rewriter (both sides and all replicas cover
-  // the SAI single-side case too — the extra recipients are no-ops).
+  // the SAI single-side case too — the extra recipients are no-ops). Under
+  // the adaptive manager, cover the whole replica range it may ever have
+  // escalated to, not just the replicas currently live.
+  const int unsub_replicas =
+      options_.adapt.enabled
+          ? std::max(options_.attribute_replication,
+                     options_.adapt.max_replicas)
+          : options_.attribute_replication;
   std::vector<chord::AppMessage> batch;
   for (int s = 0; s < 2; ++s) {
-    for (int replica = 0; replica < options_.attribute_replication;
-         ++replica) {
+    for (int replica = 0; replica < unsub_replicas; ++replica) {
       auto payload = std::make_shared<UnsubscribePayload>();
       payload->query_key = query_key;
       payload->at_evaluator = false;

@@ -208,6 +208,11 @@ struct DaivStored {
   RowTemplate row;
   rel::Timestamp pub_time = 0;
   uint64_t seq = 0;
+  /// The query this projection was stored for. Lets the adaptive load
+  /// manager reconstruct and re-send the entry as an ordinary kDaivJoin
+  /// when a split directive re-places the bucket; null in legacy paths
+  /// is tolerated (such entries simply cannot be re-shipped).
+  query::QueryPtr query;
 };
 
 class DaivStore {

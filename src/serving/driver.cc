@@ -1,10 +1,12 @@
 #include "serving/driver.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "faults/churn.h"
 
 namespace contjoin::serving {
 
@@ -39,6 +41,32 @@ ServingReport ServingDriver::Run() {
   // from the generators, all independent of how the engine keeps up.
   const sim::SimTime start = net_->simulator()->Now() + 1;
   const sim::SimTime end = start + config_.duration;
+  if (config_.churn) {
+    // Crash ordinals are offset past the subscriber pool: the column
+    // measures serving through fabric churn, and a crashed subscriber's
+    // notifications sit in ring storage until it reconnects — which an
+    // open-loop run never does — so its inflated "latency" would only
+    // measure the storm's victim choice. Ordinals index the alive set in
+    // creation order and the pool is never crashed, so the offset holds.
+    faults::ChurnScript script;
+    sim::SimTime at = start + config_.churn_start;
+    for (size_t i = 0; i < config_.churn_crashes; ++i) {
+      faults::ChurnEvent ev;
+      ev.at = at;
+      ev.kind = faults::ChurnEvent::Kind::kCrash;
+      ev.ordinal = sub_pool + 2 * i + 1;
+      script.events.push_back(ev);
+      at += config_.churn_interval;
+    }
+    for (size_t i = 0; i < config_.churn_joins; ++i) {
+      faults::ChurnEvent ev;
+      ev.at = at;
+      ev.kind = faults::ChurnEvent::Kind::kJoin;
+      script.events.push_back(ev);
+      at += config_.churn_interval;
+    }
+    net_->InstallChurnScript(std::move(script));
+  }
   std::vector<sim::SimTime> arrivals = GenerateArrivals(
       config_.arrivals, config_.arrival_seed, start, config_.duration);
   struct Arrival {
@@ -101,17 +129,30 @@ ServingReport ServingDriver::Run() {
       metrics_after.reliable_retries - metrics_before.reliable_retries;
 
   const sim::SimTime measure_from = start + config_.warmup;
+  // Delivery is at-least-once: churn repair replays the publish log, so a
+  // subscriber can receive the same result again long after the original.
+  // Latency measures the FIRST delivery of each distinct result (what a
+  // deduping subscriber experiences); replays count as redeliveries, not
+  // as slow deliveries.
+  std::set<std::string> first_delivery;
   for (size_t i = 0; i < net_->num_nodes(); ++i) {
     for (const core::Notification& note : net_->TakeNotifications(i)) {
       ++report.notifications;
-      report.delivered.push_back(
+      const std::string result_key =
           std::to_string(i) + "|" + note.ContentKey() + "|" +
           std::to_string(note.earlier_pub) + "|" +
-          std::to_string(note.later_pub) + "|" +
-          std::to_string(note.created_at) + "|" +
-          std::to_string(note.delivered_at));
+          std::to_string(note.later_pub);
+      report.delivered.push_back(result_key + "|" +
+                                 std::to_string(note.created_at) + "|" +
+                                 std::to_string(note.delivered_at));
       if (note.later_pub < measure_from) continue;
       CJ_CHECK(note.delivered_at >= note.later_pub);
+      // Inbox order is deposit order, so the first occurrence carries the
+      // earliest delivery stamp.
+      if (!first_delivery.insert(result_key).second) {
+        ++report.redelivered;
+        continue;
+      }
       ++report.measured;
       report.latency.Record(
           static_cast<double>(note.delivered_at - note.later_pub));

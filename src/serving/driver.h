@@ -52,6 +52,18 @@ struct ServingConfig {
   /// Queue depths are sampled at every multiple of this interval; segment
   /// boundaries are also where scripted churn applies (quiescent points).
   sim::SimTime sample_every = 32;
+
+  /// Scripted churn storm through the open-loop phase: `churn_crashes`
+  /// crashes then `churn_joins` joins, the first due `churn_start` ticks
+  /// after the open-loop phase begins and the rest spaced
+  /// `churn_interval` apart. Installed after the query population is in
+  /// place (a script measured from construction time would crash
+  /// subscriber nodes mid-installation), applied at segment boundaries.
+  bool churn = false;
+  sim::SimTime churn_start = 64;
+  sim::SimTime churn_interval = 64;
+  size_t churn_crashes = 3;
+  size_t churn_joins = 2;
 };
 
 /// One queue-depth observation, taken at a quiescent segment boundary.
@@ -66,7 +78,8 @@ struct ServingReport {
   LatencyRecorder latency;        // Post-warmup time-in-flight samples.
   size_t arrivals_scheduled = 0;
   size_t notifications = 0;       // Total delivered (incl. warmup).
-  size_t measured = 0;            // Post-warmup, in the latency recorder.
+  size_t measured = 0;            // Post-warmup first deliveries (latency).
+  size_t redelivered = 0;         // Post-warmup repair-replay duplicates.
   /// One line per delivered notification, inbox order:
   /// "<node>|<ContentKey>|<earlier>|<later>|<created>|<delivered>".
   /// Equivalence tests compare sorted copies; determinism tests compare

@@ -39,6 +39,9 @@ void NetStats::Reset() {
   total_bytes_.store(0, std::memory_order_relaxed);
   shed_.store(0, std::memory_order_relaxed);
   deferred_.store(0, std::memory_order_relaxed);
+  adapt_directives_.store(0, std::memory_order_relaxed);
+  adapt_redirects_.store(0, std::memory_order_relaxed);
+  adapt_reshipped_.store(0, std::memory_order_relaxed);
 }
 
 NetStats NetStats::Since(const NetStats& earlier) const {
@@ -75,6 +78,18 @@ NetStats NetStats::Since(const NetStats& earlier) const {
       deferred_.load(std::memory_order_relaxed) -
           earlier.deferred_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
+  out.adapt_directives_.store(
+      adapt_directives_.load(std::memory_order_relaxed) -
+          earlier.adapt_directives_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  out.adapt_redirects_.store(
+      adapt_redirects_.load(std::memory_order_relaxed) -
+          earlier.adapt_redirects_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  out.adapt_reshipped_.store(
+      adapt_reshipped_.load(std::memory_order_relaxed) -
+          earlier.adapt_reshipped_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   return out;
 }
 
@@ -94,6 +109,16 @@ std::string NetStats::Report() const {
   // keeping legacy reports (and their golden digests) byte-identical.
   if (shed() > 0) out << "  backpressure shed: " << shed() << "\n";
   if (deferred() > 0) out << "  backpressure deferred: " << deferred() << "\n";
+  // Likewise, adaptive-manager lines only appear when it acted.
+  if (adapt_directives() > 0) {
+    out << "  adapt directives: " << adapt_directives() << "\n";
+  }
+  if (adapt_redirects() > 0) {
+    out << "  adapt redirects: " << adapt_redirects() << "\n";
+  }
+  if (adapt_reshipped() > 0) {
+    out << "  adapt re-shipped: " << adapt_reshipped() << "\n";
+  }
   return out.str();
 }
 

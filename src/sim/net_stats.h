@@ -69,6 +69,17 @@ class NetStats {
   /// outright at the high-water mark, or pushed to a later epoch.
   void AddShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
   void AddDeferred() { deferred_.fetch_add(1, std::memory_order_relaxed); }
+  /// Adaptive load manager accounting: directives decided, arrivals
+  /// redirected away from dead keys, state batches re-shipped.
+  void AddAdaptDirective() {
+    adapt_directives_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddAdaptRedirect() {
+    adapt_redirects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddAdaptReship() {
+    adapt_reshipped_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   uint64_t hops(MsgClass c) const {
     return per_class_[static_cast<size_t>(c)].load(
@@ -94,6 +105,15 @@ class NetStats {
   uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
   uint64_t deferred() const {
     return deferred_.load(std::memory_order_relaxed);
+  }
+  uint64_t adapt_directives() const {
+    return adapt_directives_.load(std::memory_order_relaxed);
+  }
+  uint64_t adapt_redirects() const {
+    return adapt_redirects_.load(std::memory_order_relaxed);
+  }
+  uint64_t adapt_reshipped() const {
+    return adapt_reshipped_.load(std::memory_order_relaxed);
   }
 
   void Reset();
@@ -130,6 +150,15 @@ class NetStats {
                 std::memory_order_relaxed);
     deferred_.store(other.deferred_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
+    adapt_directives_.store(
+        other.adapt_directives_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    adapt_redirects_.store(
+        other.adapt_redirects_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    adapt_reshipped_.store(
+        other.adapt_reshipped_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   }
 
   std::atomic<uint64_t> per_class_[kNumClasses] = {};
@@ -140,6 +169,9 @@ class NetStats {
   std::atomic<uint64_t> total_bytes_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> deferred_{0};
+  std::atomic<uint64_t> adapt_directives_{0};
+  std::atomic<uint64_t> adapt_redirects_{0};
+  std::atomic<uint64_t> adapt_reshipped_{0};
 };
 
 }  // namespace contjoin::sim

@@ -21,29 +21,46 @@ Simulator::Simulator() {
 Simulator::~Simulator() { StopPool(); }
 
 // contjoin-check: hot
-void Simulator::ScheduleShardedAt(SimTime when, uint64_t shard,
-                                  Action action) {
+void Simulator::ScheduleShardedAt(SimTime when, uint64_t shard, Action action,
+                                  CancelToken cancel) {
   CJ_CHECK(when >= now_) << "cannot schedule in the past: " << when << " < "
                          << now_;
   ExecContext& ctx = exec_context_;
   if (ctx.sim == this && ctx.children != nullptr) {
-    ctx.children->push_back(PendingChild{when, shard, std::move(action)});
+    ctx.children->push_back(
+        PendingChild{when, shard, std::move(action), std::move(cancel)});
     return;
   }
-  queue_.push(Event{when, next_seq_++, shard, std::move(action)});
+  queue_.push(
+      Event{when, next_seq_++, shard, std::move(action), std::move(cancel)});
 }
 
 bool Simulator::InExecution() const { return exec_context_.sim == this; }
 
+void Simulator::DiscardCancelled() {
+  while (!queue_.empty() && queue_.top().cancel != nullptr &&
+         queue_.top().cancel->load(std::memory_order_acquire)) {
+    queue_.pop();
+  }
+}
+
 size_t Simulator::Run() {
   size_t ran = 0;
-  while (!queue_.empty()) ran += RunBatch();
+  for (;;) {
+    DiscardCancelled();
+    if (queue_.empty()) break;
+    ran += RunBatch();
+  }
   return ran;
 }
 
 size_t Simulator::RunUntil(SimTime until) {
   size_t ran = 0;
-  while (!queue_.empty() && queue_.top().when <= until) ran += RunBatch();
+  for (;;) {
+    DiscardCancelled();
+    if (queue_.empty() || queue_.top().when > until) break;
+    ran += RunBatch();
+  }
   if (now_ < until) now_ = until;
   return ran;
 }
@@ -55,6 +72,13 @@ size_t Simulator::RunBatch() {
   batch_.clear();
   bool all_sharded = true;
   while (!queue_.empty() && queue_.top().when == t) {
+    // A cancelled event further down the same timestamp cohort: drop it
+    // here (the clock is already at t because of a live sibling).
+    if (queue_.top().cancel != nullptr &&
+        queue_.top().cancel->load(std::memory_order_acquire)) {
+      queue_.pop();
+      continue;
+    }
     // Moving out of a priority_queue top requires a const_cast; the element
     // is popped immediately after.
     batch_.push_back(std::move(const_cast<Event&>(queue_.top())));
@@ -136,7 +160,7 @@ void Simulator::ExecuteParallel() {
   for (size_t i = 0; i < n; ++i) {
     for (PendingChild& child : child_bufs_[i]) {
       queue_.push(Event{child.when, next_seq_++, child.shard,
-                        std::move(child.action)});
+                        std::move(child.action), std::move(child.cancel)});
     }
     child_bufs_[i].clear();
   }

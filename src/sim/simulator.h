@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -30,6 +31,25 @@ using SimTime = uint64_t;
 /// Shard id for events with no single-node destination; such events force
 /// their epoch batch onto the serial path.
 inline constexpr uint64_t kNoShard = ~uint64_t{0};
+
+/// Cancellation handle for a scheduled event. Setting the flag makes the
+/// simulator discard the event without running it — and, critically,
+/// without advancing the virtual clock to its timestamp. This is what keeps
+/// speculative far-future timers (reliability retry backoff) from
+/// stretching every drain-to-empty out to their horizon: a cancelled timer
+/// simply never happened. The flag is atomic because handlers running on
+/// worker threads cancel timers mid-epoch; discards only happen on the
+/// coordinating thread between epochs, after the pool barrier, so
+/// cancellation is deterministic at any worker count (an event and its
+/// cancellation in the same epoch batch: the event still runs — batch
+/// membership is fixed before execution on both the serial and parallel
+/// paths).
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+/// Makes a fresh, unset cancellation token.
+inline CancelToken MakeCancelToken() {
+  return std::make_shared<std::atomic<bool>>(false);
+}
 
 /// Deterministic discrete-event scheduler.
 ///
@@ -75,7 +95,18 @@ class Simulator {
   /// Absolute-time form of ScheduleSharded. Safe to call from inside a
   /// running handler on any worker thread: the event lands in the
   /// handler's child buffer and is merged canonically after the epoch.
-  void ScheduleShardedAt(SimTime when, uint64_t shard, Action action);
+  void ScheduleShardedAt(SimTime when, uint64_t shard, Action action) {
+    ScheduleShardedAt(when, shard, std::move(action), nullptr);
+  }
+
+  /// ScheduleSharded with a cancellation handle: if `*cancel` is set before
+  /// the event's epoch forms, the event is dropped without running and
+  /// without the clock ever reaching its timestamp.
+  void ScheduleCancellable(SimTime delay, uint64_t shard, CancelToken cancel,
+                           Action action) {
+    ScheduleShardedAt(now_ + delay, shard, std::move(action),
+                      std::move(cancel));
+  }
 
   /// Runs events until the queue drains. Returns the number of events run.
   size_t Run();
@@ -118,6 +149,7 @@ class Simulator {
     uint64_t seq;  // FIFO tiebreak within a timestamp.
     uint64_t shard;
     Action action;
+    CancelToken cancel;  // Null for the (common) non-cancellable case.
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -130,6 +162,7 @@ class Simulator {
     SimTime when;
     uint64_t shard;
     Action action;
+    CancelToken cancel;
   };
   // Installed in thread-local storage around every handler invocation;
   // `children` is null on the serial path (children push straight into the
@@ -144,6 +177,11 @@ class Simulator {
   // dominates and the serial path is both faster and trivially identical.
   static constexpr size_t kMinParallelBatch = 4;
 
+  void ScheduleShardedAt(SimTime when, uint64_t shard, Action action,
+                         CancelToken cancel);
+  /// Pops cancelled events off the queue head without running them or
+  /// moving the clock. Called between epochs, on the coordinating thread.
+  void DiscardCancelled();
   size_t RunBatch();
   void ExecuteSerial();
   void ExecuteParallel();

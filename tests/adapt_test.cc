@@ -1,0 +1,202 @@
+// Unit tests of the adaptive load manager's building blocks: decayed
+// per-epoch load tracking, the hysteresis escalation policy, the virtual
+// sub-key naming scheme, and the versioned directive directory with its
+// equal-version tie-break (the rule that makes transiently duelling
+// deciders converge).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "adapt/planner.h"
+#include "adapt/policy.h"
+#include "adapt/tracker.h"
+
+namespace contjoin::adapt {
+namespace {
+
+// --- LoadTracker ---------------------------------------------------------------
+
+TEST(LoadTracker, AccumulatesWithinEpoch) {
+  LoadTracker t;
+  EXPECT_EQ(t.Record("k", 10, 3), 3u);
+  EXPECT_EQ(t.Record("k", 10, 4), 7u);
+  EXPECT_EQ(t.RateOf("k", 10), 7u);
+}
+
+TEST(LoadTracker, HalvesOncePerElapsedEpoch) {
+  LoadTracker t;
+  t.Record("k", 10, 64);
+  EXPECT_EQ(t.RateOf("k", 11), 32u);
+  EXPECT_EQ(t.RateOf("k", 13), 8u);
+  // Recording in a later epoch decays first, then adds.
+  EXPECT_EQ(t.Record("k", 12, 1), 17u);
+}
+
+TEST(LoadTracker, UntrackedKeyIsZero) {
+  LoadTracker t;
+  EXPECT_EQ(t.RateOf("never-seen", 5), 0u);
+}
+
+TEST(LoadTracker, DeepDecayReachesZero) {
+  LoadTracker t;
+  t.Record("k", 0, 1000);
+  EXPECT_EQ(t.RateOf("k", 100), 0u);
+}
+
+// --- Policy --------------------------------------------------------------------
+
+Params TestParams() {
+  Params p;
+  p.enabled = true;
+  p.hot_threshold = 100;
+  p.cool_threshold = 25;
+  p.max_split = 8;
+  p.max_replicas = 4;
+  return p;
+}
+
+TEST(Policy, SplitDoublesWhenHotAndClamps) {
+  Params p = TestParams();
+  EXPECT_EQ(ProposeSplit(p, 101, 1), 2);
+  EXPECT_EQ(ProposeSplit(p, 101, 4), 8);
+  EXPECT_EQ(ProposeSplit(p, 101, 8), 8);  // At the cap: stays.
+  EXPECT_EQ(ProposeSplit(p, 100, 1), 1);  // Strictly-above threshold.
+}
+
+TEST(Policy, SplitHalvesWhenCoolNeverBelowOne) {
+  Params p = TestParams();
+  EXPECT_EQ(ProposeSplit(p, 24, 8), 4);
+  EXPECT_EQ(ProposeSplit(p, 24, 1), 1);
+  EXPECT_EQ(ProposeSplit(p, 25, 4), 4);  // Strictly-below threshold.
+  EXPECT_EQ(ProposeSplit(p, 60, 4), 4);  // Hysteresis band: unchanged.
+}
+
+TEST(Policy, ReplicasStepByOneWithinFloorAndCap) {
+  Params p = TestParams();
+  EXPECT_EQ(ProposeReplicas(p, 101, 1, 1), 2);
+  EXPECT_EQ(ProposeReplicas(p, 101, 4, 1), 4);  // At the cap: stays.
+  EXPECT_EQ(ProposeReplicas(p, 24, 3, 1), 2);
+  EXPECT_EQ(ProposeReplicas(p, 24, 2, 2), 2);  // Never below the floor.
+  EXPECT_EQ(ProposeReplicas(p, 101, 0, 2), 3);  // Current below floor: lifted.
+}
+
+// --- Sub-key naming ------------------------------------------------------------
+
+TEST(ShardKeys, UnsplitKeyIsUnchanged) {
+  EXPECT_EQ(ShardValueKey("v42", 0, 1), "v42");
+  EXPECT_EQ(ShardValueKey("v42", 0, 0), "v42");
+}
+
+TEST(ShardKeys, SplitKeysRoundTrip) {
+  for (int split : {2, 4, 8}) {
+    for (int j = 0; j < split; ++j) {
+      std::string sub = ShardValueKey("v42", j, split);
+      EXPECT_NE(sub, "v42");
+      std::string base;
+      int shard = -1;
+      ASSERT_TRUE(ParseShardSuffix(sub, &base, &shard)) << sub;
+      EXPECT_EQ(base, "v42");
+      EXPECT_EQ(shard, j);
+    }
+  }
+}
+
+TEST(ShardKeys, PlainValuesDoNotParse) {
+  std::string base;
+  int shard = -1;
+  EXPECT_FALSE(ParseShardSuffix("v42", &base, &shard));
+  EXPECT_FALSE(ParseShardSuffix("", &base, &shard));
+  // A value that merely ends with the marker but no digits.
+  EXPECT_FALSE(ParseShardSuffix(ShardValueKey("v", 0, 2).substr(
+                                    0, ShardValueKey("v", 0, 2).size() - 1),
+                                &base, &shard));
+}
+
+TEST(ShardKeys, ShardOfSeqPartitionsDeterministically) {
+  EXPECT_EQ(ShardOfSeq(17, 1), 0);
+  EXPECT_EQ(ShardOfSeq(17, 4), static_cast<int>(17 % 4));
+  for (uint64_t seq = 0; seq < 32; ++seq) {
+    int j = ShardOfSeq(seq, 8);
+    EXPECT_GE(j, 0);
+    EXPECT_LT(j, 8);
+    EXPECT_EQ(j, ShardOfSeq(seq, 8));
+  }
+}
+
+// --- Directive directory -------------------------------------------------------
+
+TEST(Directory, SplitDirectiveIsVersionMonotone) {
+  Directory d;
+  EXPECT_EQ(d.SplitOf("R+a", "v"), 1);
+  EXPECT_TRUE(d.ApplySplit("R+a", "v", 2, /*version=*/1, /*epoch=*/5));
+  EXPECT_EQ(d.SplitOf("R+a", "v"), 2);
+  // An older version never regresses the directive.
+  EXPECT_FALSE(d.ApplySplit("R+a", "v", 8, /*version=*/0, /*epoch=*/9));
+  EXPECT_EQ(d.SplitOf("R+a", "v"), 2);
+  EXPECT_TRUE(d.ApplySplit("R+a", "v", 4, /*version=*/2, /*epoch=*/9));
+  EXPECT_EQ(d.SplitOf("R+a", "v"), 4);
+  const Directive* stored = d.FindSplit("R+a", "v");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->version, 2u);
+  EXPECT_EQ(stored->changed_epoch, 9u);
+}
+
+TEST(Directory, EqualVersionTieBreaksTowardLargerLevel) {
+  // Two deciders transiently owning one key can issue conflicting
+  // directives under the same version; the symmetric larger-level-wins
+  // rule makes every copy converge to one of them.
+  Directory d;
+  EXPECT_TRUE(d.ApplySplit("R+a", "v", 2, /*version=*/3, /*epoch=*/1));
+  EXPECT_FALSE(d.ApplySplit("R+a", "v", 2, /*version=*/3, /*epoch=*/2));
+  EXPECT_TRUE(d.ApplySplit("R+a", "v", 4, /*version=*/3, /*epoch=*/2));
+  EXPECT_EQ(d.SplitOf("R+a", "v"), 4);
+  EXPECT_FALSE(d.ApplySplit("R+a", "v", 2, /*version=*/3, /*epoch=*/3));
+  EXPECT_EQ(d.SplitOf("R+a", "v"), 4);
+}
+
+TEST(Directory, ReplicasRespectTheStaticFloor) {
+  Directory d;
+  EXPECT_EQ(d.ReplicasOf("R+a", 2), 2);
+  EXPECT_TRUE(d.ApplyReplicas("R+a", 3, /*version=*/1, /*epoch=*/0));
+  EXPECT_EQ(d.ReplicasOf("R+a", 2), 3);
+  // A cooled directive below the configured floor reads as the floor.
+  EXPECT_TRUE(d.ApplyReplicas("R+a", 1, /*version=*/2, /*epoch=*/4));
+  EXPECT_EQ(d.ReplicasOf("R+a", 2), 2);
+  EXPECT_EQ(d.ReplicasOf("R+a", 1), 1);
+}
+
+TEST(Directory, MergeTakesNewerAndTieBreaks) {
+  Directory a;
+  Directory b;
+  a.ApplySplit("R+a", "v", 2, /*version=*/1, /*epoch=*/1);
+  a.ApplyReplicas("R+x", 3, /*version=*/5, /*epoch=*/1);
+  b.ApplySplit("R+a", "v", 4, /*version=*/2, /*epoch=*/2);
+  b.ApplySplit("R+b", "w", 2, /*version=*/1, /*epoch=*/2);
+  b.ApplyReplicas("R+x", 2, /*version=*/4, /*epoch=*/2);
+
+  EXPECT_EQ(a.MergeFrom(b), 2u);  // Newer split + unseen family.
+  EXPECT_EQ(a.SplitOf("R+a", "v"), 4);
+  EXPECT_EQ(a.SplitOf("R+b", "w"), 2);
+  EXPECT_EQ(a.ReplicasOf("R+x", 1), 3);  // Older replica directive ignored.
+
+  // Same-version conflict: the larger level wins symmetrically.
+  Directory c;
+  Directory e;
+  c.ApplySplit("R+c", "v", 2, /*version=*/7, /*epoch=*/1);
+  e.ApplySplit("R+c", "v", 8, /*version=*/7, /*epoch=*/1);
+  EXPECT_EQ(c.MergeFrom(e), 1u);
+  EXPECT_EQ(e.MergeFrom(c), 0u);
+  EXPECT_EQ(c.SplitOf("R+c", "v"), 8);
+  EXPECT_EQ(e.SplitOf("R+c", "v"), 8);
+}
+
+TEST(Directory, EmptyReflectsContents) {
+  Directory d;
+  EXPECT_TRUE(d.empty());
+  d.ApplySplit("", "v", 2, /*version=*/1, /*epoch=*/0);
+  EXPECT_FALSE(d.empty());
+}
+
+}  // namespace
+}  // namespace contjoin::adapt

@@ -94,6 +94,35 @@ TEST(LoadDistributionTest, TopShare) {
   EXPECT_NEAR(d.TopShare(1.0), 1.0, 1e-12);
 }
 
+TEST(LoadDistributionTest, TopShareEdgeCases) {
+  // Empty population and all-zero loads both report zero share.
+  LoadDistribution empty;
+  EXPECT_DOUBLE_EQ(empty.TopShare(0.5), 0.0);
+  LoadDistribution zeros({0, 0, 0});
+  EXPECT_DOUBLE_EQ(zeros.TopShare(0.5), 0.0);
+
+  // Fraction 0 selects no node; ceil rounds any positive fraction up to
+  // at least one node, so a sub-1/n fraction still reports the maximum.
+  LoadDistribution d({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(d.TopShare(0.0), 0.0);
+  EXPECT_NEAR(d.TopShare(0.001), 4.0 / 10.0, 1e-12);
+
+  // A single-node population holds everything at any positive fraction.
+  LoadDistribution one({7});
+  EXPECT_NEAR(one.TopShare(0.01), 1.0, 1e-12);
+  EXPECT_NEAR(one.TopShare(1.0), 1.0, 1e-12);
+
+  // Ties across the cut boundary: the share counts k nodes, whichever of
+  // the tied members the sort put on top.
+  LoadDistribution ties({5, 5, 5, 5});
+  EXPECT_NEAR(ties.TopShare(0.5), 0.5, 1e-12);
+
+  // Monotone in the fraction.
+  LoadDistribution skew({1, 1, 1, 1, 16});
+  EXPECT_LE(skew.TopShare(0.2), skew.TopShare(0.4));
+  EXPECT_NEAR(skew.TopShare(0.2), 16.0 / 20.0, 1e-12);
+}
+
 TEST(LoadDistributionTest, TopKMean) {
   LoadDistribution d({1, 2, 3, 10});
   EXPECT_DOUBLE_EQ(d.TopKMean(1), 10.0);

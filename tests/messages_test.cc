@@ -29,11 +29,11 @@
 namespace contjoin::core {
 namespace {
 
-static_assert(kCqMsgTypeCount == 16,
+static_assert(kCqMsgTypeCount == 18,
               "CqMsgType changed: update the payload coverage below, the "
               "dispatch registry, and this count");
 
-static_assert(static_cast<size_t>(CqMsgType::kNotificationDigest) + 1 ==
+static_assert(static_cast<size_t>(CqMsgType::kAdaptSplit) + 1 ==
                   kCqMsgTypeCount,
               "kCqMsgTypeCount must be derived from the last enumerator");
 
@@ -67,6 +67,8 @@ TEST(MessagesTest, EveryEnumeratorHasExactlyOnePayloadTag) {
   tag(OtjRehashPayload().type);
   tag(DeliveryAckPayload().type);
   tag(NotificationDigestPayload().type);
+  tag(AdaptReplicatePayload().type);
+  tag(AdaptSplitPayload().type);
 
   EXPECT_TRUE(tagged.all()) << "untagged enumerators: " << tagged.to_string();
 }
@@ -89,6 +91,8 @@ TEST(MessagesTest, PayloadTagsMatchTheIntendedEnumerator) {
   EXPECT_EQ(DeliveryAckPayload().type, CqMsgType::kDeliveryAck);
   EXPECT_EQ(NotificationDigestPayload().type,
             CqMsgType::kNotificationDigest);
+  EXPECT_EQ(AdaptReplicatePayload().type, CqMsgType::kAdaptReplicate);
+  EXPECT_EQ(AdaptSplitPayload().type, CqMsgType::kAdaptSplit);
 }
 
 // --- Wire-codec round trips ---------------------------------------------------
@@ -299,6 +303,8 @@ TEST_F(CodecRoundTripTest, AllPayloadTypesSurviveSeededRoundTrips) {
       p.rewriter = RandomId(rng);
       p.vindex = RandomId(rng);
       p.want_ack = rng.NextBelow(2) == 0;
+      p.known_split = 1 << rng.NextBelow(4);
+      p.split_version = rng.NextBelow(1000);
       ExpectRoundTrip(p);
     }
     {
@@ -316,6 +322,8 @@ TEST_F(CodecRoundTripTest, AllPayloadTypesSurviveSeededRoundTrips) {
       p.rewriter = RandomId(rng);
       p.vindex = RandomId(rng);
       p.want_ack = rng.NextBelow(2) == 0;
+      p.known_split = 1 << rng.NextBelow(4);
+      p.split_version = rng.NextBelow(1000);
       ExpectRoundTrip(p);
     }
     {
@@ -428,6 +436,21 @@ TEST_F(CodecRoundTripTest, AllPayloadTypesSurviveSeededRoundTrips) {
         note.created_at = rng.Next();
         p.notifications.push_back(std::move(note));
       }
+      ExpectRoundTrip(p);
+    }
+    {
+      AdaptReplicatePayload p;
+      p.level1 = RandomString(rng);
+      p.replicas = 1 + static_cast<int>(rng.NextBelow(4));
+      p.version = rng.Next();
+      ExpectRoundTrip(p);
+    }
+    {
+      AdaptSplitPayload p;
+      p.level1 = RandomString(rng);
+      p.value = RandomString(rng);
+      p.split = 1 << rng.NextBelow(4);
+      p.version = rng.Next();
       ExpectRoundTrip(p);
     }
   }

@@ -258,6 +258,8 @@ std::vector<chord::AppMessage> OneMessagePerType() {
       std::make_shared<OtjRehashPayload>(),
       std::make_shared<DeliveryAckPayload>(),
       std::make_shared<NotificationDigestPayload>(),
+      std::make_shared<AdaptReplicatePayload>(),
+      std::make_shared<AdaptSplitPayload>(),
   };
   std::vector<chord::AppMessage> msgs;
   for (auto& p : payloads) {

@@ -39,7 +39,9 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"sim", {"common"}},
       {"faults", {"common", "sim"}},
       {"chord", {"common", "sim", "faults"}},
-      {"core", {"common", "relational", "query", "sim", "faults", "chord"}},
+      {"adapt", {"common"}},
+      {"core",
+       {"common", "relational", "query", "sim", "faults", "chord", "adapt"}},
       {"workload",
        {"common", "relational", "query", "sim", "faults", "chord", "core"}},
       {"reference",
@@ -56,8 +58,8 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
 /// their handlers run concurrently across node shards (rule 6).
 const std::set<std::string>& RoleModuleStems() {
   static const std::set<std::string> kStems = {
-      "rewriter", "evaluator", "subscriber", "mw_protocol", "otj_protocol",
-      "reliability"};
+      "rewriter",     "evaluator",   "subscriber", "mw_protocol",
+      "otj_protocol", "reliability", "adapt_protocol"};
   return kStems;
 }
 
@@ -72,6 +74,7 @@ std::string SendRoleOf(const std::string& stem) {
   }
   if (stem == "mw_protocol") return "mw";
   if (stem == "otj_protocol") return "otj";
+  if (stem == "adapt_protocol") return "adapt";
   return "";
 }
 
